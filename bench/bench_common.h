@@ -1,0 +1,168 @@
+// Shared helpers for the paper-reproduction benches: aligned table output,
+// cluster workload runners, and cache-state setup. Every bench prints the
+// rows/series of one table or figure from the paper's evaluation section.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mpiio/mpio_file.h"
+#include "pvfs/cluster.h"
+#include "workloads/block_column.h"
+#include "workloads/tile_io.h"
+
+namespace pvfsib::bench {
+
+// --- formatting -------------------------------------------------------
+
+inline std::string fmt(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_int(i64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> cols) : cols_(std::move(cols)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<size_t> w(cols_.size());
+    for (size_t i = 0; i < cols_.size(); ++i) w[i] = cols_[i].size();
+    for (const auto& r : rows_) {
+      for (size_t i = 0; i < r.size(); ++i) w[i] = std::max(w[i], r[i].size());
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        std::printf("%s%-*s", i ? "  " : "  ", static_cast<int>(w[i]),
+                    cells[i].c_str());
+      }
+      std::printf("\n");
+    };
+    line(cols_);
+    std::string dash;
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      dash += std::string(w[i], '-') + "  ";
+    }
+    std::printf("  %s\n", dash.c_str());
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> cols_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void header(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("\n");
+}
+
+// --- workload runners ----------------------------------------------------
+
+struct RunOutcome {
+  Duration makespan = Duration::zero();
+  double mbps = 0.0;  // aggregate bandwidth over all ranks
+  u64 bytes = 0;
+  bool ok = true;
+};
+
+// Aggregate outcome of a collective-style all-rank operation.
+inline RunOutcome summarize(const std::vector<pvfs::IoResult>& results) {
+  RunOutcome out;
+  TimePoint lo = TimePoint::from_ns(INT64_MAX);
+  TimePoint hi = TimePoint::origin();
+  for (const pvfs::IoResult& r : results) {
+    out.ok = out.ok && r.ok();
+    out.bytes += r.bytes;
+    lo = r.start < lo ? r.start : lo;
+    hi = max(hi, r.end);
+  }
+  out.makespan = hi - lo;
+  out.mbps = bandwidth_mib(out.bytes, out.makespan);
+  return out;
+}
+
+// Preload the block-column (or any) file with `bytes` of data so reads have
+// something to fetch: rank 0 writes the whole file contiguously.
+inline void preload_file(mpiio::Communicator& comm, mpiio::File& file,
+                         u64 bytes) {
+  pvfs::Client& c = comm.rank(0);
+  const u64 chunk = 64 * kMiB;
+  const u64 buf = c.memory().alloc(std::min(bytes, chunk));
+  for (u64 off = 0; off < bytes; off += chunk) {
+    const u64 n = std::min(chunk, bytes - off);
+    pvfs::IoResult r = c.write(file.handle(0), off, buf, n);
+    if (!r.ok()) {
+      std::fprintf(stderr, "preload failed: %s\n", r.status.to_string().c_str());
+      return;
+    }
+  }
+}
+
+// Run the Figure 6/7 block-column access with one method.
+inline RunOutcome run_block_column(pvfs::Cluster& cluster, u64 n,
+                                   mpiio::IoMethod method, bool is_write,
+                                   bool sync, bool cold_cache) {
+  mpiio::Communicator comm(cluster);
+  workloads::BlockColumnWorkload w;
+  w.n = n;
+  static int file_seq = 0;
+  Result<mpiio::File> file =
+      mpiio::File::create(comm, "/bc" + std::to_string(file_seq++));
+  if (!file.is_ok()) return {};
+  mpiio::File f = file.value();
+  // The paper's benchmark loops over an existing file: writes overwrite
+  // real data (the RMW cycle reads it) and reads have data to fetch.
+  preload_file(comm, f, w.file_bytes());
+  if (cold_cache) cluster.drop_all_caches();
+
+  std::vector<mpiio::RankIo> io(4);
+  for (int p = 0; p < 4; ++p) {
+    pvfs::Client& c = comm.rank(p);
+    io[p] = w.rank_io(p, c.memory().alloc(w.share_bytes()));
+  }
+  mpiio::Hints hints;
+  hints.method = method;
+  hints.sync = sync;
+  const auto results =
+      is_write ? f.write_all(io, hints) : f.read_all(io, hints);
+  return summarize(results);
+}
+
+// Run the Figure 8/9 tiled access with one method.
+inline RunOutcome run_tile_io(pvfs::Cluster& cluster, mpiio::IoMethod method,
+                              bool is_write, bool sync, bool cold_cache) {
+  mpiio::Communicator comm(cluster);
+  workloads::TileIoWorkload w;
+  static int file_seq = 0;
+  Result<mpiio::File> file =
+      mpiio::File::create(comm, "/tile" + std::to_string(file_seq++));
+  if (!file.is_ok()) return {};
+  mpiio::File f = file.value();
+  if (!is_write) preload_file(comm, f, w.frame_bytes());
+  if (cold_cache) cluster.drop_all_caches();
+
+  std::vector<mpiio::RankIo> io(4);
+  for (int p = 0; p < 4; ++p) {
+    pvfs::Client& c = comm.rank(p);
+    io[p] = w.rank_io(p, c.memory().alloc(w.tile_bytes()));
+  }
+  mpiio::Hints hints;
+  hints.method = method;
+  hints.sync = sync;
+  const auto results =
+      is_write ? f.write_all(io, hints) : f.read_all(io, hints);
+  return summarize(results);
+}
+
+}  // namespace pvfsib::bench

@@ -1,0 +1,81 @@
+// Shared runner for the BTIO benches (Tables 5 and 6): 200 solver steps of
+// charged compute time, an output phase every 5 steps, and a full read-back
+// verification pass at the end — the structure of NAS BTIO class A on 4
+// processes.
+#pragma once
+
+#include "bench_common.h"
+#include "workloads/btio.h"
+
+namespace pvfsib::bench {
+
+struct BtioRun {
+  Duration total = Duration::zero();        // end-to-end virtual time
+  Duration io_overhead = Duration::zero();  // total minus compute baseline
+  Stats stats;                              // counter deltas for the run
+  bool ok = true;
+};
+
+inline BtioRun run_btio(mpiio::IoMethod method, bool with_io) {
+  const workloads::BtioWorkload w;
+  const workloads::BtioConfig& cfg = w.config();
+  const Duration baseline = cfg.step_compute * cfg.timesteps;
+
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+  mpiio::Communicator comm(cluster);
+  BtioRun out;
+
+  Result<mpiio::File> file = mpiio::File::create(comm, "/btio");
+  if (!file.is_ok()) {
+    out.ok = false;
+    return out;
+  }
+  mpiio::File f = file.value();
+
+  std::vector<u64> wbuf(4), rbuf(4);
+  for (int p = 0; p < 4; ++p) {
+    wbuf[p] = comm.rank(p).memory().alloc(w.mem_extent_bytes());
+    rbuf[p] = comm.rank(p).memory().alloc(w.mem_extent_bytes());
+  }
+
+  mpiio::Hints hints;
+  hints.method = method;
+
+  const Stats before = cluster.stats();
+
+  int phase = 0;
+  for (int step = 1; step <= cfg.timesteps; ++step) {
+    for (int p = 0; p < 4; ++p) {
+      pvfs::Client& c = comm.rank(p);
+      c.advance_to(c.now() + cfg.step_compute);
+    }
+    if (with_io && step % cfg.write_interval == 0) {
+      std::vector<mpiio::RankIo> io(4);
+      for (int p = 0; p < 4; ++p) io[p] = w.rank_io(phase, p, wbuf[p]);
+      for (const pvfs::IoResult& r : f.write_all(io, hints)) {
+        out.ok = out.ok && r.ok();
+      }
+      ++phase;
+    }
+  }
+
+  if (with_io) {
+    // Read-back verification pass (BTIO's final phase).
+    for (int ph = 0; ph < w.output_phases(); ++ph) {
+      std::vector<mpiio::RankIo> io(4);
+      for (int p = 0; p < 4; ++p) io[p] = w.rank_io(ph, p, rbuf[p]);
+      for (const pvfs::IoResult& r : f.read_all(io, hints)) {
+        out.ok = out.ok && r.ok();
+      }
+    }
+  }
+
+  TimePoint end = TimePoint::origin();
+  for (int p = 0; p < 4; ++p) end = max(end, comm.rank(p).now());
+  out.total = end - TimePoint::origin();
+  out.io_overhead = out.total - baseline;
+  out.stats = cluster.stats().diff(before);
+  return out;
+}
+
+}  // namespace pvfsib::bench

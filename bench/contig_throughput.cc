@@ -1,0 +1,74 @@
+// Contiguous PVFS throughput vs request size — the baseline evaluation of
+// the authors' prior "PVFS over InfiniBand" report this paper builds on:
+// aggregate read/write bandwidth for 1 and 4 clients over 4 iods as the
+// request size sweeps 4 KiB .. 16 MiB (cached, stressing the transport).
+// Shows the Fast-RDMA eager path at small sizes and the rendezvous gather
+// path saturating the fabric at large sizes.
+#include "bench_common.h"
+
+namespace pvfsib::bench {
+namespace {
+
+RunOutcome run_case(u64 request, u32 clients, bool is_write) {
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), clients, 4);
+  std::vector<pvfs::OpenFile> files;
+  std::vector<u64> bufs;
+  for (u32 r = 0; r < clients; ++r) {
+    pvfs::Client& c = cluster.client(r);
+    files.push_back(r == 0 ? c.create("/tp").value() : c.open("/tp").value());
+    bufs.push_back(c.memory().alloc(request));
+  }
+  if (!is_write) {
+    for (u32 r = 0; r < clients; ++r) {
+      pvfs::IoResult pre = cluster.client(r).write(
+          files[r], r * request, bufs[r], request);
+      if (!pre.ok()) return {};
+    }
+  }
+  std::vector<pvfs::IoResult> results(clients);
+  int pending = static_cast<int>(clients);
+  for (u32 r = 0; r < clients; ++r) {
+    core::ListIoRequest req;
+    req.mem = {{bufs[r], request}};
+    req.file = {{r * request, request}};
+    auto done = [&results, &pending, r](pvfs::IoResult res) {
+      results[r] = res;
+      --pending;
+    };
+    const TimePoint at = cluster.engine().now();
+    if (is_write) {
+      cluster.client(r).write_list_async(files[r], req, {}, at, done);
+    } else {
+      cluster.client(r).read_list_async(files[r], req, {}, at, done);
+    }
+  }
+  cluster.engine().run_until([&] { return pending == 0; });
+  return summarize(results);
+}
+
+void run() {
+  header("Contiguous PVFS throughput (transport baseline)",
+         "4 iods, cached; aggregate MB/s vs request size — the substrate "
+         "the paper's prior report establishes");
+
+  Table t({"request", "1 client W", "1 client R", "4 clients W",
+           "4 clients R"});
+  for (u64 req : {4 * kKiB, 64 * kKiB, 256 * kKiB, 1 * kMiB, 4 * kMiB,
+                  16 * kMiB}) {
+    t.row({req >= kMiB ? std::to_string(req / kMiB) + " MiB"
+                       : std::to_string(req / kKiB) + " KiB",
+           fmt(run_case(req, 1, true).mbps, 0),
+           fmt(run_case(req, 1, false).mbps, 0),
+           fmt(run_case(req, 4, true).mbps, 0),
+           fmt(run_case(req, 4, false).mbps, 0)});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pvfsib::bench
+
+int main() {
+  pvfsib::bench::run();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 7: noncontiguous READ with the block-column file view, array size
+// 512..8192, four methods, with the data in cache ("read cached") and with
+// cold iod caches ("read without cache").
+//
+// Expected shape: ADS helps at small N; ROMIO DS transfers the whole array
+// so it falls off at large N in the cached case but stays competitive
+// uncached (disk time dominates) until ~2048; list I/O with ADS declines to
+// sieve at large N and accesses pieces separately.
+#include "bench_common.h"
+
+namespace pvfsib::bench {
+namespace {
+
+double bc_read(u64 n, mpiio::IoMethod method, bool cold) {
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+  return run_block_column(cluster, n, method, /*is_write=*/false,
+                          /*sync=*/false, cold)
+      .mbps;
+}
+
+void run() {
+  header("Figure 7: Block-column READ bandwidth by method",
+         "4 procs x 4 iods, each reads 1-in-4 units of an N x N int array; "
+         "aggregate MB/s\n(paper shape: ADS helps small N; ROMIO-DS "
+         "competitive uncached until ~2048 then falls off)");
+
+  for (bool cold : {false, true}) {
+    std::printf("  -- read %s --\n", cold ? "without cache" : "cached");
+    Table t({"N", "accesses/proc", "piece", "Multiple", "ROMIO-DS", "List",
+             "List+ADS"});
+    for (u64 n : {512, 1024, 2048, 4096, 8192}) {
+      t.row({fmt_int(static_cast<i64>(n)), fmt_int(static_cast<i64>(n)),
+             std::to_string(n) + " B",
+             fmt(bc_read(n, mpiio::IoMethod::kMultiple, cold), 1),
+             fmt(bc_read(n, mpiio::IoMethod::kDataSieving, cold), 1),
+             fmt(bc_read(n, mpiio::IoMethod::kListIo, cold), 1),
+             fmt(bc_read(n, mpiio::IoMethod::kListIoAds, cold), 1)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace pvfsib::bench
+
+int main() {
+  pvfsib::bench::run();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 8: mpi-tile-io without disk effects — writes without sync, reads
+// from the iod file caches. 2x2 displays of 1024x768 24-bit pixels (9 MB
+// frame), 4 compute nodes, 4 iods.
+//
+// Paper shape: List+ADS is 5.7x Multiple for write and 8.8x for read;
+// +8.4% / +45% over plain List; +5.7x / +18% over ROMIO DS.
+#include "bench_common.h"
+
+namespace pvfsib::bench {
+namespace {
+
+void run() {
+  header("Figure 8: mpi-tile-io, without disk effects",
+         "9 MB frame, 2x2 tiles of 1024x768x24bit; aggregate MB/s\n"
+         "(paper shape: ADS 5.7x Multiple write / 8.8x read; +8.4%/+45% "
+         "over plain List)");
+
+  Table t({"op", "Multiple", "ROMIO-DS", "List", "List+ADS"});
+  for (bool is_write : {true, false}) {
+    std::vector<std::string> row{is_write ? "write (no sync)"
+                                          : "read (cached)"};
+    for (mpiio::IoMethod m :
+         {mpiio::IoMethod::kMultiple, mpiio::IoMethod::kDataSieving,
+          mpiio::IoMethod::kListIo, mpiio::IoMethod::kListIoAds}) {
+      pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+      row.push_back(fmt(
+          run_tile_io(cluster, m, is_write, /*sync=*/false, /*cold=*/false)
+              .mbps,
+          1));
+    }
+    t.row(row);
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pvfsib::bench
+
+int main() {
+  pvfsib::bench::run();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 9: mpi-tile-io with disk effects — writes with sync, reads from
+// cold iod caches.
+//
+// Paper shape: List+ADS still wins for write; for read, ROMIO Data Sieving
+// overtakes ADS (one big request, disk dominates, and ADS pays 6 request/
+// reply pairs against DS's one).
+#include "bench_common.h"
+
+namespace pvfsib::bench {
+namespace {
+
+void run() {
+  header("Figure 9: mpi-tile-io, with disk effects",
+         "9 MB frame, 2x2 tiles; writes synced, reads from cold caches; "
+         "aggregate MB/s\n(paper shape: ADS best for write; ROMIO-DS "
+         "overtakes for read)");
+
+  Table t({"op", "Multiple", "ROMIO-DS", "List", "List+ADS"});
+  for (bool is_write : {true, false}) {
+    std::vector<std::string> row{is_write ? "write (sync)"
+                                          : "read (cold cache)"};
+    for (mpiio::IoMethod m :
+         {mpiio::IoMethod::kMultiple, mpiio::IoMethod::kDataSieving,
+          mpiio::IoMethod::kListIo, mpiio::IoMethod::kListIoAds}) {
+      pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+      row.push_back(
+          fmt(run_tile_io(cluster, m, is_write, /*sync=*/is_write,
+                          /*cold=*/!is_write)
+                  .mbps,
+              1));
+    }
+    t.row(row);
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pvfsib::bench
+
+int main() {
+  pvfsib::bench::run();
+  return 0;
+}

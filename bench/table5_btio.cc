@@ -1,0 +1,51 @@
+// Table 5: NAS BTIO (class-A-like) total execution time and I/O overhead
+// for the five I/O methods plus the no-I/O baseline.
+//
+// Paper: no-I/O 165.6 s; Multiple 180.0 (14.4 I/O); Collective 169.6 (4.0);
+// List 168.2 (2.6); List+ADS 167.7 (2.1); Data Sieving 177.3 (11.7).
+// Expected ordering: ADS < List < Collective < DS < Multiple.
+#include "btio_runner.h"
+
+namespace pvfsib::bench {
+namespace {
+
+void run() {
+  header("Table 5: BTIO performance",
+         "200 solver steps (828 ms compute each), output every 5 steps "
+         "(200 MiB total) + read-back verify\n(paper: no-I/O 165.6 s; "
+         "I/O overhead Mult 14.4, Coll 4.0, List 2.6, ADS 2.1, DS 11.7 s)");
+
+  Table t({"case", "time (s)", "I/O overhead (s)", "paper time", "paper ovh"});
+  {
+    const BtioRun base = run_btio(mpiio::IoMethod::kListIo, /*with_io=*/false);
+    t.row({"no I/O", fmt(base.total.as_sec(), 1), "0", "165.6", "0"});
+  }
+  struct Row {
+    const char* name;
+    mpiio::IoMethod method;
+    const char* paper_time;
+    const char* paper_ovh;
+  };
+  const Row rows[] = {
+      {"Multiple I/O", mpiio::IoMethod::kMultiple, "180.0", "14.4"},
+      {"Collective I/O", mpiio::IoMethod::kCollective, "169.6", "4.0"},
+      {"List I/O", mpiio::IoMethod::kListIo, "168.2", "2.6"},
+      {"List I/O with ADS", mpiio::IoMethod::kListIoAds, "167.7", "2.1"},
+      {"Data Sieving", mpiio::IoMethod::kDataSieving, "177.3", "11.7"},
+  };
+  for (const Row& r : rows) {
+    const BtioRun run = run_btio(r.method, /*with_io=*/true);
+    t.row({r.name, fmt(run.total.as_sec(), 1), fmt(run.io_overhead.as_sec(), 2),
+           r.paper_time, r.paper_ovh});
+    if (!run.ok) std::fprintf(stderr, "  (%s: some ops failed)\n", r.name);
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pvfsib::bench
+
+int main() {
+  pvfsib::bench::run();
+  return 0;
+}

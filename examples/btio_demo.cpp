@@ -1,0 +1,103 @@
+// BTIO in miniature: runs the BTIO-like output pattern (diagonal-interleaved
+// appends, noncontiguous in memory and file) for a configurable number of
+// phases under a chosen I/O method, then verifies the file contents.
+//
+//   ./btio_demo [phases] [method: multiple|collective|list|ads|ds]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "workloads/btio.h"
+
+using namespace pvfsib;
+
+static mpiio::IoMethod parse_method(const char* s) {
+  if (std::strcmp(s, "multiple") == 0) return mpiio::IoMethod::kMultiple;
+  if (std::strcmp(s, "collective") == 0) return mpiio::IoMethod::kCollective;
+  if (std::strcmp(s, "list") == 0) return mpiio::IoMethod::kListIo;
+  if (std::strcmp(s, "ds") == 0) return mpiio::IoMethod::kDataSieving;
+  return mpiio::IoMethod::kListIoAds;
+}
+
+int main(int argc, char** argv) {
+  workloads::BtioConfig cfg;
+  cfg.timesteps = (argc > 1 ? std::atoi(argv[1]) : 4) * cfg.write_interval;
+  const mpiio::IoMethod method =
+      parse_method(argc > 2 ? argv[2] : "ads");
+  workloads::BtioWorkload bt(cfg);
+
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+  mpiio::Communicator comm(cluster);
+  mpiio::File out = mpiio::File::create(comm, "/btio.out").value();
+
+  std::printf("BTIO-like run: %d output phases of %llu KiB, method %s\n",
+              bt.output_phases(),
+              static_cast<unsigned long long>(bt.step_block_bytes() / kKiB),
+              mpiio::to_string(method));
+
+  mpiio::Hints hints;
+  hints.method = method;
+  std::vector<u64> buf(4);
+  for (int p = 0; p < 4; ++p) {
+    buf[p] = comm.rank(p).memory().alloc(bt.mem_extent_bytes());
+  }
+
+  Duration io_time = Duration::zero();
+  for (int phase = 0; phase < bt.output_phases(); ++phase) {
+    // Fill each rank's pieces with a recognizable pattern.
+    for (int p = 0; p < 4; ++p) {
+      pvfs::Client& c = comm.rank(p);
+      const auto mt = bt.memtype();
+      u64 k = 0;
+      for (const Extent& e : mt.map()) {
+        for (u64 i = 0; i < e.length; ++i, ++k) {
+          c.memory().write_pod<u8>(buf[p] + e.offset + i,
+                                   static_cast<u8>(phase * 13 + p * 7 + k));
+        }
+      }
+    }
+    std::vector<mpiio::RankIo> io(4);
+    for (int p = 0; p < 4; ++p) io[p] = bt.rank_io(phase, p, buf[p]);
+    for (const pvfs::IoResult& r : out.write_all(io, hints)) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "phase %d: %s\n", phase,
+                     r.status.to_string().c_str());
+        return 1;
+      }
+      io_time = max(io_time, r.elapsed());
+    }
+  }
+  std::printf("slowest output phase: %s\n", io_time.to_string().c_str());
+
+  // Verify the last phase by reading the step block back contiguously.
+  pvfs::Client& c0 = comm.rank(0);
+  const int last = bt.output_phases() - 1;
+  const u64 block = bt.step_block_bytes();
+  const u64 rd = c0.memory().alloc(block);
+  pvfs::IoResult res = c0.read(out.handle(0),
+                               static_cast<u64>(last) * block, rd, block);
+  if (!res.ok()) {
+    std::fprintf(stderr, "verify read failed\n");
+    return 1;
+  }
+  const u64 slots = 4 * bt.config().pieces_per_proc;
+  std::vector<u64> piece_idx(4, 0);  // per-owner running piece counter
+  for (u64 slot = 0; slot < slots; ++slot) {
+    const int owner = bt.slot_owner(slot);
+    const u64 k0 = piece_idx[owner] * bt.config().piece_bytes;
+    for (u64 i = 0; i < bt.config().piece_bytes; i += 509) {
+      const u8 expect = static_cast<u8>(last * 13 + owner * 7 + k0 + i);
+      const u8 got = c0.memory().read_pod<u8>(
+          rd + slot * bt.config().piece_bytes + i);
+      if (expect != got) {
+        std::fprintf(stderr, "verify mismatch at slot %llu\n",
+                     static_cast<unsigned long long>(slot));
+        return 1;
+      }
+    }
+    ++piece_idx[owner];
+  }
+  std::printf("verified %llu slots of the final phase\n",
+              static_cast<unsigned long long>(slots));
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Checkpointing a block-distributed 2-D field: each of four solver ranks
+// owns one quadrant of an N x N double-precision grid (as rows of a bigger
+// local allocation, the paper's canonical noncontiguous-buffer source) and
+// periodically checkpoints it with PVFS list I/O. Demonstrates Optimistic
+// Group Registration on real subarray buffers and restart verification.
+//
+//   ./checkpoint_subarray [N] [checkpoints]
+#include <cstdio>
+#include <cstdlib>
+
+#include "pvfs/cluster.h"
+#include "workloads/subarray.h"
+
+using namespace pvfsib;
+
+int main(int argc, char** argv) {
+  const u64 n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2048;
+  const int checkpoints = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+  workloads::SubarrayLayout grid;
+  grid.n = n;
+  grid.elem = 8;  // doubles
+
+  std::printf("grid %llux%llu doubles, %llu MiB per checkpoint\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(grid.array_bytes() / kMiB));
+
+  // Each rank allocates its full local array; the subarray rows are the
+  // noncontiguous list I/O buffers.
+  std::vector<u64> field(4);
+  std::vector<pvfs::OpenFile> files(4);
+  for (u32 r = 0; r < 4; ++r) {
+    pvfs::Client& c = cluster.client(r);
+    field[r] = grid.alloc_array(c.memory());
+    files[r] = r == 0 ? c.create("/ckpt").value() : c.open("/ckpt").value();
+  }
+
+  for (int ck = 0; ck < checkpoints; ++ck) {
+    // "Solve": evolve each rank's quadrant.
+    for (u32 r = 0; r < 4; ++r) {
+      pvfs::Client& c = cluster.client(r);
+      for (const core::MemSegment& row :
+           grid.subarray_rows(field[r], r / 2, r % 2)) {
+        for (u64 i = 0; i < row.length; i += 8) {
+          c.memory().write_pod<u64>(row.addr + i,
+                                    (row.addr + i) * 31 + ck * 977);
+        }
+      }
+    }
+    // Checkpoint: every rank writes its quadrant rows; sync so the
+    // checkpoint is durable (the paper's "write with sync" mode).
+    Duration slowest = Duration::zero();
+    const Stats before = cluster.stats();
+    std::vector<pvfs::IoResult> results(4);
+    int pending = 4;
+    for (u32 r = 0; r < 4; ++r) {
+      pvfs::Client& c = cluster.client(r);
+      core::ListIoRequest req;
+      req.mem = grid.subarray_rows(field[r], r / 2, r % 2);
+      req.file = grid.contiguous_file_extents(r / 2, r % 2);
+      pvfs::IoOptions opts;
+      opts.sync = true;
+      c.write_list_async(files[r], req, opts, cluster.engine().now(),
+                         [&results, &pending, r](pvfs::IoResult res) {
+                           results[r] = res;
+                           --pending;
+                         });
+    }
+    cluster.engine().run_until([&] { return pending == 0; });
+    u64 bytes = 0;
+    for (const pvfs::IoResult& res : results) {
+      if (!res.ok()) {
+        std::fprintf(stderr, "checkpoint failed: %s\n",
+                     res.status.to_string().c_str());
+        return 1;
+      }
+      bytes += res.bytes;
+      slowest = max(slowest, res.elapsed());
+    }
+    const Stats d = cluster.stats().diff(before);
+    std::printf(
+        "checkpoint %d: %llu MiB durable in %s (%.1f MB/s); "
+        "%lld group registrations for %lld row buffers\n",
+        ck, static_cast<unsigned long long>(bytes / kMiB),
+        slowest.to_string().c_str(), bandwidth_mib(bytes, slowest),
+        static_cast<long long>(d.get(stat::kMrRegister)),
+        static_cast<long long>(4 * grid.sub_rows()));
+  }
+
+  // Restart: a fresh rank-0 reads every quadrant back and verifies the
+  // final state.
+  pvfs::Client& c0 = cluster.client(0);
+  for (u32 r = 0; r < 4; ++r) {
+    const u64 buf = c0.memory().alloc(grid.sub_bytes());
+    pvfs::IoResult rd = c0.read(files[0], r * grid.sub_bytes(), buf,
+                                grid.sub_bytes());
+    if (!rd.ok()) {
+      std::fprintf(stderr, "restart read failed\n");
+      return 1;
+    }
+    // Spot-check against the generator for the last checkpoint.
+    pvfs::Client& cr = cluster.client(r);
+    const auto rows = grid.subarray_rows(field[r], r / 2, r % 2);
+    u64 off = 0;
+    for (const core::MemSegment& row : rows) {
+      if (std::memcmp(c0.memory().data(buf + off), cr.memory().data(row.addr),
+                      row.length) != 0) {
+        std::fprintf(stderr, "restart verification failed (rank %u)\n", r);
+        return 1;
+      }
+      off += row.length;
+    }
+  }
+  std::printf("restart verified: all %d quadrants match the final state\n", 4);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Quickstart: bring up a simulated 4+4 PVFS-over-InfiniBand cluster, write
+// and read a striped file, then issue a noncontiguous list I/O request and
+// watch Optimistic Group Registration and Active Data Sieving do their work.
+//
+//   ./quickstart [--trace]    (--trace dumps the protocol event trace)
+#include <cstdio>
+#include <cstring>
+
+#include "pvfsib.h"
+
+using namespace pvfsib;
+
+int main(int argc, char** argv) {
+  const bool trace = argc > 1 && std::strcmp(argv[1], "--trace") == 0;
+  if (trace) sim::Trace::instance().enable();
+  // The model defaults are the paper's testbed: Mellanox InfiniHost-era
+  // fabric (Table 2), ATA disk + ext3 (Table 3), PVFS 64 KiB stripes.
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), /*clients=*/4,
+                        /*iods=*/4);
+  pvfs::Client& client = cluster.client(0);
+
+  // --- create a file striped over all four I/O servers -----------------
+  Result<pvfs::OpenFile> file = client.create("/demo/data");
+  if (!file.is_ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 file.status().to_string().c_str());
+    return 1;
+  }
+  pvfs::OpenFile f = file.value();
+  std::printf("created /demo/data: handle %llu, stripe %llu KiB, %u iods\n",
+              static_cast<unsigned long long>(f.meta.handle),
+              static_cast<unsigned long long>(f.meta.stripe_size / kKiB),
+              f.meta.iod_count);
+
+  // --- contiguous write/read ------------------------------------------
+  const u64 n = 1 * kMiB;
+  const u64 src = client.memory().alloc(n);
+  const u64 dst = client.memory().alloc(n);
+  for (u64 i = 0; i < n; i += 8) {
+    client.memory().write_pod<u64>(src + i, i * 0x9e3779b97f4a7c15ULL);
+  }
+  pvfs::IoResult w = client.write(f, 0, src, n);
+  std::printf("contiguous write: %llu KiB in %s (%.0f MB/s)\n",
+              static_cast<unsigned long long>(w.bytes / kKiB),
+              w.elapsed().to_string().c_str(), w.bandwidth_mib());
+  pvfs::IoResult r = client.read(f, 0, dst, n);
+  std::printf("contiguous read:  %llu KiB in %s (%.0f MB/s)\n",
+              static_cast<unsigned long long>(r.bytes / kKiB),
+              r.elapsed().to_string().c_str(), r.bandwidth_mib());
+  if (std::memcmp(client.memory().data(src), client.memory().data(dst), n) !=
+      0) {
+    std::fprintf(stderr, "data mismatch!\n");
+    return 1;
+  }
+
+  // --- noncontiguous list I/O -------------------------------------------
+  // 256 small strided pieces, the access shape that motivates the paper:
+  // noncontiguous in memory (every other 1 KiB row) and in the file
+  // (1 KiB of every 4 KiB).
+  core::ListIoRequest req;
+  const u64 rows = 256;
+  const u64 base = client.memory().alloc(rows * 2 * kKiB);
+  for (u64 i = 0; i < rows; ++i) {
+    req.mem.push_back({base + i * 2 * kKiB, kKiB});
+    req.file.push_back({i * 4 * kKiB, kKiB});
+  }
+  const Stats before = cluster.stats();
+  pvfs::IoResult lw = client.write_list(f, req);
+  pvfs::IoResult lr = client.read_list(f, req);
+  const Stats d = cluster.stats().diff(before);
+  std::printf(
+      "list I/O: wrote+read %llu KiB in %s + %s\n"
+      "  requests: %lld   registrations: %lld (cache hits %lld)\n"
+      "  iod decisions: %lld sieved, %lld separate; disk ops %lld\n",
+      static_cast<unsigned long long>((lw.bytes + lr.bytes) / kKiB),
+      lw.elapsed().to_string().c_str(), lr.elapsed().to_string().c_str(),
+      static_cast<long long>(d.get(stat::kPvfsRequest)),
+      static_cast<long long>(d.get(stat::kMrRegister)),
+      static_cast<long long>(d.get(stat::kMrCacheHit)),
+      static_cast<long long>(d.get(stat::kAdsSieved)),
+      static_cast<long long>(d.get(stat::kAdsSeparate)),
+      static_cast<long long>(d.get(stat::kDiskRead) +
+                             d.get(stat::kDiskWrite)));
+
+  if (trace) {
+    std::printf("\n--- protocol trace (most recent events) ---\n");
+    sim::Trace::instance().dump(stdout, 32);
+  }
+  std::printf("quickstart OK\n");
+  return 0;
+}

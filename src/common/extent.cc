@@ -1,0 +1,113 @@
+#include "common/extent.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace pvfsib {
+
+u64 total_length(const ExtentList& list) {
+  u64 sum = 0;
+  for (const Extent& e : list) sum += e.length;
+  return sum;
+}
+
+Extent bounding_span(const ExtentList& list) {
+  if (list.empty()) return {};
+  u64 lo = list.front().offset;
+  u64 hi = list.front().end();
+  for (const Extent& e : list) {
+    lo = std::min(lo, e.offset);
+    hi = std::max(hi, e.end());
+  }
+  return {lo, hi - lo};
+}
+
+bool is_sorted_disjoint(const ExtentList& list) {
+  for (size_t i = 1; i < list.size(); ++i) {
+    if (list[i].offset < list[i - 1].end()) return false;
+  }
+  return true;
+}
+
+void sort_by_offset(ExtentList& list) {
+  std::stable_sort(list.begin(), list.end(),
+                   [](const Extent& a, const Extent& b) {
+                     return a.offset < b.offset;
+                   });
+}
+
+ExtentList coalesce(const ExtentList& sorted, u64 merge_gap) {
+  ExtentList out;
+  out.reserve(sorted.size());
+  for (const Extent& e : sorted) {
+    if (e.empty()) continue;
+    if (!out.empty() && e.offset <= out.back().end() + merge_gap) {
+      out.back().length = std::max(out.back().end(), e.end()) -
+                          out.back().offset;
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+ExtentList intersect(const Extent& e, const ExtentList& list) {
+  ExtentList out;
+  for (const Extent& x : list) {
+    const u64 lo = std::max(e.offset, x.offset);
+    const u64 hi = std::min(e.end(), x.end());
+    if (lo < hi) out.push_back({lo, hi - lo});
+  }
+  return out;
+}
+
+ExtentList holes_within(const Extent& within, const ExtentList& list) {
+  assert(is_sorted_disjoint(list));
+  ExtentList out;
+  u64 cursor = within.offset;
+  for (const Extent& x : list) {
+    const u64 lo = std::max(within.offset, x.offset);
+    const u64 hi = std::min(within.end(), x.end());
+    if (lo >= hi) continue;  // outside the window
+    if (lo > cursor) out.push_back({cursor, lo - cursor});
+    cursor = std::max(cursor, hi);
+  }
+  if (cursor < within.end()) out.push_back({cursor, within.end() - cursor});
+  return out;
+}
+
+ExtentList split_at_boundaries(const ExtentList& list, u64 boundary) {
+  assert(boundary > 0);
+  ExtentList out;
+  out.reserve(list.size());
+  for (const Extent& e : list) {
+    u64 pos = e.offset;
+    while (pos < e.end()) {
+      const u64 next = align_down(pos, boundary) + boundary;
+      const u64 hi = std::min(e.end(), next);
+      out.push_back({pos, hi - pos});
+      pos = hi;
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Extent& e) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%llu,+%llu)",
+                static_cast<unsigned long long>(e.offset),
+                static_cast<unsigned long long>(e.length));
+  return buf;
+}
+
+std::string to_string(const ExtentList& l) {
+  std::string s = "{";
+  for (size_t i = 0; i < l.size(); ++i) {
+    if (i) s += ", ";
+    s += to_string(l[i]);
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace pvfsib

@@ -1,0 +1,65 @@
+// Extent algebra: (offset, length) pairs and the list operations every layer
+// of the stack needs — sorting, coalescing, intersecting, splitting at
+// stripe boundaries. List I/O requests, file views, sieving windows and
+// registration groups are all manipulated as extent lists.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pvfsib {
+
+struct Extent {
+  u64 offset = 0;
+  u64 length = 0;
+
+  u64 end() const { return offset + length; }
+  bool empty() const { return length == 0; }
+  bool contains(u64 pos) const { return pos >= offset && pos < end(); }
+  bool contains(const Extent& o) const {
+    return o.offset >= offset && o.end() <= end();
+  }
+  bool overlaps(const Extent& o) const {
+    return offset < o.end() && o.offset < end();
+  }
+  // True when `o` begins exactly where this extent ends.
+  bool adjacent_before(const Extent& o) const { return end() == o.offset; }
+
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+using ExtentList = std::vector<Extent>;
+
+// Total bytes covered (extents may not overlap for this to be meaningful).
+u64 total_length(const ExtentList& list);
+
+// Smallest extent covering every input extent; empty input -> empty extent.
+Extent bounding_span(const ExtentList& list);
+
+// True if extents are sorted by offset and non-overlapping.
+bool is_sorted_disjoint(const ExtentList& list);
+
+// Sort by offset (stable on equal offsets).
+void sort_by_offset(ExtentList& list);
+
+// Merge touching/overlapping extents of a sorted list; returns a new list.
+// Gaps strictly smaller than `merge_gap` are absorbed as well (0 = only
+// touching extents merge).
+ExtentList coalesce(const ExtentList& sorted, u64 merge_gap = 0);
+
+// Intersection of extent `e` with each member of sorted-disjoint `list`.
+ExtentList intersect(const Extent& e, const ExtentList& list);
+
+// Complement of sorted-disjoint `list` within `within` — the "holes".
+ExtentList holes_within(const Extent& within, const ExtentList& list);
+
+// Split every extent at multiples of `boundary` (e.g. stripe size).
+ExtentList split_at_boundaries(const ExtentList& list, u64 boundary);
+
+std::string to_string(const Extent& e);
+std::string to_string(const ExtentList& l);
+
+}  // namespace pvfsib

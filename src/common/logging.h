@@ -1,0 +1,30 @@
+// Lightweight leveled logging to stderr. Off by default; enabled per-process
+// with set_log_level (benches keep it quiet, examples turn on kInfo).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace pvfsib {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define PVFSIB_LOG(level, ...)                              \
+  do {                                                      \
+    if (::pvfsib::log_level() >= (level)) {                 \
+      ::pvfsib::log_message((level), __VA_ARGS__);          \
+    }                                                       \
+  } while (0)
+
+#define LOG_ERROR(...) PVFSIB_LOG(::pvfsib::LogLevel::kError, __VA_ARGS__)
+#define LOG_WARN(...) PVFSIB_LOG(::pvfsib::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_INFO(...) PVFSIB_LOG(::pvfsib::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_DEBUG(...) PVFSIB_LOG(::pvfsib::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace pvfsib

@@ -1,0 +1,55 @@
+// Deterministic, fast RNG for workload generation (splitmix64 + xoshiro256**).
+// Workloads must be reproducible across runs, so std::random_device is never
+// used; every generator is seeded explicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pvfsib {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) {
+    // splitmix64 to spread the seed over the xoshiro state.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound) — bound must be > 0.
+  u64 below(u64 bound) { return next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4];
+};
+
+}  // namespace pvfsib

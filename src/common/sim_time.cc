@@ -1,0 +1,21 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace pvfsib {
+
+std::string Duration::to_string() const {
+  char buf[64];
+  if (ns_ < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns_));
+  } else if (ns_ < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", as_us());
+  } else if (ns_ < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", as_ms());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", as_sec());
+  }
+  return buf;
+}
+
+}  // namespace pvfsib

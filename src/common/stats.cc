@@ -1,0 +1,18 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace pvfsib {
+
+std::string Stats::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : counters_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-32s %lld\n", k.c_str(),
+                  static_cast<long long>(v));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace pvfsib

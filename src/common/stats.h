@@ -1,0 +1,78 @@
+// Counter registry used to reproduce the paper's profile tables (e.g.
+// Table 6: request counts, registration counts, cache hits, disk op counts,
+// communication volumes). Every subsystem takes a Stats* and bumps named
+// counters; benches snapshot/diff them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pvfsib {
+
+class Stats {
+ public:
+  void add(const std::string& name, i64 delta = 1) { counters_[name] += delta; }
+  void set(const std::string& name, i64 value) { counters_[name] = value; }
+
+  i64 get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void clear() { counters_.clear(); }
+
+  const std::map<std::string, i64>& counters() const { return counters_; }
+
+  // Counters in `*this` minus counters in `base` (missing keys read as 0).
+  Stats diff(const Stats& base) const {
+    Stats out;
+    for (const auto& [k, v] : counters_) {
+      const i64 d = v - base.get(k);
+      if (d != 0) out.counters_[k] = d;
+    }
+    return out;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, i64> counters_;
+};
+
+// Canonical counter names (keep in one place so benches and modules agree).
+namespace stat {
+inline constexpr const char* kMrRegister = "ib.mr.register";
+inline constexpr const char* kMrDeregister = "ib.mr.deregister";
+inline constexpr const char* kMrCacheHit = "ib.mr.cache_hit";
+inline constexpr const char* kMrCacheMiss = "ib.mr.cache_miss";
+inline constexpr const char* kMrCacheEvict = "ib.mr.cache_evict";
+inline constexpr const char* kMrRegisteredBytes = "ib.mr.registered_bytes";
+inline constexpr const char* kRdmaWrite = "ib.rdma.write";
+inline constexpr const char* kRdmaRead = "ib.rdma.read";
+inline constexpr const char* kSend = "ib.send";
+inline constexpr const char* kNetBytesData = "net.bytes.data";
+inline constexpr const char* kNetBytesControl = "net.bytes.control";
+inline constexpr const char* kNetBytesInterClient = "net.bytes.inter_client";
+inline constexpr const char* kDiskRead = "disk.read";
+inline constexpr const char* kDiskWrite = "disk.write";
+inline constexpr const char* kDiskSeek = "disk.seek";
+inline constexpr const char* kDiskReadBytes = "disk.read_bytes";
+inline constexpr const char* kDiskWriteBytes = "disk.write_bytes";
+inline constexpr const char* kCacheHitBytes = "disk.cache_hit_bytes";
+inline constexpr const char* kCacheMissBytes = "disk.cache_miss_bytes";
+inline constexpr const char* kPvfsRequest = "pvfs.request";
+inline constexpr const char* kPvfsReply = "pvfs.reply";
+inline constexpr const char* kAdsSieved = "ads.sieved";
+inline constexpr const char* kAdsSeparate = "ads.separate";
+inline constexpr const char* kAdsExtraBytes = "ads.extra_bytes";
+inline constexpr const char* kOgrGroups = "ogr.groups";
+inline constexpr const char* kOgrFallbacks = "ogr.fallbacks";
+inline constexpr const char* kOgrOsQueries = "ogr.os_queries";
+inline constexpr const char* kHoleQueries = "vmem.hole_query";
+}  // namespace stat
+
+}  // namespace pvfsib

@@ -1,0 +1,116 @@
+// Minimal Status / Result<T> error-handling vocabulary (C++20 has no
+// std::expected). Errors are strings plus a coarse code; the simulation never
+// throws across module boundaries.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pvfsib {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kPermissionDenied,  // e.g. registering an unallocated page
+  kAlreadyExists,
+  kInternal,
+};
+
+const char* error_code_name(ErrorCode c);
+
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(error_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string m) {
+  return Status(ErrorCode::kInvalidArgument, std::move(m));
+}
+inline Status not_found(std::string m) {
+  return Status(ErrorCode::kNotFound, std::move(m));
+}
+inline Status out_of_range(std::string m) {
+  return Status(ErrorCode::kOutOfRange, std::move(m));
+}
+inline Status resource_exhausted(std::string m) {
+  return Status(ErrorCode::kResourceExhausted, std::move(m));
+}
+inline Status failed_precondition(std::string m) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(m));
+}
+inline Status permission_denied(std::string m) {
+  return Status(ErrorCode::kPermissionDenied, std::move(m));
+}
+inline Status already_exists(std::string m) {
+  return Status(ErrorCode::kAlreadyExists, std::move(m));
+}
+inline Status internal_error(std::string m) {
+  return Status(ErrorCode::kInternal, std::move(m));
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Result constructed from OK status");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define PVFSIB_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::pvfsib::Status _st = (expr);                \
+    if (!_st.is_ok()) return _st;                 \
+  } while (0)
+
+}  // namespace pvfsib

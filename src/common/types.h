@@ -1,0 +1,41 @@
+// Fundamental size/byte types and literals shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pvfsib {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+// The paper uses MB as an abbreviation for 2^20 bytes; we keep the binary
+// convention throughout and spell it out in identifiers (KiB/MiB).
+inline constexpr u64 kKiB = 1024;
+inline constexpr u64 kMiB = 1024 * 1024;
+inline constexpr u64 kGiB = 1024 * 1024 * 1024;
+
+constexpr u64 operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr u64 operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr u64 operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+// Page size of the simulated host OS (matches the testbed's IA-32 Linux).
+inline constexpr u64 kPageSize = 4096;
+
+constexpr u64 pages_for(u64 bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+constexpr u64 page_floor(u64 addr) { return addr & ~(kPageSize - 1); }
+constexpr u64 page_ceil(u64 addr) {
+  return (addr + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+constexpr u64 align_up(u64 v, u64 a) { return (v + a - 1) / a * a; }
+constexpr u64 align_down(u64 v, u64 a) { return v / a * a; }
+
+}  // namespace pvfsib

@@ -1,0 +1,243 @@
+#include "core/transfer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace pvfsib::core {
+
+const char* to_string(XferScheme s) {
+  switch (s) {
+    case XferScheme::kMultipleMessage:
+      return "multiple-message";
+    case XferScheme::kPackUnpack:
+      return "pack/unpack";
+    case XferScheme::kRdmaGatherScatter:
+      return "rdma-gather/scatter";
+    case XferScheme::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+namespace {
+
+u64 stream_bytes(std::span<const MemSegment> segments) {
+  u64 total = 0;
+  for (const MemSegment& s : segments) total += s.length;
+  return total;
+}
+
+}  // namespace
+
+TransferOutcome NoncontigTransfer::push(TransferEndpoint& client,
+                                        std::span<const MemSegment> segments,
+                                        StagingBuffer& server, TimePoint ready,
+                                        const TransferPolicy& policy) {
+  return run(Dir::kPush, client, segments, server, ready, policy);
+}
+
+TransferOutcome NoncontigTransfer::pull(TransferEndpoint& client,
+                                        std::span<const MemSegment> segments,
+                                        StagingBuffer& server, TimePoint ready,
+                                        const TransferPolicy& policy) {
+  return run(Dir::kPull, client, segments, server, ready, policy);
+}
+
+TransferOutcome NoncontigTransfer::run(Dir dir, TransferEndpoint& client,
+                                       std::span<const MemSegment> segments,
+                                       StagingBuffer& server, TimePoint ready,
+                                       const TransferPolicy& policy) {
+  TransferOutcome out;
+  const u64 total = stream_bytes(segments);
+  if (total == 0) {
+    out.status = invalid_argument("empty transfer");
+    return out;
+  }
+  if (total > server.size) {
+    out.status = invalid_argument(
+        "transfer exceeds server staging buffer; chunk at the PVFS layer");
+    return out;
+  }
+
+  XferScheme scheme = policy.scheme;
+  if (scheme == XferScheme::kHybrid) {
+    scheme = total <= policy.hybrid_threshold ? XferScheme::kPackUnpack
+                                              : XferScheme::kRdmaGatherScatter;
+  }
+  switch (scheme) {
+    case XferScheme::kMultipleMessage:
+      return multiple_message(dir, client, segments, server, ready, policy);
+    case XferScheme::kPackUnpack:
+      return pack_unpack(dir, client, segments, server, ready, policy);
+    case XferScheme::kRdmaGatherScatter:
+      return gather_scatter(dir, client, segments, server, ready, policy);
+    case XferScheme::kHybrid:
+      break;  // resolved above
+  }
+  out.status = internal_error("unreachable transfer scheme");
+  return out;
+}
+
+TransferOutcome NoncontigTransfer::multiple_message(
+    Dir dir, TransferEndpoint& client, std::span<const MemSegment> segments,
+    StagingBuffer& server, TimePoint ready, const TransferPolicy& policy) {
+  (void)policy;
+  TransferOutcome out;
+  // Each buffer is pinned on its own (the scheme's defining property); a
+  // warm pin-down cache turns this into the paper's "multiple, no reg".
+  OgrOutcome reg =
+      client.registrar->acquire(segments, RegStrategy::kIndividual);
+  out.reg_cost = reg.cost;
+  if (!reg.ok()) {
+    out.status = reg.status;
+    return out;
+  }
+  const TimePoint posted = ready + reg.cost;
+  ib::TransferResult tr =
+      dir == Dir::kPush
+          ? fabric_.rdma_write_per_buffer(*client.hca, reg.sges, *server.hca,
+                                          server.addr, server.rkey, posted)
+          : fabric_.rdma_read_per_buffer(*client.hca, reg.sges, *server.hca,
+                                         server.addr, server.rkey, posted);
+  client.registrar->release(reg);
+  out.status = tr.status;
+  out.bytes = tr.bytes;
+  out.complete = tr.complete;
+  return out;
+}
+
+TransferOutcome NoncontigTransfer::pack_unpack(
+    Dir dir, TransferEndpoint& client, std::span<const MemSegment> segments,
+    StagingBuffer& server, TimePoint ready, const TransferPolicy& policy) {
+  TransferOutcome out;
+  assert(client.bounce_size > 0 && "pack/unpack requires a bounce buffer");
+  vmem::AddressSpace& as = client.hca->address_space();
+  TimePoint now = ready;
+
+  u32 bounce_key = client.bounce_key;
+  u64 dereg_bytes = 0;
+  if (!policy.pack_preregistered) {
+    // "pack, reg": the temporary buffer is registered for this operation.
+    ib::RegAttempt reg =
+        client.hca->register_memory(client.bounce_addr, client.bounce_size);
+    out.reg_cost += reg.cost;
+    now += reg.cost;
+    if (!reg.ok()) {
+      out.status = reg.status;
+      return out;
+    }
+    bounce_key = reg.key;
+    dereg_bytes = client.bounce_size;
+  }
+
+  // Stream the segments through the bounce buffer window by window. The
+  // single bounce buffer serializes pack and wire phases (no pipelining).
+  u64 stream_off = 0;
+  size_t si = 0;
+  u64 sconsumed = 0;
+  const u64 total = stream_bytes(segments);
+  while (stream_off < total) {
+    const u64 window = std::min(client.bounce_size, total - stream_off);
+    if (dir == Dir::kPush) {
+      // Pack client segments into the bounce buffer.
+      u64 filled = 0;
+      while (filled < window) {
+        const MemSegment& s = segments[si];
+        const u64 n = std::min(s.length - sconsumed, window - filled);
+        std::memcpy(as.data(client.bounce_addr + filled),
+                    as.data(s.addr + sconsumed), n);
+        filled += n;
+        sconsumed += n;
+        if (sconsumed == s.length) {
+          ++si;
+          sconsumed = 0;
+        }
+      }
+      const Duration pack = mem_.copy_cost(window);
+      out.copy_cost += pack;
+      now += pack;
+      const ib::Sge sge{client.bounce_addr, window, bounce_key};
+      ib::TransferResult tr =
+          fabric_.rdma_write(*client.hca, sge, *server.hca,
+                             server.addr + stream_off, server.rkey, now);
+      if (!tr.ok()) {
+        out.status = tr.status;
+        return out;
+      }
+      now = tr.complete;
+    } else {
+      // Fetch a window into the bounce buffer, then unpack.
+      const ib::Sge sge{client.bounce_addr, window, bounce_key};
+      ib::TransferResult tr =
+          fabric_.rdma_read(*client.hca, sge, *server.hca,
+                            server.addr + stream_off, server.rkey, now);
+      if (!tr.ok()) {
+        out.status = tr.status;
+        return out;
+      }
+      now = tr.complete;
+      u64 drained = 0;
+      while (drained < window) {
+        const MemSegment& s = segments[si];
+        const u64 n = std::min(s.length - sconsumed, window - drained);
+        std::memcpy(as.data(s.addr + sconsumed),
+                    as.data(client.bounce_addr + drained), n);
+        drained += n;
+        sconsumed += n;
+        if (sconsumed == s.length) {
+          ++si;
+          sconsumed = 0;
+        }
+      }
+      const Duration unpack = mem_.copy_cost(window);
+      out.copy_cost += unpack;
+      now += unpack;
+    }
+    stream_off += window;
+  }
+
+  if (dereg_bytes > 0) {
+    const Duration dereg = client.hca->deregister(bounce_key);
+    out.reg_cost += dereg;
+    now += dereg;
+  }
+  out.status = Status::ok();
+  out.bytes = total;
+  out.complete = now;
+  return out;
+}
+
+TransferOutcome NoncontigTransfer::gather_scatter(
+    Dir dir, TransferEndpoint& client, std::span<const MemSegment> segments,
+    StagingBuffer& server, TimePoint ready, const TransferPolicy& policy) {
+  TransferOutcome out;
+  OgrOutcome reg = client.registrar->acquire(segments, policy.reg_strategy);
+  out.reg_cost = reg.cost;
+  if (!reg.ok()) {
+    out.status = reg.status;
+    return out;
+  }
+  TimePoint now = ready + reg.cost;
+
+  // One gather/scatter op covers the whole stream (the fabric chunks into
+  // max_sge work requests internally); no staging windows are needed since
+  // the stream fits the server buffer (checked by run()).
+  ib::TransferResult tr =
+      dir == Dir::kPush
+          ? fabric_.rdma_write_gather(*client.hca, reg.sges, *server.hca,
+                                      server.addr, server.rkey, now)
+          : fabric_.rdma_read_scatter(*client.hca, reg.sges, *server.hca,
+                                      server.addr, server.rkey, now);
+  client.registrar->release(reg);
+  if (!tr.ok()) {
+    out.status = tr.status;
+    return out;
+  }
+  out.status = Status::ok();
+  out.bytes = tr.bytes;
+  out.complete = tr.complete;
+  return out;
+}
+
+}  // namespace pvfsib::core

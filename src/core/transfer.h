@@ -1,0 +1,120 @@
+// Noncontiguous data transmission between a client's scattered list I/O
+// buffers and a server's contiguous staging buffer (Section 4).
+//
+// Three schemes, plus the hybrid the paper finally adopts:
+//
+//   Multiple Message    one RDMA write/read per contiguous buffer
+//   Pack/Unpack         memcpy through a bounce buffer, one big transfer
+//                       (the bounce buffer may come from a pre-registered
+//                       pool — the Fast-RDMA path — or be registered fresh)
+//   RDMA Gather/Scatter one work request carrying up to 64 SGEs, buffers
+//                       pinned via Optimistic Group Registration
+//   Hybrid              Pack/Unpack below the PVFS stripe size (64 kB),
+//                       Gather/Scatter above
+//
+// push() moves client memory -> server buffer (file writes); pull() moves
+// server buffer -> client memory (file reads). Both chunk the stream when
+// it exceeds the server staging buffer or the pack bounce buffer.
+#pragma once
+
+#include <span>
+
+#include "common/config.h"
+#include "common/sim_time.h"
+#include "core/listio.h"
+#include "core/ogr.h"
+#include "ib/fabric.h"
+#include "ib/mr_cache.h"
+
+namespace pvfsib::core {
+
+enum class XferScheme {
+  kMultipleMessage,
+  kPackUnpack,
+  kRdmaGatherScatter,
+  kHybrid,
+};
+
+const char* to_string(XferScheme s);
+
+struct TransferPolicy {
+  XferScheme scheme = XferScheme::kHybrid;
+  RegStrategy reg_strategy = RegStrategy::kOgr;
+  // Pack bounce buffer comes from a pre-registered pool ("pack, no reg");
+  // false registers/deregisters it around every transfer ("pack, reg").
+  bool pack_preregistered = true;
+  u64 hybrid_threshold = 64 * kKiB;
+};
+
+// One side's fixed transfer resources: its HCA, pin-down cache, registrar
+// and a pre-registered bounce buffer (the Fast-RDMA buffer).
+struct TransferEndpoint {
+  ib::Hca* hca = nullptr;
+  ib::MrCache* cache = nullptr;
+  GroupRegistrar* registrar = nullptr;
+  u64 bounce_addr = 0;
+  u64 bounce_size = 0;
+  u32 bounce_key = 0;
+};
+
+// The server side of a transfer: a contiguous registered staging buffer.
+struct StagingBuffer {
+  ib::Hca* hca = nullptr;
+  u64 addr = 0;
+  u64 size = 0;
+  u32 rkey = 0;
+};
+
+struct TransferOutcome {
+  Status status;
+  TimePoint complete = TimePoint::origin();
+  u64 bytes = 0;
+  Duration reg_cost = Duration::zero();
+  Duration copy_cost = Duration::zero();
+
+  bool ok() const { return status.is_ok(); }
+};
+
+class NoncontigTransfer {
+ public:
+  NoncontigTransfer(ib::Fabric& fabric, const MemParams& mem)
+      : fabric_(fabric), mem_(mem) {}
+
+  // Client segments -> server staging buffer, starting at buffer offset 0.
+  TransferOutcome push(TransferEndpoint& client,
+                       std::span<const MemSegment> segments,
+                       StagingBuffer& server, TimePoint ready,
+                       const TransferPolicy& policy);
+
+  // Server staging buffer (offset 0, `bytes` long) -> client segments.
+  TransferOutcome pull(TransferEndpoint& client,
+                       std::span<const MemSegment> segments,
+                       StagingBuffer& server, TimePoint ready,
+                       const TransferPolicy& policy);
+
+ private:
+  enum class Dir { kPush, kPull };
+
+  TransferOutcome run(Dir dir, TransferEndpoint& client,
+                      std::span<const MemSegment> segments,
+                      StagingBuffer& server, TimePoint ready,
+                      const TransferPolicy& policy);
+
+  TransferOutcome multiple_message(Dir dir, TransferEndpoint& client,
+                                   std::span<const MemSegment> segments,
+                                   StagingBuffer& server, TimePoint ready,
+                                   const TransferPolicy& policy);
+  TransferOutcome pack_unpack(Dir dir, TransferEndpoint& client,
+                              std::span<const MemSegment> segments,
+                              StagingBuffer& server, TimePoint ready,
+                              const TransferPolicy& policy);
+  TransferOutcome gather_scatter(Dir dir, TransferEndpoint& client,
+                                 std::span<const MemSegment> segments,
+                                 StagingBuffer& server, TimePoint ready,
+                                 const TransferPolicy& policy);
+
+  ib::Fabric& fabric_;
+  MemParams mem_;
+};
+
+}  // namespace pvfsib::core

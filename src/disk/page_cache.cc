@@ -1,0 +1,84 @@
+#include "disk/page_cache.h"
+
+namespace pvfsib::disk {
+
+ExtentList PageCache::cached_ranges(u32 file, const Extent& window) const {
+  ExtentList out;
+  if (window.empty()) return out;
+  const u64 first = window.offset / kPageSize;
+  const u64 last = (window.end() - 1) / kPageSize;
+  auto it = entries_.lower_bound(PageKey{file, first});
+  for (; it != entries_.end() && it->first.file == file &&
+         it->first.page <= last;
+       ++it) {
+    const u64 lo = std::max(window.offset, it->first.page * kPageSize);
+    const u64 hi = std::min(window.end(), (it->first.page + 1) * kPageSize);
+    if (lo < hi) out.push_back({lo, hi - lo});
+  }
+  return coalesce(out);
+}
+
+std::vector<PageKey> PageCache::insert(u32 file, u64 first_page, u64 n,
+                                       bool dirty) {
+  std::vector<PageKey> evicted_dirty;
+  for (u64 p = first_page; p < first_page + n; ++p) {
+    const PageKey key{file, p};
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.dirty = it->second.dirty || dirty;
+      touch(it);
+      continue;
+    }
+    while (entries_.size() >= capacity_pages_ && !lru_.empty()) {
+      const PageKey victim = lru_.back();
+      auto vit = entries_.find(victim);
+      if (vit->second.dirty) evicted_dirty.push_back(victim);
+      entries_.erase(vit);
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    entries_[key] = Entry{dirty, lru_.begin()};
+  }
+  return evicted_dirty;
+}
+
+ExtentList PageCache::flush_dirty(u32 file) {
+  ExtentList dirty;
+  auto it = entries_.lower_bound(PageKey{file, 0});
+  for (; it != entries_.end() && it->first.file == file; ++it) {
+    if (it->second.dirty) {
+      dirty.push_back({it->first.page * kPageSize, kPageSize});
+      it->second.dirty = false;
+    }
+  }
+  return coalesce(dirty);
+}
+
+std::vector<PageKey> PageCache::drop(u32 file) {
+  std::vector<PageKey> dirty;
+  auto it = entries_.lower_bound(PageKey{file, 0});
+  while (it != entries_.end() && it->first.file == file) {
+    if (it->second.dirty) dirty.push_back(it->first);
+    lru_.erase(it->second.lru_it);
+    it = entries_.erase(it);
+  }
+  return dirty;
+}
+
+std::vector<PageKey> PageCache::drop_all() {
+  std::vector<PageKey> dirty;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.dirty) dirty.push_back(key);
+  }
+  entries_.clear();
+  lru_.clear();
+  return dirty;
+}
+
+void PageCache::touch(std::map<PageKey, Entry>::iterator it) {
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(it->first);
+  it->second.lru_it = lru_.begin();
+}
+
+}  // namespace pvfsib::disk

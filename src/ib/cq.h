@@ -1,0 +1,57 @@
+// Completion queues: every RDMA operation and send posts a completion entry
+// to the initiator HCA's CQ with its (virtual) completion time. Upper
+// layers and tests poll them the way a verbs consumer would; a bounded
+// queue with overflow accounting models the CQ-depth failure mode.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pvfsib::ib {
+
+struct Completion {
+  enum class Op { kRdmaWrite, kRdmaRead, kSend, kRecv };
+
+  u64 wr_id = 0;
+  Op op = Op::kSend;
+  u64 bytes = 0;
+  Status status;
+  TimePoint completed_at = TimePoint::origin();
+};
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(size_t depth = 4096) : depth_(depth) {}
+
+  void push(Completion c) {
+    if (entries_.size() >= depth_) {
+      ++overflows_;  // a real HCA would raise a fatal async event
+      return;
+    }
+    entries_.push_back(std::move(c));
+  }
+
+  // Oldest completion, if any.
+  std::optional<Completion> poll() {
+    if (entries_.empty()) return std::nullopt;
+    Completion c = std::move(entries_.front());
+    entries_.pop_front();
+    return c;
+  }
+
+  size_t pending() const { return entries_.size(); }
+  size_t depth() const { return depth_; }
+  u64 overflows() const { return overflows_; }
+  void drain() { entries_.clear(); }
+
+ private:
+  size_t depth_;
+  std::deque<Completion> entries_;
+  u64 overflows_ = 0;
+};
+
+}  // namespace pvfsib::ib

@@ -1,0 +1,138 @@
+#include "ib/fabric.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pvfsib::ib {
+
+Fabric::Fabric(const NetParams& params, Stats* stats)
+    : params_(params), stats_(stats) {}
+
+TimePoint Fabric::send_control(Hca& src, Hca& dst, u64 bytes, TimePoint ready,
+                               ControlKind kind) {
+  // Small messages ride the send/recv (channel) path.
+  const Duration wire = transfer_time(bytes, params_.send_bw);
+  const TimePoint start =
+      max(src.nic().earliest_start(ready), dst.nic().earliest_start(ready));
+  src.nic().acquire(start, wire);
+  dst.nic().acquire(start, wire);
+  if (stats_ != nullptr) {
+    stats_->add(stat::kSend);
+    stats_->add(kind == ControlKind::kInterClient ? stat::kNetBytesInterClient
+                                                  : stat::kNetBytesControl,
+                static_cast<i64>(bytes));
+  }
+  const TimePoint done = start + wire + params_.send_latency;
+  src.cq().push(Completion{next_wr_id_++, Completion::Op::kSend, bytes,
+                           Status::ok(), done});
+  dst.cq().push(Completion{next_wr_id_++, Completion::Op::kRecv, bytes,
+                           Status::ok(), done});
+  return done;
+}
+
+Duration Fabric::fixed_overheads(Op op, std::span<const Sge> sges,
+                                 u32 sges_per_wr) const {
+  const u64 n_sges = sges.size();
+  const u64 n_wrs = (n_sges + sges_per_wr - 1) / sges_per_wr;
+  Duration cost = params_.per_wr_overhead * static_cast<i64>(n_wrs) +
+                  params_.per_sge_overhead * static_cast<i64>(n_sges);
+  // Misalignment penalty: once per WR containing any misaligned SGE.
+  u64 wr_idx = 0;
+  bool wr_misaligned = false;
+  u64 in_wr = 0;
+  for (const Sge& s : sges) {
+    wr_misaligned = wr_misaligned || (s.addr % 8 != 0);
+    if (++in_wr == sges_per_wr) {
+      if (wr_misaligned) cost += params_.misalign_penalty;
+      wr_misaligned = false;
+      in_wr = 0;
+      ++wr_idx;
+    }
+  }
+  if (in_wr > 0 && wr_misaligned) cost += params_.misalign_penalty;
+  (void)wr_idx;
+  // One-way latency, paid once per operation.
+  cost += op == Op::kWrite ? params_.rdma_write_latency
+                           : params_.rdma_read_latency;
+  return cost;
+}
+
+TransferResult Fabric::rdma_common(Op op, Hca& local,
+                                   std::span<const Sge> sges, Hca& remote,
+                                   u64 raddr, u32 rkey, TimePoint ready,
+                                   u32 sges_per_wr) {
+  TransferResult out;
+  out.status = local.validate_sges(sges);
+  if (!out.status.is_ok()) return out;
+
+  u64 total = 0;
+  for (const Sge& s : sges) total += s.length;
+  if (!remote.validate(rkey, raddr, total)) {
+    out.status = permission_denied("remote range not covered by rkey MR");
+    return out;
+  }
+
+  // Move the payload now; timing is virtual but the bytes are real.
+  vmem::AddressSpace& las = local.address_space();
+  vmem::AddressSpace& ras = remote.address_space();
+  u64 rpos = raddr;
+  for (const Sge& s : sges) {
+    if (op == Op::kWrite) {
+      std::memcpy(ras.data(rpos), las.data(s.addr), s.length);
+    } else {
+      std::memcpy(las.data(s.addr), ras.data(rpos), s.length);
+    }
+    rpos += s.length;
+  }
+
+  const double bw =
+      op == Op::kWrite ? params_.rdma_write_bw : params_.rdma_read_bw;
+  const Duration wire = transfer_time(total, bw);
+  const TimePoint start = max(local.nic().earliest_start(ready),
+                              remote.nic().earliest_start(ready));
+  local.nic().acquire(start, wire);
+  remote.nic().acquire(start, wire);
+
+  out.status = Status::ok();
+  out.bytes = total;
+  out.complete = start + wire + fixed_overheads(op, sges, sges_per_wr);
+  if (stats_ != nullptr) {
+    stats_->add(op == Op::kWrite ? stat::kRdmaWrite : stat::kRdmaRead);
+    stats_->add(stat::kNetBytesData, static_cast<i64>(total));
+  }
+  local.cq().push(Completion{next_wr_id_++,
+                             op == Op::kWrite ? Completion::Op::kRdmaWrite
+                                              : Completion::Op::kRdmaRead,
+                             total, Status::ok(), out.complete});
+  return out;
+}
+
+TransferResult Fabric::rdma_write_gather(Hca& local, std::span<const Sge> sges,
+                                         Hca& remote, u64 raddr, u32 rkey,
+                                         TimePoint ready) {
+  return rdma_common(Op::kWrite, local, sges, remote, raddr, rkey, ready,
+                     params_.max_sge);
+}
+
+TransferResult Fabric::rdma_read_scatter(Hca& local, std::span<const Sge> sges,
+                                         Hca& remote, u64 raddr, u32 rkey,
+                                         TimePoint ready) {
+  return rdma_common(Op::kRead, local, sges, remote, raddr, rkey, ready,
+                     params_.max_sge);
+}
+
+TransferResult Fabric::rdma_write_per_buffer(Hca& local,
+                                             std::span<const Sge> sges,
+                                             Hca& remote, u64 raddr, u32 rkey,
+                                             TimePoint ready) {
+  return rdma_common(Op::kWrite, local, sges, remote, raddr, rkey, ready, 1);
+}
+
+TransferResult Fabric::rdma_read_per_buffer(Hca& local,
+                                            std::span<const Sge> sges,
+                                            Hca& remote, u64 raddr, u32 rkey,
+                                            TimePoint ready) {
+  return rdma_common(Op::kRead, local, sges, remote, raddr, rkey, ready, 1);
+}
+
+}  // namespace pvfsib::ib

@@ -1,0 +1,75 @@
+// Queue pairs: the connection-oriented verbs endpoint (VAPI's RC service).
+//
+// Channel semantics (send/recv) with posted receive buffers and RNR
+// failures, bounded send-queue depth, and one-sided RDMA forwarding to the
+// fabric. The PVFS layers drive the fabric directly for brevity; the QP is
+// the complete verbs-consumer surface (and is what an MVAPICH-style MPI
+// would sit on), exercised by its own tests.
+#pragma once
+
+#include <deque>
+#include <span>
+
+#include "ib/fabric.h"
+
+namespace pvfsib::ib {
+
+class QueuePair {
+ public:
+  QueuePair(Hca& local, Fabric& fabric, u32 sq_depth = 128,
+            u32 rq_depth = 128);
+
+  // Connect two QPs back-to-back (the RC handshake's end state).
+  static void connect(QueuePair& a, QueuePair& b);
+  bool connected() const { return peer_ != nullptr; }
+
+  // Post a receive buffer. Consumed in FIFO order by incoming sends.
+  Status post_recv(u64 wr_id, u64 addr, u64 len, u32 lkey);
+  size_t recv_posted() const { return recv_queue_.size(); }
+
+  struct SendResult {
+    Status status;
+    TimePoint complete = TimePoint::origin();
+    u64 bytes = 0;
+
+    bool ok() const { return status.is_ok(); }
+  };
+
+  // Channel send: gathers `sges`, lands them in the peer's oldest posted
+  // receive buffer. Fails with kResourceExhausted if the peer has no
+  // posted receive (receiver-not-ready) or the payload exceeds the posted
+  // buffer. Completions are delivered to both CQs.
+  SendResult post_send(u64 wr_id, std::span<const Sge> sges, TimePoint ready);
+
+  // One-sided operations (no peer receive involved).
+  TransferResult rdma_write(std::span<const Sge> sges, u64 raddr, u32 rkey,
+                            TimePoint ready);
+  TransferResult rdma_read(std::span<const Sge> sges, u64 raddr, u32 rkey,
+                           TimePoint ready);
+
+  // The consumer acknowledges `n` polled completions, freeing send-queue
+  // slots. Posting into a full send queue (completions never reaped) fails
+  // with kResourceExhausted, as on real hardware.
+  void reap(u32 n);
+  u32 sends_inflight() const { return sends_inflight_; }
+
+  Hca& local() { return local_; }
+
+ private:
+  struct PostedRecv {
+    u64 wr_id = 0;
+    u64 addr = 0;
+    u64 len = 0;
+    u32 lkey = 0;
+  };
+
+  Hca& local_;
+  Fabric& fabric_;
+  QueuePair* peer_ = nullptr;
+  u32 sq_depth_;
+  u32 rq_depth_;
+  u32 sends_inflight_ = 0;  // decremented as completions are polled
+  std::deque<PostedRecv> recv_queue_;
+};
+
+}  // namespace pvfsib::ib

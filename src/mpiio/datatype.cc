@@ -1,0 +1,109 @@
+#include "mpiio/datatype.h"
+
+#include <cassert>
+
+namespace pvfsib::mpiio {
+
+Datatype::Datatype(ExtentList map, u64 extent) : map_(std::move(map)) {
+  sort_by_offset(map_);
+  map_ = coalesce(map_);
+  size_ = total_length(map_);
+  const u64 span = map_.empty() ? 0 : map_.back().end();
+  extent_ = std::max(extent, span);
+}
+
+Datatype Datatype::contiguous(u64 bytes) {
+  assert(bytes > 0);
+  return Datatype({{0, bytes}}, bytes);
+}
+
+Datatype Datatype::vector(u64 count, u64 blocklen, u64 stride,
+                          const Datatype& base) {
+  assert(count > 0 && blocklen > 0 && stride >= blocklen);
+  ExtentList map;
+  map.reserve(count * blocklen * base.map().size());
+  for (u64 c = 0; c < count; ++c) {
+    const u64 block_base = c * stride * base.extent();
+    for (u64 b = 0; b < blocklen; ++b) {
+      const u64 elem_base = block_base + b * base.extent();
+      for (const Extent& e : base.map()) {
+        map.push_back({elem_base + e.offset, e.length});
+      }
+    }
+  }
+  // MPI extent of a vector: from first byte to the end of the last block.
+  const u64 extent = ((count - 1) * stride + blocklen) * base.extent();
+  return Datatype(std::move(map), extent);
+}
+
+Datatype Datatype::indexed(ExtentList extents) {
+  assert(!extents.empty());
+  u64 span = 0;
+  for (const Extent& e : extents) span = std::max(span, e.end());
+  return Datatype(std::move(extents), span);
+}
+
+Datatype Datatype::subarray(const std::vector<u64>& sizes,
+                            const std::vector<u64>& subsizes,
+                            const std::vector<u64>& starts, u64 elem) {
+  const size_t d = sizes.size();
+  assert(d > 0 && subsizes.size() == d && starts.size() == d && elem > 0);
+  for (size_t i = 0; i < d; ++i) {
+    assert(starts[i] + subsizes[i] <= sizes[i]);
+  }
+  // Row-major strides in elements.
+  std::vector<u64> stride(d, 1);
+  for (size_t i = d - 1; i > 0; --i) stride[i - 1] = stride[i] * sizes[i];
+
+  // Enumerate all rows (fixing every dimension but the last).
+  ExtentList map;
+  std::vector<u64> idx(d, 0);
+  const u64 row_elems = subsizes[d - 1];
+  bool done = false;
+  while (!done) {
+    u64 off = 0;
+    for (size_t i = 0; i + 1 < d; ++i) off += (starts[i] + idx[i]) * stride[i];
+    off += starts[d - 1];
+    map.push_back({off * elem, row_elems * elem});
+    // Increment the multi-index over dims [0, d-1).
+    done = true;
+    for (size_t i = d - 1; i-- > 0;) {
+      if (++idx[i] < subsizes[i]) {
+        done = false;
+        break;
+      }
+      idx[i] = 0;
+    }
+    if (d == 1) break;
+  }
+  u64 total_elems = 1;
+  for (u64 s : sizes) total_elems *= s;
+  return Datatype(std::move(map), total_elems * elem);
+}
+
+Datatype Datatype::repeat(u64 count, const Datatype& base) {
+  assert(count > 0);
+  ExtentList map;
+  map.reserve(count * base.map().size());
+  for (u64 c = 0; c < count; ++c) {
+    const u64 off = c * base.extent();
+    for (const Extent& e : base.map()) map.push_back({off + e.offset, e.length});
+  }
+  return Datatype(std::move(map), count * base.extent());
+}
+
+ExtentList Datatype::prefix(u64 bytes) const {
+  assert(bytes <= size_);
+  ExtentList out;
+  u64 left = bytes;
+  for (const Extent& e : map_) {
+    if (left == 0) break;
+    const u64 n = std::min(left, e.length);
+    out.push_back({e.offset, n});
+    left -= n;
+  }
+  assert(left == 0);
+  return out;
+}
+
+}  // namespace pvfsib::mpiio

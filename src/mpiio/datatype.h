@@ -1,0 +1,63 @@
+// MPI derived datatypes, flattened eagerly to byte-extent lists.
+//
+// ROMIO's four noncontiguous access methods all start from a flattened
+// (offset, length) representation of the memory datatype and the file view;
+// we keep exactly that representation. Offsets are relative to the start of
+// the datatype instance; `extent()` is the span one instance covers,
+// `size()` the bytes of actual data in it.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/extent.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pvfsib::mpiio {
+
+class Datatype {
+ public:
+  Datatype() = default;
+
+  // `bytes` of contiguous data.
+  static Datatype contiguous(u64 bytes);
+
+  // MPI_Type_vector: `count` blocks of `blocklen` elements of `base`,
+  // block starts separated by `stride` elements of `base` (stride in
+  // elements, as in MPI).
+  static Datatype vector(u64 count, u64 blocklen, u64 stride,
+                         const Datatype& base);
+
+  // MPI_Type_indexed with byte displacements: explicit extents.
+  static Datatype indexed(ExtentList extents);
+
+  // MPI_Type_create_subarray, C order. `elem` is the element size in bytes.
+  static Datatype subarray(const std::vector<u64>& sizes,
+                           const std::vector<u64>& subsizes,
+                           const std::vector<u64>& starts, u64 elem);
+
+  // `count` concatenated instances of `base` (MPI_Type_contiguous(base)).
+  static Datatype repeat(u64 count, const Datatype& base);
+
+  u64 size() const { return size_; }      // data bytes per instance
+  u64 extent() const { return extent_; }  // span per instance
+  const ExtentList& map() const { return map_; }  // sorted, coalesced
+  bool contiguous_layout() const {
+    return map_.size() == 1 && map_[0].offset == 0;
+  }
+
+  // The first `bytes` of the data stream as relative extents (offset
+  // order); callers add their buffer base address. `bytes` must not exceed
+  // size() — tile with repeat() for multi-instance accesses.
+  ExtentList prefix(u64 bytes) const;
+
+ private:
+  Datatype(ExtentList map, u64 extent);
+
+  ExtentList map_;  // sorted by offset, coalesced
+  u64 size_ = 0;
+  u64 extent_ = 0;
+};
+
+}  // namespace pvfsib::mpiio

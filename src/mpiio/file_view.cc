@@ -1,0 +1,59 @@
+#include "mpiio/file_view.h"
+
+#include <cassert>
+
+namespace pvfsib::mpiio {
+
+ExtentList FileView::map_range(u64 offset, u64 length) const {
+  ExtentList out;
+  if (length == 0) return out;
+  const u64 tile = filetype_.size();
+  assert(tile > 0);
+  u64 tile_idx = offset / tile;
+  u64 within = offset % tile;  // data bytes into the tile
+  u64 left = length;
+
+  while (left > 0) {
+    const u64 tile_base = disp_ + tile_idx * filetype_.extent();
+    // Walk the tile's data map, skipping `within` bytes.
+    u64 skip = within;
+    for (const Extent& e : filetype_.map()) {
+      if (left == 0) break;
+      if (skip >= e.length) {
+        skip -= e.length;
+        continue;
+      }
+      const u64 lo = e.offset + skip;
+      const u64 n = std::min(e.length - skip, left);
+      skip = 0;
+      const u64 phys = tile_base + lo;
+      if (!out.empty() && out.back().end() == phys) {
+        out.back().length += n;
+      } else {
+        out.push_back({phys, n});
+      }
+      left -= n;
+    }
+    within = 0;
+    ++tile_idx;
+  }
+  return out;
+}
+
+u64 FileView::view_size_below(u64 phys_end) const {
+  if (phys_end <= disp_) return 0;
+  const u64 span = phys_end - disp_;
+  const u64 full_tiles = span / filetype_.extent();
+  u64 data = full_tiles * filetype_.size();
+  const u64 rem = span % filetype_.extent();
+  for (const Extent& e : filetype_.map()) {
+    if (e.end() <= rem) {
+      data += e.length;
+    } else if (e.offset < rem) {
+      data += rem - e.offset;
+    }
+  }
+  return data;
+}
+
+}  // namespace pvfsib::mpiio

@@ -1,0 +1,39 @@
+// MPI-IO file views: (displacement, etype, filetype). A view compacts the
+// file into "view space" — the byte stream an MPI process sees; mapping a
+// contiguous view-space range onto physical file extents is the core
+// operation behind every ROMIO access method.
+#pragma once
+
+#include "common/extent.h"
+#include "mpiio/datatype.h"
+
+namespace pvfsib::mpiio {
+
+class FileView {
+ public:
+  // Default: the identity view (whole file, contiguous).
+  FileView() : FileView(0, Datatype::contiguous(1)) {}
+
+  FileView(u64 displacement, Datatype filetype)
+      : disp_(displacement), filetype_(std::move(filetype)) {}
+
+  u64 displacement() const { return disp_; }
+  const Datatype& filetype() const { return filetype_; }
+
+  // Bytes of data per filetype tile.
+  u64 tile_data() const { return filetype_.size(); }
+
+  // Physical file extents for view-space range [offset, offset+length).
+  // Extents are emitted in view-stream order (monotone in the file).
+  ExtentList map_range(u64 offset, u64 length) const;
+
+  // Total data bytes in view space up to physical position `phys_end`
+  // (used to size reads). Inverse-ish of map_range.
+  u64 view_size_below(u64 phys_end) const;
+
+ private:
+  u64 disp_ = 0;
+  Datatype filetype_;
+};
+
+}  // namespace pvfsib::mpiio

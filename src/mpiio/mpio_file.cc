@@ -1,0 +1,718 @@
+#include "mpiio/mpio_file.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <memory>
+
+namespace pvfsib::mpiio {
+
+const char* to_string(IoMethod m) {
+  switch (m) {
+    case IoMethod::kMultiple:
+      return "multiple-io";
+    case IoMethod::kDataSieving:
+      return "romio-data-sieving";
+    case IoMethod::kCollective:
+      return "collective-io";
+    case IoMethod::kListIo:
+      return "list-io";
+    case IoMethod::kListIoAds:
+      return "list-io+ads";
+  }
+  return "?";
+}
+
+namespace {
+
+// Maps packed-stream offsets onto the (noncontiguous) user buffer.
+class StreamMap {
+ public:
+  StreamMap(u64 base, const ExtentList& rel) {
+    u64 stream = 0;
+    for (const Extent& e : rel) {
+      segs_.push_back({base + e.offset, e.length});
+      cum_.push_back(stream);
+      stream += e.length;
+    }
+    total_ = stream;
+  }
+
+  u64 total() const { return total_; }
+
+  // Invoke fn(abs_addr, n) over the pieces of stream range [off, off+len).
+  template <typename F>
+  void for_range(u64 off, u64 len, F&& fn) const {
+    assert(off + len <= total_);
+    size_t i =
+        std::upper_bound(cum_.begin(), cum_.end(), off) - cum_.begin() - 1;
+    while (len > 0) {
+      const u64 within = off - cum_[i];
+      const u64 n = std::min(segs_[i].length - within, len);
+      fn(segs_[i].offset + within, n);
+      off += n;
+      len -= n;
+      ++i;
+    }
+  }
+
+ private:
+  std::vector<Extent> segs_;
+  std::vector<u64> cum_;
+  u64 total_ = 0;
+};
+
+// File extents of one rank's access annotated with stream offsets.
+struct AnnotatedAccess {
+  ExtentList file;          // physical extents, stream order
+  std::vector<u64> stream;  // stream offset of each extent
+  u64 bytes = 0;
+};
+
+AnnotatedAccess annotate(const RankIo& io) {
+  AnnotatedAccess out;
+  out.file = io.view.map_range(io.view_offset, io.bytes);
+  u64 s = 0;
+  for (const Extent& e : out.file) {
+    out.stream.push_back(s);
+    s += e.length;
+  }
+  out.bytes = s;
+  return out;
+}
+
+core::ListIoRequest build_request(const RankIo& io) {
+  core::ListIoRequest req;
+  for (const Extent& e : io.memtype.prefix(io.bytes)) {
+    req.mem.push_back({io.mem_addr + e.offset, e.length});
+  }
+  req.file = io.view.map_range(io.view_offset, io.bytes);
+  return req;
+}
+
+pvfs::IoResult trivial_ok(TimePoint t) {
+  pvfs::IoResult r;
+  r.start = t;
+  r.end = t;
+  return r;
+}
+
+}  // namespace
+
+// --- open/create --------------------------------------------------------
+
+Result<File> File::create(Communicator& comm, const std::string& name) {
+  std::vector<pvfs::OpenFile> handles;
+  Result<pvfs::OpenFile> first = comm.rank(0).create(name);
+  if (!first.is_ok()) return first.status();
+  handles.push_back(first.value());
+  for (int r = 1; r < comm.size(); ++r) {
+    Result<pvfs::OpenFile> h = comm.rank(r).open(name);
+    if (!h.is_ok()) return h.status();
+    handles.push_back(h.value());
+  }
+  File f(comm, std::move(handles));
+  f.scratch_.assign(comm.size(), {0, 0});
+  f.views_.assign(comm.size(), FileView());
+  f.positions_.assign(comm.size(), 0);
+  return f;
+}
+
+Result<File> File::open(Communicator& comm, const std::string& name) {
+  std::vector<pvfs::OpenFile> handles;
+  for (int r = 0; r < comm.size(); ++r) {
+    Result<pvfs::OpenFile> h = comm.rank(r).open(name);
+    if (!h.is_ok()) return h.status();
+    handles.push_back(h.value());
+  }
+  File f(comm, std::move(handles));
+  f.scratch_.assign(comm.size(), {0, 0});
+  f.views_.assign(comm.size(), FileView());
+  f.positions_.assign(comm.size(), 0);
+  return f;
+}
+
+u64 File::scratch(int rank, u64 bytes) {
+  auto& [addr, size] = scratch_.at(rank);
+  if (size < bytes) {
+    if (addr != 0) {
+      (void)comm_->rank(rank).memory().free_at(addr);
+    }
+    addr = comm_->rank(rank).memory().alloc(bytes);
+    size = page_ceil(bytes);
+  }
+  return addr;
+}
+
+// --- dispatch ------------------------------------------------------------
+
+std::vector<pvfs::IoResult> File::write_all(const std::vector<RankIo>& io,
+                                            const Hints& hints) {
+  assert(io.size() == static_cast<size_t>(comm_->size()));
+  switch (hints.method) {
+    case IoMethod::kListIo:
+      return run_list(io, hints, /*use_ads=*/false, /*is_write=*/true);
+    case IoMethod::kListIoAds:
+      return run_list(io, hints, /*use_ads=*/true, /*is_write=*/true);
+    case IoMethod::kCollective:
+      return run_two_phase(io, hints, /*is_write=*/true);
+    case IoMethod::kMultiple:
+    case IoMethod::kDataSieving:
+      // ROMIO data sieving cannot write over lock-less PVFS: it degenerates
+      // to Multiple I/O (Section 5.2 / Figure 6).
+      return run_multiple(io, hints, /*is_write=*/true);
+  }
+  return {};
+}
+
+std::vector<pvfs::IoResult> File::read_all(const std::vector<RankIo>& io,
+                                           const Hints& hints) {
+  assert(io.size() == static_cast<size_t>(comm_->size()));
+  switch (hints.method) {
+    case IoMethod::kListIo:
+      return run_list(io, hints, /*use_ads=*/false, /*is_write=*/false);
+    case IoMethod::kListIoAds:
+      return run_list(io, hints, /*use_ads=*/true, /*is_write=*/false);
+    case IoMethod::kCollective:
+      return run_two_phase(io, hints, /*is_write=*/false);
+    case IoMethod::kMultiple:
+      return run_multiple(io, hints, /*is_write=*/false);
+    case IoMethod::kDataSieving:
+      return run_ds_read(io, hints);
+  }
+  return {};
+}
+
+// --- independent per-rank operations ------------------------------------
+
+pvfs::IoResult File::run_single(int rank, const RankIo& io,
+                                const Hints& hints, bool is_write) {
+  // One active rank; the others contribute zero-byte entries, which every
+  // method treats as non-participation.
+  std::vector<RankIo> all(comm_->size());
+  all[rank] = io;
+  const auto results =
+      is_write ? write_all(all, hints) : read_all(all, hints);
+  return results[rank];
+}
+
+pvfs::IoResult File::write_at(int rank, const FileView& view, u64 view_offset,
+                              u64 mem_addr, const Datatype& memtype,
+                              u64 bytes, const Hints& hints) {
+  return run_single(rank, RankIo{view, mem_addr, memtype, view_offset, bytes},
+                    hints, /*is_write=*/true);
+}
+
+pvfs::IoResult File::read_at(int rank, const FileView& view, u64 view_offset,
+                             u64 mem_addr, const Datatype& memtype, u64 bytes,
+                             const Hints& hints) {
+  return run_single(rank, RankIo{view, mem_addr, memtype, view_offset, bytes},
+                    hints, /*is_write=*/false);
+}
+
+void File::set_view(int rank, FileView view) {
+  views_.at(rank) = std::move(view);
+  positions_.at(rank) = 0;  // MPI_File_set_view resets the pointer
+}
+
+pvfs::IoResult File::write(int rank, u64 mem_addr, const Datatype& memtype,
+                           u64 bytes, const Hints& hints) {
+  pvfs::IoResult r = write_at(rank, views_.at(rank), positions_.at(rank),
+                              mem_addr, memtype, bytes, hints);
+  if (r.ok()) positions_.at(rank) += bytes;
+  return r;
+}
+
+pvfs::IoResult File::read(int rank, u64 mem_addr, const Datatype& memtype,
+                          u64 bytes, const Hints& hints) {
+  pvfs::IoResult r = read_at(rank, views_.at(rank), positions_.at(rank),
+                             mem_addr, memtype, bytes, hints);
+  if (r.ok()) positions_.at(rank) += bytes;
+  return r;
+}
+
+// --- list I/O (the paper's path) -------------------------------------
+
+std::vector<pvfs::IoResult> File::run_list(const std::vector<RankIo>& io,
+                                           const Hints& hints, bool use_ads,
+                                           bool is_write) {
+  const TimePoint start = comm_->barrier();
+  const int n = comm_->size();
+  std::vector<pvfs::IoResult> results(n);
+  int pending = 0;
+  for (int r = 0; r < n; ++r) {
+    if (io[r].bytes == 0) {
+      results[r] = trivial_ok(start);
+      continue;
+    }
+    pvfs::IoOptions opts;
+    opts.sync = hints.sync;
+    opts.use_ads = use_ads;
+    opts.policy = hints.policy;
+    ++pending;
+    auto done = [&results, &pending, r](pvfs::IoResult res) {
+      results[r] = res;
+      --pending;
+    };
+    const core::ListIoRequest req = build_request(io[r]);
+    if (is_write) {
+      comm_->rank(r).write_list_async(handles_[r], req, opts, start, done);
+    } else {
+      comm_->rank(r).read_list_async(handles_[r], req, opts, start, done);
+    }
+  }
+  comm_->cluster().engine().run_until([&] { return pending == 0; });
+  assert(pending == 0);
+  for (int r = 0; r < n; ++r) comm_->rank(r).advance_to(results[r].end);
+  return results;
+}
+
+// --- Multiple I/O --------------------------------------------------------
+
+std::vector<pvfs::IoResult> File::run_multiple(const std::vector<RankIo>& io,
+                                               const Hints& hints,
+                                               bool is_write) {
+  const TimePoint start = comm_->barrier();
+  const int n = comm_->size();
+  std::vector<pvfs::IoResult> results(n);
+  int pending = 0;
+
+  // One chain of contiguous PVFS calls per rank.
+  struct Chain {
+    std::vector<std::tuple<u64, u64, u64>> pieces;  // (maddr, foff, len)
+    size_t next = 0;
+    u64 bytes_done = 0;
+    TimePoint start;
+  };
+  std::vector<std::shared_ptr<Chain>> chains(n);
+
+  // Advance function shared by all chains.
+  std::function<void(int)> step = [&](int r) {
+    auto chain = chains[r];
+    pvfs::Client& cl = comm_->rank(r);
+    if (chain->next == chain->pieces.size()) {
+      results[r].bytes = chain->bytes_done;
+      --pending;
+      return;
+    }
+    const auto [maddr, foff, len] = chain->pieces[chain->next++];
+    core::ListIoRequest req;
+    req.mem = {{maddr, len}};
+    req.file = {{foff, len}};
+    pvfs::IoOptions opts;
+    opts.sync = hints.sync;
+    opts.policy = hints.policy;
+    const TimePoint at = max(results[r].end, chain->start);
+    auto done = [&, r](pvfs::IoResult res) {
+      if (!res.ok() && results[r].ok()) results[r].status = res.status;
+      results[r].end = res.end;
+      chains[r]->bytes_done += res.bytes;
+      step(r);
+    };
+    if (is_write) {
+      cl.write_list_async(handles_[r], req, opts, at, done);
+    } else {
+      cl.read_list_async(handles_[r], req, opts, at, done);
+    }
+  };
+
+  for (int r = 0; r < n; ++r) {
+    if (io[r].bytes == 0) {
+      results[r] = trivial_ok(start);
+      continue;
+    }
+    auto chain = std::make_shared<Chain>();
+    chain->start = start;
+    // Lockstep walk of memory and file pieces.
+    const ExtentList mem = io[r].memtype.prefix(io[r].bytes);
+    const ExtentList file = io[r].view.map_range(io[r].view_offset,
+                                                 io[r].bytes);
+    size_t mi = 0, fi = 0;
+    u64 moff = 0, foff2 = 0;
+    while (fi < file.size()) {
+      const u64 len = std::min(mem[mi].length - moff, file[fi].length - foff2);
+      chain->pieces.emplace_back(io[r].mem_addr + mem[mi].offset + moff,
+                                 file[fi].offset + foff2, len);
+      moff += len;
+      foff2 += len;
+      if (moff == mem[mi].length) {
+        ++mi;
+        moff = 0;
+      }
+      if (foff2 == file[fi].length) {
+        ++fi;
+        foff2 = 0;
+      }
+    }
+    chains[r] = chain;
+    results[r].start = start;
+    results[r].end = start;
+    ++pending;
+    step(r);
+  }
+
+  comm_->cluster().engine().run_until([&] { return pending == 0; });
+  assert(pending == 0);
+  for (int r = 0; r < n; ++r) comm_->rank(r).advance_to(results[r].end);
+  return results;
+}
+
+// --- ROMIO client-side data sieving (read) --------------------------------
+
+std::vector<pvfs::IoResult> File::run_ds_read(const std::vector<RankIo>& io,
+                                              const Hints& hints) {
+  const TimePoint start = comm_->barrier();
+  const int n = comm_->size();
+  std::vector<pvfs::IoResult> results(n);
+  int pending = 0;
+
+  struct DsChain {
+    AnnotatedAccess acc;
+    std::unique_ptr<StreamMap> smap;
+    u64 span_lo = 0, span_hi = 0;
+    u64 chunk = 0;      // current chunk index
+    u64 buf_addr = 0;   // client staging buffer
+    u64 buf_size = 0;
+    TimePoint start;
+  };
+  std::vector<std::shared_ptr<DsChain>> chains(n);
+
+  std::function<void(int)> step = [&](int r) {
+    auto ch = chains[r];
+    pvfs::Client& cl = comm_->rank(r);
+    const u64 lo = ch->span_lo + ch->chunk * ch->buf_size;
+    if (lo >= ch->span_hi) {
+      results[r].bytes = ch->acc.bytes;
+      --pending;
+      return;
+    }
+    const u64 len = std::min(ch->buf_size, ch->span_hi - lo);
+    ++ch->chunk;
+    core::ListIoRequest req;
+    req.mem = {{ch->buf_addr, len}};
+    req.file = {{lo, len}};
+    pvfs::IoOptions opts;
+    opts.policy = hints.policy;
+    const TimePoint at = max(results[r].end, ch->start);
+    cl.read_list_async(
+        handles_[r], req, opts, at, [&, r, lo, len](pvfs::IoResult res) {
+          auto ch2 = chains[r];
+          pvfs::Client& cl2 = comm_->rank(r);
+          if (!res.ok() && results[r].ok()) results[r].status = res.status;
+          // Sieve: copy the wanted pieces out of the staged chunk.
+          u64 copied = 0;
+          for (size_t i = 0; i < ch2->acc.file.size(); ++i) {
+            const Extent& fe = ch2->acc.file[i];
+            const u64 plo = std::max(fe.offset, lo);
+            const u64 phi = std::min(fe.end(), lo + len);
+            if (plo >= phi) continue;
+            const u64 stream = ch2->acc.stream[i] + (plo - fe.offset);
+            u64 src = ch2->buf_addr + (plo - lo);
+            ch2->smap->for_range(stream, phi - plo, [&](u64 dst, u64 nn) {
+              std::memcpy(cl2.memory().data(dst), cl2.memory().data(src), nn);
+              src += nn;
+            });
+            copied += phi - plo;
+          }
+          results[r].end =
+              res.end + comm_->cluster().config().mem.copy_cost(copied);
+          step(r);
+        });
+  };
+
+  for (int r = 0; r < n; ++r) {
+    if (io[r].bytes == 0) {
+      results[r] = trivial_ok(start);
+      continue;
+    }
+    auto ch = std::make_shared<DsChain>();
+    ch->acc = annotate(io[r]);
+    ch->smap = std::make_unique<StreamMap>(io[r].mem_addr,
+                                           io[r].memtype.prefix(io[r].bytes));
+    ch->span_lo = ch->acc.file.front().offset;
+    ch->span_hi = ch->acc.file.back().end();
+    ch->buf_size = hints.ind_rd_buffer_size;
+    ch->buf_addr = scratch(r, ch->buf_size);
+    ch->start = start;
+    chains[r] = ch;
+    results[r].start = start;
+    results[r].end = start;
+    ++pending;
+    step(r);
+  }
+
+  comm_->cluster().engine().run_until([&] { return pending == 0; });
+  assert(pending == 0);
+  for (int r = 0; r < n; ++r) comm_->rank(r).advance_to(results[r].end);
+  return results;
+}
+
+// --- Two-phase (collective) I/O -----------------------------------------
+
+std::vector<pvfs::IoResult> File::run_two_phase(const std::vector<RankIo>& io,
+                                                const Hints& hints,
+                                                bool is_write) {
+  const int n = comm_->size();
+  std::vector<pvfs::IoResult> results(n);
+  // Offset-list exchange (ROMIO's calc_my_req/calc_others_req).
+  const TimePoint start = comm_->exchange_metadata(256);
+  for (int r = 0; r < n; ++r) {
+    results[r].start = start;
+    results[r].end = start;
+  }
+
+  std::vector<AnnotatedAccess> acc(n);
+  std::vector<std::unique_ptr<StreamMap>> smap(n);
+  u64 lo = ~0ULL, hi = 0;
+  for (int r = 0; r < n; ++r) {
+    acc[r] = annotate(io[r]);
+    smap[r] = std::make_unique<StreamMap>(io[r].mem_addr,
+                                          io[r].memtype.prefix(io[r].bytes));
+    if (!acc[r].file.empty()) {
+      lo = std::min(lo, acc[r].file.front().offset);
+      hi = std::max(hi, acc[r].file.back().end());
+    }
+  }
+  if (hi <= lo) {  // nothing to do
+    return results;
+  }
+
+  // Even file domains (ROMIO default).
+  const u64 span = hi - lo;
+  auto domain = [&](int a) {
+    const u64 dlo = lo + span * static_cast<u64>(a) / n;
+    const u64 dhi = lo + span * static_cast<u64>(a + 1) / n;
+    return Extent{dlo, dhi - dlo};
+  };
+
+  // Pieces of rank s's access that fall in domain a.
+  struct Piece {
+    Extent phys;
+    u64 stream;  // offset in rank s's data stream
+  };
+  std::vector<std::vector<std::vector<Piece>>> pieces(
+      n, std::vector<std::vector<Piece>>(n));
+  for (int s = 0; s < n; ++s) {
+    for (size_t i = 0; i < acc[s].file.size(); ++i) {
+      const Extent& fe = acc[s].file[i];
+      for (int a = 0; a < n; ++a) {
+        const Extent d = domain(a);
+        const u64 plo = std::max(fe.offset, d.offset);
+        const u64 phi = std::min(fe.end(), d.end());
+        if (plo < phi) {
+          pieces[s][a].push_back(
+              {{plo, phi - plo}, acc[s].stream[i] + (plo - fe.offset)});
+        }
+      }
+    }
+  }
+
+  // Aggregator-side assembly buffers sized to their domains, plus a pack/
+  // receive block large enough for the biggest (sender, aggregator) pair.
+  u64 inbound_max = hints.cb_buffer_size;
+  for (int s = 0; s < n; ++s) {
+    for (int a = 0; a < n; ++a) {
+      u64 bytes = 0;
+      for (const Piece& p : pieces[s][a]) bytes += p.phys.length;
+      inbound_max = std::max(inbound_max, bytes);
+    }
+  }
+  std::vector<u64> assembly(n);
+  std::vector<u64> inbound(n);
+  const MemParams& mem = comm_->cluster().config().mem;
+  for (int a = 0; a < n; ++a) {
+    const Extent d = domain(a);
+    // Scratch layout: [assembly | pack/receive block].
+    const u64 base = scratch(a, d.length + inbound_max);
+    assembly[a] = base;
+    inbound[a] = base + d.length;
+  }
+
+  std::vector<TimePoint> agg_ready(n, start);  // assembly complete
+
+  // ROMIO processes file domains in cb_buffer-sized cycles, with an
+  // alltoallv synchronization per cycle; charge that structural cost.
+  u64 max_domain = 0;
+  for (int a = 0; a < n; ++a) max_domain = std::max(max_domain, domain(a).length);
+  const u64 cycles = (max_domain + hints.cb_buffer_size - 1) /
+                     std::max<u64>(1, hints.cb_buffer_size);
+  int sync_rounds = 0;
+  for (int m = 1; m < n; m *= 2) ++sync_rounds;
+  const Duration cycle_sync =
+      comm_->cluster().config().net.send_latency * (2 * sync_rounds);
+  const Duration total_sync = cycle_sync * static_cast<i64>(cycles);
+
+  if (is_write) {
+    // Phase 1: senders pack per-aggregator blocks, ship them, aggregators
+    // unpack into assembly position.
+    std::vector<TimePoint> sender_time(n, start);
+    for (int s = 0; s < n; ++s) {
+      for (int a = 0; a < n; ++a) {
+        u64 bytes = 0;
+        for (const Piece& p : pieces[s][a]) bytes += p.phys.length;
+        if (bytes == 0) continue;
+        const Extent d = domain(a);
+        if (s == a) {
+          // Local: copy straight into assembly.
+          TimePoint t = max(sender_time[s], agg_ready[a]);
+          for (const Piece& p : pieces[s][a]) {
+            u64 dst = assembly[a] + (p.phys.offset - d.offset);
+            smap[s]->for_range(p.stream, p.phys.length, [&](u64 srca, u64 nn) {
+              std::memcpy(comm_->rank(a).memory().data(dst),
+                          comm_->rank(s).memory().data(srca), nn);
+              dst += nn;
+            });
+          }
+          t += mem.copy_cost(bytes);
+          sender_time[s] = t;
+          agg_ready[a] = max(agg_ready[a], t);
+          continue;
+        }
+        // Pack at the sender (into its inbound scratch block, reused).
+        u64 pack_addr = inbound[s];
+        u64 pos = pack_addr;
+        for (const Piece& p : pieces[s][a]) {
+          smap[s]->for_range(p.stream, p.phys.length, [&](u64 srca, u64 nn) {
+            std::memcpy(comm_->rank(s).memory().data(pos),
+                        comm_->rank(s).memory().data(srca), nn);
+            pos += nn;
+          });
+        }
+        sender_time[s] += mem.copy_cost(bytes);
+        const TimePoint arrived = comm_->send(s, pack_addr, a, inbound[a],
+                                              bytes, sender_time[s]);
+        // Unpack at the aggregator.
+        u64 src = inbound[a];
+        for (const Piece& p : pieces[s][a]) {
+          std::memcpy(
+              comm_->rank(a).memory().data(assembly[a] +
+                                           (p.phys.offset - domain(a).offset)),
+              comm_->rank(a).memory().data(src), p.phys.length);
+          src += p.phys.length;
+        }
+        agg_ready[a] = max(agg_ready[a], arrived) + mem.copy_cost(bytes);
+      }
+    }
+    for (int s = 0; s < n; ++s) {
+      results[s].end = max(results[s].end, sender_time[s]);
+      results[s].bytes = acc[s].bytes;
+    }
+  }
+
+  // Phase 2: aggregators do contiguous PVFS I/O over their coverage runs.
+  int pending = 0;
+  struct AggChain {
+    ExtentList runs;
+    size_t next = 0;
+  };
+  std::vector<std::shared_ptr<AggChain>> chains(n);
+  std::vector<TimePoint> agg_done(n, start);
+
+  std::function<void(int)> step = [&](int a) {
+    auto ch = chains[a];
+    if (ch->next == ch->runs.size()) {
+      --pending;
+      return;
+    }
+    const Extent run = ch->runs[ch->next++];
+    const Extent d = domain(a);
+    core::ListIoRequest req;
+    req.mem = {{assembly[a] + (run.offset - d.offset), run.length}};
+    req.file = {{run.offset, run.length}};
+    pvfs::IoOptions opts;
+    opts.sync = hints.sync;
+    opts.policy = hints.policy;
+    const TimePoint at = max(agg_done[a], agg_ready[a]);
+    auto done = [&, a](pvfs::IoResult res) {
+      if (!res.ok() && results[a].ok()) results[a].status = res.status;
+      agg_done[a] = res.end;
+      step(a);
+    };
+    if (is_write) {
+      comm_->rank(a).write_list_async(handles_[a], req, opts, at, done);
+    } else {
+      comm_->rank(a).read_list_async(handles_[a], req, opts, at, done);
+    }
+  };
+
+  for (int a = 0; a < n; ++a) {
+    auto ch = std::make_shared<AggChain>();
+    ExtentList cover;
+    for (int s = 0; s < n; ++s) {
+      for (const Piece& p : pieces[s][a]) cover.push_back(p.phys);
+    }
+    sort_by_offset(cover);
+    ch->runs = coalesce(cover);
+    chains[a] = ch;
+    agg_done[a] = agg_ready[a] + total_sync;
+    ++pending;
+    step(a);
+  }
+  comm_->cluster().engine().run_until([&] { return pending == 0; });
+  assert(pending == 0);
+
+  if (is_write) {
+    for (int a = 0; a < n; ++a) {
+      results[a].end = max(results[a].end, agg_done[a]);
+    }
+  } else {
+    // Phase 1 (read direction): aggregators scatter domain data back.
+    std::vector<TimePoint> recv_time(n, start);
+    for (int a = 0; a < n; ++a) {
+      TimePoint t_a = agg_done[a];
+      const Extent d = domain(a);
+      for (int s = 0; s < n; ++s) {
+        u64 bytes = 0;
+        for (const Piece& p : pieces[s][a]) bytes += p.phys.length;
+        if (bytes == 0) continue;
+        if (s == a) {
+          TimePoint t = t_a;
+          for (const Piece& p : pieces[s][a]) {
+            u64 src = assembly[a] + (p.phys.offset - d.offset);
+            smap[s]->for_range(p.stream, p.phys.length, [&](u64 dst, u64 nn) {
+              std::memcpy(comm_->rank(s).memory().data(dst),
+                          comm_->rank(a).memory().data(src), nn);
+              src += nn;
+            });
+          }
+          t += mem.copy_cost(bytes);
+          recv_time[s] = max(recv_time[s], t);
+          continue;
+        }
+        // Pack pieces for rank s, send, unpack into user memory.
+        u64 pos = inbound[a];
+        for (const Piece& p : pieces[s][a]) {
+          std::memcpy(comm_->rank(a).memory().data(pos),
+                      comm_->rank(a).memory().data(
+                          assembly[a] + (p.phys.offset - d.offset)),
+                      p.phys.length);
+          pos += p.phys.length;
+        }
+        t_a += mem.copy_cost(bytes);
+        // Destination staging at the receiver: its inbound block.
+        const u64 dst_tmp = inbound[s];
+        const TimePoint arrived = comm_->send(a, inbound[a], s, dst_tmp,
+                                              bytes, t_a);
+        u64 src = dst_tmp;
+        for (const Piece& p : pieces[s][a]) {
+          smap[s]->for_range(p.stream, p.phys.length, [&](u64 dst, u64 nn) {
+            std::memcpy(comm_->rank(s).memory().data(dst),
+                        comm_->rank(s).memory().data(src), nn);
+            src += nn;
+          });
+        }
+        recv_time[s] =
+            max(recv_time[s], arrived + mem.copy_cost(bytes));
+      }
+    }
+    for (int s = 0; s < n; ++s) {
+      results[s].end = max(max(recv_time[s], agg_done[s]), results[s].end);
+      results[s].bytes = acc[s].bytes;
+    }
+  }
+
+  for (int r = 0; r < n; ++r) comm_->rank(r).advance_to(results[r].end);
+  return results;
+}
+
+}  // namespace pvfsib::mpiio

@@ -1,0 +1,113 @@
+// MPI-IO file operations over PVFS with ROMIO's four noncontiguous access
+// methods (Section 2.3):
+//
+//   kMultiple      one PVFS contiguous call per contiguous piece
+//   kDataSieving   ROMIO *client-side* data sieving: reads stage the whole
+//                  [first,last] span through a client buffer; writes fall
+//                  back to kMultiple because PVFS has no file locking
+//                  (exactly the degradation the paper describes)
+//   kCollective    two-phase I/O: ranks exchange data so each aggregator
+//                  performs contiguous file I/O on its file domain
+//   kListIo(+Ads)  PVFS list I/O, optionally with server-side Active Data
+//                  Sieving — the paper's contribution
+//
+// Operations are whole-communicator: benches pass one RankIo per rank and
+// every rank's access runs concurrently on the event engine, as in a real
+// MPI program.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpiio/datatype.h"
+#include "mpiio/file_view.h"
+#include "mpiio/runtime.h"
+
+namespace pvfsib::mpiio {
+
+enum class IoMethod { kMultiple, kDataSieving, kCollective, kListIo, kListIoAds };
+
+const char* to_string(IoMethod m);
+
+struct Hints {
+  IoMethod method = IoMethod::kListIoAds;
+  u64 cb_buffer_size = 4 * kMiB;        // collective (two-phase) buffer
+  u64 ind_rd_buffer_size = 4 * kMiB;    // ROMIO DS read staging
+  bool sync = false;                    // commit to disk before returning
+  core::TransferPolicy policy;          // PVFS transfer scheme
+};
+
+// One rank's share of a collective-style access.
+struct RankIo {
+  FileView view;
+  u64 mem_addr = 0;
+  Datatype memtype = Datatype::contiguous(1);
+  u64 view_offset = 0;  // position in view space, bytes
+  u64 bytes = 0;        // data bytes to move
+};
+
+class File {
+ public:
+  static Result<File> create(Communicator& comm, const std::string& name);
+  static Result<File> open(Communicator& comm, const std::string& name);
+
+  // Concurrent access by all ranks; entry r describes rank r (bytes == 0
+  // means the rank does not participate). Returns one result per rank.
+  std::vector<pvfs::IoResult> write_all(const std::vector<RankIo>& io,
+                                        const Hints& hints);
+  std::vector<pvfs::IoResult> read_all(const std::vector<RankIo>& io,
+                                       const Hints& hints);
+
+  // --- independent per-rank operations (MPI_File_{write,read}_at) --------
+  pvfs::IoResult write_at(int rank, const FileView& view, u64 view_offset,
+                          u64 mem_addr, const Datatype& memtype, u64 bytes,
+                          const Hints& hints);
+  pvfs::IoResult read_at(int rank, const FileView& view, u64 view_offset,
+                         u64 mem_addr, const Datatype& memtype, u64 bytes,
+                         const Hints& hints);
+
+  // --- individual file pointers (MPI_File_{seek,get_position,...}) -------
+  // Views and positions are per rank, in view-space bytes.
+  void set_view(int rank, FileView view);
+  const FileView& view(int rank) const { return views_.at(rank); }
+  void seek(int rank, u64 view_offset) { positions_.at(rank) = view_offset; }
+  u64 tell(int rank) const { return positions_.at(rank); }
+
+  // Pointer-relative ops: access at the rank's current position, then
+  // advance it by `bytes`.
+  pvfs::IoResult write(int rank, u64 mem_addr, const Datatype& memtype,
+                       u64 bytes, const Hints& hints);
+  pvfs::IoResult read(int rank, u64 mem_addr, const Datatype& memtype,
+                      u64 bytes, const Hints& hints);
+
+  pvfs::OpenFile& handle(int rank) { return handles_.at(rank); }
+  Communicator& comm() { return *comm_; }
+
+ private:
+  File(Communicator& comm, std::vector<pvfs::OpenFile> handles)
+      : comm_(&comm), handles_(std::move(handles)) {}
+
+  std::vector<pvfs::IoResult> run_list(const std::vector<RankIo>& io,
+                                       const Hints& hints, bool use_ads,
+                                       bool is_write);
+  std::vector<pvfs::IoResult> run_multiple(const std::vector<RankIo>& io,
+                                           const Hints& hints, bool is_write);
+  std::vector<pvfs::IoResult> run_ds_read(const std::vector<RankIo>& io,
+                                          const Hints& hints);
+  std::vector<pvfs::IoResult> run_two_phase(const std::vector<RankIo>& io,
+                                            const Hints& hints, bool is_write);
+
+  // Persistent per-rank scratch allocations (DS staging, two-phase blocks).
+  u64 scratch(int rank, u64 bytes);
+
+  pvfs::IoResult run_single(int rank, const RankIo& io, const Hints& hints,
+                            bool is_write);
+
+  Communicator* comm_;
+  std::vector<pvfs::OpenFile> handles_;
+  std::vector<std::pair<u64, u64>> scratch_;  // per rank: (addr, size)
+  std::vector<FileView> views_;               // per rank (default identity)
+  std::vector<u64> positions_;                // per rank, view-space bytes
+};
+
+}  // namespace pvfsib::mpiio

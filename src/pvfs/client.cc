@@ -1,0 +1,529 @@
+#include "pvfs/client.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "sim/trace.h"
+
+namespace pvfsib::pvfs {
+
+namespace {
+std::string client_name(u32 id) { return "client" + std::to_string(id); }
+}  // namespace
+
+// Per-operation bookkeeping shared by the per-server round chains.
+struct Client::OpState {
+  OpenFile file;
+  IoOptions opts;
+  bool is_write = false;
+  Callback done;
+  TimePoint start = TimePoint::origin();   // when the caller issued the op
+  TimePoint launch = TimePoint::origin();  // after op-wide registration
+  std::vector<u32> iod_ids;                // per sub-request: target iod
+  std::vector<std::vector<Round>> rounds;  // per sub-request: its rounds
+  core::OgrOutcome prereg;                 // op-wide buffer registration
+  u64 total_bytes = 0;
+  u64 logical_end = 0;  // for manager size bookkeeping on writes
+  u32 pending = 0;
+  TimePoint max_end = TimePoint::origin();
+  Status status;
+  bool failed = false;
+};
+
+Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
+               ib::Fabric& fabric, Manager& manager, std::vector<Iod*> iods,
+               Stats* stats)
+    : id_(id),
+      cfg_(cfg),
+      engine_(engine),
+      fabric_(fabric),
+      manager_(manager),
+      iods_(std::move(iods)),
+      stats_(stats),
+      hca_(client_name(id), as_, cfg.reg, stats),
+      cache_(hca_),
+      registrar_(cache_, cfg.os, core::OgrConfig{}, stats),
+      xfer_(fabric, cfg.mem) {
+  ep_.hca = &hca_;
+  ep_.cache = &cache_;
+  ep_.registrar = &registrar_;
+  ep_.bounce_size = cfg.pvfs.fast_rdma_buffer;
+  ep_.bounce_addr = as_.alloc(ep_.bounce_size);
+  ib::RegAttempt reg = hca_.register_memory(ep_.bounce_addr, ep_.bounce_size);
+  assert(reg.ok());
+  ep_.bounce_key = reg.key;
+}
+
+// --- Metadata ----------------------------------------------------------
+
+Result<OpenFile> Client::create(const std::string& name) {
+  return create(name, cfg_.pvfs.stripe_size,
+                static_cast<u32>(iods_.size()));
+}
+
+Result<OpenFile> Client::create(const std::string& name, u64 stripe_size,
+                                u32 iod_count, u32 base_iod) {
+  assert(iod_count <= iods_.size());
+  const TimePoint start = max(now_, engine_.now());
+  Timed<Result<FileMeta>> r =
+      manager_.create(hca_, start, name, stripe_size, iod_count, base_iod);
+  now_ = start + r.cost;
+  if (!r.value.is_ok()) return r.value.status();
+  return OpenFile{r.value.value()};
+}
+
+Result<OpenFile> Client::open(const std::string& name) {
+  const TimePoint start = max(now_, engine_.now());
+  Timed<Result<FileMeta>> r = manager_.open(hca_, start, name);
+  now_ = start + r.cost;
+  if (!r.value.is_ok()) return r.value.status();
+  return OpenFile{r.value.value()};
+}
+
+Result<FileMeta> Client::stat(const std::string& name) {
+  // stat is an open-shaped metadata round-trip.
+  const TimePoint start = max(now_, engine_.now());
+  Timed<Result<FileMeta>> r = manager_.open(hca_, start, name);
+  now_ = start + r.cost;
+  return r.value;
+}
+
+Status Client::remove(const std::string& name) {
+  Result<FileMeta> meta = stat(name);
+  if (!meta.is_ok()) return meta.status();
+  const TimePoint start = max(now_, engine_.now());
+  Timed<Status> r = manager_.remove(hca_, start, name);
+  now_ = start + r.cost;
+  PVFSIB_RETURN_IF_ERROR(r.value);
+  // The manager tells every iod to unlink its stripe file; the client
+  // returns once all acknowledgements are in.
+  TimePoint done = now_;
+  for (Iod* iod : iods_) {
+    const TimePoint at = fabric_.send_control(
+        manager_.hca(), iod->hca(), cfg_.pvfs.request_msg_bytes, now_,
+        ib::ControlKind::kRequest);
+    const Duration unlink = iod->remove_file(meta.value().handle);
+    done = max(done, fabric_.send_control(
+                         iod->hca(), manager_.hca(), cfg_.pvfs.reply_msg_bytes,
+                         at + unlink, ib::ControlKind::kReply));
+  }
+  advance_to(done);
+  return Status::ok();
+}
+
+// --- Round splitting ----------------------------------------------------
+
+std::vector<Client::Round> Client::split_rounds(
+    const core::ServerSubRequest& sub, u64 max_pairs, u64 max_bytes) {
+  std::vector<Round> out;
+  Round cur;
+  size_t mi = 0;
+  u64 mconsumed = 0;
+
+  auto take_mem = [&](Round& dst, u64 want) {
+    while (want > 0) {
+      assert(mi < sub.mem.size());
+      const core::MemSegment& m = sub.mem[mi];
+      const u64 n = std::min(m.length - mconsumed, want);
+      const u64 addr = m.addr + mconsumed;
+      if (!dst.mem.empty() &&
+          dst.mem.back().addr + dst.mem.back().length == addr) {
+        dst.mem.back().length += n;
+      } else {
+        dst.mem.push_back({addr, n});
+      }
+      mconsumed += n;
+      want -= n;
+      if (mconsumed == m.length) {
+        ++mi;
+        mconsumed = 0;
+      }
+    }
+  };
+  auto flush = [&] {
+    if (!cur.accesses.empty()) {
+      out.push_back(std::move(cur));
+      cur = Round{};
+    }
+  };
+
+  for (const Extent& a : sub.file) {
+    u64 off = a.offset;
+    u64 left = a.length;
+    while (left > 0) {
+      if (cur.accesses.size() >= max_pairs || cur.bytes >= max_bytes) flush();
+      const u64 n = std::min(left, max_bytes - cur.bytes);
+      cur.accesses.push_back({off, n});
+      take_mem(cur, n);
+      cur.bytes += n;
+      off += n;
+      left -= n;
+    }
+  }
+  flush();
+  return out;
+}
+
+// --- Operation setup -----------------------------------------------------
+
+void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
+                      const IoOptions& opts, TimePoint start, bool is_write,
+                      Callback done) {
+  Status v = core::validate(req);
+  if (!v.is_ok()) {
+    done(IoResult{v, 0, start, start});
+    return;
+  }
+  auto op = std::make_shared<OpState>();
+  op->file = file;
+  op->opts = opts;
+  op->is_write = is_write;
+  op->done = std::move(done);
+  op->start = max(start, engine_.now());
+  op->total_bytes = req.bytes();
+  for (const Extent& e : req.file) {
+    op->logical_end = std::max(op->logical_end, e.end());
+  }
+
+  // Optimistic Group Registration runs once per operation on the *user's*
+  // buffer list (Section 4.3); the per-server slices later hit the pin-down
+  // cache. Pack-only transfers (and small hybrids on the Fast-RDMA path)
+  // skip registration entirely.
+  const auto& pol = opts.policy;
+  const bool needs_reg =
+      pol.scheme == core::XferScheme::kMultipleMessage ||
+      pol.scheme == core::XferScheme::kRdmaGatherScatter ||
+      (pol.scheme == core::XferScheme::kHybrid &&
+       op->total_bytes > pol.hybrid_threshold);
+  if (needs_reg) {
+    const core::RegStrategy strat =
+        pol.scheme == core::XferScheme::kMultipleMessage
+            ? core::RegStrategy::kIndividual
+            : pol.reg_strategy;
+    op->prereg =
+        opts.allocation_hint_len > 0
+            ? registrar_.acquire_declared(
+                  req.mem,
+                  Extent{opts.allocation_hint_addr, opts.allocation_hint_len})
+            : registrar_.acquire(req.mem, strat);
+    if (!op->prereg.ok()) {
+      op->done(IoResult{op->prereg.status, 0, op->start, op->start});
+      return;
+    }
+    if (stats_ != nullptr) {
+      stats_->add("ogr.prereg_ns", op->prereg.cost.as_ns());
+    }
+  }
+  op->launch = op->start + op->prereg.cost;
+
+  const core::StripeMap map(file.meta.stripe_size, file.meta.iod_count);
+  const auto subs = core::partition(req, map);
+  for (const auto& sub : subs) {
+    // Logical stripe server -> physical iod, honoring the file's base.
+    op->iod_ids.push_back(
+        (file.meta.base_iod + sub.server) % static_cast<u32>(iods_.size()));
+    op->rounds.push_back(split_rounds(sub, cfg_.pvfs.max_list_pairs,
+                                      cfg_.pvfs.staging_buffer));
+  }
+  op->pending = static_cast<u32>(subs.size());
+  assert(op->pending > 0);
+  for (u32 k = 0; k < op->pending; ++k) {
+    if (is_write) {
+      run_write_round(op, k, 0, op->launch);
+    } else {
+      run_read_round(op, k, 0, op->launch);
+    }
+  }
+}
+
+void Client::finish_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                          size_t round_idx, TimePoint t, Status status,
+                          bool is_write) {
+  if (!status.is_ok() && !op->failed) {
+    op->failed = true;
+    op->status = status;
+  }
+  if (status.is_ok() && round_idx + 1 < op->rounds[iod_idx].size() &&
+      !op->failed) {
+    if (is_write) {
+      run_write_round(op, iod_idx, round_idx + 1, t);
+    } else {
+      run_read_round(op, iod_idx, round_idx + 1, t);
+    }
+    return;
+  }
+  op->max_end = max(op->max_end, t);
+  if (--op->pending == 0) {
+    if (!op->prereg.keys.empty()) registrar_.release(op->prereg);
+    if (is_write && !op->failed) {
+      manager_.note_written(op->file.meta.handle, op->logical_end);
+    }
+    IoResult result;
+    result.status = op->status;
+    result.bytes = op->failed ? 0 : op->total_bytes;
+    result.start = op->start;
+    result.end = op->max_end;
+    sim::Trace::instance().emitf(
+        result.end, hca_.name(), "%s op complete: %llu B in %s",
+        is_write ? "write" : "read",
+        static_cast<unsigned long long>(result.bytes),
+        result.elapsed().to_string().c_str());
+    op->done(result);
+  }
+}
+
+// --- Write rounds --------------------------------------------------------
+
+void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                             size_t round_idx, TimePoint t0) {
+  t0 += cfg_.pvfs.client_request_cpu;
+  const Round& r = op->rounds[iod_idx][round_idx];
+  Iod& iod = *iods_[op->iod_ids[iod_idx]];
+
+  RoundRequest rr;
+  rr.handle = op->file.meta.handle;
+  rr.client = id_;
+  rr.is_write = true;
+  rr.sync = op->opts.sync;
+  rr.use_ads = op->opts.use_ads;
+  rr.accesses = r.accesses;
+
+  if (stats_ != nullptr) stats_->add(stat::kPvfsRequest);
+  const u64 req_bytes =
+      cfg_.pvfs.request_msg_bytes +
+      r.accesses.size() * cfg_.pvfs.list_pair_wire_bytes;
+  const TimePoint t_req = fabric_.send_control(hca_, iod.hca(), req_bytes, t0,
+                                               ib::ControlKind::kRequest);
+
+  const auto& pol = op->opts.policy;
+  const bool eager =
+      r.bytes <= cfg_.pvfs.fast_rdma_threshold &&
+      (pol.scheme == core::XferScheme::kHybrid ||
+       pol.scheme == core::XferScheme::kPackUnpack);
+  sim::Trace::instance().emitf(
+      t0, hca_.name(), "-> iod%u write round %zu/%zu: %zu pairs, %llu B (%s)",
+      op->iod_ids[iod_idx], round_idx + 1, op->rounds[iod_idx].size(),
+      r.accesses.size(), static_cast<unsigned long long>(r.bytes),
+      eager ? "fast-rdma eager" : "rendezvous");
+
+  core::TransferOutcome push;
+  TimePoint data_ready;
+  if (eager) {
+    // Fast RDMA: pack into the pre-registered bounce buffer and write it
+    // into the iod's staging buffer alongside the request.
+    core::TransferPolicy p = pol;
+    p.scheme = core::XferScheme::kPackUnpack;
+    p.pack_preregistered = true;
+    push = xfer_.push(ep_, r.mem, iod.staging(id_), t0, p);
+    data_ready = max(push.complete, t_req);
+  } else {
+    // Rendezvous: the iod acknowledges buffer availability, then the client
+    // pushes with the configured scheme.
+    const TimePoint ack = fabric_.send_control(
+        iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
+        t_req + cfg_.pvfs.iod_request_cpu, ib::ControlKind::kReply);
+    push = xfer_.push(ep_, r.mem, iod.staging(id_), ack, pol);
+    data_ready = push.complete;
+  }
+  if (!push.ok()) {
+    finish_round(op, iod_idx, round_idx, data_ready, push.status, true);
+    return;
+  }
+
+  // Server disk phase begins when the data has landed.
+  engine_.schedule_at(data_ready, [this, op, iod_idx, round_idx, rr = std::move(rr),
+                                   &iod, data_ready] {
+    const TimePoint t_disk =
+        iod.write_round(rr, data_ready + cfg_.pvfs.iod_request_cpu);
+    if (stats_ != nullptr) stats_->add(stat::kPvfsReply);
+    const TimePoint t_reply =
+        fabric_.send_control(iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
+                             t_disk, ib::ControlKind::kReply);
+    engine_.schedule_at(t_reply, [this, op, iod_idx, round_idx, t_reply] {
+      finish_round(op, iod_idx, round_idx, t_reply, Status::ok(), true);
+    });
+  });
+}
+
+// --- Read rounds -----------------------------------------------------
+
+void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                            size_t round_idx, TimePoint t0) {
+  t0 += cfg_.pvfs.client_request_cpu;
+  const Round& r = op->rounds[iod_idx][round_idx];
+  Iod& iod = *iods_[op->iod_ids[iod_idx]];
+
+  RoundRequest rr;
+  rr.handle = op->file.meta.handle;
+  rr.client = id_;
+  rr.is_write = false;
+  rr.sync = op->opts.sync;
+  rr.use_ads = op->opts.use_ads;
+  rr.accesses = r.accesses;
+
+  const auto& pol = op->opts.policy;
+  const bool fast =
+      r.bytes <= cfg_.pvfs.fast_rdma_threshold &&
+      (pol.scheme == core::XferScheme::kHybrid ||
+       pol.scheme == core::XferScheme::kPackUnpack);
+  const bool direct =
+      !fast && op->opts.direct_read_return && r.mem.size() == 1 &&
+      (pol.scheme == core::XferScheme::kHybrid ||
+       pol.scheme == core::XferScheme::kRdmaGatherScatter);
+  const ReadReturn path = fast ? ReadReturn::kFastBounce
+                          : direct ? ReadReturn::kDirectGather
+                                   : ReadReturn::kClientPull;
+
+  TimePoint t_client = t0;
+  u64 dest = 0;
+  u32 rkey = 0;
+  u32 release_key = 0;
+  if (fast) {
+    dest = ep_.bounce_addr;
+    rkey = ep_.bounce_key;
+  } else if (direct) {
+    // Pin the single destination buffer and ship its rkey in the request.
+    ib::MrCache::Lookup lk = cache_.acquire(r.mem[0].addr, r.mem[0].length);
+    if (!lk.ok()) {
+      finish_round(op, iod_idx, round_idx, t_client, lk.status, false);
+      return;
+    }
+    t_client += lk.cost;
+    dest = r.mem[0].addr;
+    rkey = lk.key;
+    release_key = lk.key;
+  }
+
+  if (stats_ != nullptr) stats_->add(stat::kPvfsRequest);
+  const u64 req_bytes =
+      cfg_.pvfs.request_msg_bytes +
+      r.accesses.size() * cfg_.pvfs.list_pair_wire_bytes;
+  const TimePoint t_req = fabric_.send_control(
+      hca_, iod.hca(), req_bytes, t_client, ib::ControlKind::kRequest);
+
+  engine_.schedule_at(t_req, [this, op, iod_idx, round_idx, rr = std::move(rr),
+                              &iod, t_req, path, dest, rkey, release_key,
+                              r = &op->rounds[iod_idx][round_idx]] {
+    Iod::ReadService svc =
+        iod.read_round(rr, t_req + cfg_.pvfs.iod_request_cpu, path, &hca_,
+                       dest, rkey);
+    if (stats_ != nullptr) stats_->add(stat::kPvfsReply);
+    if (!svc.ok()) {
+      if (release_key != 0) cache_.release(release_key);
+      finish_round(op, iod_idx, round_idx, svc.ready, svc.status, false);
+      return;
+    }
+    switch (path) {
+      case ReadReturn::kFastBounce: {
+        // Unpack the bounce buffer into the user's list buffers.
+        u64 off = 0;
+        for (const core::MemSegment& m : r->mem) {
+          std::memcpy(as_.data(m.addr), as_.data(ep_.bounce_addr + off),
+                      m.length);
+          off += m.length;
+        }
+        const TimePoint t_done = svc.ready + cfg_.mem.copy_cost(off);
+        engine_.schedule_at(t_done, [this, op, iod_idx, round_idx, t_done] {
+          finish_round(op, iod_idx, round_idx, t_done, Status::ok(), false);
+        });
+        break;
+      }
+      case ReadReturn::kDirectGather: {
+        engine_.schedule_at(svc.ready, [this, op, iod_idx, round_idx,
+                                        release_key, t = svc.ready] {
+          if (release_key != 0) cache_.release(release_key);
+          finish_round(op, iod_idx, round_idx, t, Status::ok(), false);
+        });
+        break;
+      }
+      case ReadReturn::kClientPull: {
+        // The iod tells the client the staging buffer is ready; the client
+        // pulls with its configured scheme.
+        const TimePoint ack = fabric_.send_control(
+            iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes, svc.ready,
+            ib::ControlKind::kReply);
+        engine_.schedule_at(ack, [this, op, iod_idx, round_idx, &iod, ack,
+                                  r] {
+          core::TransferOutcome pull =
+              xfer_.pull(ep_, r->mem, iod.staging(id_), ack,
+                         op->opts.policy);
+          const TimePoint t_done = pull.complete;
+          engine_.schedule_at(t_done, [this, op, iod_idx, round_idx, t_done,
+                                       st = pull.status] {
+            finish_round(op, iod_idx, round_idx, t_done, st, false);
+          });
+        });
+        break;
+      }
+    }
+  });
+}
+
+// --- Public entry points ---------------------------------------------
+
+void Client::write_list_async(const OpenFile& file,
+                              const core::ListIoRequest& req,
+                              const IoOptions& opts, TimePoint start,
+                              Callback done) {
+  start_op(file, req, opts, start, /*is_write=*/true, std::move(done));
+}
+
+void Client::read_list_async(const OpenFile& file,
+                             const core::ListIoRequest& req,
+                             const IoOptions& opts, TimePoint start,
+                             Callback done) {
+  start_op(file, req, opts, start, /*is_write=*/false, std::move(done));
+}
+
+IoResult Client::run_blocking(const OpenFile& file,
+                              const core::ListIoRequest& req,
+                              const IoOptions& opts, bool is_write) {
+  IoResult result;
+  bool finished = false;
+  const TimePoint start = max(now_, engine_.now());
+  start_op(file, req, opts, start, is_write, [&](IoResult r) {
+    result = r;
+    finished = true;
+  });
+  engine_.run_until([&] { return finished; });
+  if (!finished) {
+    // The event queue drained without the completion firing — a protocol
+    // bug; surface it instead of returning a default-OK result.
+    result.status = internal_error("operation stalled: event queue drained");
+    result.start = start;
+    result.end = engine_.now();
+    return result;
+  }
+  advance_to(result.end);
+  return result;
+}
+
+IoResult Client::write_list(const OpenFile& file,
+                            const core::ListIoRequest& req,
+                            const IoOptions& opts) {
+  return run_blocking(file, req, opts, /*is_write=*/true);
+}
+
+IoResult Client::read_list(const OpenFile& file,
+                           const core::ListIoRequest& req,
+                           const IoOptions& opts) {
+  return run_blocking(file, req, opts, /*is_write=*/false);
+}
+
+IoResult Client::write(const OpenFile& file, u64 file_offset, u64 addr,
+                       u64 length, const IoOptions& opts) {
+  core::ListIoRequest req;
+  req.mem = {{addr, length}};
+  req.file = {{file_offset, length}};
+  return write_list(file, req, opts);
+}
+
+IoResult Client::read(const OpenFile& file, u64 file_offset, u64 addr,
+                      u64 length, const IoOptions& opts) {
+  core::ListIoRequest req;
+  req.mem = {{addr, length}};
+  req.file = {{file_offset, length}};
+  return read_list(file, req, opts);
+}
+
+}  // namespace pvfsib::pvfs

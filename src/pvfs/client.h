@@ -1,0 +1,153 @@
+// The PVFS client library: pvfs_read_list / pvfs_write_list (and contiguous
+// wrappers) against the simulated cluster.
+//
+// Each operation partitions its request across the striped I/O servers,
+// splits every server's share into rounds (at most max_list_pairs file
+// accesses and one staging buffer of data each), and drives a per-server
+// state machine over the event engine:
+//
+//   write round:  request --> [ack] --> data push (policy scheme) -->
+//                 server disk phase --> reply
+//   read round:   request --> server disk (+ direct/fast return) -->
+//                 [ready ack --> client pull] --> reply
+//
+// Rounds to the same server are flow-controlled (next request leaves when
+// the previous reply arrives); different servers run concurrently, which is
+// where PVFS's striping parallelism comes from.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/config.h"
+#include "core/ogr.h"
+#include "core/transfer.h"
+#include "ib/fabric.h"
+#include "ib/mr_cache.h"
+#include "pvfs/iod.h"
+#include "pvfs/manager.h"
+#include "pvfs/protocol.h"
+#include "sim/engine.h"
+#include "vmem/address_space.h"
+
+namespace pvfsib::pvfs {
+
+struct OpenFile {
+  FileMeta meta;
+};
+
+struct IoOptions {
+  bool sync = false;     // writes: fsync on the iod before the reply
+  bool use_ads = true;   // allow server-side Active Data Sieving
+  core::TransferPolicy policy;  // noncontiguous transfer scheme
+  // Reads: allow the server to gather-push straight into a single
+  // contiguous destination buffer.
+  bool direct_read_return = true;
+  // Application-aware registration (Section 4.2.1): the actual allocation
+  // the list buffers came from (e.g. the whole malloc'd array). When set
+  // (length > 0), the client pins that one region instead of running OGR.
+  u64 allocation_hint_addr = 0;
+  u64 allocation_hint_len = 0;
+};
+
+struct IoResult {
+  Status status;
+  u64 bytes = 0;
+  TimePoint start = TimePoint::origin();
+  TimePoint end = TimePoint::origin();
+
+  Duration elapsed() const { return end - start; }
+  double bandwidth_mib() const {
+    return pvfsib::bandwidth_mib(bytes, elapsed());
+  }
+  bool ok() const { return status.is_ok(); }
+};
+
+class Client {
+ public:
+  Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
+         ib::Fabric& fabric, Manager& manager, std::vector<Iod*> iods,
+         Stats* stats);
+
+  // --- Metadata --------------------------------------------------------
+  Result<OpenFile> create(const std::string& name);
+  Result<OpenFile> create(const std::string& name, u64 stripe_size,
+                          u32 iod_count,
+                          u32 base_iod = Manager::kAutoBase);
+  Result<OpenFile> open(const std::string& name);
+  Result<FileMeta> stat(const std::string& name);
+  // Remove the namespace entry and every iod's local stripe file.
+  Status remove(const std::string& name);
+
+  // --- List I/O (async) -----------------------------------------------
+  using Callback = std::function<void(IoResult)>;
+  void write_list_async(const OpenFile& file, const core::ListIoRequest& req,
+                        const IoOptions& opts, TimePoint start, Callback done);
+  void read_list_async(const OpenFile& file, const core::ListIoRequest& req,
+                       const IoOptions& opts, TimePoint start, Callback done);
+
+  // --- List I/O (blocking: runs the engine until this op completes) -----
+  IoResult write_list(const OpenFile& file, const core::ListIoRequest& req,
+                      const IoOptions& opts = {});
+  IoResult read_list(const OpenFile& file, const core::ListIoRequest& req,
+                     const IoOptions& opts = {});
+
+  // --- Contiguous convenience wrappers ----------------------------------
+  IoResult write(const OpenFile& file, u64 file_offset, u64 addr, u64 length,
+                 const IoOptions& opts = {});
+  IoResult read(const OpenFile& file, u64 file_offset, u64 addr, u64 length,
+                const IoOptions& opts = {});
+
+  // The client's process state.
+  vmem::AddressSpace& memory() { return as_; }
+  ib::Hca& hca() { return hca_; }
+  ib::MrCache& mr_cache() { return cache_; }
+  core::GroupRegistrar& registrar() { return registrar_; }
+  u32 id() const { return id_; }
+
+  // Local logical clock: blocking calls start at now() and advance it.
+  TimePoint now() const { return now_; }
+  void advance_to(TimePoint t) { now_ = max(now_, t); }
+
+ private:
+  struct Round {
+    ExtentList accesses;           // iod-local file extents
+    core::MemSegmentList mem;      // matching client memory slices
+    u64 bytes = 0;
+  };
+  struct OpState;  // shared per-operation bookkeeping
+
+  void start_op(const OpenFile& file, const core::ListIoRequest& req,
+                const IoOptions& opts, TimePoint start, bool is_write,
+                Callback done);
+  void run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                       size_t round_idx, TimePoint t0);
+  void run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                      size_t round_idx, TimePoint t0);
+  void finish_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                    size_t round_idx, TimePoint t, Status status,
+                    bool is_write);
+  static std::vector<Round> split_rounds(const core::ServerSubRequest& sub,
+                                         u64 max_pairs, u64 max_bytes);
+
+  IoResult run_blocking(const OpenFile& file, const core::ListIoRequest& req,
+                        const IoOptions& opts, bool is_write);
+
+  u32 id_;
+  ModelConfig cfg_;
+  sim::Engine& engine_;
+  ib::Fabric& fabric_;
+  Manager& manager_;
+  std::vector<Iod*> iods_;
+  Stats* stats_;
+
+  vmem::AddressSpace as_;
+  ib::Hca hca_;
+  ib::MrCache cache_;
+  core::GroupRegistrar registrar_;
+  core::NoncontigTransfer xfer_;
+  core::TransferEndpoint ep_;  // bounce buffer endpoint
+  TimePoint now_ = TimePoint::origin();
+};
+
+}  // namespace pvfsib::pvfs

@@ -1,0 +1,286 @@
+#include "pvfs/iod.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "sim/trace.h"
+
+namespace pvfsib::pvfs {
+
+namespace {
+std::string iod_name(u32 id) { return "iod" + std::to_string(id); }
+}  // namespace
+
+Iod::Iod(u32 id, u32 client_count, const ModelConfig& cfg, ib::Fabric& fabric,
+         Stats* stats)
+    : id_(id),
+      cfg_(cfg),
+      fabric_(fabric),
+      stats_(stats),
+      hca_(iod_name(id), as_, cfg.reg, stats),
+      fs_(iod_name(id), cfg.disk, cfg.fs, stats),
+      disk_queue_(iod_name(id) + ".disk"),
+      ads_(cfg.disk, cfg.fs, cfg.mem,
+           core::AdsConfig{cfg.pvfs.staging_buffer, true, false}, stats) {
+  staging_.resize(client_count);
+  for (u32 c = 0; c < client_count; ++c) {
+    core::StagingBuffer& sb = staging_[c];
+    sb.hca = &hca_;
+    sb.size = cfg.pvfs.staging_buffer;
+    sb.addr = as_.alloc(sb.size);
+    ib::RegAttempt reg = hca_.register_memory(sb.addr, sb.size);
+    assert(reg.ok());
+    sb.rkey = reg.key;
+  }
+  sieve_addr_ = as_.alloc(cfg.pvfs.staging_buffer);
+  ib::RegAttempt reg = hca_.register_memory(sieve_addr_, cfg.pvfs.staging_buffer);
+  assert(reg.ok());
+  sieve_key_ = reg.key;
+}
+
+disk::LocalFile& Iod::file(Handle h) {
+  auto it = files_.find(h);
+  if (it == files_.end()) {
+    Result<u32> fd = fs_.create("/pvfs/h" + std::to_string(h));
+    assert(fd.is_ok());
+    it = files_.emplace(h, fd.value()).first;
+  }
+  return fs_.file(it->second);
+}
+
+Duration Iod::remove_file(Handle h) {
+  auto it = files_.find(h);
+  if (it == files_.end()) return Duration::zero();
+  const Duration cost = fs_.file(it->second).purge();
+  files_.erase(it);
+  return cost;
+}
+
+core::StagingBuffer& Iod::staging(u32 client) {
+  assert(client < staging_.size());
+  return staging_[client];
+}
+
+Iod::DiskPhase Iod::write_disk_phase(const RoundRequest& r,
+                                     std::span<const std::byte> stream,
+                                     TimePoint when) {
+  DiskPhase out;
+  disk::LocalFile& f = file(r.handle);
+  const disk::IoOpts io{};
+
+  // Short-circuit: the decision model is only consulted (and only counts
+  // towards the profile) when the client allowed server-side sieving.
+  const bool sieve =
+      r.use_ads && ads_.decide(r.accesses, /*is_write=*/true, f.size()).sieve;
+  sim::Trace::instance().emitf(
+      when, hca_.name(), "write round h%llu: %zu accesses, %llu B -> %s",
+      static_cast<unsigned long long>(r.handle), r.accesses.size(),
+      static_cast<unsigned long long>(r.bytes()),
+      sieve ? "sieve (RMW)" : "separate");
+
+  if (!sieve) {
+    u64 stream_off = 0;
+    for (const Extent& a : r.accesses) {
+      out.cost += f.pwrite(a.offset, stream.subspan(stream_off, a.length), io)
+                      .cost;
+      stream_off += a.length;
+    }
+  } else {
+    // Read-modify-write under a byte-range lock covering the sieve spans.
+    ExtentList sorted = r.accesses;
+    sort_by_offset(sorted);
+    Result<disk::LocalFile::RangeLock> lk =
+        f.lock_range(bounding_span(sorted));
+    if (!lk.is_ok()) {
+      out.status = lk.status();
+      return out;
+    }
+    out.cost += lk.value().cost;
+    vmem::AddressSpace& as = as_;
+    std::byte* sieve_buf = as.data(sieve_addr_);
+    for (const auto& w : ads_.plan_windows(r.accesses)) {
+      // Read the window span (short at EOF); zero-fill the tail so the
+      // write-back cannot resurrect stale scratch bytes in file holes.
+      Timed<u64> rd = f.pread(w.span.offset, {sieve_buf, w.span.length}, io);
+      out.cost += rd.cost;
+      if (rd.value < w.span.length) {
+        std::memset(sieve_buf + rd.value, 0, w.span.length - rd.value);
+      }
+      // Modify: copy the wanted pieces from the packed stream.
+      u64 wanted = 0;
+      for (const auto& p : w.pieces) {
+        std::memcpy(sieve_buf + p.window_off, stream.data() + p.stream_off,
+                    p.length);
+        wanted += p.length;
+      }
+      out.cost += cfg_.mem.copy_cost(wanted);
+      // Write the whole window back.
+      out.cost += f.pwrite(w.span.offset, {sieve_buf, w.span.length}, io).cost;
+    }
+    out.cost += f.unlock_range(lk.value().id);
+  }
+
+  if (r.sync) out.cost += f.fsync();
+  out.status = Status::ok();
+  return out;
+}
+
+TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready) {
+  const core::StagingBuffer& sb = staging(r.client);
+  assert(r.bytes() <= sb.size);
+  const std::span<const std::byte> stream =
+      as_.readable_span(sb.addr, r.bytes());
+  DiskPhase phase = write_disk_phase(r, stream, data_ready);
+  // Rounds on one iod are serialized by the disk queue, so the RMW range
+  // lock can never conflict; a failure here is a protocol bug.
+  assert(phase.status.is_ok());
+  return disk_queue_.acquire(data_ready, phase.cost);
+}
+
+Iod::DiskPhase Iod::read_separate_phase(const RoundRequest& r,
+                                        u64 staging_addr) {
+  DiskPhase out;
+  disk::LocalFile& f = file(r.handle);
+  u64 stream_off = 0;
+  for (const Extent& a : r.accesses) {
+    Timed<u64> rd = f.pread(
+        a.offset, as_.writable_span(staging_addr + stream_off, a.length), {});
+    out.cost += rd.cost;
+    if (rd.value < a.length) {
+      // Reading a hole / past EOF yields zeros (PVFS semantics for stripes
+      // never written).
+      std::memset(as_.data(staging_addr + stream_off + rd.value), 0,
+                  a.length - rd.value);
+    }
+    stream_off += a.length;
+  }
+  out.status = Status::ok();
+  return out;
+}
+
+Iod::ReadService Iod::read_round(const RoundRequest& r, TimePoint start,
+                                 ReadReturn path, ib::Hca* client_hca,
+                                 u64 client_dest, u32 client_rkey) {
+  ReadService svc;
+  const core::StagingBuffer& sb = staging(r.client);
+  const u64 total = r.bytes();
+  if (total > sb.size) {
+    svc.status = invalid_argument("read round exceeds staging buffer");
+    return svc;
+  }
+
+  disk::LocalFile& f = file(r.handle);
+  const bool sieve =
+      r.use_ads &&
+      ads_.decide(r.accesses, /*is_write=*/false, f.size()).sieve;
+  sim::Trace::instance().emitf(
+      start, hca_.name(), "read round h%llu: %zu accesses, %llu B -> %s, %s",
+      static_cast<unsigned long long>(r.handle), r.accesses.size(),
+      static_cast<unsigned long long>(total),
+      sieve ? "sieve" : "separate",
+      path == ReadReturn::kFastBounce      ? "fast-bounce"
+      : path == ReadReturn::kDirectGather ? "direct-gather"
+                                           : "client-pull");
+
+  if (!sieve) {
+    // Access-by-access, packing straight into the staging buffer.
+    DiskPhase phase = read_separate_phase(r, sb.addr);
+    const TimePoint data_at = disk_queue_.acquire(start, phase.cost);
+    switch (path) {
+      case ReadReturn::kClientPull:
+        svc.ready = data_at;
+        break;
+      case ReadReturn::kFastBounce:
+      case ReadReturn::kDirectGather: {
+        const ib::Sge sge{sb.addr, total, sb.rkey};
+        ib::TransferResult tr = fabric_.rdma_write(
+            hca_, sge, *client_hca, client_dest, client_rkey, data_at);
+        if (!tr.ok()) {
+          svc.status = tr.status;
+          return svc;
+        }
+        svc.ready = tr.complete;
+        break;
+      }
+    }
+    svc.status = Status::ok();
+    svc.bytes = total;
+    return svc;
+  }
+
+  // Sieved read: window by window.
+  std::byte* sieve_buf = as_.data(sieve_addr_);
+  TimePoint net_done = start;
+  TimePoint disk_done = start;
+  for (const auto& w : ads_.plan_windows(r.accesses)) {
+    Timed<u64> rd = f.pread(w.span.offset, {sieve_buf, w.span.length}, {});
+    if (rd.value < w.span.length) {
+      std::memset(sieve_buf + rd.value, 0, w.span.length - rd.value);
+    }
+    disk_done = disk_queue_.acquire(disk_done, rd.cost);
+
+    if (path == ReadReturn::kDirectGather) {
+      // Ship wanted pieces straight out of the sieve buffer, one gather per
+      // run of stream-consecutive pieces (the remote side of a gather WR is
+      // contiguous). No pack copy — the scatter/gather NIC does the work.
+      std::vector<ib::Sge> run;
+      u64 run_start = 0;
+      u64 run_next = 0;
+      auto flush_run = [&] {
+        if (run.empty()) return;
+        ib::TransferResult tr = fabric_.rdma_write_gather(
+            hca_, run, *client_hca, client_dest + run_start, client_rkey,
+            disk_done);
+        assert(tr.ok());
+        net_done = max(net_done, tr.complete);
+        run.clear();
+      };
+      for (const auto& p : w.pieces) {
+        if (run.empty() || p.stream_off != run_next) {
+          flush_run();
+          run_start = p.stream_off;
+          run_next = p.stream_off;
+        }
+        run.push_back(ib::Sge{sieve_addr_ + p.window_off, p.length,
+                              sieve_key_});
+        run_next += p.length;
+      }
+      flush_run();
+    } else {
+      // Pack wanted pieces into the staging buffer (stream order) so the
+      // client can pull one contiguous region / receive one bounce write.
+      u64 wanted = 0;
+      for (const auto& p : w.pieces) {
+        std::memcpy(as_.data(sb.addr + p.stream_off),
+                    sieve_buf + p.window_off, p.length);
+        wanted += p.length;
+      }
+      disk_done = disk_queue_.acquire(disk_done, cfg_.mem.copy_cost(wanted));
+    }
+  }
+
+  switch (path) {
+    case ReadReturn::kClientPull:
+      svc.ready = disk_done;
+      break;
+    case ReadReturn::kFastBounce: {
+      const ib::Sge sge{sb.addr, total, sb.rkey};
+      ib::TransferResult tr = fabric_.rdma_write(
+          hca_, sge, *client_hca, client_dest, client_rkey, disk_done);
+      if (!tr.ok()) {
+        svc.status = tr.status;
+        return svc;
+      }
+      svc.ready = tr.complete;
+      break;
+    }
+    case ReadReturn::kDirectGather:
+      svc.ready = max(net_done, disk_done);
+      break;
+  }
+  svc.status = Status::ok();
+  svc.bytes = total;
+  return svc;
+}
+
+}  // namespace pvfsib::pvfs

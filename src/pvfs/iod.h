@@ -1,0 +1,108 @@
+// The PVFS I/O daemon. One per I/O node: owns the node's local file system,
+// its HCA, a per-client staging buffer pool, a sieve buffer, and the disk
+// service queue. This is where Active Data Sieving runs: every incoming
+// round is either serviced access-by-access or sieved, according to the
+// cost model (Section 5).
+//
+// The iod is passive with respect to the event engine — the client-side
+// state machine invokes write_round()/read_round() at the simulated arrival
+// times and the iod returns completion times, queueing its disk work on the
+// node's disk resource.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "core/ads.h"
+#include "core/transfer.h"
+#include "disk/local_fs.h"
+#include "ib/fabric.h"
+#include "pvfs/protocol.h"
+#include "sim/resource.h"
+#include "vmem/address_space.h"
+
+namespace pvfsib::pvfs {
+
+class Iod {
+ public:
+  Iod(u32 id, u32 client_count, const ModelConfig& cfg, ib::Fabric& fabric,
+      Stats* stats);
+
+  // Local stripe file for a handle, created on first use.
+  disk::LocalFile& file(Handle h);
+
+  // Drop the local stripe file for a removed handle; returns the cost.
+  Duration remove_file(Handle h);
+
+  // The staging buffer dedicated to `client`'s connection.
+  core::StagingBuffer& staging(u32 client);
+
+  // --- Write round -----------------------------------------------------
+  // The packed data stream for `r` is in staging(r.client) at `data_ready`.
+  // Performs the disk phase (separate accesses or sieved read-modify-write)
+  // and returns the time the round is durably done (post-fsync when sync).
+  TimePoint write_round(const RoundRequest& r, TimePoint data_ready);
+
+  // --- Read round -------------------------------------------------------
+  struct ReadService {
+    Status status;
+    // kClientPull: when the packed staging buffer is ready for pulling.
+    // kFastBounce/kDirectGather: when the last byte landed at the client.
+    TimePoint ready = TimePoint::origin();
+    u64 bytes = 0;
+
+    bool ok() const { return status.is_ok(); }
+  };
+  // Service a read round starting (at the earliest) at `start`. For
+  // kFastBounce/kDirectGather the iod pushes data to the client itself;
+  // `client_hca`/`client_dest`/`client_rkey` describe the destination (the
+  // bounce buffer or the contiguous user buffer).
+  ReadService read_round(const RoundRequest& r, TimePoint start,
+                         ReadReturn path, ib::Hca* client_hca,
+                         u64 client_dest, u32 client_rkey);
+
+  ib::Hca& hca() { return hca_; }
+  disk::LocalFs& fs() { return fs_; }
+  sim::Resource& disk_queue() { return disk_queue_; }
+  core::ActiveDataSieving& ads() { return ads_; }
+  u32 id() const { return id_; }
+
+  // Flush + drop the node's page cache (benchmark "without cache" setup);
+  // time is not charged to anyone (setup step).
+  void drop_caches() { fs_.drop_caches(); }
+
+ private:
+  struct DiskPhase {
+    Duration cost = Duration::zero();
+    Status status;
+  };
+
+  // Execute the disk work for a write round against the packed stream in
+  // `stream` (real bytes), charging LocalFile costs.
+  DiskPhase write_disk_phase(const RoundRequest& r,
+                             std::span<const std::byte> stream,
+                             TimePoint when);
+
+  // Execute the disk work for a read round in "separate" mode: pack pieces
+  // into staging(client) and return the cost.
+  DiskPhase read_separate_phase(const RoundRequest& r, u64 staging_addr);
+
+  u32 id_;
+  ModelConfig cfg_;
+  ib::Fabric& fabric_;
+  Stats* stats_;
+  vmem::AddressSpace as_;
+  ib::Hca hca_;
+  disk::LocalFs fs_;
+  sim::Resource disk_queue_;
+  core::ActiveDataSieving ads_;
+
+  std::vector<core::StagingBuffer> staging_;  // one per client
+  u64 sieve_addr_ = 0;  // sieve buffer (RMW scratch), registered
+  u32 sieve_key_ = 0;
+  std::map<Handle, u32> files_;  // handle -> local fd
+};
+
+}  // namespace pvfsib::pvfs

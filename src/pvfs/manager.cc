@@ -1,0 +1,83 @@
+#include "pvfs/manager.h"
+
+namespace pvfsib::pvfs {
+
+Manager::Manager(const ModelConfig& cfg, ib::Fabric& fabric, Stats* stats)
+    : cfg_(cfg), fabric_(fabric), hca_("mgr", as_, cfg.reg, stats) {}
+
+Duration Manager::round_trip(ib::Hca& from, TimePoint ready, TimePoint* done) {
+  const TimePoint at_mgr = fabric_.send_control(
+      from, hca_, cfg_.pvfs.request_msg_bytes, ready, ib::ControlKind::kRequest);
+  // Metadata lookup cost on the manager.
+  const TimePoint replied = at_mgr + Duration::us(5.0);
+  *done = fabric_.send_control(hca_, from, cfg_.pvfs.reply_msg_bytes, replied,
+                               ib::ControlKind::kReply);
+  return *done - ready;
+}
+
+Timed<Result<FileMeta>> Manager::create(ib::Hca& from, TimePoint ready,
+                                        const std::string& name,
+                                        u64 stripe_size, u32 iod_count,
+                                        u32 base_iod) {
+  TimePoint done;
+  const Duration cost = round_trip(from, ready, &done);
+  if (by_name_.count(name) != 0) {
+    return {Result<FileMeta>(already_exists("file exists: " + name)), cost};
+  }
+  if (stripe_size == 0 || iod_count == 0) {
+    return {Result<FileMeta>(invalid_argument("bad striping parameters")),
+            cost};
+  }
+  FileMeta meta;
+  meta.handle = next_handle_++;
+  meta.name = name;
+  meta.stripe_size = stripe_size;
+  meta.iod_count = iod_count;
+  // Auto placement rotates the base with the handle; an explicit base is
+  // kept verbatim (the client wraps it over its physical server count).
+  meta.base_iod = base_iod == kAutoBase
+                      ? static_cast<u32>(meta.handle % iod_count)
+                      : base_iod;
+  by_name_[name] = meta;
+  by_handle_[meta.handle] = name;
+  return {Result<FileMeta>(meta), cost};
+}
+
+Timed<Result<FileMeta>> Manager::open(ib::Hca& from, TimePoint ready,
+                                      const std::string& name) {
+  TimePoint done;
+  const Duration cost = round_trip(from, ready, &done);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return {Result<FileMeta>(not_found("no such file: " + name)), cost};
+  }
+  return {Result<FileMeta>(it->second), cost};
+}
+
+Timed<Status> Manager::remove(ib::Hca& from, TimePoint ready,
+                              const std::string& name) {
+  TimePoint done;
+  const Duration cost = round_trip(from, ready, &done);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return {not_found("no such file: " + name), cost};
+  }
+  by_handle_.erase(it->second.handle);
+  by_name_.erase(it);
+  return {Status::ok(), cost};
+}
+
+void Manager::note_written(Handle h, u64 end_offset) {
+  auto it = by_handle_.find(h);
+  if (it == by_handle_.end()) return;
+  FileMeta& meta = by_name_.at(it->second);
+  meta.logical_size = std::max(meta.logical_size, end_offset);
+}
+
+Result<FileMeta> Manager::stat(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return not_found("no such file: " + name);
+  return it->second;
+}
+
+}  // namespace pvfsib::pvfs

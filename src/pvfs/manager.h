@@ -1,0 +1,54 @@
+// The PVFS metadata manager: cluster-wide namespace, striping parameters.
+// It never participates in data transfers (Section 2.1); its cost is the
+// control round-trip on create/open/stat.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "ib/fabric.h"
+#include "pvfs/protocol.h"
+#include "vmem/address_space.h"
+
+namespace pvfsib::pvfs {
+
+class Manager {
+ public:
+  Manager(const ModelConfig& cfg, ib::Fabric& fabric, Stats* stats);
+
+  // Metadata operations; `from` is the requesting client's HCA and `ready`
+  // its request time. Each returns the completion time of the round-trip
+  // alongside the result.
+  // `base_iod` = kAutoBase lets the manager rotate bases across files so
+  // small files spread over the I/O servers (PVFS's default placement).
+  static constexpr u32 kAutoBase = ~0u;
+  Timed<Result<FileMeta>> create(ib::Hca& from, TimePoint ready,
+                                 const std::string& name, u64 stripe_size,
+                                 u32 iod_count, u32 base_iod = kAutoBase);
+  Timed<Result<FileMeta>> open(ib::Hca& from, TimePoint ready,
+                               const std::string& name);
+  Timed<Status> remove(ib::Hca& from, TimePoint ready,
+                       const std::string& name);
+
+  // Size bookkeeping (piggybacked on I/O completion in real PVFS; free).
+  void note_written(Handle h, u64 end_offset);
+  Result<FileMeta> stat(const std::string& name) const;
+
+  ib::Hca& hca() { return hca_; }
+
+ private:
+  // Control round-trip helper: request to manager + reply back.
+  Duration round_trip(ib::Hca& from, TimePoint ready, TimePoint* done);
+
+  ModelConfig cfg_;
+  ib::Fabric& fabric_;
+  vmem::AddressSpace as_;
+  ib::Hca hca_;
+  std::map<std::string, FileMeta> by_name_;
+  std::map<Handle, std::string> by_handle_;
+  Handle next_handle_ = 1;
+};
+
+}  // namespace pvfsib::pvfs

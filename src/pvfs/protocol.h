@@ -1,0 +1,50 @@
+// Wire-level protocol descriptors shared by the PVFS client and I/O daemon.
+// Messages are not serialized byte-for-byte (the cluster is in-process);
+// what matters for fidelity is their *size* on the wire (charged through the
+// fabric), their *count* (Table 6 profiles), and the file-access lists they
+// carry.
+#pragma once
+
+#include <vector>
+
+#include "common/extent.h"
+#include "common/types.h"
+#include "core/listio.h"
+
+namespace pvfsib::pvfs {
+
+// PVFS file handle, cluster-wide.
+using Handle = u64;
+
+struct FileMeta {
+  Handle handle = 0;
+  std::string name;
+  u64 stripe_size = 0;
+  u32 iod_count = 0;  // pcount: how many iods stripe this file
+  u32 base_iod = 0;   // first physical iod of the stripe set
+  u64 logical_size = 0;  // high-water mark of written bytes
+};
+
+// One round of a list I/O operation directed at one iod: at most
+// `max_list_pairs` file accesses and at most one staging buffer of data.
+struct RoundRequest {
+  Handle handle = 0;
+  u32 client = 0;
+  bool is_write = false;
+  bool sync = false;       // fsync before replying (write) / O_DIRECT-ish
+  bool use_ads = true;     // server may data-sieve if its model agrees
+  ExtentList accesses;     // iod-local file extents, stream order
+  u64 bytes() const { return total_length(accesses); }
+};
+
+// How read data returns to the client.
+enum class ReadReturn {
+  kFastBounce,    // server RDMA-writes packed data into the client's
+                  // pre-registered Fast-RDMA buffer (small transfers)
+  kDirectGather,  // server RDMA-writes with gather straight into the
+                  // client's single contiguous destination buffer
+  kClientPull,    // server packs staging; client pulls (scatter/pack/multi
+                  // per its transfer policy)
+};
+
+}  // namespace pvfsib::pvfs

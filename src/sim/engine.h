@@ -1,0 +1,91 @@
+// Deterministic discrete-event engine.
+//
+// Every timed activity in the cluster (request arrival, RDMA completion,
+// disk service, reply delivery) is an event on one global virtual timeline.
+// Handlers run at their event's timestamp and may schedule further events.
+// Ties are broken by insertion order, so a run is a pure function of its
+// inputs — benchmarks are reproducible bit-for-bit.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace pvfsib::sim {
+
+class Engine {
+ public:
+  using Handler = std::function<void()>;
+
+  TimePoint now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `at` (must not be in the past).
+  void schedule_at(TimePoint at, Handler fn) {
+    assert(at >= now_);
+    queue_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+
+  // Schedule `fn` to run `delay` after the current time.
+  void schedule_in(Duration delay, Handler fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Run until the event queue drains. Returns the time of the last event.
+  TimePoint run() {
+    while (!queue_.empty()) step();
+    return now_;
+  }
+
+  // Run until `done` returns true (checked after each event) or the queue
+  // drains.
+  TimePoint run_until(const std::function<bool()>& done) {
+    while (!queue_.empty() && !done()) step();
+    return now_;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  u64 events_processed() const { return processed_; }
+
+  // Forget all pending events and reset the clock (for back-to-back
+  // benchmark trials that want a fresh timeline).
+  void reset() {
+    queue_ = {};
+    now_ = TimePoint::origin();
+    next_seq_ = 0;
+    processed_ = 0;
+  }
+
+ private:
+  struct Event {
+    TimePoint at;
+    u64 seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  void step() {
+    // Moving out of the queue before popping keeps the handler alive while
+    // it runs even if it schedules new events (which may reallocate).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimePoint now_ = TimePoint::origin();
+  u64 next_seq_ = 0;
+  u64 processed_ = 0;
+};
+
+}  // namespace pvfsib::sim

@@ -1,0 +1,47 @@
+// A serially-reusable resource (NIC, disk head, CPU) with busy-until
+// occupancy accounting. Acquiring for [ready, ready+dur) returns the actual
+// start time: max(ready, busy_until). This models FIFO queueing without
+// explicit queue events and is exact for work-conserving FIFO service.
+#pragma once
+
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace pvfsib::sim {
+
+class Resource {
+ public:
+  Resource() = default;
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  // Reserve the resource for `dur` starting no earlier than `ready`.
+  // Returns the completion time; the start is completion - dur.
+  TimePoint acquire(TimePoint ready, Duration dur) {
+    const TimePoint start = max(ready, busy_until_);
+    busy_until_ = start + dur;
+    busy_total_ += dur;
+    return busy_until_;
+  }
+
+  // When would a request arriving at `ready` start service?
+  TimePoint earliest_start(TimePoint ready) const {
+    return max(ready, busy_until_);
+  }
+
+  TimePoint busy_until() const { return busy_until_; }
+  Duration busy_total() const { return busy_total_; }
+  const std::string& name() const { return name_; }
+
+  void reset() {
+    busy_until_ = TimePoint::origin();
+    busy_total_ = Duration::zero();
+  }
+
+ private:
+  std::string name_;
+  TimePoint busy_until_ = TimePoint::origin();
+  Duration busy_total_ = Duration::zero();
+};
+
+}  // namespace pvfsib::sim

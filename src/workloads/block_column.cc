@@ -1,0 +1,3 @@
+#include "workloads/block_column.h"
+
+// Header-only workload; this TU anchors the library target.

@@ -1,0 +1,34 @@
+// The Figure 5 access pattern behind Figures 6 and 7: an N x N int array in
+// row-major file order with a one-dimensional block-column distribution —
+// each of 4 processes accesses one unit out of every four in the file
+// (noncontiguous in the file, contiguous in memory).
+#pragma once
+
+#include "mpiio/mpio_file.h"
+
+namespace pvfsib::workloads {
+
+struct BlockColumnWorkload {
+  u64 n = 512;    // array dimension; paper sweeps 512..8192
+  u64 elem = 4;   // ints
+  int procs = 4;
+
+  u64 share_bytes() const { return n * (n / procs) * elem; }
+  u64 file_bytes() const { return n * n * elem; }
+  u64 columns_per_proc() const { return n / procs; }
+  // Number of noncontiguous file pieces each process touches (one per row).
+  u64 accesses_per_proc() const { return n; }
+
+  // RankIo for process p, reading/writing its whole block column from a
+  // contiguous buffer at `mem_addr`.
+  mpiio::RankIo rank_io(int p, u64 mem_addr) const {
+    const u64 cols = columns_per_proc();
+    const mpiio::Datatype ft = mpiio::Datatype::subarray(
+        {n, n}, {n, cols}, {0, static_cast<u64>(p) * cols}, elem);
+    return mpiio::RankIo{mpiio::FileView(0, ft), mem_addr,
+                         mpiio::Datatype::contiguous(share_bytes()), 0,
+                         share_bytes()};
+  }
+};
+
+}  // namespace pvfsib::workloads

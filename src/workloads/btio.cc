@@ -1,0 +1,31 @@
+#include "workloads/btio.h"
+
+#include <cassert>
+
+namespace pvfsib::workloads {
+
+mpiio::RankIo BtioWorkload::rank_io(int phase, int p, u64 mem_addr) const {
+  assert(phase < output_phases() && p < cfg_.procs);
+  const u64 slots =
+      cfg_.pieces_per_proc * static_cast<u64>(cfg_.procs);
+  const u64 block_base = static_cast<u64>(phase) * step_block_bytes();
+
+  ExtentList file;
+  file.reserve(cfg_.pieces_per_proc);
+  for (u64 slot = 0; slot < slots; ++slot) {
+    if (slot_owner(slot) == p) {
+      file.push_back({block_base + slot * cfg_.piece_bytes, cfg_.piece_bytes});
+    }
+  }
+  assert(file.size() == cfg_.pieces_per_proc);
+
+  mpiio::RankIo io;
+  io.view = mpiio::FileView(0, mpiio::Datatype::indexed(std::move(file)));
+  io.mem_addr = mem_addr;
+  io.memtype = memtype();
+  io.view_offset = 0;
+  io.bytes = bytes_per_proc_per_phase();
+  return io;
+}
+
+}  // namespace pvfsib::workloads

@@ -1,0 +1,26 @@
+#include "workloads/subarray.h"
+
+#include <cassert>
+
+namespace pvfsib::workloads {
+
+core::MemSegmentList SubarrayLayout::subarray_rows(u64 base, u32 pr,
+                                                   u32 pc) const {
+  assert(pr < pgrid && pc < pgrid && n % pgrid == 0);
+  core::MemSegmentList segs;
+  segs.reserve(sub_rows());
+  const u64 first_row = pr * sub_rows();
+  const u64 col_off = pc * sub_cols() * elem;
+  for (u64 r = 0; r < sub_rows(); ++r) {
+    const u64 addr = base + (first_row + r) * array_row_bytes() + col_off;
+    segs.push_back({addr, row_bytes()});
+  }
+  return segs;
+}
+
+ExtentList SubarrayLayout::contiguous_file_extents(u32 pr, u32 pc) const {
+  const u64 rank = pr * pgrid + pc;
+  return {{rank * sub_bytes(), sub_bytes()}};
+}
+
+}  // namespace pvfsib::workloads

@@ -1,0 +1,37 @@
+// The 2-D subarray distribution used by Figure 3 and Table 4: an N x N
+// element array block-distributed over a pgrid x pgrid process grid; each
+// process's share is the rows of its subarray — the canonical source of
+// noncontiguous list I/O buffers.
+#pragma once
+
+#include "core/listio.h"
+#include "vmem/address_space.h"
+
+namespace pvfsib::workloads {
+
+struct SubarrayLayout {
+  u64 n = 0;         // array is n x n elements
+  u64 elem = 4;      // element size (C int on the testbed)
+  u32 pgrid = 2;     // process grid is pgrid x pgrid (4 processes -> 2x2)
+
+  u64 sub_rows() const { return n / pgrid; }
+  u64 sub_cols() const { return n / pgrid; }
+  u64 row_bytes() const { return sub_cols() * elem; }
+  u64 array_row_bytes() const { return n * elem; }
+  u64 sub_bytes() const { return sub_rows() * row_bytes(); }
+  u64 array_bytes() const { return n * n * elem; }
+
+  // Allocate the process's *whole* local array (the common application
+  // pattern: malloc the full array, send subarray pieces).
+  u64 alloc_array(vmem::AddressSpace& as) const { return as.alloc(array_bytes()); }
+
+  // Memory segments of process (pr, pc)'s subarray rows inside the full
+  // array allocated at `base`.
+  core::MemSegmentList subarray_rows(u64 base, u32 pr, u32 pc) const;
+
+  // File extents when each process writes its subarray *contiguously* at
+  // non-overlapping locations (the Table 4 benchmark).
+  ExtentList contiguous_file_extents(u32 pr, u32 pc) const;
+};
+
+}  // namespace pvfsib::workloads

@@ -1,0 +1,3 @@
+#include "workloads/tile_io.h"
+
+// Header-only workload; this TU anchors the library target.

@@ -1,0 +1,39 @@
+// mpi-tile-io (Section 6.6): tiled access to a dense 2-D frame. Four
+// compute nodes each render one tile of a 2x2 display array, each display
+// 1024x768 pixels of 24 bits — a 9 MB frame file. Noncontiguous in the
+// file, contiguous in memory.
+#pragma once
+
+#include "mpiio/mpio_file.h"
+
+namespace pvfsib::workloads {
+
+struct TileIoWorkload {
+  u64 tile_w = 1024;   // pixels per tile row
+  u64 tile_h = 768;    // rows per tile
+  u64 pixel = 3;       // 24-bit pixels
+  u32 tiles_x = 2;
+  u32 tiles_y = 2;
+
+  u64 frame_w() const { return tile_w * tiles_x; }
+  u64 frame_h() const { return tile_h * tiles_y; }
+  u64 frame_bytes() const { return frame_w() * frame_h() * pixel; }
+  u64 tile_bytes() const { return tile_w * tile_h * pixel; }
+  int procs() const { return static_cast<int>(tiles_x * tiles_y); }
+  u64 rows_per_tile() const { return tile_h; }
+
+  // RankIo for the process rendering tile p (row-major tile order), with a
+  // contiguous local buffer at `mem_addr`.
+  mpiio::RankIo rank_io(int p, u64 mem_addr) const {
+    const u64 ty = static_cast<u64>(p) / tiles_x;
+    const u64 tx = static_cast<u64>(p) % tiles_x;
+    const mpiio::Datatype ft = mpiio::Datatype::subarray(
+        {frame_h(), frame_w() * pixel}, {tile_h, tile_w * pixel},
+        {ty * tile_h, tx * tile_w * pixel}, 1);
+    return mpiio::RankIo{mpiio::FileView(0, ft), mem_addr,
+                         mpiio::Datatype::contiguous(tile_bytes()), 0,
+                         tile_bytes()};
+  }
+};
+
+}  // namespace pvfsib::workloads

@@ -1,0 +1,244 @@
+// Randomized end-to-end properties of the whole stack: arbitrary list I/O
+// requests, random transfer schemes and server options, concurrent clients
+// — the file system must always behave like one flat byte array, and the
+// accounting invariants must hold. Plus failure injection through the full
+// stack.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pvfs/cluster.h"
+
+namespace pvfsib::pvfs {
+namespace {
+
+core::XferScheme random_scheme(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0:
+      return core::XferScheme::kMultipleMessage;
+    case 1:
+      return core::XferScheme::kPackUnpack;
+    case 2:
+      return core::XferScheme::kRdmaGatherScatter;
+    default:
+      return core::XferScheme::kHybrid;
+  }
+}
+
+// Build a random list I/O request over [0, file_span) whose file extents
+// are disjoint (so write order cannot matter), with randomly fragmented
+// memory on a fresh allocation.
+core::ListIoRequest random_request(Rng& rng, Client& c, u64 file_span) {
+  core::ListIoRequest req;
+  u64 pos = rng.below(4096);
+  const int n = static_cast<int>(rng.range(1, 60));
+  for (int i = 0; i < n && pos + 1 < file_span; ++i) {
+    const u64 len = std::min(rng.range(1, 40 * kKiB), file_span - pos);
+    req.file.push_back({pos, len});
+    pos += len + rng.below(64 * kKiB);
+  }
+  const u64 total = total_length(req.file);
+  u64 left = total;
+  while (left > 0) {
+    const u64 len = std::min(left, rng.range(1, 24 * kKiB));
+    const u64 addr = c.memory().alloc(len);
+    // Occasionally fragment the address space.
+    if (rng.chance(0.2)) c.memory().skip(rng.range(1, 4) * kPageSize);
+    req.mem.push_back({addr, len});
+    left -= len;
+  }
+  return req;
+}
+
+void fill_request(Client& c, const core::ListIoRequest& req, u64 seed) {
+  Rng rng(seed);
+  for (const core::MemSegment& m : req.mem) {
+    for (u64 i = 0; i < m.length; ++i) {
+      c.memory().write_pod<u8>(m.addr + i, static_cast<u8>(rng.next()));
+    }
+  }
+}
+
+TEST(ClusterProperty, RandomListIoRoundTripsUnderAllOptions) {
+  Rng rng(2026);
+  for (int iter = 0; iter < 12; ++iter) {
+    Cluster cluster(ModelConfig::paper_defaults(), 2, 1 + rng.below(4));
+    Client& c = cluster.client(0);
+    OpenFile f = c.create("/prop").value();
+    const u64 span = 2 * kMiB;
+
+    core::ListIoRequest wreq = random_request(rng, c, span);
+    fill_request(c, wreq, 1000 + iter);
+
+    IoOptions wopts;
+    wopts.policy.scheme = random_scheme(rng);
+    wopts.sync = rng.chance(0.3);
+    wopts.use_ads = rng.chance(0.7);
+    IoResult w = c.write_list(f, wreq, wopts);
+    ASSERT_TRUE(w.ok()) << iter << ": " << w.status.to_string();
+    ASSERT_EQ(w.bytes, total_length(wreq.file));
+    ASSERT_GT(w.elapsed(), Duration::zero());
+
+    // Read back with an independently random configuration into fresh
+    // buffers of a different fragmentation.
+    core::ListIoRequest rreq;
+    rreq.file = wreq.file;
+    u64 left = total_length(rreq.file);
+    while (left > 0) {
+      const u64 len = std::min(left, rng.range(1, 32 * kKiB));
+      rreq.mem.push_back({c.memory().alloc(len), len});
+      left -= len;
+    }
+    IoOptions ropts;
+    ropts.policy.scheme = random_scheme(rng);
+    ropts.use_ads = rng.chance(0.7);
+    ropts.direct_read_return = rng.chance(0.5);
+    if (rng.chance(0.3)) cluster.drop_all_caches();
+    IoResult r = c.read_list(f, rreq, ropts);
+    ASSERT_TRUE(r.ok()) << iter << ": " << r.status.to_string();
+
+    // Byte-exact: concatenated write stream == concatenated read stream.
+    std::vector<u8> ws, rs;
+    for (const auto& m : wreq.mem) {
+      for (u64 i = 0; i < m.length; ++i) {
+        ws.push_back(c.memory().read_pod<u8>(m.addr + i));
+      }
+    }
+    for (const auto& m : rreq.mem) {
+      for (u64 i = 0; i < m.length; ++i) {
+        rs.push_back(c.memory().read_pod<u8>(m.addr + i));
+      }
+    }
+    ASSERT_EQ(ws, rs) << "iteration " << iter;
+  }
+}
+
+TEST(ClusterProperty, ConcurrentDisjointWritersNeverInterfere) {
+  Rng rng(7);
+  Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+  OpenFile f0 = cluster.client(0).create("/conc").value();
+  const u64 region = 512 * kKiB;
+
+  std::vector<core::ListIoRequest> reqs(4);
+  std::vector<IoResult> results(4);
+  int pending = 0;
+  for (u32 k = 0; k < 4; ++k) {
+    Client& c = cluster.client(k);
+    OpenFile fk = k == 0 ? f0 : c.open("/conc").value();
+    // Strided disjoint extents: client k owns bytes [k*4K, k*4K+4K) of
+    // every 16 KiB block in its region window.
+    core::ListIoRequest& req = reqs[k];
+    for (u64 b = 0; b < region; b += 16 * kKiB) {
+      req.file.push_back({b + k * 4 * kKiB, 4 * kKiB});
+    }
+    const u64 buf = c.memory().alloc(total_length(req.file));
+    req.mem = {{buf, total_length(req.file)}};
+    fill_request(c, req, 90 + k);
+    IoOptions opts;
+    opts.policy.scheme = random_scheme(rng);
+    ++pending;
+    c.write_list_async(fk, req, opts, TimePoint::origin(),
+                       [&results, &pending, k](IoResult r) {
+                         results[k] = r;
+                         --pending;
+                       });
+  }
+  cluster.run();
+  ASSERT_EQ(pending, 0);
+  for (u32 k = 0; k < 4; ++k) ASSERT_TRUE(results[k].ok());
+
+  // Every client's data must be intact despite interleaved service.
+  Client& c0 = cluster.client(0);
+  for (u32 k = 0; k < 4; ++k) {
+    core::ListIoRequest rd;
+    rd.file = reqs[k].file;
+    const u64 buf = c0.memory().alloc(total_length(rd.file));
+    rd.mem = {{buf, total_length(rd.file)}};
+    ASSERT_TRUE(c0.read_list(f0, rd).ok());
+    Rng gen(90 + k);
+    for (u64 i = 0; i < total_length(rd.file); ++i) {
+      ASSERT_EQ(c0.memory().read_pod<u8>(buf + i),
+                static_cast<u8>(gen.next()))
+          << "client " << k << " byte " << i;
+    }
+  }
+}
+
+TEST(ClusterProperty, AccountingInvariants) {
+  Cluster cluster(ModelConfig::paper_defaults(), 2, 4);
+  Client& c = cluster.client(0);
+  OpenFile f = c.create("/acct").value();
+  const u64 n = 3 * kMiB;
+  const u64 src = c.memory().alloc(n);
+  const Stats before = cluster.stats();
+  ASSERT_TRUE(c.write(f, 0, src, n).ok());
+  ASSERT_TRUE(c.read(f, 0, src, n).ok());
+  const Stats d = cluster.stats().diff(before);
+  // Payload conservation: the fabric moved exactly 2n bytes of data.
+  EXPECT_EQ(d.get(stat::kNetBytesData), static_cast<i64>(2 * n));
+  // Every request got exactly one reply.
+  EXPECT_EQ(d.get(stat::kPvfsRequest), d.get(stat::kPvfsReply));
+  // The iods hold exactly n bytes of this file.
+  u64 stored = 0;
+  for (u32 i = 0; i < 4; ++i) {
+    stored += cluster.iod(i).file(f.meta.handle).size();
+  }
+  EXPECT_EQ(stored, n);
+}
+
+// --- failure injection -------------------------------------------------
+
+TEST(ClusterFailure, UnmappedBufferFailsCleanly) {
+  Cluster cluster(ModelConfig::paper_defaults(), 1, 4);
+  Client& c = cluster.client(0);
+  OpenFile f = c.create("/fail").value();
+  // A buffer address in an unmapped hole.
+  const u64 a = c.memory().alloc(kPageSize);
+  c.memory().skip(8 * kPageSize);
+  const u64 hole = a + 4 * kPageSize;
+  core::ListIoRequest req;
+  req.mem = {{a, kPageSize}, {hole, kPageSize}};
+  req.file = {{0, 2 * kPageSize}};
+  IoOptions opts;
+  opts.policy.scheme = core::XferScheme::kRdmaGatherScatter;
+  IoResult w = c.write_list(f, req, opts);
+  EXPECT_FALSE(w.ok());
+  EXPECT_EQ(w.status.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(w.bytes, 0u);
+  // The cluster remains usable afterwards.
+  const u64 good = c.memory().alloc(kPageSize);
+  EXPECT_TRUE(c.write(f, 0, good, kPageSize).ok());
+}
+
+TEST(ClusterFailure, MismatchedTotalsRejectedBeforeAnyWork) {
+  Cluster cluster(ModelConfig::paper_defaults(), 1, 2);
+  Client& c = cluster.client(0);
+  OpenFile f = c.create("/fail2").value();
+  const Stats before = cluster.stats();
+  core::ListIoRequest req;
+  req.mem = {{c.memory().alloc(100), 100}};
+  req.file = {{0, 200}};
+  EXPECT_FALSE(c.write_list(f, req).ok());
+  // No requests reached any iod.
+  EXPECT_EQ(cluster.stats().diff(before).get(stat::kPvfsRequest), 0);
+}
+
+TEST(ClusterFailure, PackSchemeToleratesUnmappedHolesBetweenBuffers) {
+  // Pack/Unpack never registers user memory, so a layout that breaks the
+  // gather path works fine through the bounce buffer.
+  Cluster cluster(ModelConfig::paper_defaults(), 1, 2);
+  Client& c = cluster.client(0);
+  OpenFile f = c.create("/pack").value();
+  core::ListIoRequest req;
+  for (int i = 0; i < 8; ++i) {
+    req.mem.push_back({c.memory().alloc(kPageSize), kPageSize});
+    c.memory().skip(2 * kPageSize);
+  }
+  req.file = {{0, 8 * kPageSize}};
+  fill_request(c, req, 55);
+  IoOptions opts;
+  opts.policy.scheme = core::XferScheme::kPackUnpack;
+  EXPECT_TRUE(c.write_list(f, req, opts).ok());
+}
+
+}  // namespace
+}  // namespace pvfsib::pvfs

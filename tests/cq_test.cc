@@ -1,0 +1,100 @@
+// Completion queue semantics: every fabric operation posts a completion to
+// the initiator's CQ (and receives on the target for channel sends), in
+// completion order, with overflow accounting at the configured depth.
+#include "ib/cq.h"
+
+#include <gtest/gtest.h>
+
+#include "ib/fabric.h"
+
+namespace pvfsib::ib {
+namespace {
+
+class CqTest : public ::testing::Test {
+ protected:
+  CqTest()
+      : a_("a", as_a_, RegParams{}, &stats_),
+        b_("b", as_b_, RegParams{}, &stats_),
+        fabric_(NetParams{}, &stats_) {
+    addr_a_ = as_a_.alloc(kMiB);
+    addr_b_ = as_b_.alloc(kMiB);
+    key_a_ = a_.register_memory(addr_a_, kMiB).key;
+    key_b_ = b_.register_memory(addr_b_, kMiB).key;
+  }
+
+  vmem::AddressSpace as_a_, as_b_;
+  Stats stats_;
+  Hca a_, b_;
+  Fabric fabric_;
+  u64 addr_a_ = 0, addr_b_ = 0;
+  u32 key_a_ = 0, key_b_ = 0;
+};
+
+TEST_F(CqTest, RdmaWritePostsInitiatorCompletion) {
+  const Sge sge{addr_a_, 4096, key_a_};
+  TransferResult tr =
+      fabric_.rdma_write(a_, sge, b_, addr_b_, key_b_, TimePoint::origin());
+  ASSERT_TRUE(tr.ok());
+  auto c = a_.cq().poll();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->op, Completion::Op::kRdmaWrite);
+  EXPECT_EQ(c->bytes, 4096u);
+  EXPECT_EQ(c->completed_at, tr.complete);
+  EXPECT_TRUE(c->status.is_ok());
+  // RDMA is one-sided: no completion at the target.
+  EXPECT_FALSE(b_.cq().poll().has_value());
+}
+
+TEST_F(CqTest, SendPostsBothSides) {
+  fabric_.send_control(a_, b_, 256, TimePoint::origin(),
+                       ControlKind::kRequest);
+  auto s = a_.cq().poll();
+  auto r = b_.cq().poll();
+  ASSERT_TRUE(s.has_value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(s->op, Completion::Op::kSend);
+  EXPECT_EQ(r->op, Completion::Op::kRecv);
+  EXPECT_EQ(s->bytes, 256u);
+}
+
+TEST_F(CqTest, CompletionsPollInOrder) {
+  const Sge sge{addr_a_, 1024, key_a_};
+  for (int i = 0; i < 5; ++i) {
+    fabric_.rdma_write(a_, sge, b_, addr_b_, key_b_, TimePoint::origin());
+  }
+  TimePoint prev = TimePoint::origin();
+  u64 prev_id = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto c = a_.cq().poll();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_GE(c->completed_at, prev);
+    EXPECT_GT(c->wr_id, prev_id);
+    prev = c->completed_at;
+    prev_id = c->wr_id;
+  }
+  EXPECT_FALSE(a_.cq().poll().has_value());
+}
+
+TEST_F(CqTest, FailedOpsPostNothing) {
+  const Sge bad{addr_a_, 1024, 9999};
+  EXPECT_FALSE(
+      fabric_.rdma_write(a_, bad, b_, addr_b_, key_b_, TimePoint::origin())
+          .ok());
+  EXPECT_FALSE(a_.cq().poll().has_value());
+}
+
+TEST(CompletionQueue, OverflowDropsAndCounts) {
+  CompletionQueue cq(/*depth=*/3);
+  for (u64 i = 0; i < 5; ++i) {
+    cq.push(Completion{i, Completion::Op::kSend, 0, Status::ok(),
+                       TimePoint::origin()});
+  }
+  EXPECT_EQ(cq.pending(), 3u);
+  EXPECT_EQ(cq.overflows(), 2u);
+  EXPECT_EQ(cq.poll()->wr_id, 0u);  // oldest first
+  cq.drain();
+  EXPECT_EQ(cq.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace pvfsib::ib

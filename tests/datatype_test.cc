@@ -1,0 +1,165 @@
+#include "mpiio/datatype.h"
+
+#include <gtest/gtest.h>
+
+#include "mpiio/file_view.h"
+
+namespace pvfsib::mpiio {
+namespace {
+
+TEST(Datatype, Contiguous) {
+  const Datatype t = Datatype::contiguous(100);
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_EQ(t.extent(), 100u);
+  EXPECT_TRUE(t.contiguous_layout());
+  ASSERT_EQ(t.map().size(), 1u);
+  EXPECT_EQ(t.map()[0], (Extent{0, 100}));
+}
+
+TEST(Datatype, VectorOfBytes) {
+  // 4 blocks of 3 bytes, stride 8 bytes.
+  const Datatype t = Datatype::vector(4, 3, 8, Datatype::contiguous(1));
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.extent(), 27u);  // (4-1)*8 + 3
+  ASSERT_EQ(t.map().size(), 4u);
+  EXPECT_EQ(t.map()[0], (Extent{0, 3}));
+  EXPECT_EQ(t.map()[1], (Extent{8, 3}));
+  EXPECT_EQ(t.map()[3], (Extent{24, 3}));
+  EXPECT_FALSE(t.contiguous_layout());
+}
+
+TEST(Datatype, VectorOfStructuredBase) {
+  // Vector of 4-byte ints: 2 blocks of 2 ints, stride 4 ints.
+  const Datatype ints = Datatype::contiguous(4);
+  const Datatype t = Datatype::vector(2, 2, 4, ints);
+  EXPECT_EQ(t.size(), 16u);
+  ASSERT_EQ(t.map().size(), 2u);  // adjacent ints in a block coalesce
+  EXPECT_EQ(t.map()[0], (Extent{0, 8}));
+  EXPECT_EQ(t.map()[1], (Extent{16, 8}));
+}
+
+TEST(Datatype, Indexed) {
+  const Datatype t = Datatype::indexed({{10, 5}, {0, 5}, {20, 5}});
+  EXPECT_EQ(t.size(), 15u);
+  EXPECT_EQ(t.extent(), 25u);
+  EXPECT_TRUE(is_sorted_disjoint(t.map()));
+}
+
+TEST(Datatype, Subarray2D) {
+  // 8x8 int array, 3x2 sub-block at (1,4).
+  const Datatype t = Datatype::subarray({8, 8}, {3, 2}, {1, 4}, 4);
+  EXPECT_EQ(t.size(), 3 * 2 * 4u);
+  EXPECT_EQ(t.extent(), 8 * 8 * 4u);
+  ASSERT_EQ(t.map().size(), 3u);  // one run per sub-row
+  EXPECT_EQ(t.map()[0], (Extent{(1 * 8 + 4) * 4, 8}));
+  EXPECT_EQ(t.map()[1], (Extent{(2 * 8 + 4) * 4, 8}));
+  EXPECT_EQ(t.map()[2], (Extent{(3 * 8 + 4) * 4, 8}));
+}
+
+TEST(Datatype, Subarray3D) {
+  const Datatype t = Datatype::subarray({4, 4, 4}, {2, 2, 2}, {0, 1, 1}, 1);
+  EXPECT_EQ(t.size(), 8u);
+  ASSERT_EQ(t.map().size(), 4u);  // 2 planes x 2 rows
+  EXPECT_EQ(t.map()[0], (Extent{0 * 16 + 1 * 4 + 1, 2}));
+  EXPECT_EQ(t.map()[3], (Extent{1 * 16 + 2 * 4 + 1, 2}));
+}
+
+TEST(Datatype, SubarrayFullIsContiguous) {
+  const Datatype t = Datatype::subarray({4, 4}, {4, 4}, {0, 0}, 4);
+  EXPECT_TRUE(t.contiguous_layout());
+  EXPECT_EQ(t.size(), 64u);
+}
+
+TEST(Datatype, Repeat) {
+  const Datatype row = Datatype::vector(2, 1, 2, Datatype::contiguous(4));
+  const Datatype t = Datatype::repeat(3, row);
+  EXPECT_EQ(t.size(), 3 * row.size());
+  EXPECT_EQ(t.extent(), 3 * row.extent());
+}
+
+TEST(Datatype, Prefix) {
+  const Datatype t = Datatype::vector(4, 1, 2, Datatype::contiguous(4));
+  const ExtentList p = t.prefix(10);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], (Extent{0, 4}));
+  EXPECT_EQ(p[1], (Extent{8, 4}));
+  EXPECT_EQ(p[2], (Extent{16, 2}));  // truncated
+}
+
+TEST(FileView, IdentityView) {
+  const FileView v;
+  const ExtentList e = v.map_range(100, 50);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0], (Extent{100, 50}));
+}
+
+TEST(FileView, DisplacementShifts) {
+  const FileView v(1000, Datatype::contiguous(64));
+  const ExtentList e = v.map_range(0, 128);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0], (Extent{1000, 128}));  // tiles merge contiguously
+}
+
+TEST(FileView, StridedViewMapsHoles) {
+  // Filetype: first 4 bytes of a 16-byte tile (1 unit in every 4, the
+  // Figure 5 access shape), built as a 1x4 subarray of 4-byte elements.
+  const Datatype ft = Datatype::subarray({4}, {1}, {0}, 4);
+  ASSERT_EQ(ft.size(), 4u);
+  ASSERT_EQ(ft.extent(), 16u);
+  const FileView v(0, ft);
+  const ExtentList e = v.map_range(0, 12);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0], (Extent{0, 4}));
+  EXPECT_EQ(e[1], (Extent{16, 4}));
+  EXPECT_EQ(e[2], (Extent{32, 4}));
+  // Starting mid-stream skips data bytes, not extent bytes.
+  const ExtentList m = v.map_range(6, 4);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], (Extent{18, 2}));
+  EXPECT_EQ(m[1], (Extent{32, 2}));
+}
+
+TEST(FileView, BlockColumnView) {
+  // The Figure 5 pattern: an N x N int array in row-major order, process p
+  // of 4 sees one block-column: each row contributes N/4 ints.
+  const u64 n = 16;
+  const u64 elem = 4;
+  const int p = 1;
+  const Datatype row_piece = Datatype::subarray(
+      {n, n}, {n, n / 4}, {0, p * (n / 4)}, elem);
+  const FileView v(0, row_piece);
+  EXPECT_EQ(v.tile_data(), n * (n / 4) * elem);
+  const ExtentList e = v.map_range(0, v.tile_data());
+  ASSERT_EQ(e.size(), n);
+  for (u64 r = 0; r < n; ++r) {
+    EXPECT_EQ(e[r].offset, (r * n + p * (n / 4)) * elem);
+    EXPECT_EQ(e[r].length, (n / 4) * elem);
+  }
+}
+
+TEST(FileView, MultiTileWalk) {
+  // Filetype of 8 bytes data in a 32-byte extent; second tile starts at 32.
+  const Datatype ft = Datatype::vector(2, 1, 4, Datatype::contiguous(4));
+  ASSERT_EQ(ft.size(), 8u);
+  ASSERT_EQ(ft.extent(), 20u);
+  const FileView v(100, ft);
+  // Tile 0 data: [100,104) and [116,120); tile 1 (base 120): [120,124),
+  // [136,140). View bytes [4,16) start at the second piece of tile 0.
+  const ExtentList e = v.map_range(4, 12);
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0], (Extent{116, 8}));  // [116,120) merges with [120,124)
+  EXPECT_EQ(e[1], (Extent{136, 4}));
+}
+
+TEST(FileView, ViewSizeBelow) {
+  const Datatype ft = Datatype::vector(2, 1, 4, Datatype::contiguous(4));
+  const FileView v(0, ft);  // extent 20, data 8 per tile
+  EXPECT_EQ(v.view_size_below(0), 0u);
+  EXPECT_EQ(v.view_size_below(4), 4u);
+  EXPECT_EQ(v.view_size_below(16), 4u);
+  EXPECT_EQ(v.view_size_below(20), 8u);
+  EXPECT_EQ(v.view_size_below(24), 12u);
+}
+
+}  // namespace
+}  // namespace pvfsib::mpiio

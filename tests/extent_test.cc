@@ -1,0 +1,157 @@
+#include "common/extent.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pvfsib {
+namespace {
+
+TEST(Extent, BasicPredicates) {
+  const Extent e{100, 50};
+  EXPECT_EQ(e.end(), 150u);
+  EXPECT_FALSE(e.empty());
+  EXPECT_TRUE(e.contains(100));
+  EXPECT_TRUE(e.contains(149));
+  EXPECT_FALSE(e.contains(150));
+  EXPECT_TRUE(e.contains(Extent{100, 50}));
+  EXPECT_TRUE(e.contains(Extent{120, 10}));
+  EXPECT_FALSE(e.contains(Extent{120, 40}));
+  EXPECT_TRUE(e.overlaps(Extent{149, 10}));
+  EXPECT_FALSE(e.overlaps(Extent{150, 10}));
+  EXPECT_TRUE(e.adjacent_before(Extent{150, 10}));
+}
+
+TEST(Extent, TotalLengthAndSpan) {
+  const ExtentList l{{10, 5}, {30, 10}, {0, 2}};
+  EXPECT_EQ(total_length(l), 17u);
+  EXPECT_EQ(bounding_span(l), (Extent{0, 40}));
+  EXPECT_EQ(bounding_span({}), (Extent{0, 0}));
+}
+
+TEST(Extent, SortAndDisjoint) {
+  ExtentList l{{30, 10}, {10, 5}, {0, 2}};
+  EXPECT_FALSE(is_sorted_disjoint(l));
+  sort_by_offset(l);
+  EXPECT_TRUE(is_sorted_disjoint(l));
+  EXPECT_EQ(l.front().offset, 0u);
+  // Overlap defeats disjointness.
+  EXPECT_FALSE(is_sorted_disjoint({{0, 10}, {5, 10}}));
+  // Touching extents are still disjoint.
+  EXPECT_TRUE(is_sorted_disjoint({{0, 10}, {10, 10}}));
+}
+
+TEST(Extent, CoalesceMergesTouchingAndOverlapping) {
+  const ExtentList l{{0, 10}, {10, 5}, {20, 5}, {22, 10}};
+  const ExtentList c = coalesce(l);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], (Extent{0, 15}));
+  EXPECT_EQ(c[1], (Extent{20, 12}));
+}
+
+TEST(Extent, CoalesceWithGapAbsorption) {
+  const ExtentList l{{0, 10}, {15, 5}, {100, 5}};
+  const ExtentList c = coalesce(l, /*merge_gap=*/8);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], (Extent{0, 20}));
+  EXPECT_EQ(c[1], (Extent{100, 5}));
+}
+
+TEST(Extent, CoalesceDropsEmpty) {
+  const ExtentList c = coalesce({{0, 0}, {5, 5}, {10, 0}});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], (Extent{5, 5}));
+}
+
+TEST(Extent, Intersect) {
+  const ExtentList l{{0, 10}, {20, 10}, {40, 10}};
+  const ExtentList i = intersect(Extent{5, 30}, l);
+  ASSERT_EQ(i.size(), 2u);
+  EXPECT_EQ(i[0], (Extent{5, 5}));
+  EXPECT_EQ(i[1], (Extent{20, 10}));
+  EXPECT_TRUE(intersect(Extent{10, 10}, l).empty());
+}
+
+TEST(Extent, HolesWithin) {
+  const ExtentList l{{10, 10}, {30, 10}};
+  const ExtentList h = holes_within(Extent{0, 50}, l);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], (Extent{0, 10}));
+  EXPECT_EQ(h[1], (Extent{20, 10}));
+  EXPECT_EQ(h[2], (Extent{40, 10}));
+}
+
+TEST(Extent, HolesWithinFullyCovered) {
+  EXPECT_TRUE(holes_within(Extent{10, 10}, {{0, 100}}).empty());
+}
+
+TEST(Extent, HolesWithinNoOverlapAtAll) {
+  const ExtentList h = holes_within(Extent{0, 10}, {{50, 10}});
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], (Extent{0, 10}));
+}
+
+TEST(Extent, SplitAtBoundaries) {
+  const ExtentList s = split_at_boundaries({{10, 30}}, 16);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], (Extent{10, 6}));
+  EXPECT_EQ(s[1], (Extent{16, 16}));
+  EXPECT_EQ(s[2], (Extent{32, 8}));
+  EXPECT_EQ(total_length(s), 30u);
+}
+
+TEST(Extent, SplitAlignedPassesThrough) {
+  const ExtentList s = split_at_boundaries({{16, 16}, {32, 16}}, 16);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(total_length(s), 32u);
+}
+
+// Property: holes + allocated partitions the window exactly.
+TEST(ExtentProperty, HolesComplementIntersection) {
+  Rng rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    ExtentList l;
+    u64 pos = rng.below(64);
+    for (int i = 0; i < 20; ++i) {
+      const u64 len = rng.range(1, 64);
+      l.push_back({pos, len});
+      pos += len + rng.below(64);
+    }
+    const Extent window{rng.below(256), rng.range(1, 1500)};
+    const ExtentList inside = intersect(window, l);
+    const ExtentList holes = holes_within(window, inside);
+    EXPECT_EQ(total_length(inside) + total_length(holes), window.length);
+    // Merged union must be exactly the window.
+    ExtentList all = inside;
+    all.insert(all.end(), holes.begin(), holes.end());
+    sort_by_offset(all);
+    const ExtentList merged = coalesce(all);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0], window);
+  }
+}
+
+// Property: split_at_boundaries preserves coverage and respects boundaries.
+TEST(ExtentProperty, SplitPreservesBytes) {
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    ExtentList l;
+    u64 pos = 0;
+    for (int i = 0; i < 10; ++i) {
+      pos += rng.below(100);
+      const u64 len = rng.range(1, 300);
+      l.push_back({pos, len});
+      pos += len;
+    }
+    const u64 boundary = rng.range(1, 128);
+    const ExtentList s = split_at_boundaries(l, boundary);
+    EXPECT_EQ(total_length(s), total_length(l));
+    for (const Extent& e : s) {
+      // No piece crosses a boundary.
+      EXPECT_EQ(e.offset / boundary, (e.end() - 1) / boundary);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvfsib

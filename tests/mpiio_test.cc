@@ -1,0 +1,284 @@
+#include "mpiio/mpio_file.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pvfsib::mpiio {
+namespace {
+
+constexpr u64 kElem = 4;
+
+void fill_buf(pvfs::Client& c, u64 addr, u64 n, u64 seed) {
+  Rng rng(seed);
+  for (u64 i = 0; i < n; ++i) {
+    c.memory().write_pod<u8>(addr + i, static_cast<u8>(rng.next()));
+  }
+}
+
+// All four independent/collective methods must produce identical file
+// contents and identical read-back data; only their timings differ.
+class MpiioTest : public ::testing::TestWithParam<IoMethod> {
+ protected:
+  MpiioTest()
+      : cluster_(ModelConfig::paper_defaults(), 4, 4), comm_(cluster_) {}
+
+  static void fill(pvfs::Client& c, u64 addr, u64 n, u64 seed) {
+    Rng rng(seed);
+    for (u64 i = 0; i < n; ++i) {
+      c.memory().write_pod<u8>(addr + i, static_cast<u8>(rng.next()));
+    }
+  }
+
+  pvfs::Cluster cluster_;
+  Communicator comm_;
+};
+
+TEST_P(MpiioTest, BlockColumnWriteReadRoundTrip) {
+  // The Figure 5/6/7 pattern: N x N ints, 4 processes, 1-D block-column
+  // view, contiguous memory.
+  const u64 n = 64;
+  Result<File> file = File::create(comm_, "/bc");
+  ASSERT_TRUE(file.is_ok());
+  File f = file.value();
+
+  Hints hints;
+  hints.method = GetParam();
+
+  const u64 col_bytes = n / 4 * kElem;      // bytes per row per process
+  const u64 share = n * col_bytes;          // bytes per process
+  std::vector<RankIo> wr(4), rd(4);
+  std::vector<u64> src(4), dst(4);
+  for (int p = 0; p < 4; ++p) {
+    pvfs::Client& c = comm_.rank(p);
+    src[p] = c.memory().alloc(share);
+    dst[p] = c.memory().alloc(share);
+    fill(c, src[p], share, 42 + p);
+    const Datatype ft = Datatype::subarray(
+        {n, n}, {n, n / 4}, {0, static_cast<u64>(p) * (n / 4)}, kElem);
+    wr[p] = RankIo{FileView(0, ft), src[p], Datatype::contiguous(share), 0,
+                   share};
+    rd[p] = wr[p];
+    rd[p].mem_addr = dst[p];
+  }
+  auto wres = f.write_all(wr, hints);
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(wres[p].ok()) << to_string(GetParam()) << " rank " << p
+                              << ": " << wres[p].status.to_string();
+    EXPECT_EQ(wres[p].bytes, share);
+    EXPECT_GE(wres[p].end, wres[p].start);
+  }
+
+  auto rres = f.read_all(rd, hints);
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(rres[p].ok()) << to_string(GetParam()) << " rank " << p;
+    pvfs::Client& c = comm_.rank(p);
+    ASSERT_EQ(
+        std::memcmp(c.memory().data(src[p]), c.memory().data(dst[p]), share),
+        0)
+        << to_string(GetParam()) << " rank " << p;
+  }
+}
+
+TEST_P(MpiioTest, NoncontiguousMemoryAndFile) {
+  // BTIO-like: noncontiguous in memory AND in the file.
+  const u64 rows = 24;
+  Result<File> file = File::create(comm_, "/nc");
+  ASSERT_TRUE(file.is_ok());
+  File f = file.value();
+
+  Hints hints;
+  hints.method = GetParam();
+
+  // Memory: every other 256-byte row of a local array.
+  const Datatype memtype =
+      Datatype::vector(rows, 1, 2, Datatype::contiguous(256));
+  const u64 share = memtype.size();
+  // File: rank p writes 256-byte pieces at stride 4*256.
+  std::vector<RankIo> wr(4), rd(4);
+  std::vector<u64> src(4), dst(4);
+  for (int p = 0; p < 4; ++p) {
+    pvfs::Client& c = comm_.rank(p);
+    src[p] = c.memory().alloc(memtype.extent());
+    dst[p] = c.memory().alloc(memtype.extent());
+    fill(c, src[p], memtype.extent(), 7 + p);
+    const Datatype ft = Datatype::subarray(
+        {rows, 4}, {rows, 1}, {0, static_cast<u64>(p)}, 256);
+    wr[p] = RankIo{FileView(0, ft), src[p], memtype, 0, share};
+    rd[p] = wr[p];
+    rd[p].mem_addr = dst[p];
+  }
+  auto wres = f.write_all(wr, hints);
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(wres[p].ok()) << to_string(GetParam()) << " rank " << p;
+  }
+  auto rres = f.read_all(rd, hints);
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(rres[p].ok());
+    pvfs::Client& c = comm_.rank(p);
+    // Compare only the mapped bytes of the memtype.
+    for (const Extent& e : memtype.map()) {
+      ASSERT_EQ(std::memcmp(c.memory().data(src[p] + e.offset),
+                            c.memory().data(dst[p] + e.offset), e.length),
+                0)
+          << to_string(GetParam()) << " rank " << p << " at " << e.offset;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MpiioTest,
+                         ::testing::Values(IoMethod::kMultiple,
+                                           IoMethod::kDataSieving,
+                                           IoMethod::kCollective,
+                                           IoMethod::kListIo,
+                                           IoMethod::kListIoAds),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case IoMethod::kMultiple:
+                               return "Multiple";
+                             case IoMethod::kDataSieving:
+                               return "DataSieving";
+                             case IoMethod::kCollective:
+                               return "Collective";
+                             case IoMethod::kListIo:
+                               return "ListIo";
+                             case IoMethod::kListIoAds:
+                               return "ListIoAds";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(MpiioExtra, ListIoFasterThanMultipleForNoncontiguous) {
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+  Communicator comm(cluster);
+  File f = File::create(comm, "/perf").value();
+
+  const u64 n = 256;
+  const u64 col_bytes = n / 4 * kElem;
+  const u64 share = n * col_bytes;
+  auto make_io = [&](std::vector<u64>& bufs) {
+    std::vector<RankIo> io(4);
+    for (int p = 0; p < 4; ++p) {
+      pvfs::Client& c = comm.rank(p);
+      bufs.push_back(c.memory().alloc(share));
+      const Datatype ft = Datatype::subarray(
+          {n, n}, {n, n / 4}, {0, static_cast<u64>(p) * (n / 4)}, kElem);
+      io[p] = RankIo{FileView(0, ft), bufs.back(),
+                     Datatype::contiguous(share), 0, share};
+    }
+    return io;
+  };
+  std::vector<u64> b1, b2;
+  Hints multi;
+  multi.method = IoMethod::kMultiple;
+  auto io1 = make_io(b1);
+  auto r_multi = f.write_all(io1, multi);
+  Hints list;
+  list.method = IoMethod::kListIoAds;
+  auto io2 = make_io(b2);
+  auto r_list = f.write_all(io2, list);
+
+  Duration t_multi = Duration::zero(), t_list = Duration::zero();
+  for (int p = 0; p < 4; ++p) {
+    t_multi = max(t_multi, r_multi[p].elapsed());
+    t_list = max(t_list, r_list[p].elapsed());
+  }
+  // The paper's headline for Figure 6: list I/O wins by 3.5-12x.
+  EXPECT_LT(t_list * 3, t_multi);
+}
+
+TEST(MpiioExtra, CollectiveMovesInterClientTraffic) {
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+  Communicator comm(cluster);
+  File f = File::create(comm, "/coll").value();
+  const u64 n = 64;
+  const u64 share = n * n / 4 * kElem;
+  std::vector<RankIo> io(4);
+  for (int p = 0; p < 4; ++p) {
+    pvfs::Client& c = comm.rank(p);
+    const u64 buf = c.memory().alloc(share);
+    const Datatype ft = Datatype::subarray(
+        {n, n}, {n, n / 4}, {0, static_cast<u64>(p) * (n / 4)}, kElem);
+    io[p] = RankIo{FileView(0, ft), buf, Datatype::contiguous(share), 0,
+                   share};
+  }
+  const i64 before = cluster.stats().get(stat::kNetBytesInterClient);
+  Hints hints;
+  hints.method = IoMethod::kCollective;
+  auto res = f.write_all(io, hints);
+  for (auto& r : res) ASSERT_TRUE(r.ok());
+  // Two-phase I/O exchanges most of the data between compute nodes first
+  // (the Table 6 "communication between compute nodes" row).
+  EXPECT_GT(cluster.stats().get(stat::kNetBytesInterClient) - before,
+            static_cast<i64>(share));
+}
+
+TEST(MpiioExtra, IndependentWriteAtReadAt) {
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+  Communicator comm(cluster);
+  File f = File::create(comm, "/indep").value();
+  // Rank 2 writes alone through a strided view; rank 0 reads it back.
+  const Datatype ft = Datatype::subarray({4}, {1}, {1}, 1024);
+  pvfs::Client& c2 = comm.rank(2);
+  const u64 src = c2.memory().alloc(8 * kKiB);
+  fill_buf(c2, src, 8 * kKiB, 3);
+  Hints hints;
+  pvfs::IoResult w = f.write_at(2, FileView(0, ft), 0, src,
+                                Datatype::contiguous(8 * kKiB), 8 * kKiB,
+                                hints);
+  ASSERT_TRUE(w.ok()) << w.status.to_string();
+  EXPECT_EQ(w.bytes, 8 * kKiB);
+
+  pvfs::Client& c0 = comm.rank(0);
+  const u64 dst = c0.memory().alloc(8 * kKiB);
+  pvfs::IoResult r = f.read_at(0, FileView(0, ft), 0, dst,
+                               Datatype::contiguous(8 * kKiB), 8 * kKiB,
+                               hints);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::memcmp(c0.memory().data(dst), c2.memory().data(src),
+                        8 * kKiB),
+            0);
+}
+
+TEST(MpiioExtra, IndividualFilePointersAdvance) {
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), 2, 2);
+  Communicator comm(cluster);
+  File f = File::create(comm, "/fp").value();
+  // A strided view: pointer motion is in view space, not physical space.
+  f.set_view(0, FileView(0, Datatype::subarray({2}, {1}, {0}, 2048)));
+  EXPECT_EQ(f.tell(0), 0u);
+  pvfs::Client& c = comm.rank(0);
+  const u64 a = c.memory().alloc(2048);
+  const u64 b = c.memory().alloc(2048);
+  fill_buf(c, a, 2048, 10);
+  fill_buf(c, b, 2048, 11);
+  Hints hints;
+  ASSERT_TRUE(f.write(0, a, Datatype::contiguous(2048), 2048, hints).ok());
+  EXPECT_EQ(f.tell(0), 2048u);
+  ASSERT_TRUE(f.write(0, b, Datatype::contiguous(2048), 2048, hints).ok());
+  EXPECT_EQ(f.tell(0), 4096u);
+  // Seek back and read both chunks through the pointer.
+  f.seek(0, 0);
+  const u64 back = c.memory().alloc(4096);
+  ASSERT_TRUE(f.read(0, back, Datatype::contiguous(4096), 4096, hints).ok());
+  EXPECT_EQ(std::memcmp(c.memory().data(back), c.memory().data(a), 2048), 0);
+  EXPECT_EQ(
+      std::memcmp(c.memory().data(back + 2048), c.memory().data(b), 2048), 0);
+  // The two view-space chunks landed 4 KiB apart physically (stride 2).
+  EXPECT_EQ(cluster.manager().stat("/fp").value().logical_size, 6 * 1024u);
+  // set_view resets the pointer.
+  f.set_view(0, FileView());
+  EXPECT_EQ(f.tell(0), 0u);
+}
+
+TEST(MpiioExtra, BarrierSynchronizesClocks) {
+  pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+  Communicator comm(cluster);
+  comm.rank(2).advance_to(TimePoint::origin() + Duration::ms(5));
+  const TimePoint t = comm.barrier();
+  EXPECT_GE(t, TimePoint::origin() + Duration::ms(5));
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(comm.rank(r).now(), t);
+}
+
+}  // namespace
+}  // namespace pvfsib::mpiio

@@ -1,0 +1,157 @@
+// Queue pair semantics: connection requirement, posted receives and RNR,
+// receive-buffer bounds, send-queue depth with reaping, gather sends, and
+// RDMA forwarding.
+#include "ib/qp.h"
+
+#include <gtest/gtest.h>
+
+namespace pvfsib::ib {
+namespace {
+
+class QpTest : public ::testing::Test {
+ protected:
+  QpTest()
+      : a_("a", as_a_, RegParams{}, &stats_),
+        b_("b", as_b_, RegParams{}, &stats_),
+        fabric_(NetParams{}, &stats_),
+        qa_(a_, fabric_, /*sq=*/4, /*rq=*/4),
+        qb_(b_, fabric_, 4, 4) {
+    buf_a_ = as_a_.alloc(kMiB);
+    buf_b_ = as_b_.alloc(kMiB);
+    key_a_ = a_.register_memory(buf_a_, kMiB).key;
+    key_b_ = b_.register_memory(buf_b_, kMiB).key;
+  }
+
+  vmem::AddressSpace as_a_, as_b_;
+  Stats stats_;
+  Hca a_, b_;
+  Fabric fabric_;
+  QueuePair qa_, qb_;
+  u64 buf_a_ = 0, buf_b_ = 0;
+  u32 key_a_ = 0, key_b_ = 0;
+};
+
+TEST_F(QpTest, UnconnectedSendFails) {
+  const Sge sge{buf_a_, 100, key_a_};
+  EXPECT_FALSE(qa_.post_send(1, {&sge, 1}, TimePoint::origin()).ok());
+}
+
+TEST_F(QpTest, SendLandsInPostedReceive) {
+  QueuePair::connect(qa_, qb_);
+  ASSERT_TRUE(qb_.post_recv(77, buf_b_, 4096, key_b_).is_ok());
+  for (u64 i = 0; i < 100; ++i) {
+    as_a_.write_pod<u8>(buf_a_ + i, static_cast<u8>(i + 5));
+  }
+  const Sge sge{buf_a_, 100, key_a_};
+  QueuePair::SendResult r = qa_.post_send(1, {&sge, 1}, TimePoint::origin());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.bytes, 100u);
+  for (u64 i = 0; i < 100; ++i) {
+    EXPECT_EQ(as_b_.read_pod<u8>(buf_b_ + i), static_cast<u8>(i + 5));
+  }
+  // Both sides got completions carrying their own wr_ids.
+  auto cs = a_.cq().poll();
+  auto cr = b_.cq().poll();
+  ASSERT_TRUE(cs.has_value());
+  ASSERT_TRUE(cr.has_value());
+  EXPECT_EQ(cs->wr_id, 1u);
+  EXPECT_EQ(cr->wr_id, 77u);
+  EXPECT_EQ(qb_.recv_posted(), 0u);  // consumed
+}
+
+TEST_F(QpTest, RnrWhenNoReceivePosted) {
+  QueuePair::connect(qa_, qb_);
+  const Sge sge{buf_a_, 100, key_a_};
+  QueuePair::SendResult r = qa_.post_send(1, {&sge, 1}, TimePoint::origin());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST_F(QpTest, OversizedMessageRejectedReceiveKept) {
+  QueuePair::connect(qa_, qb_);
+  ASSERT_TRUE(qb_.post_recv(1, buf_b_, 64, key_b_).is_ok());
+  const Sge sge{buf_a_, 100, key_a_};
+  EXPECT_FALSE(qa_.post_send(1, {&sge, 1}, TimePoint::origin()).ok());
+  EXPECT_EQ(qb_.recv_posted(), 1u);  // unharmed
+}
+
+TEST_F(QpTest, ReceivesConsumeFifo) {
+  QueuePair::connect(qa_, qb_);
+  ASSERT_TRUE(qb_.post_recv(10, buf_b_, 128, key_b_).is_ok());
+  ASSERT_TRUE(qb_.post_recv(11, buf_b_ + 4096, 128, key_b_).is_ok());
+  const Sge sge{buf_a_, 64, key_a_};
+  qa_.post_send(1, {&sge, 1}, TimePoint::origin());
+  qa_.post_send(2, {&sge, 1}, TimePoint::origin());
+  b_.cq().drain();
+  EXPECT_EQ(qb_.recv_posted(), 0u);
+}
+
+TEST_F(QpTest, RecvQueueDepthEnforced) {
+  QueuePair::connect(qa_, qb_);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(qb_.post_recv(i, buf_b_ + i * 4096, 128, key_b_).is_ok());
+  }
+  EXPECT_FALSE(qb_.post_recv(9, buf_b_, 128, key_b_).is_ok());
+}
+
+TEST_F(QpTest, SendQueueDepthNeedsReaping) {
+  QueuePair::connect(qa_, qb_);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        qb_.post_recv(i, buf_b_ + static_cast<u64>(i) * 4096, 128, key_b_)
+            .is_ok());
+  }
+  const Sge sge{buf_a_, 64, key_a_};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(qa_.post_send(i, {&sge, 1}, TimePoint::origin()).ok());
+  }
+  // Queue full until the consumer reaps its completions.
+  EXPECT_FALSE(qa_.post_send(99, {&sge, 1}, TimePoint::origin()).ok());
+  qa_.reap(2);
+  EXPECT_EQ(qa_.sends_inflight(), 2u);
+  ASSERT_TRUE(qb_.post_recv(8, buf_b_, 128, key_b_).is_ok());
+  EXPECT_TRUE(qa_.post_send(5, {&sge, 1}, TimePoint::origin()).ok());
+}
+
+TEST_F(QpTest, GatherSendConcatenates) {
+  QueuePair::connect(qa_, qb_);
+  ASSERT_TRUE(qb_.post_recv(1, buf_b_, 4096, key_b_).is_ok());
+  for (u64 i = 0; i < 32; ++i) as_a_.write_pod<u8>(buf_a_ + i, 1);
+  for (u64 i = 0; i < 32; ++i) as_a_.write_pod<u8>(buf_a_ + 8192 + i, 2);
+  std::vector<Sge> sges{{buf_a_, 32, key_a_}, {buf_a_ + 8192, 32, key_a_}};
+  ASSERT_TRUE(qa_.post_send(1, sges, TimePoint::origin()).ok());
+  for (u64 i = 0; i < 32; ++i) {
+    EXPECT_EQ(as_b_.read_pod<u8>(buf_b_ + i), 1);
+    EXPECT_EQ(as_b_.read_pod<u8>(buf_b_ + 32 + i), 2);
+  }
+}
+
+TEST_F(QpTest, RdmaForwardsToFabric) {
+  QueuePair::connect(qa_, qb_);
+  for (u64 i = 0; i < 64; ++i) {
+    as_a_.write_pod<u8>(buf_a_ + i, static_cast<u8>(i ^ 0x33));
+  }
+  const Sge sge{buf_a_, 64, key_a_};
+  TransferResult w =
+      qa_.rdma_write({&sge, 1}, buf_b_, key_b_, TimePoint::origin());
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(std::memcmp(as_b_.data(buf_b_), as_a_.data(buf_a_), 64), 0);
+  TransferResult r =
+      qa_.rdma_read({&sge, 1}, buf_b_ + 128, key_b_, TimePoint::origin());
+  ASSERT_TRUE(r.ok());
+}
+
+TEST_F(QpTest, SendTimingMatchesChannelPath) {
+  QueuePair::connect(qa_, qb_);
+  ASSERT_TRUE(qb_.post_recv(1, buf_b_, 64 * kKiB, key_b_).is_ok());
+  const Sge sge{buf_a_, 64 * kKiB, key_a_};
+  QueuePair::SendResult r = qa_.post_send(1, {&sge, 1}, TimePoint::origin());
+  ASSERT_TRUE(r.ok());
+  const NetParams np;
+  const double expect =
+      np.send_latency.as_us() + transfer_time(64 * kKiB, np.send_bw).as_us();
+  EXPECT_NEAR((r.complete - TimePoint::origin()).as_us(), expect, 1.0);
+}
+
+}  // namespace
+}  // namespace pvfsib::ib

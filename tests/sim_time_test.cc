@@ -1,0 +1,113 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace pvfsib {
+namespace {
+
+TEST(Duration, ConstructionAndConversion) {
+  EXPECT_EQ(Duration::us(1.0).as_ns(), 1000);
+  EXPECT_EQ(Duration::ms(1.0).as_ns(), 1'000'000);
+  EXPECT_EQ(Duration::sec(1.0).as_ns(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::ns(2500).as_us(), 2.5);
+  EXPECT_DOUBLE_EQ(Duration::sec(0.25).as_sec(), 0.25);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::us(10);
+  const Duration b = Duration::us(4);
+  EXPECT_EQ((a + b).as_us(), 14.0);
+  EXPECT_EQ((a - b).as_us(), 6.0);
+  EXPECT_EQ((a * 3).as_us(), 30.0);
+  EXPECT_EQ((3 * a).as_us(), 30.0);
+  EXPECT_EQ((a * 0.5).as_us(), 5.0);
+  EXPECT_EQ((a / 2).as_us(), 5.0);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(max(a, b), a);
+  EXPECT_EQ(min(a, b), b);
+}
+
+TEST(TimePoint, Arithmetic) {
+  TimePoint t = TimePoint::origin();
+  t += Duration::us(5);
+  EXPECT_EQ(t.as_us(), 5.0);
+  const TimePoint u = t + Duration::us(3);
+  EXPECT_EQ((u - t).as_us(), 3.0);
+  EXPECT_EQ(max(t, u), u);
+}
+
+TEST(TransferTime, MatchesBandwidthDefinition) {
+  // 1 MiB at 1 MiB/s takes one second.
+  EXPECT_EQ(transfer_time(kMiB, 1.0).as_sec(), 1.0);
+  // 827 MiB/s — the paper's RDMA write bandwidth — moves 64 KiB in ~77 us.
+  const Duration d = transfer_time(64 * kKiB, 827.0);
+  EXPECT_NEAR(d.as_us(), 75.6, 0.5);
+  // Zero bandwidth means free (used for "infinitely fast" stubs).
+  EXPECT_EQ(transfer_time(kMiB, 0.0), Duration::zero());
+}
+
+TEST(TransferTime, BandwidthRoundTrip) {
+  const u64 bytes = 3 * kMiB + 123;
+  const Duration d = transfer_time(bytes, 500.0);
+  EXPECT_NEAR(bandwidth_mib(bytes, d), 500.0, 0.5);
+}
+
+TEST(Duration, ToString) {
+  EXPECT_EQ(Duration::ns(100).to_string(), "100 ns");
+  EXPECT_EQ(Duration::us(100).to_string(), "100.00 us");
+  EXPECT_EQ(Duration::ms(100).to_string(), "100.00 ms");
+  EXPECT_EQ(Duration::sec(100).to_string(), "100.000 s");
+}
+
+TEST(RegParams, PaperCostModel) {
+  // Section 4.2: registering 100 buffers of 4 kB each plus deregistering
+  // them costs ~1020 us on the paper's testbed. The paper's own model
+  // constants (a=0.77/0.23 us/page, b=7.42/1.1 us/op) compose to 952 us;
+  // the 7% gap is measurement effects outside the model, so we check the
+  // model composition exactly and the paper figure loosely.
+  const RegParams rp;
+  Duration total = Duration::zero();
+  for (int i = 0; i < 100; ++i) {
+    total += rp.reg_cost(4 * kKiB) + rp.dereg_cost(4 * kKiB);
+  }
+  EXPECT_NEAR(total.as_us(), 100 * (7.42 + 0.77 + 1.1 + 0.23), 1.0);
+  EXPECT_NEAR(total.as_us(), 1020.0, 80.0);
+}
+
+TEST(DiskParams, BandwidthCurveSaturates) {
+  const DiskParams dp;
+  // Large sequential accesses approach the Table 3 uncached asymptotes.
+  EXPECT_NEAR(dp.media_bw(64 * kMiB, /*write=*/false), 21.0, 0.1);
+  EXPECT_NEAR(dp.media_bw(64 * kMiB, /*write=*/true), 26.0, 0.1);
+  // Small accesses are much slower than peak.
+  EXPECT_LT(dp.media_bw(4 * kKiB, false), 0.3 * 21.0);
+  // Monotone in size.
+  EXPECT_LT(dp.media_bw(8 * kKiB, false), dp.media_bw(64 * kKiB, false));
+}
+
+TEST(DiskParams, SeekCostMonotone) {
+  const DiskParams dp;
+  EXPECT_EQ(dp.seek_cost(0), Duration::zero());
+  // Short hops are pass-overs at media speed, far cheaper than a seek.
+  EXPECT_LT(dp.seek_cost(4 * kKiB), dp.seek_short);
+  EXPECT_NEAR(dp.seek_cost(64 * kKiB).as_us(),
+              transfer_time(64 * kKiB, dp.media_read_bw).as_us(), 1.0);
+  // Beyond the pass-over window a true seek ramps towards the average.
+  EXPECT_GE(dp.seek_cost(2 * kMiB), dp.seek_short);
+  EXPECT_LE(dp.seek_cost(1 * kGiB), dp.seek_long);
+  EXPECT_LE(dp.seek_cost(100 * kGiB), dp.seek_long);
+  EXPECT_LT(dp.seek_cost(2 * kMiB), dp.seek_cost(100 * kMiB));
+}
+
+TEST(OsParams, HoleQueryMatchesPaper) {
+  // "about 70 us when querying about 1000 holes, compared to 1100 us when
+  // reading from /proc".
+  const OsParams os;
+  EXPECT_NEAR(os.holequery_cost(1000).as_us(), 70.0, 5.0);
+  EXPECT_NEAR(os.procfs_query.as_us(), 1100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace pvfsib

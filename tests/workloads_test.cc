@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "workloads/block_column.h"
+#include "workloads/btio.h"
+#include "workloads/subarray.h"
+#include "workloads/tile_io.h"
+
+namespace pvfsib::workloads {
+namespace {
+
+TEST(Subarray, RowsMatchPaperExample) {
+  // Section 4.2: a subarray of a 4096x4096 (int) array distributed 2x2 has
+  // 2048 row buffers.
+  SubarrayLayout l;
+  l.n = 4096;
+  vmem::AddressSpace as;
+  const u64 base = l.alloc_array(as);
+  const core::MemSegmentList rows = l.subarray_rows(base, 0, 1);
+  EXPECT_EQ(rows.size(), 2048u);
+  EXPECT_EQ(rows[0].length, 2048u * 4);
+  // Row r of process (0,1) starts at column 2048 of array row r.
+  EXPECT_EQ(rows[0].addr, base + 2048 * 4);
+  EXPECT_EQ(rows[1].addr, base + 4096 * 4 + 2048 * 4);
+  EXPECT_EQ(core::total_bytes(rows), l.sub_bytes());
+}
+
+TEST(Subarray, Table4Shape) {
+  // Table 4: 2048x2048 ints over 4 processes -> 1024 buffers per process.
+  SubarrayLayout l;
+  l.n = 2048;
+  vmem::AddressSpace as;
+  const u64 base = l.alloc_array(as);
+  EXPECT_EQ(l.subarray_rows(base, 1, 0).size(), 1024u);
+  // Each process writes its 4 MiB subarray contiguously, non-overlapping.
+  ExtentList all;
+  for (u32 pr = 0; pr < 2; ++pr) {
+    for (u32 pc = 0; pc < 2; ++pc) {
+      for (const Extent& e : l.contiguous_file_extents(pr, pc)) {
+        all.push_back(e);
+      }
+    }
+  }
+  sort_by_offset(all);
+  EXPECT_TRUE(is_sorted_disjoint(all));
+  EXPECT_EQ(total_length(all), l.array_bytes());
+}
+
+TEST(BlockColumn, AccessGeometry) {
+  BlockColumnWorkload w;
+  w.n = 512;
+  EXPECT_EQ(w.columns_per_proc(), 128u);
+  EXPECT_EQ(w.accesses_per_proc(), 512u);
+  EXPECT_EQ(w.share_bytes(), 512u * 128 * 4);
+  const mpiio::RankIo io = w.rank_io(1, 0x100000);
+  const ExtentList e = io.view.map_range(0, io.bytes);
+  ASSERT_EQ(e.size(), 512u);  // one piece per row
+  EXPECT_EQ(e[0].offset, 128u * 4);
+  EXPECT_EQ(e[0].length, 128u * 4);
+  EXPECT_EQ(e[1].offset, 512u * 4 + 128 * 4);
+  // Four processes tile the file exactly.
+  ExtentList all;
+  for (int p = 0; p < 4; ++p) {
+    const auto pe = w.rank_io(p, 0x100000).view.map_range(0, w.share_bytes());
+    all.insert(all.end(), pe.begin(), pe.end());
+  }
+  sort_by_offset(all);
+  const ExtentList merged = coalesce(all);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Extent{0, w.file_bytes()}));
+}
+
+TEST(TileIo, PaperGeometry) {
+  TileIoWorkload w;
+  // "a file size of 9 MB" (2048x1536 pixels at 24 bits).
+  EXPECT_EQ(w.frame_bytes(), 9 * kMiB);
+  EXPECT_EQ(w.tile_bytes(), 2304 * kKiB);
+  EXPECT_EQ(w.procs(), 4);
+  const mpiio::RankIo io = w.rank_io(3, 0x100000);
+  const ExtentList e = io.view.map_range(0, io.bytes);
+  ASSERT_EQ(e.size(), w.rows_per_tile());  // one piece per tile row
+  EXPECT_EQ(e[0].length, w.tile_w * w.pixel);
+  // Tile 3 = bottom-right: row 768, column 1024.
+  EXPECT_EQ(e[0].offset, 768 * 2048 * 3 + 1024 * 3);
+  // All four tiles cover the frame exactly.
+  ExtentList all;
+  for (int p = 0; p < 4; ++p) {
+    const auto pe = w.rank_io(p, 0x100000).view.map_range(0, w.tile_bytes());
+    all.insert(all.end(), pe.begin(), pe.end());
+  }
+  sort_by_offset(all);
+  const ExtentList merged = coalesce(all);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].length, w.frame_bytes());
+}
+
+TEST(Btio, Table6Statistics) {
+  BtioWorkload w;
+  EXPECT_EQ(w.output_phases(), 40);
+  EXPECT_EQ(w.step_block_bytes(), 5 * kMiB);
+  EXPECT_EQ(w.total_file_bytes(), 200 * kMiB);
+  // Multiple I/O would issue pieces_per_proc requests per proc per phase:
+  // 40 * 4 * 512 = 81920 writes (Table 6).
+  EXPECT_EQ(static_cast<u64>(w.output_phases()) * 4 * w.config().pieces_per_proc,
+            81920u);
+  // The no-I/O baseline: 200 steps of compute = 165.6 s.
+  const Duration compute =
+      w.config().step_compute * w.config().timesteps;
+  EXPECT_NEAR(compute.as_sec(), 165.6, 0.1);
+}
+
+TEST(Btio, SlotsPartitionExactly) {
+  BtioWorkload w;
+  for (int phase : {0, 7, 39}) {
+    ExtentList all;
+    for (int p = 0; p < 4; ++p) {
+      const mpiio::RankIo io = w.rank_io(phase, p, 0x100000);
+      EXPECT_EQ(io.bytes, w.bytes_per_proc_per_phase());
+      const ExtentList e = io.view.map_range(0, io.bytes);
+      all.insert(all.end(), e.begin(), e.end());
+    }
+    sort_by_offset(all);
+    const ExtentList merged = coalesce(all);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].offset,
+              static_cast<u64>(phase) * w.step_block_bytes());
+    EXPECT_EQ(merged[0].length, w.step_block_bytes());
+  }
+}
+
+TEST(Btio, DiagonalInterleaveNeverGivesAdjacentSlotsToOneProc) {
+  BtioWorkload w;
+  const u64 slots = 4 * w.config().pieces_per_proc;
+  for (u64 s = 1; s < slots; ++s) {
+    EXPECT_NE(w.slot_owner(s), w.slot_owner(s - 1)) << s;
+  }
+}
+
+TEST(Btio, MemoryIsNoncontiguous) {
+  BtioWorkload w;
+  const mpiio::Datatype mt = w.memtype();
+  EXPECT_FALSE(mt.contiguous_layout());
+  EXPECT_EQ(mt.size(), w.bytes_per_proc_per_phase());
+  EXPECT_EQ(mt.map().size(), w.config().pieces_per_proc);
+}
+
+}  // namespace
+}  // namespace pvfsib::workloads
