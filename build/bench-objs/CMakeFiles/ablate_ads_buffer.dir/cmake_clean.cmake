@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_ads_buffer"
+  "../bench/ablate_ads_buffer.pdb"
+  "CMakeFiles/ablate_ads_buffer.dir/ablate_ads_buffer.cc.o"
+  "CMakeFiles/ablate_ads_buffer.dir/ablate_ads_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ads_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

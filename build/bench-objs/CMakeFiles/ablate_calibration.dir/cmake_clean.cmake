@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_calibration"
+  "../bench/ablate_calibration.pdb"
+  "CMakeFiles/ablate_calibration.dir/ablate_calibration.cc.o"
+  "CMakeFiles/ablate_calibration.dir/ablate_calibration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_mr_cache"
+  "../bench/ablate_mr_cache.pdb"
+  "CMakeFiles/ablate_mr_cache.dir/ablate_mr_cache.cc.o"
+  "CMakeFiles/ablate_mr_cache.dir/ablate_mr_cache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_network"
+  "../bench/ablate_network.pdb"
+  "CMakeFiles/ablate_network.dir/ablate_network.cc.o"
+  "CMakeFiles/ablate_network.dir/ablate_network.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_ogr_grouping"
+  "../bench/ablate_ogr_grouping.pdb"
+  "CMakeFiles/ablate_ogr_grouping.dir/ablate_ogr_grouping.cc.o"
+  "CMakeFiles/ablate_ogr_grouping.dir/ablate_ogr_grouping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ogr_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

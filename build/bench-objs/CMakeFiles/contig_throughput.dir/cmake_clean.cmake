@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/contig_throughput"
+  "../bench/contig_throughput.pdb"
+  "CMakeFiles/contig_throughput.dir/contig_throughput.cc.o"
+  "CMakeFiles/contig_throughput.dir/contig_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contig_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

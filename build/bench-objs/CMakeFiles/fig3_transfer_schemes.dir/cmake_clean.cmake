@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_transfer_schemes"
+  "../bench/fig3_transfer_schemes.pdb"
+  "CMakeFiles/fig3_transfer_schemes.dir/fig3_transfer_schemes.cc.o"
+  "CMakeFiles/fig3_transfer_schemes.dir/fig3_transfer_schemes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_transfer_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_pvfs_transfer"
+  "../bench/fig4_pvfs_transfer.pdb"
+  "CMakeFiles/fig4_pvfs_transfer.dir/fig4_pvfs_transfer.cc.o"
+  "CMakeFiles/fig4_pvfs_transfer.dir/fig4_pvfs_transfer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pvfs_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_blockcolumn_write"
+  "../bench/fig6_blockcolumn_write.pdb"
+  "CMakeFiles/fig6_blockcolumn_write.dir/fig6_blockcolumn_write.cc.o"
+  "CMakeFiles/fig6_blockcolumn_write.dir/fig6_blockcolumn_write.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_blockcolumn_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

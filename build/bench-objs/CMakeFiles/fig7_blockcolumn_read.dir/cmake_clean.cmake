@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_blockcolumn_read"
+  "../bench/fig7_blockcolumn_read.pdb"
+  "CMakeFiles/fig7_blockcolumn_read.dir/fig7_blockcolumn_read.cc.o"
+  "CMakeFiles/fig7_blockcolumn_read.dir/fig7_blockcolumn_read.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_blockcolumn_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_tile_nodisk"
+  "../bench/fig8_tile_nodisk.pdb"
+  "CMakeFiles/fig8_tile_nodisk.dir/fig8_tile_nodisk.cc.o"
+  "CMakeFiles/fig8_tile_nodisk.dir/fig8_tile_nodisk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tile_nodisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_tile_nodisk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_tile_disk.cc" "bench-objs/CMakeFiles/fig9_tile_disk.dir/fig9_tile_disk.cc.o" "gcc" "bench-objs/CMakeFiles/fig9_tile_disk.dir/fig9_tile_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pvfsib_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/pvfsib_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/pvfsib_pvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pvfsib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/pvfsib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmem/CMakeFiles/pvfsib_vmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pvfsib_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pvfsib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_tile_disk"
+  "../bench/fig9_tile_disk.pdb"
+  "CMakeFiles/fig9_tile_disk.dir/fig9_tile_disk.cc.o"
+  "CMakeFiles/fig9_tile_disk.dir/fig9_tile_disk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tile_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

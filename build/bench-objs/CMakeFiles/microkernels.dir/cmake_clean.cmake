@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microkernels"
+  "../bench/microkernels.pdb"
+  "CMakeFiles/microkernels.dir/microkernels.cc.o"
+  "CMakeFiles/microkernels.dir/microkernels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microkernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/noncontig_vector"
+  "../bench/noncontig_vector.pdb"
+  "CMakeFiles/noncontig_vector.dir/noncontig_vector.cc.o"
+  "CMakeFiles/noncontig_vector.dir/noncontig_vector.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noncontig_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

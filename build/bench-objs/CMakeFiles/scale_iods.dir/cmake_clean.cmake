@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scale_iods"
+  "../bench/scale_iods.pdb"
+  "CMakeFiles/scale_iods.dir/scale_iods.cc.o"
+  "CMakeFiles/scale_iods.dir/scale_iods.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_iods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_network"
+  "../bench/table2_network.pdb"
+  "CMakeFiles/table2_network.dir/table2_network.cc.o"
+  "CMakeFiles/table2_network.dir/table2_network.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

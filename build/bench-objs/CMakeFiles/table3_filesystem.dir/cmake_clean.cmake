@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_filesystem"
+  "../bench/table3_filesystem.pdb"
+  "CMakeFiles/table3_filesystem.dir/table3_filesystem.cc.o"
+  "CMakeFiles/table3_filesystem.dir/table3_filesystem.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_filesystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_ogr"
+  "../bench/table4_ogr.pdb"
+  "CMakeFiles/table4_ogr.dir/table4_ogr.cc.o"
+  "CMakeFiles/table4_ogr.dir/table4_ogr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ogr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

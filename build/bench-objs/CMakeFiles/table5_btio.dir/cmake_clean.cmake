@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_btio"
+  "../bench/table5_btio.pdb"
+  "CMakeFiles/table5_btio.dir/table5_btio.cc.o"
+  "CMakeFiles/table5_btio.dir/table5_btio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_btio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

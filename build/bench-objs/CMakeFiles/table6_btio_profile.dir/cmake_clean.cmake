@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_btio_profile"
+  "../bench/table6_btio_profile.pdb"
+  "CMakeFiles/table6_btio_profile.dir/table6_btio_profile.cc.o"
+  "CMakeFiles/table6_btio_profile.dir/table6_btio_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_btio_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

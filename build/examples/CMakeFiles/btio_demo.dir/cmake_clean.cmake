@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btio_demo.dir/btio_demo.cpp.o"
+  "CMakeFiles/btio_demo.dir/btio_demo.cpp.o.d"
+  "btio_demo"
+  "btio_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btio_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_subarray.dir/checkpoint_subarray.cpp.o"
+  "CMakeFiles/checkpoint_subarray.dir/checkpoint_subarray.cpp.o.d"
+  "checkpoint_subarray"
+  "checkpoint_subarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_subarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_visualization.dir/tiled_visualization.cpp.o"
+  "CMakeFiles/tiled_visualization.dir/tiled_visualization.cpp.o.d"
+  "tiled_visualization"
+  "tiled_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfsib_common.dir/extent.cc.o"
+  "CMakeFiles/pvfsib_common.dir/extent.cc.o.d"
+  "CMakeFiles/pvfsib_common.dir/logging.cc.o"
+  "CMakeFiles/pvfsib_common.dir/logging.cc.o.d"
+  "CMakeFiles/pvfsib_common.dir/sim_time.cc.o"
+  "CMakeFiles/pvfsib_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/pvfsib_common.dir/stats.cc.o"
+  "CMakeFiles/pvfsib_common.dir/stats.cc.o.d"
+  "CMakeFiles/pvfsib_common.dir/status.cc.o"
+  "CMakeFiles/pvfsib_common.dir/status.cc.o.d"
+  "libpvfsib_common.a"
+  "libpvfsib_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfsib_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

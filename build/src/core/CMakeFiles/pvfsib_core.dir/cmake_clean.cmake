@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfsib_core.dir/ads.cc.o"
+  "CMakeFiles/pvfsib_core.dir/ads.cc.o.d"
+  "CMakeFiles/pvfsib_core.dir/listio.cc.o"
+  "CMakeFiles/pvfsib_core.dir/listio.cc.o.d"
+  "CMakeFiles/pvfsib_core.dir/ogr.cc.o"
+  "CMakeFiles/pvfsib_core.dir/ogr.cc.o.d"
+  "CMakeFiles/pvfsib_core.dir/transfer.cc.o"
+  "CMakeFiles/pvfsib_core.dir/transfer.cc.o.d"
+  "libpvfsib_core.a"
+  "libpvfsib_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfsib_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

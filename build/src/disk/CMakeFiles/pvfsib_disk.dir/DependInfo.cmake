@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/local_fs.cc" "src/disk/CMakeFiles/pvfsib_disk.dir/local_fs.cc.o" "gcc" "src/disk/CMakeFiles/pvfsib_disk.dir/local_fs.cc.o.d"
+  "/root/repo/src/disk/page_cache.cc" "src/disk/CMakeFiles/pvfsib_disk.dir/page_cache.cc.o" "gcc" "src/disk/CMakeFiles/pvfsib_disk.dir/page_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pvfsib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

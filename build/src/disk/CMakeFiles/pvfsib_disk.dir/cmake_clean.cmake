@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfsib_disk.dir/local_fs.cc.o"
+  "CMakeFiles/pvfsib_disk.dir/local_fs.cc.o.d"
+  "CMakeFiles/pvfsib_disk.dir/page_cache.cc.o"
+  "CMakeFiles/pvfsib_disk.dir/page_cache.cc.o.d"
+  "libpvfsib_disk.a"
+  "libpvfsib_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfsib_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

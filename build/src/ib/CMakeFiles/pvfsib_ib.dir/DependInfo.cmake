@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ib/fabric.cc" "src/ib/CMakeFiles/pvfsib_ib.dir/fabric.cc.o" "gcc" "src/ib/CMakeFiles/pvfsib_ib.dir/fabric.cc.o.d"
+  "/root/repo/src/ib/mr_cache.cc" "src/ib/CMakeFiles/pvfsib_ib.dir/mr_cache.cc.o" "gcc" "src/ib/CMakeFiles/pvfsib_ib.dir/mr_cache.cc.o.d"
+  "/root/repo/src/ib/qp.cc" "src/ib/CMakeFiles/pvfsib_ib.dir/qp.cc.o" "gcc" "src/ib/CMakeFiles/pvfsib_ib.dir/qp.cc.o.d"
+  "/root/repo/src/ib/verbs.cc" "src/ib/CMakeFiles/pvfsib_ib.dir/verbs.cc.o" "gcc" "src/ib/CMakeFiles/pvfsib_ib.dir/verbs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pvfsib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmem/CMakeFiles/pvfsib_vmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfsib_ib.dir/fabric.cc.o"
+  "CMakeFiles/pvfsib_ib.dir/fabric.cc.o.d"
+  "CMakeFiles/pvfsib_ib.dir/mr_cache.cc.o"
+  "CMakeFiles/pvfsib_ib.dir/mr_cache.cc.o.d"
+  "CMakeFiles/pvfsib_ib.dir/qp.cc.o"
+  "CMakeFiles/pvfsib_ib.dir/qp.cc.o.d"
+  "CMakeFiles/pvfsib_ib.dir/verbs.cc.o"
+  "CMakeFiles/pvfsib_ib.dir/verbs.cc.o.d"
+  "libpvfsib_ib.a"
+  "libpvfsib_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfsib_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

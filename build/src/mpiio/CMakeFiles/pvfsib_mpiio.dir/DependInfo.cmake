@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpiio/datatype.cc" "src/mpiio/CMakeFiles/pvfsib_mpiio.dir/datatype.cc.o" "gcc" "src/mpiio/CMakeFiles/pvfsib_mpiio.dir/datatype.cc.o.d"
+  "/root/repo/src/mpiio/file_view.cc" "src/mpiio/CMakeFiles/pvfsib_mpiio.dir/file_view.cc.o" "gcc" "src/mpiio/CMakeFiles/pvfsib_mpiio.dir/file_view.cc.o.d"
+  "/root/repo/src/mpiio/mpio_file.cc" "src/mpiio/CMakeFiles/pvfsib_mpiio.dir/mpio_file.cc.o" "gcc" "src/mpiio/CMakeFiles/pvfsib_mpiio.dir/mpio_file.cc.o.d"
+  "/root/repo/src/mpiio/runtime.cc" "src/mpiio/CMakeFiles/pvfsib_mpiio.dir/runtime.cc.o" "gcc" "src/mpiio/CMakeFiles/pvfsib_mpiio.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pvfs/CMakeFiles/pvfsib_pvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pvfsib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/pvfsib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmem/CMakeFiles/pvfsib_vmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pvfsib_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pvfsib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

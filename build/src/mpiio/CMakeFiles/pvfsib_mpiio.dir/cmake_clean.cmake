@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfsib_mpiio.dir/datatype.cc.o"
+  "CMakeFiles/pvfsib_mpiio.dir/datatype.cc.o.d"
+  "CMakeFiles/pvfsib_mpiio.dir/file_view.cc.o"
+  "CMakeFiles/pvfsib_mpiio.dir/file_view.cc.o.d"
+  "CMakeFiles/pvfsib_mpiio.dir/mpio_file.cc.o"
+  "CMakeFiles/pvfsib_mpiio.dir/mpio_file.cc.o.d"
+  "CMakeFiles/pvfsib_mpiio.dir/runtime.cc.o"
+  "CMakeFiles/pvfsib_mpiio.dir/runtime.cc.o.d"
+  "libpvfsib_mpiio.a"
+  "libpvfsib_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfsib_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

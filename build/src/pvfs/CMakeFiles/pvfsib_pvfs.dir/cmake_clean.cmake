@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfsib_pvfs.dir/client.cc.o"
+  "CMakeFiles/pvfsib_pvfs.dir/client.cc.o.d"
+  "CMakeFiles/pvfsib_pvfs.dir/cluster.cc.o"
+  "CMakeFiles/pvfsib_pvfs.dir/cluster.cc.o.d"
+  "CMakeFiles/pvfsib_pvfs.dir/iod.cc.o"
+  "CMakeFiles/pvfsib_pvfs.dir/iod.cc.o.d"
+  "CMakeFiles/pvfsib_pvfs.dir/manager.cc.o"
+  "CMakeFiles/pvfsib_pvfs.dir/manager.cc.o.d"
+  "libpvfsib_pvfs.a"
+  "libpvfsib_pvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfsib_pvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

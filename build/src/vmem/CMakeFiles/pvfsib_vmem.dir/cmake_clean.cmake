@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfsib_vmem.dir/address_space.cc.o"
+  "CMakeFiles/pvfsib_vmem.dir/address_space.cc.o.d"
+  "libpvfsib_vmem.a"
+  "libpvfsib_vmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfsib_vmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfsib_workloads.dir/block_column.cc.o"
+  "CMakeFiles/pvfsib_workloads.dir/block_column.cc.o.d"
+  "CMakeFiles/pvfsib_workloads.dir/btio.cc.o"
+  "CMakeFiles/pvfsib_workloads.dir/btio.cc.o.d"
+  "CMakeFiles/pvfsib_workloads.dir/subarray.cc.o"
+  "CMakeFiles/pvfsib_workloads.dir/subarray.cc.o.d"
+  "CMakeFiles/pvfsib_workloads.dir/tile_io.cc.o"
+  "CMakeFiles/pvfsib_workloads.dir/tile_io.cc.o.d"
+  "libpvfsib_workloads.a"
+  "libpvfsib_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfsib_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iod_test.dir/iod_test.cc.o"
+  "CMakeFiles/iod_test.dir/iod_test.cc.o.d"
+  "iod_test"
+  "iod_test.pdb"
+  "iod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listio_test.dir/listio_test.cc.o"
+  "CMakeFiles/listio_test.dir/listio_test.cc.o.d"
+  "listio_test"
+  "listio_test.pdb"
+  "listio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_fs_test.dir/local_fs_test.cc.o"
+  "CMakeFiles/local_fs_test.dir/local_fs_test.cc.o.d"
+  "local_fs_test"
+  "local_fs_test.pdb"
+  "local_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

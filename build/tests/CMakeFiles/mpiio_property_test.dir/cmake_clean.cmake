@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio_property_test.dir/mpiio_property_test.cc.o"
+  "CMakeFiles/mpiio_property_test.dir/mpiio_property_test.cc.o.d"
+  "mpiio_property_test"
+  "mpiio_property_test.pdb"
+  "mpiio_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogr_test.dir/ogr_test.cc.o"
+  "CMakeFiles/ogr_test.dir/ogr_test.cc.o.d"
+  "ogr_test"
+  "ogr_test.pdb"
+  "ogr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_test.dir/pvfs_test.cc.o"
+  "CMakeFiles/pvfs_test.dir/pvfs_test.cc.o.d"
+  "pvfs_test"
+  "pvfs_test.pdb"
+  "pvfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/extent_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_time_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/address_space_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/cq_test[1]_include.cmake")
+include("/root/repo/build/tests/qp_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_test[1]_include.cmake")
+include("/root/repo/build/tests/local_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/listio_test[1]_include.cmake")
+include("/root/repo/build/tests/ogr_test[1]_include.cmake")
+include("/root/repo/build/tests/ads_test[1]_include.cmake")
+include("/root/repo/build/tests/transfer_test[1]_include.cmake")
+include("/root/repo/build/tests/pvfs_test[1]_include.cmake")
+include("/root/repo/build/tests/iod_test[1]_include.cmake")
+include("/root/repo/build/tests/manager_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_property_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/datatype_test[1]_include.cmake")
+include("/root/repo/build/tests/mpiio_test[1]_include.cmake")
+include("/root/repo/build/tests/mpiio_property_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
