@@ -36,11 +36,8 @@ RunOutcome run_case(u64 request, u32 clients, bool is_write) {
       --pending;
     };
     const TimePoint at = cluster.engine().now();
-    if (is_write) {
-      cluster.client(r).write_list_async(files[r], req, {}, at, done);
-    } else {
-      cluster.client(r).read_list_async(files[r], req, {}, at, done);
-    }
+    const pvfs::IoDir dir = is_write ? pvfs::IoDir::kWrite : pvfs::IoDir::kRead;
+    cluster.client(r).submit({dir, files[r], req, {}, at}).on_complete(done);
   }
   cluster.engine().run_until([&] { return pending == 0; });
   return summarize(results);

@@ -43,8 +43,11 @@ RunOutcome run_case(u64 seg_bytes, core::XferScheme scheme, bool is_write) {
     }
   }
 
-  pvfs::IoOptions opts;
-  opts.policy.scheme = scheme;
+  // The case's scheme applies cluster-wide (set after the preload, which
+  // should run with the stock hybrid policy); call sites pass empty opts.
+  core::TransferPolicy policy;
+  policy.scheme = scheme;
+  cluster.set_default_policy(policy);
   std::vector<pvfs::IoResult> results(4);
   int pending = 4;
   for (u32 r = 0; r < 4; ++r) {
@@ -53,11 +56,10 @@ RunOutcome run_case(u64 seg_bytes, core::XferScheme scheme, bool is_write) {
       --pending;
     };
     const TimePoint at = cluster.engine().now();
-    if (is_write) {
-      cluster.client(r).write_list_async(files[r], reqs[r], opts, at, done);
-    } else {
-      cluster.client(r).read_list_async(files[r], reqs[r], opts, at, done);
-    }
+    const pvfs::IoDir dir = is_write ? pvfs::IoDir::kWrite : pvfs::IoDir::kRead;
+    cluster.client(r)
+        .submit({dir, files[r], reqs[r], {}, at})
+        .on_complete(done);
   }
   cluster.engine().run_until([&] { return pending == 0; });
   return summarize(results);

@@ -4,14 +4,23 @@
 // workload as the one exposing PVFS+ROMIO's noncontiguous-access problems;
 // this bench confirms our stack reproduces its published qualitative
 // result: native list I/O (+ADS) repairs the gap that Multiple I/O leaves.
+// --pipeline-depth W widens the per-iod outstanding-round window for every
+// access method's PVFS traffic (ModelConfig::pipeline_depth).
+#include <cstdlib>
+#include <cstring>
+
 #include "bench_common.h"
 
 namespace pvfsib::bench {
 namespace {
 
+u32 g_pipeline_depth = 1;
+
 RunOutcome run_case(u64 elmtsize, u64 veclen, mpiio::IoMethod method,
                     bool is_write) {
-  pvfs::Cluster cluster(ModelConfig::paper_defaults(), 4, 4);
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.pipeline_depth = g_pipeline_depth;
+  pvfs::Cluster cluster(cfg, 4, 4);
   mpiio::Communicator comm(cluster);
   Result<mpiio::File> file = mpiio::File::create(comm, "/noncontig");
   if (!file.is_ok()) return {};
@@ -77,7 +86,13 @@ void run() {
 }  // namespace
 }  // namespace pvfsib::bench
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pipeline-depth") == 0 && i + 1 < argc) {
+      pvfsib::bench::g_pipeline_depth =
+          static_cast<pvfsib::u32>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
   pvfsib::bench::run();
   return 0;
 }

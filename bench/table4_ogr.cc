@@ -89,9 +89,10 @@ CaseResult run_case(Case kase) {
           o.allocation_hint_addr = hints[r].offset;
           o.allocation_hint_len = hints[r].length;
         }
-        cluster.client(r).write_list_async(
-            files[r], reqs[r], o, cluster.engine().now(),
-            [&results, &pending, r](pvfs::IoResult res) {
+        cluster.client(r)
+            .submit({pvfs::IoDir::kWrite, files[r], reqs[r], o,
+                     cluster.engine().now()})
+            .on_complete([&results, &pending, r](pvfs::IoResult res) {
               results[r] = res;
               --pending;
             });

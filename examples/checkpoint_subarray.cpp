@@ -60,13 +60,13 @@ int main(int argc, char** argv) {
       core::ListIoRequest req;
       req.mem = grid.subarray_rows(field[r], r / 2, r % 2);
       req.file = grid.contiguous_file_extents(r / 2, r % 2);
-      pvfs::IoOptions opts;
-      opts.sync = true;
-      c.write_list_async(files[r], req, opts, cluster.engine().now(),
-                         [&results, &pending, r](pvfs::IoResult res) {
-                           results[r] = res;
-                           --pending;
-                         });
+      const pvfs::IoOptions opts = pvfs::IoOptions{}.with_sync();
+      c.submit({pvfs::IoDir::kWrite, files[r], req, opts,
+                cluster.engine().now()})
+          .on_complete([&results, &pending, r](pvfs::IoResult res) {
+            results[r] = res;
+            --pending;
+          });
     }
     cluster.engine().run_until([&] { return pending == 0; });
     u64 bytes = 0;

@@ -81,6 +81,19 @@ int main(int argc, char** argv) {
       static_cast<long long>(d.get(stat::kAdsSeparate)),
       static_cast<long long>(d.get(stat::kDiskRead) +
                              d.get(stat::kDiskWrite)));
+  // Where the time went, summed over all four servers' round chains (the
+  // buckets overlap in wall-clock time, so they add up to more than the
+  // elapsed figures above).
+  auto phase_line = [](const char* what, const pvfs::IoResult& res) {
+    std::printf(
+        "  %s phases: registration %s, wire %s, disk %s, stall %s\n", what,
+        res.phases.registration.to_string().c_str(),
+        res.phases.wire.to_string().c_str(),
+        res.phases.disk.to_string().c_str(),
+        res.phases.stall.to_string().c_str());
+  };
+  phase_line("write", lw);
+  phase_line("read", lr);
 
   if (trace) {
     std::printf("\n--- protocol trace (most recent events) ---\n");

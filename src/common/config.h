@@ -184,6 +184,15 @@ struct ModelConfig {
   FsParams fs;
   PvfsParams pvfs;
 
+  // Outstanding-round window per I/O server: how many list I/O rounds a
+  // client may keep in flight to one iod. 1 reproduces classic PVFS
+  // flow control (the next request leaves when the previous reply
+  // arrives); W > 1 lets the client issue round k+1 as soon as round k's
+  // data phase clears the wire, overlapping wire, registration and disk
+  // work the way credit-based RDMA designs (MVAPICH rendezvous pipelining)
+  // do. Each iod provisions W staging buffers per client connection.
+  u32 pipeline_depth = 1;
+
   // The defaults above *are* the paper's testbed; provided for readability.
   static ModelConfig paper_defaults() { return ModelConfig{}; }
 

@@ -17,6 +17,11 @@ class Stats {
  public:
   void add(const std::string& name, i64 delta = 1) { counters_[name] += delta; }
   void set(const std::string& name, i64 value) { counters_[name] = value; }
+  // High-water-mark counter: keep the largest value ever reported.
+  void set_max(const std::string& name, i64 value) {
+    i64& slot = counters_[name];
+    if (value > slot) slot = value;
+  }
 
   i64 get(const std::string& name) const {
     auto it = counters_.find(name);
@@ -66,6 +71,10 @@ inline constexpr const char* kCacheHitBytes = "disk.cache_hit_bytes";
 inline constexpr const char* kCacheMissBytes = "disk.cache_miss_bytes";
 inline constexpr const char* kPvfsRequest = "pvfs.request";
 inline constexpr const char* kPvfsReply = "pvfs.reply";
+// Pipelining (only reported when pipeline_depth > 1 so depth-1 runs keep
+// their counter sets — and therefore their profile tables — seed-identical).
+inline constexpr const char* kPvfsRoundsInflightMax = "pvfs.rounds_inflight_max";
+inline constexpr const char* kPvfsPipelineStalls = "pvfs.pipeline_stalls";
 inline constexpr const char* kAdsSieved = "ads.sieved";
 inline constexpr const char* kAdsSeparate = "ads.separate";
 inline constexpr const char* kAdsExtraBytes = "ads.extra_bytes";

@@ -255,11 +255,10 @@ std::vector<pvfs::IoResult> File::run_list(const std::vector<RankIo>& io,
       --pending;
     };
     const core::ListIoRequest req = build_request(io[r]);
-    if (is_write) {
-      comm_->rank(r).write_list_async(handles_[r], req, opts, start, done);
-    } else {
-      comm_->rank(r).read_list_async(handles_[r], req, opts, start, done);
-    }
+    const pvfs::IoDir dir = is_write ? pvfs::IoDir::kWrite : pvfs::IoDir::kRead;
+    comm_->rank(r)
+        .submit({dir, handles_[r], req, opts, start})
+        .on_complete(done);
   }
   comm_->cluster().engine().run_until([&] { return pending == 0; });
   assert(pending == 0);
@@ -309,11 +308,8 @@ std::vector<pvfs::IoResult> File::run_multiple(const std::vector<RankIo>& io,
       chains[r]->bytes_done += res.bytes;
       step(r);
     };
-    if (is_write) {
-      cl.write_list_async(handles_[r], req, opts, at, done);
-    } else {
-      cl.read_list_async(handles_[r], req, opts, at, done);
-    }
+    const pvfs::IoDir dir = is_write ? pvfs::IoDir::kWrite : pvfs::IoDir::kRead;
+    cl.submit({dir, handles_[r], req, opts, at}).on_complete(done);
   };
 
   for (int r = 0; r < n; ++r) {
@@ -394,8 +390,8 @@ std::vector<pvfs::IoResult> File::run_ds_read(const std::vector<RankIo>& io,
     pvfs::IoOptions opts;
     opts.policy = hints.policy;
     const TimePoint at = max(results[r].end, ch->start);
-    cl.read_list_async(
-        handles_[r], req, opts, at, [&, r, lo, len](pvfs::IoResult res) {
+    cl.submit({pvfs::IoDir::kRead, handles_[r], req, opts, at})
+        .on_complete([&, r, lo, len](pvfs::IoResult res) {
           auto ch2 = chains[r];
           pvfs::Client& cl2 = comm_->rank(r);
           if (!res.ok() && results[r].ok()) results[r].status = res.status;
@@ -628,11 +624,8 @@ std::vector<pvfs::IoResult> File::run_two_phase(const std::vector<RankIo>& io,
       agg_done[a] = res.end;
       step(a);
     };
-    if (is_write) {
-      comm_->rank(a).write_list_async(handles_[a], req, opts, at, done);
-    } else {
-      comm_->rank(a).read_list_async(handles_[a], req, opts, at, done);
-    }
+    const pvfs::IoDir dir = is_write ? pvfs::IoDir::kWrite : pvfs::IoDir::kRead;
+    comm_->rank(a).submit({dir, handles_[a], req, opts, at}).on_complete(done);
   };
 
   for (int a = 0; a < n; ++a) {

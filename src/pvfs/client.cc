@@ -11,23 +11,41 @@ namespace {
 std::string client_name(u32 id) { return "client" + std::to_string(id); }
 }  // namespace
 
+// Completion state shared by every copy of an IoHandle.
+struct IoHandle::State {
+  bool done = false;
+  IoResult result;
+  TimePoint start = TimePoint::origin();  // for the stalled-queue error path
+  std::vector<IoCallback> callbacks;
+};
+
 // Per-operation bookkeeping shared by the per-server round chains.
 struct Client::OpState {
   OpenFile file;
   IoOptions opts;
   bool is_write = false;
-  Callback done;
+  IoCallback done;
   TimePoint start = TimePoint::origin();   // when the caller issued the op
   TimePoint launch = TimePoint::origin();  // after op-wide registration
   std::vector<u32> iod_ids;                // per sub-request: target iod
   std::vector<std::vector<Round>> rounds;  // per sub-request: its rounds
-  core::OgrOutcome prereg;                 // op-wide buffer registration
+  // One chain of rounds per target iod, flow-controlled by `window`.
+  struct Chain {
+    size_t next_issue = 0;  // index of the next round to put on the wire
+    u32 inflight = 0;       // issued rounds whose reply has not arrived
+    bool stalled = false;   // wire cleared but the window was full
+    TimePoint blocked_since = TimePoint::origin();
+  };
+  std::vector<Chain> chains;
+  core::OgrOutcome prereg;  // op-wide buffer registration
   u64 total_bytes = 0;
   u64 logical_end = 0;  // for manager size bookkeeping on writes
-  u32 pending = 0;
+  u32 window = 1;       // outstanding-round limit (pipeline_depth)
+  u32 pending = 0;      // chains still running
   TimePoint max_end = TimePoint::origin();
   Status status;
   bool failed = false;
+  IoPhases phases;
 };
 
 Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
@@ -168,7 +186,7 @@ std::vector<Client::Round> Client::split_rounds(
 
 void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
                       const IoOptions& opts, TimePoint start, bool is_write,
-                      Callback done) {
+                      IoCallback done) {
   Status v = core::validate(req);
   if (!v.is_ok()) {
     done(IoResult{v, 0, start, start});
@@ -181,6 +199,7 @@ void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
   op->done = std::move(done);
   op->start = max(start, engine_.now());
   op->total_bytes = req.bytes();
+  op->window = std::max<u32>(1, cfg_.pipeline_depth);
   for (const Extent& e : req.file) {
     op->logical_end = std::max(op->logical_end, e.end());
   }
@@ -189,7 +208,7 @@ void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
   // buffer list (Section 4.3); the per-server slices later hit the pin-down
   // cache. Pack-only transfers (and small hybrids on the Fast-RDMA path)
   // skip registration entirely.
-  const auto& pol = opts.policy;
+  const auto& pol = op->opts.policy;
   const bool needs_reg =
       pol.scheme == core::XferScheme::kMultipleMessage ||
       pol.scheme == core::XferScheme::kRdmaGatherScatter ||
@@ -213,6 +232,7 @@ void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
     if (stats_ != nullptr) {
       stats_->add("ogr.prereg_ns", op->prereg.cost.as_ns());
     }
+    op->phases.registration += op->prereg.cost;
   }
   op->launch = op->start + op->prereg.cost;
 
@@ -225,37 +245,79 @@ void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
     op->rounds.push_back(split_rounds(sub, cfg_.pvfs.max_list_pairs,
                                       cfg_.pvfs.staging_buffer));
   }
+  op->chains.resize(subs.size());
   op->pending = static_cast<u32>(subs.size());
   assert(op->pending > 0);
   for (u32 k = 0; k < op->pending; ++k) {
-    if (is_write) {
-      run_write_round(op, k, 0, op->launch);
-    } else {
-      run_read_round(op, k, 0, op->launch);
-    }
+    issue_round(op, k, op->launch);
   }
 }
 
-void Client::finish_round(std::shared_ptr<OpState> op, u32 iod_idx,
-                          size_t round_idx, TimePoint t, Status status,
-                          bool is_write) {
+// --- Round chains ---------------------------------------------------------
+
+void Client::issue_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                         TimePoint t) {
+  OpState::Chain& ch = op->chains[iod_idx];
+  assert(ch.next_issue < op->rounds[iod_idx].size());
+  assert(ch.inflight < op->window);
+  const size_t round_idx = ch.next_issue++;
+  ++ch.inflight;
+  if (op->window > 1 && stats_ != nullptr) {
+    stats_->set_max(stat::kPvfsRoundsInflightMax, ch.inflight);
+  }
+  if (op->is_write) {
+    run_write_round(op, iod_idx, round_idx, t);
+  } else {
+    run_read_round(op, iod_idx, round_idx, t);
+  }
+}
+
+void Client::wire_cleared(std::shared_ptr<OpState> op, u32 iod_idx,
+                          TimePoint t) {
+  OpState::Chain& ch = op->chains[iod_idx];
+  if (op->failed || ch.next_issue >= op->rounds[iod_idx].size()) return;
+  if (ch.inflight >= op->window) {
+    // Window full: remember the stall; round_done() issues on the next
+    // reply and charges the blocked time to IoPhases::stall.
+    if (!ch.stalled) {
+      ch.stalled = true;
+      ch.blocked_since = t;
+    }
+    return;
+  }
+  issue_round(op, iod_idx, t);
+}
+
+void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t,
+                        Status status) {
+  OpState::Chain& ch = op->chains[iod_idx];
+  assert(ch.inflight > 0);
+  --ch.inflight;
   if (!status.is_ok() && !op->failed) {
     op->failed = true;
     op->status = status;
   }
-  if (status.is_ok() && round_idx + 1 < op->rounds[iod_idx].size() &&
-      !op->failed) {
-    if (is_write) {
-      run_write_round(op, iod_idx, round_idx + 1, t);
-    } else {
-      run_read_round(op, iod_idx, round_idx + 1, t);
+  const bool more = !op->failed && ch.next_issue < op->rounds[iod_idx].size();
+  // At window 1 replies are the only issuance trigger (classic lockstep
+  // PVFS). At wider windows issuance normally rides the wire-cleared
+  // trigger; a reply only issues when that trigger already fired into a
+  // full window (the chain is stalled).
+  if (more && ch.inflight < op->window && (op->window == 1 || ch.stalled)) {
+    if (ch.stalled) {
+      ch.stalled = false;
+      op->phases.stall += t - ch.blocked_since;
+      if (stats_ != nullptr) stats_->add(stat::kPvfsPipelineStalls);
     }
-    return;
+    issue_round(op, iod_idx, t);
+  }
+  if (ch.inflight > 0 ||
+      (!op->failed && ch.next_issue < op->rounds[iod_idx].size())) {
+    return;  // chain still running
   }
   op->max_end = max(op->max_end, t);
   if (--op->pending == 0) {
     if (!op->prereg.keys.empty()) registrar_.release(op->prereg);
-    if (is_write && !op->failed) {
+    if (op->is_write && !op->failed) {
       manager_.note_written(op->file.meta.handle, op->logical_end);
     }
     IoResult result;
@@ -263,9 +325,10 @@ void Client::finish_round(std::shared_ptr<OpState> op, u32 iod_idx,
     result.bytes = op->failed ? 0 : op->total_bytes;
     result.start = op->start;
     result.end = op->max_end;
+    result.phases = op->phases;
     sim::Trace::instance().emitf(
         result.end, hca_.name(), "%s op complete: %llu B in %s",
-        is_write ? "write" : "read",
+        op->is_write ? "write" : "read",
         static_cast<unsigned long long>(result.bytes),
         result.elapsed().to_string().c_str());
     op->done(result);
@@ -283,6 +346,7 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
   RoundRequest rr;
   rr.handle = op->file.meta.handle;
   rr.client = id_;
+  rr.slot = static_cast<u32>(round_idx % op->window);
   rr.is_write = true;
   rr.sync = op->opts.sync;
   rr.use_ads = op->opts.use_ads;
@@ -307,6 +371,7 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
       eager ? "fast-rdma eager" : "rendezvous");
 
   core::TransferOutcome push;
+  TimePoint push_start;
   TimePoint data_ready;
   if (eager) {
     // Fast RDMA: pack into the pre-registered bounce buffer and write it
@@ -314,7 +379,8 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
     core::TransferPolicy p = pol;
     p.scheme = core::XferScheme::kPackUnpack;
     p.pack_preregistered = true;
-    push = xfer_.push(ep_, r.mem, iod.staging(id_), t0, p);
+    push = xfer_.push(ep_, r.mem, iod.staging(id_, rr.slot), t0, p);
+    push_start = t0;
     data_ready = max(push.complete, t_req);
   } else {
     // Rendezvous: the iod acknowledges buffer availability, then the client
@@ -322,27 +388,40 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
     const TimePoint ack = fabric_.send_control(
         iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
         t_req + cfg_.pvfs.iod_request_cpu, ib::ControlKind::kReply);
-    push = xfer_.push(ep_, r.mem, iod.staging(id_), ack, pol);
+    push = xfer_.push(ep_, r.mem, iod.staging(id_, rr.slot), ack, pol);
+    push_start = ack;
     data_ready = push.complete;
   }
   if (!push.ok()) {
-    finish_round(op, iod_idx, round_idx, data_ready, push.status, true);
+    round_done(op, iod_idx, data_ready, push.status);
     return;
   }
+  op->phases.registration += push.reg_cost;
+  op->phases.wire += (push.complete - push_start) - push.reg_cost;
 
   // Server disk phase begins when the data has landed.
-  engine_.schedule_at(data_ready, [this, op, iod_idx, round_idx, rr = std::move(rr),
+  engine_.schedule_at(data_ready, [this, op, iod_idx, rr = std::move(rr),
                                    &iod, data_ready] {
-    const TimePoint t_disk =
-        iod.write_round(rr, data_ready + cfg_.pvfs.iod_request_cpu);
+    Duration disk_cost = Duration::zero();
+    const TimePoint t_disk = iod.write_round(
+        rr, data_ready + cfg_.pvfs.iod_request_cpu, &disk_cost);
+    op->phases.disk += disk_cost;
     if (stats_ != nullptr) stats_->add(stat::kPvfsReply);
     const TimePoint t_reply =
         fabric_.send_control(iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
                              t_disk, ib::ControlKind::kReply);
-    engine_.schedule_at(t_reply, [this, op, iod_idx, round_idx, t_reply] {
-      finish_round(op, iod_idx, round_idx, t_reply, Status::ok(), true);
+    engine_.schedule_at(t_reply, [this, op, iod_idx, t_reply] {
+      round_done(op, iod_idx, t_reply, Status::ok());
     });
   });
+  // With the data phase off the wire, the client NIC is free: a wider
+  // window may put the next round's request on the wire while this round's
+  // disk phase and reply are still pending.
+  if (op->window > 1) {
+    engine_.schedule_at(data_ready, [this, op, iod_idx, data_ready] {
+      wire_cleared(op, iod_idx, data_ready);
+    });
+  }
 }
 
 // --- Read rounds -----------------------------------------------------
@@ -356,6 +435,7 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
   RoundRequest rr;
   rr.handle = op->file.meta.handle;
   rr.client = id_;
+  rr.slot = static_cast<u32>(round_idx % op->window);
   rr.is_write = false;
   rr.sync = op->opts.sync;
   rr.use_ads = op->opts.use_ads;
@@ -385,10 +465,11 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
     // Pin the single destination buffer and ship its rkey in the request.
     ib::MrCache::Lookup lk = cache_.acquire(r.mem[0].addr, r.mem[0].length);
     if (!lk.ok()) {
-      finish_round(op, iod_idx, round_idx, t_client, lk.status, false);
+      round_done(op, iod_idx, t_client, lk.status);
       return;
     }
     t_client += lk.cost;
+    op->phases.registration += lk.cost;
     dest = r.mem[0].addr;
     rkey = lk.key;
     release_key = lk.key;
@@ -401,18 +482,18 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
   const TimePoint t_req = fabric_.send_control(
       hca_, iod.hca(), req_bytes, t_client, ib::ControlKind::kRequest);
 
-  engine_.schedule_at(t_req, [this, op, iod_idx, round_idx, rr = std::move(rr),
+  engine_.schedule_at(t_req, [this, op, iod_idx, rr = std::move(rr),
                               &iod, t_req, path, dest, rkey, release_key,
                               r = &op->rounds[iod_idx][round_idx]] {
-    Iod::ReadService svc =
-        iod.read_round(rr, t_req + cfg_.pvfs.iod_request_cpu, path, &hca_,
-                       dest, rkey);
+    const TimePoint t_svc = t_req + cfg_.pvfs.iod_request_cpu;
+    Iod::ReadService svc = iod.read_round(rr, t_svc, path, &hca_, dest, rkey);
     if (stats_ != nullptr) stats_->add(stat::kPvfsReply);
     if (!svc.ok()) {
       if (release_key != 0) cache_.release(release_key);
-      finish_round(op, iod_idx, round_idx, svc.ready, svc.status, false);
+      round_done(op, iod_idx, svc.ready, svc.status);
       return;
     }
+    op->phases.disk += svc.disk_cost;
     switch (path) {
       case ReadReturn::kFastBounce: {
         // Unpack the bounce buffer into the user's list buffers.
@@ -422,17 +503,20 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
                       m.length);
           off += m.length;
         }
+        op->phases.wire +=
+            (svc.ready - t_svc) - svc.disk_cost + cfg_.mem.copy_cost(off);
         const TimePoint t_done = svc.ready + cfg_.mem.copy_cost(off);
-        engine_.schedule_at(t_done, [this, op, iod_idx, round_idx, t_done] {
-          finish_round(op, iod_idx, round_idx, t_done, Status::ok(), false);
+        engine_.schedule_at(t_done, [this, op, iod_idx, t_done] {
+          round_done(op, iod_idx, t_done, Status::ok());
         });
         break;
       }
       case ReadReturn::kDirectGather: {
-        engine_.schedule_at(svc.ready, [this, op, iod_idx, round_idx,
-                                        release_key, t = svc.ready] {
+        op->phases.wire += (svc.ready - t_svc) - svc.disk_cost;
+        engine_.schedule_at(svc.ready, [this, op, iod_idx, release_key,
+                                        t = svc.ready] {
           if (release_key != 0) cache_.release(release_key);
-          finish_round(op, iod_idx, round_idx, t, Status::ok(), false);
+          round_done(op, iod_idx, t, Status::ok());
         });
         break;
       }
@@ -442,72 +526,106 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
         const TimePoint ack = fabric_.send_control(
             iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes, svc.ready,
             ib::ControlKind::kReply);
-        engine_.schedule_at(ack, [this, op, iod_idx, round_idx, &iod, ack,
-                                  r] {
+        engine_.schedule_at(ack, [this, op, iod_idx, &iod, ack, r,
+                                  slot = rr.slot] {
           core::TransferOutcome pull =
-              xfer_.pull(ep_, r->mem, iod.staging(id_), ack,
+              xfer_.pull(ep_, r->mem, iod.staging(id_, slot), ack,
                          op->opts.policy);
+          if (pull.ok()) {
+            op->phases.registration += pull.reg_cost;
+            op->phases.wire += (pull.complete - ack) - pull.reg_cost;
+          }
           const TimePoint t_done = pull.complete;
-          engine_.schedule_at(t_done, [this, op, iod_idx, round_idx, t_done,
+          engine_.schedule_at(t_done, [this, op, iod_idx, t_done,
                                        st = pull.status] {
-            finish_round(op, iod_idx, round_idx, t_done, st, false);
+            round_done(op, iod_idx, t_done, st);
           });
         });
         break;
       }
     }
   });
+  // The request is on the wire; a wider window may issue the next round's
+  // request right behind it while this round is still being serviced.
+  if (op->window > 1) {
+    engine_.schedule_at(t_req, [this, op, iod_idx, t_req] {
+      wire_cleared(op, iod_idx, t_req);
+    });
+  }
+}
+
+// --- IoHandle --------------------------------------------------------
+
+bool IoHandle::poll() const { return state_ != nullptr && state_->done; }
+
+const IoResult& IoHandle::result() const {
+  assert(poll());
+  return state_->result;
+}
+
+IoResult IoHandle::wait() {
+  assert(valid());
+  if (!state_->done) {
+    auto st = state_;
+    client_->engine_.run_until([st] { return st->done; });
+  }
+  if (!state_->done) {
+    // The event queue drained without the completion firing — a protocol
+    // bug; surface it instead of returning a default-OK result.
+    state_->result.status =
+        internal_error("operation stalled: event queue drained");
+    state_->result.start = state_->start;
+    state_->result.end = client_->engine_.now();
+    state_->done = true;
+    auto cbs = std::move(state_->callbacks);
+    state_->callbacks.clear();
+    for (IoCallback& cb : cbs) cb(state_->result);
+    return state_->result;
+  }
+  client_->advance_to(state_->result.end);
+  return state_->result;
+}
+
+IoHandle& IoHandle::on_complete(IoCallback cb) {
+  assert(valid());
+  if (state_->done) {
+    cb(state_->result);
+  } else {
+    state_->callbacks.push_back(std::move(cb));
+  }
+  return *this;
 }
 
 // --- Public entry points ---------------------------------------------
 
-void Client::write_list_async(const OpenFile& file,
-                              const core::ListIoRequest& req,
-                              const IoOptions& opts, TimePoint start,
-                              Callback done) {
-  start_op(file, req, opts, start, /*is_write=*/true, std::move(done));
-}
-
-void Client::read_list_async(const OpenFile& file,
-                             const core::ListIoRequest& req,
-                             const IoOptions& opts, TimePoint start,
-                             Callback done) {
-  start_op(file, req, opts, start, /*is_write=*/false, std::move(done));
-}
-
-IoResult Client::run_blocking(const OpenFile& file,
-                              const core::ListIoRequest& req,
-                              const IoOptions& opts, bool is_write) {
-  IoResult result;
-  bool finished = false;
-  const TimePoint start = max(now_, engine_.now());
-  start_op(file, req, opts, start, is_write, [&](IoResult r) {
-    result = r;
-    finished = true;
-  });
-  engine_.run_until([&] { return finished; });
-  if (!finished) {
-    // The event queue drained without the completion firing — a protocol
-    // bug; surface it instead of returning a default-OK result.
-    result.status = internal_error("operation stalled: event queue drained");
-    result.start = start;
-    result.end = engine_.now();
-    return result;
+IoHandle Client::submit(const IoDesc& desc) {
+  auto st = std::make_shared<IoHandle::State>();
+  st->start = max(desc.start, engine_.now());
+  IoOptions opts = desc.opts;
+  if (!opts.policy_explicit && default_policy_.has_value()) {
+    opts.policy = *default_policy_;
   }
-  advance_to(result.end);
-  return result;
+  start_op(desc.file, desc.req, opts, desc.start,
+           desc.dir == IoDir::kWrite, [st](IoResult r) {
+             st->result = std::move(r);
+             st->done = true;
+             auto cbs = std::move(st->callbacks);
+             st->callbacks.clear();
+             for (IoCallback& cb : cbs) cb(st->result);
+           });
+  return IoHandle(this, std::move(st));
 }
 
 IoResult Client::write_list(const OpenFile& file,
                             const core::ListIoRequest& req,
                             const IoOptions& opts) {
-  return run_blocking(file, req, opts, /*is_write=*/true);
+  return submit({IoDir::kWrite, file, req, opts, now_}).wait();
 }
 
 IoResult Client::read_list(const OpenFile& file,
                            const core::ListIoRequest& req,
                            const IoOptions& opts) {
-  return run_blocking(file, req, opts, /*is_write=*/false);
+  return submit({IoDir::kRead, file, req, opts, now_}).wait();
 }
 
 IoResult Client::write(const OpenFile& file, u64 file_offset, u64 addr,

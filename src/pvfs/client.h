@@ -1,5 +1,10 @@
-// The PVFS client library: pvfs_read_list / pvfs_write_list (and contiguous
-// wrappers) against the simulated cluster.
+// The PVFS client library against the simulated cluster.
+//
+// The public surface is a handle-based async operation API: describe an
+// operation with an IoDesc (direction + list request + options), submit()
+// it, and use the returned IoHandle to wait(), poll(), or attach
+// completion callbacks. The blocking read_list/write_list calls and the
+// contiguous read/write wrappers are thin shims over submit().
 //
 // Each operation partitions its request across the striped I/O servers,
 // splits every server's share into rounds (at most max_list_pairs file
@@ -11,13 +16,21 @@
 //   read round:   request --> server disk (+ direct/fast return) -->
 //                 [ready ack --> client pull] --> reply
 //
-// Rounds to the same server are flow-controlled (next request leaves when
-// the previous reply arrives); different servers run concurrently, which is
-// where PVFS's striping parallelism comes from.
+// Rounds to the same server are flow-controlled by an outstanding-round
+// window (ModelConfig::pipeline_depth). At the default depth 1 the next
+// request leaves when the previous reply arrives (classic PVFS). At depth
+// W > 1 the client issues round k+1 as soon as round k's data phase clears
+// the wire, keeping up to W rounds in flight per iod; the iod lands each
+// in-flight round in its own staging buffer and the per-iod disk queue
+// serializes the disk phases in data-arrival order, which preserves write
+// ordering per handle. Different servers always run concurrently — that is
+// where PVFS's striping parallelism comes from; the window adds wire/disk
+// overlap on top of it.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "common/config.h"
 #include "core/ogr.h"
@@ -40,6 +53,9 @@ struct IoOptions {
   bool sync = false;     // writes: fsync on the iod before the reply
   bool use_ads = true;   // allow server-side Active Data Sieving
   core::TransferPolicy policy;  // noncontiguous transfer scheme
+  // True when the caller chose `policy` deliberately (set by with_policy).
+  // An unmarked policy defers to the cluster-level default, if one is set.
+  bool policy_explicit = false;
   // Reads: allow the server to gather-push straight into a single
   // contiguous destination buffer.
   bool direct_read_return = true;
@@ -48,6 +64,45 @@ struct IoOptions {
   // (length > 0), the client pins that one region instead of running OGR.
   u64 allocation_hint_addr = 0;
   u64 allocation_hint_len = 0;
+
+  // Fluent setup, e.g. IoOptions{}.with_sync().with_policy(p).
+  IoOptions& with_sync(bool v = true) {
+    sync = v;
+    return *this;
+  }
+  IoOptions& with_ads(bool v = true) {
+    use_ads = v;
+    return *this;
+  }
+  IoOptions& with_policy(const core::TransferPolicy& p) {
+    policy = p;
+    policy_explicit = true;
+    return *this;
+  }
+  IoOptions& with_scheme(core::XferScheme s) {
+    policy.scheme = s;
+    policy_explicit = true;
+    return *this;
+  }
+  IoOptions& with_direct_read_return(bool v = true) {
+    direct_read_return = v;
+    return *this;
+  }
+  IoOptions& with_allocation_hint(u64 addr, u64 len) {
+    allocation_hint_addr = addr;
+    allocation_hint_len = len;
+    return *this;
+  }
+};
+
+// Where an operation's virtual time went, accumulated across every round
+// of every server chain (phases of different servers overlap in wall-clock
+// time, so the buckets sum to more than elapsed() on striped operations).
+struct IoPhases {
+  Duration registration = Duration::zero();  // OGR / pin-down work
+  Duration wire = Duration::zero();   // data phases: pack copies + RDMA
+  Duration disk = Duration::zero();   // server disk service time
+  Duration stall = Duration::zero();  // rounds blocked on the window
 };
 
 struct IoResult {
@@ -55,12 +110,60 @@ struct IoResult {
   u64 bytes = 0;
   TimePoint start = TimePoint::origin();
   TimePoint end = TimePoint::origin();
+  IoPhases phases;
 
   Duration elapsed() const { return end - start; }
   double bandwidth_mib() const {
     return pvfsib::bandwidth_mib(bytes, elapsed());
   }
   bool ok() const { return status.is_ok(); }
+};
+
+using IoCallback = std::function<void(IoResult)>;
+
+enum class IoDir { kWrite, kRead };
+
+// Everything that defines one list I/O operation. Aggregate-initializable:
+//   client.submit({IoDir::kWrite, file, req, opts});
+struct IoDesc {
+  IoDir dir = IoDir::kWrite;
+  OpenFile file;
+  core::ListIoRequest req;
+  IoOptions opts;
+  // Earliest virtual time the operation may start; clamped to the engine
+  // clock at submit. Blocking shims pass the client's logical clock.
+  TimePoint start = TimePoint::origin();
+};
+
+class Client;
+
+// A first-class reference to an in-flight (or completed) operation.
+// Cheap to copy; all copies observe the same completion state. Completion
+// callbacks registered after the operation finished fire immediately.
+class IoHandle {
+ public:
+  IoHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  // Non-blocking: has the operation completed (successfully or not)?
+  bool poll() const;
+  // The outcome; only meaningful once poll() is true (asserts otherwise).
+  const IoResult& result() const;
+  // Drive the engine until this operation completes, then return its
+  // result and advance the owning client's logical clock past it.
+  IoResult wait();
+  // Register a completion callback (fires immediately if already done).
+  // Returns *this so a callback can be chained onto a fresh submit().
+  IoHandle& on_complete(IoCallback cb);
+
+ private:
+  friend class Client;
+  struct State;
+  IoHandle(Client* client, std::shared_ptr<State> state)
+      : client_(client), state_(std::move(state)) {}
+
+  Client* client_ = nullptr;
+  std::shared_ptr<State> state_;
 };
 
 class Client {
@@ -79,14 +182,11 @@ class Client {
   // Remove the namespace entry and every iod's local stripe file.
   Status remove(const std::string& name);
 
-  // --- List I/O (async) -----------------------------------------------
-  using Callback = std::function<void(IoResult)>;
-  void write_list_async(const OpenFile& file, const core::ListIoRequest& req,
-                        const IoOptions& opts, TimePoint start, Callback done);
-  void read_list_async(const OpenFile& file, const core::ListIoRequest& req,
-                       const IoOptions& opts, TimePoint start, Callback done);
+  // --- List I/O ---------------------------------------------------------
+  // The one entry point: submit an operation, get a handle.
+  IoHandle submit(const IoDesc& desc);
 
-  // --- List I/O (blocking: runs the engine until this op completes) -----
+  // Blocking shims over submit(): run the engine until the op completes.
   IoResult write_list(const OpenFile& file, const core::ListIoRequest& req,
                       const IoOptions& opts = {});
   IoResult read_list(const OpenFile& file, const core::ListIoRequest& req,
@@ -98,9 +198,19 @@ class Client {
   IoResult read(const OpenFile& file, u64 file_offset, u64 addr, u64 length,
                 const IoOptions& opts = {});
 
+  // Default transfer policy applied to operations whose options did not
+  // set one explicitly (see Cluster::set_default_policy).
+  void set_default_policy(std::optional<core::TransferPolicy> p) {
+    default_policy_ = std::move(p);
+  }
+  const std::optional<core::TransferPolicy>& default_policy() const {
+    return default_policy_;
+  }
+
   // The client's process state.
   vmem::AddressSpace& memory() { return as_; }
   ib::Hca& hca() { return hca_; }
+  ib::MrCache& cache() { return cache_; }
   ib::MrCache& mr_cache() { return cache_; }
   core::GroupRegistrar& registrar() { return registrar_; }
   u32 id() const { return id_; }
@@ -110,6 +220,8 @@ class Client {
   void advance_to(TimePoint t) { now_ = max(now_, t); }
 
  private:
+  friend class IoHandle;
+
   struct Round {
     ExtentList accesses;           // iod-local file extents
     core::MemSegmentList mem;      // matching client memory slices
@@ -119,19 +231,21 @@ class Client {
 
   void start_op(const OpenFile& file, const core::ListIoRequest& req,
                 const IoOptions& opts, TimePoint start, bool is_write,
-                Callback done);
+                IoCallback done);
+  // Issue the chain's next round at time `t` (window bookkeeping done).
+  void issue_round(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t);
+  // Round k's data phase cleared the wire at `t`: issue round k+1 if the
+  // outstanding-round window has room, else record the stall.
+  void wire_cleared(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t);
   void run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
                        size_t round_idx, TimePoint t0);
   void run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
                       size_t round_idx, TimePoint t0);
-  void finish_round(std::shared_ptr<OpState> op, u32 iod_idx,
-                    size_t round_idx, TimePoint t, Status status,
-                    bool is_write);
+  // A round finished (reply received / data delivered / failed) at `t`.
+  void round_done(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t,
+                  Status status);
   static std::vector<Round> split_rounds(const core::ServerSubRequest& sub,
                                          u64 max_pairs, u64 max_bytes);
-
-  IoResult run_blocking(const OpenFile& file, const core::ListIoRequest& req,
-                        const IoOptions& opts, bool is_write);
 
   u32 id_;
   ModelConfig cfg_;
@@ -140,6 +254,7 @@ class Client {
   Manager& manager_;
   std::vector<Iod*> iods_;
   Stats* stats_;
+  std::optional<core::TransferPolicy> default_policy_;
 
   vmem::AddressSpace as_;
   ib::Hca hca_;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/config.h"
@@ -33,6 +34,13 @@ class Cluster {
   // Drop every iod's page cache (benchmark "without cache" setup).
   void drop_all_caches() {
     for (auto& iod : iods_) iod->drop_caches();
+  }
+
+  // Cluster-wide default transfer policy. Applied by every client to
+  // operations whose IoOptions did not pick a policy explicitly (via
+  // with_policy()/with_scheme()); pass nullopt to clear.
+  void set_default_policy(std::optional<core::TransferPolicy> p) {
+    for (auto& c : clients_) c->set_default_policy(p);
   }
 
   // Run the engine until every scheduled event has fired; returns the

@@ -1,5 +1,6 @@
 #include "pvfs/iod.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -22,9 +23,9 @@ Iod::Iod(u32 id, u32 client_count, const ModelConfig& cfg, ib::Fabric& fabric,
       disk_queue_(iod_name(id) + ".disk"),
       ads_(cfg.disk, cfg.fs, cfg.mem,
            core::AdsConfig{cfg.pvfs.staging_buffer, true, false}, stats) {
-  staging_.resize(client_count);
-  for (u32 c = 0; c < client_count; ++c) {
-    core::StagingBuffer& sb = staging_[c];
+  slots_per_client_ = std::max<u32>(1, cfg.pipeline_depth);
+  staging_.resize(static_cast<size_t>(client_count) * slots_per_client_);
+  for (core::StagingBuffer& sb : staging_) {
     sb.hca = &hca_;
     sb.size = cfg.pvfs.staging_buffer;
     sb.addr = as_.alloc(sb.size);
@@ -56,9 +57,11 @@ Duration Iod::remove_file(Handle h) {
   return cost;
 }
 
-core::StagingBuffer& Iod::staging(u32 client) {
-  assert(client < staging_.size());
-  return staging_[client];
+core::StagingBuffer& Iod::staging(u32 client, u32 slot) {
+  assert(slot < slots_per_client_);
+  const size_t idx = static_cast<size_t>(client) * slots_per_client_ + slot;
+  assert(idx < staging_.size());
+  return staging_[idx];
 }
 
 Iod::DiskPhase Iod::write_disk_phase(const RoundRequest& r,
@@ -73,9 +76,12 @@ Iod::DiskPhase Iod::write_disk_phase(const RoundRequest& r,
   const bool sieve =
       r.use_ads && ads_.decide(r.accesses, /*is_write=*/true, f.size()).sieve;
   sim::Trace::instance().emitf(
-      when, hca_.name(), "write round h%llu: %zu accesses, %llu B -> %s",
-      static_cast<unsigned long long>(r.handle), r.accesses.size(),
-      static_cast<unsigned long long>(r.bytes()),
+      when, hca_.name(),
+      "write round h%llu slot%u @%llu: %zu accesses, %llu B -> %s",
+      static_cast<unsigned long long>(r.handle), r.slot,
+      static_cast<unsigned long long>(
+          r.accesses.empty() ? 0 : r.accesses.front().offset),
+      r.accesses.size(), static_cast<unsigned long long>(r.bytes()),
       sieve ? "sieve (RMW)" : "separate");
 
   if (!sieve) {
@@ -125,15 +131,18 @@ Iod::DiskPhase Iod::write_disk_phase(const RoundRequest& r,
   return out;
 }
 
-TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready) {
-  const core::StagingBuffer& sb = staging(r.client);
+TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
+                           Duration* disk_cost) {
+  const core::StagingBuffer& sb = staging(r.client, r.slot);
   assert(r.bytes() <= sb.size);
   const std::span<const std::byte> stream =
       as_.readable_span(sb.addr, r.bytes());
   DiskPhase phase = write_disk_phase(r, stream, data_ready);
-  // Rounds on one iod are serialized by the disk queue, so the RMW range
-  // lock can never conflict; a failure here is a protocol bug.
+  // Rounds on one iod are serialized by the disk queue (pipelined rounds
+  // arrive in data-phase order), so the RMW range lock can never conflict;
+  // a failure here is a protocol bug.
   assert(phase.status.is_ok());
+  if (disk_cost != nullptr) *disk_cost = phase.cost;
   return disk_queue_.acquire(data_ready, phase.cost);
 }
 
@@ -162,7 +171,7 @@ Iod::ReadService Iod::read_round(const RoundRequest& r, TimePoint start,
                                  ReadReturn path, ib::Hca* client_hca,
                                  u64 client_dest, u32 client_rkey) {
   ReadService svc;
-  const core::StagingBuffer& sb = staging(r.client);
+  const core::StagingBuffer& sb = staging(r.client, r.slot);
   const u64 total = r.bytes();
   if (total > sb.size) {
     svc.status = invalid_argument("read round exceeds staging buffer");
@@ -185,6 +194,7 @@ Iod::ReadService Iod::read_round(const RoundRequest& r, TimePoint start,
   if (!sieve) {
     // Access-by-access, packing straight into the staging buffer.
     DiskPhase phase = read_separate_phase(r, sb.addr);
+    svc.disk_cost = phase.cost;
     const TimePoint data_at = disk_queue_.acquire(start, phase.cost);
     switch (path) {
       case ReadReturn::kClientPull:
@@ -217,6 +227,7 @@ Iod::ReadService Iod::read_round(const RoundRequest& r, TimePoint start,
     if (rd.value < w.span.length) {
       std::memset(sieve_buf + rd.value, 0, w.span.length - rd.value);
     }
+    svc.disk_cost += rd.cost;
     disk_done = disk_queue_.acquire(disk_done, rd.cost);
 
     if (path == ReadReturn::kDirectGather) {
@@ -255,6 +266,7 @@ Iod::ReadService Iod::read_round(const RoundRequest& r, TimePoint start,
                     sieve_buf + p.window_off, p.length);
         wanted += p.length;
       }
+      svc.disk_cost += cfg_.mem.copy_cost(wanted);
       disk_done = disk_queue_.acquire(disk_done, cfg_.mem.copy_cost(wanted));
     }
   }

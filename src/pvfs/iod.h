@@ -36,14 +36,22 @@ class Iod {
   // Drop the local stripe file for a removed handle; returns the cost.
   Duration remove_file(Handle h);
 
-  // The staging buffer dedicated to `client`'s connection.
-  core::StagingBuffer& staging(u32 client);
+  // One staging buffer of `client`'s connection pool. The pool holds
+  // `staging_slots()` buffers per client (== pipeline_depth) so pipelined
+  // rounds in flight each own a distinct landing area.
+  core::StagingBuffer& staging(u32 client, u32 slot);
+  // Slot-0 convenience (the only slot when pipelining is off).
+  core::StagingBuffer& staging(u32 client) { return staging(client, 0); }
+  u32 staging_slots() const { return slots_per_client_; }
 
   // --- Write round -----------------------------------------------------
-  // The packed data stream for `r` is in staging(r.client) at `data_ready`.
-  // Performs the disk phase (separate accesses or sieved read-modify-write)
-  // and returns the time the round is durably done (post-fsync when sync).
-  TimePoint write_round(const RoundRequest& r, TimePoint data_ready);
+  // The packed data stream for `r` is in staging(r.client, r.slot) at
+  // `data_ready`. Performs the disk phase (separate accesses or sieved
+  // read-modify-write) and returns the time the round is durably done
+  // (post-fsync when sync). When `disk_cost` is non-null it receives the
+  // pure service time (excluding disk-queue wait).
+  TimePoint write_round(const RoundRequest& r, TimePoint data_ready,
+                        Duration* disk_cost = nullptr);
 
   // --- Read round -------------------------------------------------------
   struct ReadService {
@@ -52,6 +60,9 @@ class Iod {
     // kFastBounce/kDirectGather: when the last byte landed at the client.
     TimePoint ready = TimePoint::origin();
     u64 bytes = 0;
+    // Server-side service time spent on the disk phase (reads, sieve
+    // copies), excluding queueing and the return-path network time.
+    Duration disk_cost = Duration::zero();
 
     bool ok() const { return status.is_ok(); }
   };
@@ -99,7 +110,10 @@ class Iod {
   sim::Resource disk_queue_;
   core::ActiveDataSieving ads_;
 
-  std::vector<core::StagingBuffer> staging_;  // one per client
+  // client_count * slots_per_client_ buffers, grouped by client:
+  // staging_[client * slots_per_client_ + slot].
+  std::vector<core::StagingBuffer> staging_;
+  u32 slots_per_client_ = 1;
   u64 sieve_addr_ = 0;  // sieve buffer (RMW scratch), registered
   u32 sieve_key_ = 0;
   std::map<Handle, u32> files_;  // handle -> local fd

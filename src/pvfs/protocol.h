@@ -30,6 +30,11 @@ struct FileMeta {
 struct RoundRequest {
   Handle handle = 0;
   u32 client = 0;
+  // Which of the client connection's staging buffers this round uses.
+  // With pipelining (pipeline_depth W > 1) up to W rounds are in flight
+  // per iod and each must land in its own buffer; round k uses slot
+  // k mod W, so a slot is only reused after its previous round replied.
+  u32 slot = 0;
   bool is_write = false;
   bool sync = false;       // fsync before replying (write) / O_DIRECT-ish
   bool use_ads = true;     // server may data-sieve if its model agrees

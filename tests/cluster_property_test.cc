@@ -136,11 +136,11 @@ TEST(ClusterProperty, ConcurrentDisjointWritersNeverInterfere) {
     IoOptions opts;
     opts.policy.scheme = random_scheme(rng);
     ++pending;
-    c.write_list_async(fk, req, opts, TimePoint::origin(),
-                       [&results, &pending, k](IoResult r) {
-                         results[k] = r;
-                         --pending;
-                       });
+    c.submit({IoDir::kWrite, fk, req, opts, TimePoint::origin()})
+        .on_complete([&results, &pending, k](IoResult r) {
+          results[k] = r;
+          --pending;
+        });
   }
   cluster.run();
   ASSERT_EQ(pending, 0);

@@ -186,11 +186,12 @@ TEST_F(PvfsTest, ConcurrentClientsShareIodsCorrectly) {
     core::ListIoRequest req;
     req.mem = {{src[k], n}};
     req.file = {{k * n, n}};
-    c.write_list_async(fk, req, IoOptions{}, TimePoint::origin() /* clamped */,
-                       [&results, &finished, k](IoResult r) {
-                         results[k] = r;
-                         ++finished;
-                       });
+    c.submit({IoDir::kWrite, fk, req, IoOptions{},
+              TimePoint::origin() /* clamped */})
+        .on_complete([&results, &finished, k](IoResult r) {
+          results[k] = r;
+          ++finished;
+        });
   }
   cluster_.run();
   ASSERT_EQ(finished, 4);

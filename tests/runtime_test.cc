@@ -69,11 +69,12 @@ TEST(Runtime, SimulationIsDeterministic) {
         req.file.push_back({r * kMiB + i * 8192, 2048});
       }
       req.mem = {{c.memory().alloc(64 * 2048), 64 * 2048}};
-      c.write_list_async(fr, req, pvfs::IoOptions{}, TimePoint::origin(),
-                         [&results, &pending, r](pvfs::IoResult res) {
-                           results[r] = res;
-                           --pending;
-                         });
+      c.submit({pvfs::IoDir::kWrite, fr, req, pvfs::IoOptions{},
+                TimePoint::origin()})
+          .on_complete([&results, &pending, r](pvfs::IoResult res) {
+            results[r] = res;
+            --pending;
+          });
     }
     cluster.run();
     std::string sig;
