@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "common/types.h"
@@ -174,6 +175,75 @@ struct PvfsParams {
   Duration client_request_cpu = Duration::us(15.0);
 };
 
+// --- Fault injection and recovery ------------------------------------------
+// The simulated fabric/servers are perfectly healthy by default. A
+// non-trivial FaultConfig turns on the fault plane (src/fault/): seeded
+// random perturbations plus explicit (time, target, kind) schedules, and
+// the client-side recovery machinery (per-round timeouts, exponential
+// backoff, capped retries, idempotent round replay). With enabled() false
+// every fault/recovery code path is skipped entirely, so zero-fault runs
+// are byte-identical to a build without the fault plane.
+enum class FaultKind {
+  kIodCrash,     // iod down for [at, at + duration); requests arriving are lost
+  kDropRequest,  // drop the next round request to `target` at/after `at`
+  kDropReply,    // drop the next round reply from `target` at/after `at`
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kIodCrash;
+  TimePoint at = TimePoint::origin();
+  u32 target = 0;                        // iod id
+  Duration duration = Duration::zero();  // kIodCrash: restart delay
+};
+
+struct FaultConfig {
+  u64 seed = 1;  // drives every random draw (common/rng.h)
+
+  // Random per-message/per-transfer fault rates (probabilities in [0, 1]).
+  double request_drop_rate = 0.0;  // round request vanishes (timeout+retry)
+  double reply_drop_rate = 0.0;    // round applied, reply vanishes (replay)
+  // Wire corruption/loss absorbed by the RC transport: the transfer
+  // completes but pays a retransmit timeout plus a second wire occupancy.
+  double retransmit_rate = 0.0;
+  Duration retransmit_timeout = Duration::us(500.0);
+  // Per-link latency spike (congestion, SM sweep): extra one-way latency.
+  double latency_spike_rate = 0.0;
+  Duration latency_spike = Duration::ms(1.0);
+  // QP-level failures: completion errors surface through
+  // TransferResult.status as kUnavailable; RNR forces receiver-not-ready.
+  double completion_error_rate = 0.0;
+  double rnr_rate = 0.0;
+
+  // Degraded disk: iod service time multiplied by `factor` in [from, until).
+  struct DiskDegrade {
+    u32 iod = 0;
+    double factor = 1.0;
+    TimePoint from = TimePoint::origin();
+    TimePoint until = TimePoint::from_ns(INT64_MAX);
+  };
+  std::vector<DiskDegrade> disk_degrade;
+
+  // Explicit deterministic fault schedule (applied before random draws).
+  std::vector<FaultEvent> schedule;
+
+  // --- Recovery policy (client side) ---------------------------------------
+  // A round with no reply by `round_timeout` after issue is retried after
+  // an exponential backoff, up to `max_retries` replays; then the operation
+  // fails terminally. Only consulted when the fault plane is enabled.
+  Duration round_timeout = Duration::ms(250.0);
+  u32 max_retries = 6;
+  Duration backoff_base = Duration::ms(1.0);
+  double backoff_mult = 2.0;
+  Duration backoff_cap = Duration::ms(50.0);
+
+  bool enabled() const {
+    return request_drop_rate > 0.0 || reply_drop_rate > 0.0 ||
+           retransmit_rate > 0.0 || latency_spike_rate > 0.0 ||
+           completion_error_rate > 0.0 || rnr_rate > 0.0 ||
+           !disk_degrade.empty() || !schedule.empty();
+  }
+};
+
 // --- Everything --------------------------------------------------------
 struct ModelConfig {
   NetParams net;
@@ -183,6 +253,7 @@ struct ModelConfig {
   DiskParams disk;
   FsParams fs;
   PvfsParams pvfs;
+  FaultConfig fault;  // trivial by default: no faults, no recovery overhead
 
   // Outstanding-round window per I/O server: how many list I/O rounds a
   // client may keep in flight to one iod. 1 reproduces classic PVFS

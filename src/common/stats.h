@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
@@ -15,22 +16,27 @@ namespace pvfsib {
 
 class Stats {
  public:
-  void add(const std::string& name, i64 delta = 1) { counters_[name] += delta; }
-  void set(const std::string& name, i64 value) { counters_[name] = value; }
+  // The transparent comparator lets the hot-path bumps look up the
+  // stat::k* string literals without constructing a std::string per call;
+  // an allocation only happens the first time a counter name is seen.
+  using CounterMap = std::map<std::string, i64, std::less<>>;
+
+  void add(std::string_view name, i64 delta = 1) { slot(name) += delta; }
+  void set(std::string_view name, i64 value) { slot(name) = value; }
   // High-water-mark counter: keep the largest value ever reported.
-  void set_max(const std::string& name, i64 value) {
-    i64& slot = counters_[name];
-    if (value > slot) slot = value;
+  void set_max(std::string_view name, i64 value) {
+    i64& s = slot(name);
+    if (value > s) s = value;
   }
 
-  i64 get(const std::string& name) const {
+  i64 get(std::string_view name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
   void clear() { counters_.clear(); }
 
-  const std::map<std::string, i64>& counters() const { return counters_; }
+  const CounterMap& counters() const { return counters_; }
 
   // Counters in `*this` minus counters in `base` (missing keys read as 0).
   Stats diff(const Stats& base) const {
@@ -45,7 +51,15 @@ class Stats {
   std::string to_string() const;
 
  private:
-  std::map<std::string, i64> counters_;
+  i64& slot(std::string_view name) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(std::string(name), 0).first;
+    }
+    return it->second;
+  }
+
+  CounterMap counters_;
 };
 
 // Canonical counter names (keep in one place so benches and modules agree).
@@ -75,6 +89,20 @@ inline constexpr const char* kPvfsReply = "pvfs.reply";
 // their counter sets — and therefore their profile tables — seed-identical).
 inline constexpr const char* kPvfsRoundsInflightMax = "pvfs.rounds_inflight_max";
 inline constexpr const char* kPvfsPipelineStalls = "pvfs.pipeline_stalls";
+// Fault plane and recovery (reported only when FaultConfig is non-trivial,
+// so zero-fault runs keep counter sets — and profile tables — identical).
+inline constexpr const char* kFaultRetransmit = "fault.injected.retransmit";
+inline constexpr const char* kFaultLatencySpike = "fault.injected.latency_spike";
+inline constexpr const char* kFaultCompletionError =
+    "fault.injected.completion_error";
+inline constexpr const char* kFaultRnr = "fault.injected.rnr";
+inline constexpr const char* kFaultRequestDrop = "fault.injected.request_drop";
+inline constexpr const char* kFaultReplyDrop = "fault.injected.reply_drop";
+inline constexpr const char* kFaultIodCrash = "fault.injected.iod_crash";
+inline constexpr const char* kFaultIodDownDrop = "fault.injected.iod_down_drop";
+inline constexpr const char* kPvfsRetries = "pvfs.retries";
+inline constexpr const char* kPvfsTimeouts = "pvfs.timeouts";
+inline constexpr const char* kPvfsReplaysDeduped = "pvfs.replays_deduped";
 inline constexpr const char* kAdsSieved = "ads.sieved";
 inline constexpr const char* kAdsSeparate = "ads.separate";
 inline constexpr const char* kAdsExtraBytes = "ads.extra_bytes";

@@ -20,6 +20,8 @@ const char* error_code_name(ErrorCode c) {
       return "PERMISSION_DENIED";
     case ErrorCode::kAlreadyExists:
       return "ALREADY_EXISTS";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

@@ -19,6 +19,7 @@ enum class ErrorCode {
   kFailedPrecondition,
   kPermissionDenied,  // e.g. registering an unallocated page
   kAlreadyExists,
+  kUnavailable,  // transient transport/server failure; safe to retry
   kInternal,
 };
 
@@ -66,6 +67,9 @@ inline Status permission_denied(std::string m) {
 }
 inline Status already_exists(std::string m) {
   return Status(ErrorCode::kAlreadyExists, std::move(m));
+}
+inline Status unavailable(std::string m) {
+  return Status(ErrorCode::kUnavailable, std::move(m));
 }
 inline Status internal_error(std::string m) {
   return Status(ErrorCode::kInternal, std::move(m));

@@ -91,6 +91,7 @@ TransferOutcome NoncontigTransfer::multiple_message(
   out.reg_cost = reg.cost;
   if (!reg.ok()) {
     out.status = reg.status;
+    out.complete = ready + reg.cost;
     return out;
   }
   const TimePoint posted = ready + reg.cost;
@@ -125,6 +126,7 @@ TransferOutcome NoncontigTransfer::pack_unpack(
     now += reg.cost;
     if (!reg.ok()) {
       out.status = reg.status;
+      out.complete = now;
       return out;
     }
     bounce_key = reg.key;
@@ -163,6 +165,7 @@ TransferOutcome NoncontigTransfer::pack_unpack(
                              server.addr + stream_off, server.rkey, now);
       if (!tr.ok()) {
         out.status = tr.status;
+        out.complete = max(tr.complete, now);
         return out;
       }
       now = tr.complete;
@@ -174,6 +177,7 @@ TransferOutcome NoncontigTransfer::pack_unpack(
                             server.addr + stream_off, server.rkey, now);
       if (!tr.ok()) {
         out.status = tr.status;
+        out.complete = max(tr.complete, now);
         return out;
       }
       now = tr.complete;
@@ -216,6 +220,7 @@ TransferOutcome NoncontigTransfer::gather_scatter(
   out.reg_cost = reg.cost;
   if (!reg.ok()) {
     out.status = reg.status;
+    out.complete = ready + reg.cost;
     return out;
   }
   TimePoint now = ready + reg.cost;
@@ -232,6 +237,9 @@ TransferOutcome NoncontigTransfer::gather_scatter(
   client.registrar->release(reg);
   if (!tr.ok()) {
     out.status = tr.status;
+    // The errored WR still completed at a point in time; callers that
+    // retry must not observe a completion before they started.
+    out.complete = max(tr.complete, now);
     return out;
   }
   out.status = Status::ok();

@@ -1,0 +1,117 @@
+#include "fault/injector.h"
+
+namespace pvfsib::fault {
+
+Injector::Injector(const FaultConfig& cfg, Stats* stats)
+    : cfg_(cfg),
+      stats_(stats),
+      enabled_(cfg.enabled()),
+      rng_(cfg.seed),
+      consumed_(cfg.schedule.size(), false) {
+  if (!enabled_ || stats_ == nullptr) return;
+  // Crashes are injected by construction of the schedule, not by a later
+  // draw; count them up front so fault.injected.iod_crash reflects the
+  // schedule even if no request ever lands in a down window.
+  for (const FaultEvent& ev : cfg_.schedule) {
+    if (ev.kind == FaultKind::kIodCrash) stats_->add(stat::kFaultIodCrash);
+  }
+}
+
+Duration Injector::perturb_transfer(TimePoint at, u64 bytes,
+                                    double mib_per_sec) {
+  (void)at;
+  if (!enabled_) return Duration::zero();
+  Duration extra = Duration::zero();
+  if (cfg_.retransmit_rate > 0.0 && rng_.chance(cfg_.retransmit_rate)) {
+    // Corruption/loss on the wire: the RC transport times out and resends,
+    // so the consumer sees success, late.
+    extra += cfg_.retransmit_timeout + transfer_time(bytes, mib_per_sec);
+    if (stats_ != nullptr) stats_->add(stat::kFaultRetransmit);
+  }
+  if (cfg_.latency_spike_rate > 0.0 && rng_.chance(cfg_.latency_spike_rate)) {
+    extra += cfg_.latency_spike;
+    if (stats_ != nullptr) stats_->add(stat::kFaultLatencySpike);
+  }
+  return extra;
+}
+
+bool Injector::completion_error() {
+  if (!enabled_ || cfg_.completion_error_rate <= 0.0) return false;
+  if (!rng_.chance(cfg_.completion_error_rate)) return false;
+  if (stats_ != nullptr) stats_->add(stat::kFaultCompletionError);
+  return true;
+}
+
+bool Injector::rnr() {
+  if (!enabled_ || cfg_.rnr_rate <= 0.0) return false;
+  if (!rng_.chance(cfg_.rnr_rate)) return false;
+  if (stats_ != nullptr) stats_->add(stat::kFaultRnr);
+  return true;
+}
+
+bool Injector::iod_down(u32 iod, TimePoint at) const {
+  for (const FaultEvent& ev : cfg_.schedule) {
+    if (ev.kind == FaultKind::kIodCrash && ev.target == iod && at >= ev.at &&
+        at < ev.at + ev.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Injector::consume_scheduled(FaultKind kind, u32 target, TimePoint at) {
+  for (size_t i = 0; i < cfg_.schedule.size(); ++i) {
+    const FaultEvent& ev = cfg_.schedule[i];
+    if (!consumed_[i] && ev.kind == kind && ev.target == target &&
+        at >= ev.at) {
+      consumed_[i] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Injector::request_lost(u32 iod, TimePoint at) {
+  if (!enabled_) return false;
+  if (iod_down(iod, at)) {
+    if (stats_ != nullptr) stats_->add(stat::kFaultIodDownDrop);
+    return true;
+  }
+  if (consume_scheduled(FaultKind::kDropRequest, iod, at)) {
+    if (stats_ != nullptr) stats_->add(stat::kFaultRequestDrop);
+    return true;
+  }
+  if (cfg_.request_drop_rate > 0.0 && rng_.chance(cfg_.request_drop_rate)) {
+    if (stats_ != nullptr) stats_->add(stat::kFaultRequestDrop);
+    return true;
+  }
+  return false;
+}
+
+bool Injector::reply_lost(u32 iod, TimePoint at) {
+  if (!enabled_) return false;
+  if (iod_down(iod, at)) {
+    if (stats_ != nullptr) stats_->add(stat::kFaultIodDownDrop);
+    return true;
+  }
+  if (consume_scheduled(FaultKind::kDropReply, iod, at)) {
+    if (stats_ != nullptr) stats_->add(stat::kFaultReplyDrop);
+    return true;
+  }
+  if (cfg_.reply_drop_rate > 0.0 && rng_.chance(cfg_.reply_drop_rate)) {
+    if (stats_ != nullptr) stats_->add(stat::kFaultReplyDrop);
+    return true;
+  }
+  return false;
+}
+
+double Injector::disk_factor(u32 iod, TimePoint at) const {
+  if (!enabled_) return 1.0;
+  double factor = 1.0;
+  for (const FaultConfig::DiskDegrade& d : cfg_.disk_degrade) {
+    if (d.iod == iod && at >= d.from && at < d.until) factor *= d.factor;
+  }
+  return factor;
+}
+
+}  // namespace pvfsib::fault

@@ -1,0 +1,87 @@
+// Deterministic, schedule-driven fault injector (the fault plane).
+//
+// One Injector per cluster sits below the fabric, the QPs and the iods and
+// answers "does this message/transfer/server fail right now?". Decisions
+// come from two sources, both pure functions of the FaultConfig:
+//
+//   * explicit (time, target, kind) schedule entries — iod crashes with a
+//     restart delay, one-shot request/reply drops — consumed in order, and
+//   * seeded random draws (common/rng.h) at the configured rates.
+//
+// Because every query happens at a deterministic point of the event
+// engine's total order, the xoshiro stream is consumed identically across
+// runs: a faulty run is exactly as reproducible as a healthy one, which is
+// what makes recovery behaviour unit-testable.
+//
+// The injector also collects fault-domain observability: per-round latency
+// samples (for p99 under faults) and the fault.injected.* counters. With a
+// trivial config enabled() is false and no layer consults the injector at
+// all, keeping zero-fault runs byte-identical to seed.
+#pragma once
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/stats.h"
+
+namespace pvfsib::fault {
+
+class Injector {
+ public:
+  Injector(const FaultConfig& cfg, Stats* stats);
+
+  bool enabled() const { return enabled_; }
+  const FaultConfig& config() const { return cfg_; }
+
+  // --- Fabric hooks ---------------------------------------------------------
+  // Extra cost charged to a transfer of `bytes` at bandwidth `mib_per_sec`
+  // starting at `at`: transport retransmits (timeout + second wire pass)
+  // and per-link latency spikes. Zero when nothing fires.
+  Duration perturb_transfer(TimePoint at, u64 bytes, double mib_per_sec);
+
+  // Should this RDMA work request complete in error? (Surfaced to the
+  // consumer through TransferResult.status as kUnavailable.)
+  bool completion_error();
+
+  // --- QP hooks -------------------------------------------------------------
+  // Force a receiver-not-ready failure on a channel send.
+  bool rnr();
+
+  // --- PVFS round hooks -----------------------------------------------------
+  // Is `iod` crashed (scheduled kIodCrash window) at time `at`?
+  bool iod_down(u32 iod, TimePoint at) const;
+
+  // Does the round request arriving at `iod` at `at` vanish? Combines the
+  // explicit one-shot drops, crash windows and the random drop rate.
+  bool request_lost(u32 iod, TimePoint at);
+  // Does the round reply leaving `iod` at `at` vanish?
+  bool reply_lost(u32 iod, TimePoint at);
+
+  // --- Iod hooks ------------------------------------------------------------
+  // Disk service-time multiplier for `iod` at `at` (1.0 when healthy).
+  double disk_factor(u32 iod, TimePoint at) const;
+
+  // --- Observability --------------------------------------------------------
+  // The client records every recovered/settled round's issue-to-settle
+  // latency here; benches derive tail percentiles from the samples.
+  void note_round_latency(Duration d) { round_latencies_.push_back(d); }
+  const std::vector<Duration>& round_latencies() const {
+    return round_latencies_;
+  }
+
+ private:
+  // Consume the first unconsumed schedule entry of `kind` for `target`
+  // whose time has come; returns true if one fired.
+  bool consume_scheduled(FaultKind kind, u32 target, TimePoint at);
+
+  FaultConfig cfg_;
+  Stats* stats_;
+  bool enabled_;
+  Rng rng_;
+  std::vector<bool> consumed_;  // parallel to cfg_.schedule
+  std::vector<Duration> round_latencies_;
+};
+
+}  // namespace pvfsib::fault

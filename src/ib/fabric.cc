@@ -3,15 +3,20 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/injector.h"
+
 namespace pvfsib::ib {
 
-Fabric::Fabric(const NetParams& params, Stats* stats)
-    : params_(params), stats_(stats) {}
+Fabric::Fabric(const NetParams& params, Stats* stats, fault::Injector* faults)
+    : params_(params), stats_(stats), faults_(faults) {}
 
 TimePoint Fabric::send_control(Hca& src, Hca& dst, u64 bytes, TimePoint ready,
                                ControlKind kind) {
   // Small messages ride the send/recv (channel) path.
-  const Duration wire = transfer_time(bytes, params_.send_bw);
+  Duration wire = transfer_time(bytes, params_.send_bw);
+  if (faults_ != nullptr && faults_->enabled()) {
+    wire += faults_->perturb_transfer(ready, bytes, params_.send_bw);
+  }
   const TimePoint start =
       max(src.nic().earliest_start(ready), dst.nic().earliest_start(ready));
   src.nic().acquire(start, wire);
@@ -72,6 +77,18 @@ TransferResult Fabric::rdma_common(Op op, Hca& local,
     return out;
   }
 
+  if (faults_ != nullptr && faults_->enabled() && faults_->completion_error()) {
+    // The WR was posted and errored on the HCA: no payload moves, no wire
+    // time is occupied, and the consumer sees a retryable failure.
+    out.status = unavailable("work request completed in error (injected)");
+    out.complete = ready + fixed_overheads(op, sges, sges_per_wr);
+    local.cq().push(Completion{next_wr_id_++,
+                               op == Op::kWrite ? Completion::Op::kRdmaWrite
+                                                : Completion::Op::kRdmaRead,
+                               0, out.status, out.complete});
+    return out;
+  }
+
   // Move the payload now; timing is virtual but the bytes are real.
   vmem::AddressSpace& las = local.address_space();
   vmem::AddressSpace& ras = remote.address_space();
@@ -87,7 +104,10 @@ TransferResult Fabric::rdma_common(Op op, Hca& local,
 
   const double bw =
       op == Op::kWrite ? params_.rdma_write_bw : params_.rdma_read_bw;
-  const Duration wire = transfer_time(total, bw);
+  Duration wire = transfer_time(total, bw);
+  if (faults_ != nullptr && faults_->enabled()) {
+    wire += faults_->perturb_transfer(ready, total, bw);
+  }
   const TimePoint start = max(local.nic().earliest_start(ready),
                               remote.nic().earliest_start(ready));
   local.nic().acquire(start, wire);

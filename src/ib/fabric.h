@@ -26,6 +26,10 @@
 #include "ib/verbs.h"
 #include "sim/resource.h"
 
+namespace pvfsib::fault {
+class Injector;
+}
+
 namespace pvfsib::ib {
 
 enum class ControlKind { kRequest, kReply, kInterClient };
@@ -40,7 +44,10 @@ struct TransferResult {
 
 class Fabric {
  public:
-  Fabric(const NetParams& params, Stats* stats);
+  // `faults` (optional) perturbs transfers: retransmit cost, latency
+  // spikes, completion errors. A null or disabled injector is free.
+  Fabric(const NetParams& params, Stats* stats,
+         fault::Injector* faults = nullptr);
 
   // Channel-semantics message (send/recv). Control messages carry protocol
   // headers; their payload is not modeled byte-for-byte, only timed.
@@ -78,6 +85,7 @@ class Fabric {
   }
 
   const NetParams& params() const { return params_; }
+  fault::Injector* injector() { return faults_; }
 
  private:
   enum class Op { kWrite, kRead };
@@ -90,6 +98,7 @@ class Fabric {
 
   NetParams params_;
   Stats* stats_;
+  fault::Injector* faults_;
   u64 next_wr_id_ = 1;
 };
 

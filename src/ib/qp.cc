@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/injector.h"
+
 namespace pvfsib::ib {
 
 QueuePair::QueuePair(Hca& local, Fabric& fabric, u32 sq_depth, u32 rq_depth)
@@ -43,6 +45,13 @@ QueuePair::SendResult QueuePair::post_send(u64 wr_id,
 
   u64 total = 0;
   for (const Sge& s : sges) total += s.length;
+  fault::Injector* inj = fabric_.injector();
+  if (inj != nullptr && inj->enabled() && inj->rnr()) {
+    // Forced receiver-not-ready: the peer's receive stays posted (the
+    // NAK fired before any buffer was consumed) and the sender retries.
+    out.status = resource_exhausted("receiver not ready (injected RNR)");
+    return out;
+  }
   if (peer_->recv_queue_.empty()) {
     // Receiver not ready. RC hardware would retry then error the QP; the
     // model surfaces it immediately.

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/injector.h"
 #include "sim/trace.h"
 
 namespace pvfsib::pvfs {
@@ -35,6 +36,15 @@ struct Client::OpState {
     u32 inflight = 0;       // issued rounds whose reply has not arrived
     bool stalled = false;   // wire cleared but the window was full
     TimePoint blocked_since = TimePoint::origin();
+    // Slot-reuse guard: round k lands in staging slot k mod window, so
+    // round k may only be issued once round k - window settled. Under
+    // recovery rounds can settle out of order; `floor` is the length of
+    // the consecutive settled prefix and issuance requires
+    // next_issue < floor + window. With in-order settling (the only
+    // possibility when the fault plane is off) this is exactly the
+    // inflight < window check.
+    std::vector<bool> settled_rounds;
+    size_t floor = 0;
   };
   std::vector<Chain> chains;
   core::OgrOutcome prereg;  // op-wide buffer registration
@@ -46,11 +56,12 @@ struct Client::OpState {
   Status status;
   bool failed = false;
   IoPhases phases;
+  u32 retries = 0;  // recovery retries accumulated across all rounds
 };
 
 Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
                ib::Fabric& fabric, Manager& manager, std::vector<Iod*> iods,
-               Stats* stats)
+               Stats* stats, fault::Injector* faults)
     : id_(id),
       cfg_(cfg),
       engine_(engine),
@@ -58,6 +69,7 @@ Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
       manager_(manager),
       iods_(std::move(iods)),
       stats_(stats),
+      faults_(faults),
       hca_(client_name(id), as_, cfg.reg, stats),
       cache_(hca_),
       registrar_(cache_, cfg.os, core::OgrConfig{}, stats),
@@ -246,6 +258,9 @@ void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
                                       cfg_.pvfs.staging_buffer));
   }
   op->chains.resize(subs.size());
+  for (size_t k = 0; k < subs.size(); ++k) {
+    op->chains[k].settled_rounds.resize(op->rounds[k].size(), false);
+  }
   op->pending = static_cast<u32>(subs.size());
   assert(op->pending > 0);
   for (u32 k = 0; k < op->pending; ++k) {
@@ -255,20 +270,31 @@ void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
 
 // --- Round chains ---------------------------------------------------------
 
+bool Client::faulty() const {
+  return faults_ != nullptr && faults_->enabled();
+}
+
 void Client::issue_round(std::shared_ptr<OpState> op, u32 iod_idx,
                          TimePoint t) {
   OpState::Chain& ch = op->chains[iod_idx];
   assert(ch.next_issue < op->rounds[iod_idx].size());
   assert(ch.inflight < op->window);
+  assert(ch.next_issue < ch.floor + op->window);
   const size_t round_idx = ch.next_issue++;
   ++ch.inflight;
   if (op->window > 1 && stats_ != nullptr) {
     stats_->set_max(stat::kPvfsRoundsInflightMax, ch.inflight);
   }
+  std::shared_ptr<RoundTry> tr;
+  if (faulty()) {
+    tr = std::make_shared<RoundTry>();
+    tr->seq = next_round_seq_++;
+    tr->first_issue = t;
+  }
   if (op->is_write) {
-    run_write_round(op, iod_idx, round_idx, t);
+    run_write_round(op, iod_idx, round_idx, t, std::move(tr));
   } else {
-    run_read_round(op, iod_idx, round_idx, t);
+    run_read_round(op, iod_idx, round_idx, t, std::move(tr));
   }
 }
 
@@ -276,9 +302,10 @@ void Client::wire_cleared(std::shared_ptr<OpState> op, u32 iod_idx,
                           TimePoint t) {
   OpState::Chain& ch = op->chains[iod_idx];
   if (op->failed || ch.next_issue >= op->rounds[iod_idx].size()) return;
-  if (ch.inflight >= op->window) {
-    // Window full: remember the stall; round_done() issues on the next
-    // reply and charges the blocked time to IoPhases::stall.
+  if (ch.inflight >= op->window || ch.next_issue >= ch.floor + op->window) {
+    // Window full (or the next slot's previous occupant has not settled):
+    // remember the stall; round_done() issues on the next reply and
+    // charges the blocked time to IoPhases::stall.
     if (!ch.stalled) {
       ch.stalled = true;
       ch.blocked_since = t;
@@ -288,11 +315,16 @@ void Client::wire_cleared(std::shared_ptr<OpState> op, u32 iod_idx,
   issue_round(op, iod_idx, t);
 }
 
-void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t,
-                        Status status) {
+void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx,
+                        size_t round_idx, TimePoint t, Status status) {
   OpState::Chain& ch = op->chains[iod_idx];
   assert(ch.inflight > 0);
   --ch.inflight;
+  assert(round_idx < ch.settled_rounds.size());
+  ch.settled_rounds[round_idx] = true;
+  while (ch.floor < ch.settled_rounds.size() && ch.settled_rounds[ch.floor]) {
+    ++ch.floor;
+  }
   if (!status.is_ok() && !op->failed) {
     op->failed = true;
     op->status = status;
@@ -301,8 +333,13 @@ void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t,
   // At window 1 replies are the only issuance trigger (classic lockstep
   // PVFS). At wider windows issuance normally rides the wire-cleared
   // trigger; a reply only issues when that trigger already fired into a
-  // full window (the chain is stalled).
-  if (more && ch.inflight < op->window && (op->window == 1 || ch.stalled)) {
+  // full window (the chain is stalled). Under an active fault plane
+  // rounds settle out of order, so a settle is also allowed to issue
+  // directly — the wire-cleared trigger for the freed slot may be long
+  // gone.
+  if (more && ch.inflight < op->window &&
+      ch.next_issue < ch.floor + op->window &&
+      (op->window == 1 || ch.stalled || faulty())) {
     if (ch.stalled) {
       ch.stalled = false;
       op->phases.stall += t - ch.blocked_since;
@@ -326,6 +363,7 @@ void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t,
     result.start = op->start;
     result.end = op->max_end;
     result.phases = op->phases;
+    result.retries = op->retries;
     sim::Trace::instance().emitf(
         result.end, hca_.name(), "%s op complete: %llu B in %s",
         op->is_write ? "write" : "read",
@@ -335,18 +373,111 @@ void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t,
   }
 }
 
+// --- Recovery -------------------------------------------------------------
+
+void Client::arm_round_timer(std::shared_ptr<OpState> op, u32 iod_idx,
+                             size_t round_idx, std::shared_ptr<RoundTry> tr,
+                             TimePoint t) {
+  const TimePoint deadline = t + faults_->config().round_timeout;
+  tr->timer_armed = true;
+  tr->timer_id =
+      engine_.schedule_at(deadline, [this, op, iod_idx, round_idx, tr] {
+        tr->timer_armed = false;
+        if (tr->settled) return;
+        if (stats_ != nullptr) stats_->add(stat::kPvfsTimeouts);
+        sim::Trace::instance().emitf(
+            engine_.now(), hca_.name(),
+            "iod%u round %zu attempt %u timed out", op->iod_ids[iod_idx],
+            round_idx + 1, tr->attempts);
+        retry_or_fail(op, iod_idx, round_idx, tr, engine_.now(),
+                      unavailable("round timed out waiting for reply"));
+      });
+}
+
+void Client::settle_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                          size_t round_idx, std::shared_ptr<RoundTry> tr,
+                          TimePoint t, Status status) {
+  if (tr != nullptr) {
+    if (tr->settled) return;  // a concurrent attempt already settled it
+    tr->settled = true;
+    if (tr->timer_armed) {
+      engine_.cancel(tr->timer_id);
+      tr->timer_armed = false;
+    }
+    op->retries += tr->attempts - 1;
+    if (faulty()) faults_->note_round_latency(t - tr->first_issue);
+  }
+  round_done(op, iod_idx, round_idx, t, std::move(status));
+}
+
+void Client::fail_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                        size_t round_idx, std::shared_ptr<RoundTry> tr,
+                        TimePoint t, Status why) {
+  if (tr != nullptr) {
+    retry_or_fail(op, iod_idx, round_idx, tr, t, std::move(why));
+  } else {
+    round_done(op, iod_idx, round_idx, t, std::move(why));
+  }
+}
+
+void Client::retry_or_fail(std::shared_ptr<OpState> op, u32 iod_idx,
+                           size_t round_idx, std::shared_ptr<RoundTry> tr,
+                           TimePoint t, Status why) {
+  if (tr->settled) return;
+  if (tr->timer_armed) {
+    engine_.cancel(tr->timer_id);
+    tr->timer_armed = false;
+  }
+  const FaultConfig& fc = faults_->config();
+  const bool retryable = why.code() == ErrorCode::kUnavailable ||
+                         why.code() == ErrorCode::kResourceExhausted;
+  if (!retryable || tr->attempts - 1 >= fc.max_retries) {
+    Status terminal =
+        retryable ? unavailable("round failed after " +
+                                std::to_string(tr->attempts - 1) +
+                                " retries: " + why.message())
+                  : std::move(why);
+    settle_round(op, iod_idx, round_idx, tr, t, std::move(terminal));
+    return;
+  }
+  if (stats_ != nullptr) stats_->add(stat::kPvfsRetries);
+  // Exponential backoff, capped: base * mult^(retry - 1).
+  Duration backoff = fc.backoff_base;
+  for (u32 i = 1; i < tr->attempts && backoff < fc.backoff_cap; ++i) {
+    backoff = backoff * fc.backoff_mult;
+  }
+  backoff = min(backoff, fc.backoff_cap);
+  ++tr->attempts;
+  sim::Trace::instance().emitf(
+      t, hca_.name(), "iod%u round %zu retry %u in %s (%s)",
+      op->iod_ids[iod_idx], round_idx + 1, tr->attempts - 1,
+      backoff.to_string().c_str(), why.message().c_str());
+  engine_.schedule_at(t + backoff, [this, op, iod_idx, round_idx, tr] {
+    if (tr->settled) return;
+    if (op->is_write) {
+      run_write_round(op, iod_idx, round_idx, engine_.now(), tr);
+    } else {
+      run_read_round(op, iod_idx, round_idx, engine_.now(), tr);
+    }
+  });
+}
+
 // --- Write rounds --------------------------------------------------------
 
 void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
-                             size_t round_idx, TimePoint t0) {
+                             size_t round_idx, TimePoint t0,
+                             std::shared_ptr<RoundTry> tr) {
+  if (tr != nullptr) arm_round_timer(op, iod_idx, round_idx, tr, t0);
   t0 += cfg_.pvfs.client_request_cpu;
   const Round& r = op->rounds[iod_idx][round_idx];
-  Iod& iod = *iods_[op->iod_ids[iod_idx]];
+  const u32 iod_id = op->iod_ids[iod_idx];
+  Iod& iod = *iods_[iod_id];
 
   RoundRequest rr;
   rr.handle = op->file.meta.handle;
   rr.client = id_;
   rr.slot = static_cast<u32>(round_idx % op->window);
+  rr.round_seq = tr != nullptr ? tr->seq : 0;
   rr.is_write = true;
   rr.sync = op->opts.sync;
   rr.use_ads = op->opts.use_ads;
@@ -358,6 +489,10 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
       r.accesses.size() * cfg_.pvfs.list_pair_wire_bytes;
   const TimePoint t_req = fabric_.send_control(hca_, iod.hca(), req_bytes, t0,
                                                ib::ControlKind::kRequest);
+  // Fault plane: the request may vanish (random drop, scheduled drop, or
+  // a crashed iod). The wire time was spent; nothing downstream happens
+  // and the round timer drives the replay.
+  const bool req_lost = tr != nullptr && faults_->request_lost(iod_id, t_req);
 
   const auto& pol = op->opts.policy;
   const bool eager =
@@ -369,6 +504,13 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
       op->iod_ids[iod_idx], round_idx + 1, op->rounds[iod_idx].size(),
       r.accesses.size(), static_cast<unsigned long long>(r.bytes),
       eager ? "fast-rdma eager" : "rendezvous");
+  if (req_lost && !eager) {
+    // Rendezvous: the iod never saw the request, so no ack ever comes.
+    sim::Trace::instance().emitf(t_req, hca_.name(),
+                                 "-> iod%u round %zu request lost", iod_id,
+                                 round_idx + 1);
+    return;
+  }
 
   core::TransferOutcome push;
   TimePoint push_start;
@@ -382,6 +524,18 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
     push = xfer_.push(ep_, r.mem, iod.staging(id_, rr.slot), t0, p);
     push_start = t0;
     data_ready = max(push.complete, t_req);
+    if (req_lost) {
+      // The eager data rode along with the lost request; the client still
+      // paid for the push but the iod never services the round.
+      if (push.ok()) {
+        op->phases.registration += push.reg_cost;
+        op->phases.wire += (push.complete - push_start) - push.reg_cost;
+      }
+      sim::Trace::instance().emitf(t_req, hca_.name(),
+                                   "-> iod%u round %zu request lost", iod_id,
+                                   round_idx + 1);
+      return;
+    }
   } else {
     // Rendezvous: the iod acknowledges buffer availability, then the client
     // pushes with the configured scheme.
@@ -393,15 +547,25 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
     data_ready = push.complete;
   }
   if (!push.ok()) {
-    round_done(op, iod_idx, data_ready, push.status);
+    fail_round(op, iod_idx, round_idx, tr, data_ready, push.status);
     return;
   }
   op->phases.registration += push.reg_cost;
   op->phases.wire += (push.complete - push_start) - push.reg_cost;
 
   // Server disk phase begins when the data has landed.
-  engine_.schedule_at(data_ready, [this, op, iod_idx, rr = std::move(rr),
-                                   &iod, data_ready] {
+  engine_.schedule_at(data_ready, [this, op, iod_idx, round_idx, tr,
+                                   rr = std::move(rr), &iod, iod_id,
+                                   data_ready] {
+    if (tr != nullptr && faults_->iod_down(iod_id, data_ready)) {
+      // The iod crashed between accepting the request and the data
+      // landing: the round dies on the server floor; the timer replays it.
+      if (stats_ != nullptr) stats_->add(stat::kFaultIodDownDrop);
+      sim::Trace::instance().emitf(data_ready, hca_.name(),
+                                   "iod%u down, round %zu data dropped",
+                                   iod_id, round_idx + 1);
+      return;
+    }
     Duration disk_cost = Duration::zero();
     const TimePoint t_disk = iod.write_round(
         rr, data_ready + cfg_.pvfs.iod_request_cpu, &disk_cost);
@@ -410,8 +574,17 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
     const TimePoint t_reply =
         fabric_.send_control(iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
                              t_disk, ib::ControlKind::kReply);
-    engine_.schedule_at(t_reply, [this, op, iod_idx, t_reply] {
-      round_done(op, iod_idx, t_reply, Status::ok());
+    if (tr != nullptr && faults_->reply_lost(iod_id, t_disk)) {
+      // The write applied but its ack vanished; the replay is recognised
+      // by round_seq at the iod and acked without re-running the disk.
+      sim::Trace::instance().emitf(t_disk, hca_.name(),
+                                   "iod%u round %zu reply lost", iod_id,
+                                   round_idx + 1);
+      return;
+    }
+    engine_.schedule_at(t_reply, [this, op, iod_idx, round_idx, tr,
+                                  t_reply] {
+      settle_round(op, iod_idx, round_idx, tr, t_reply, Status::ok());
     });
   });
   // With the data phase off the wire, the client NIC is free: a wider
@@ -427,15 +600,19 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
 // --- Read rounds -----------------------------------------------------
 
 void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
-                            size_t round_idx, TimePoint t0) {
+                            size_t round_idx, TimePoint t0,
+                            std::shared_ptr<RoundTry> tr) {
+  if (tr != nullptr) arm_round_timer(op, iod_idx, round_idx, tr, t0);
   t0 += cfg_.pvfs.client_request_cpu;
   const Round& r = op->rounds[iod_idx][round_idx];
-  Iod& iod = *iods_[op->iod_ids[iod_idx]];
+  const u32 iod_id = op->iod_ids[iod_idx];
+  Iod& iod = *iods_[iod_id];
 
   RoundRequest rr;
   rr.handle = op->file.meta.handle;
   rr.client = id_;
   rr.slot = static_cast<u32>(round_idx % op->window);
+  rr.round_seq = tr != nullptr ? tr->seq : 0;
   rr.is_write = false;
   rr.sync = op->opts.sync;
   rr.use_ads = op->opts.use_ads;
@@ -465,7 +642,7 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
     // Pin the single destination buffer and ship its rkey in the request.
     ib::MrCache::Lookup lk = cache_.acquire(r.mem[0].addr, r.mem[0].length);
     if (!lk.ok()) {
-      round_done(op, iod_idx, t_client, lk.status);
+      fail_round(op, iod_idx, round_idx, tr, t_client, lk.status);
       return;
     }
     t_client += lk.cost;
@@ -481,16 +658,35 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
       r.accesses.size() * cfg_.pvfs.list_pair_wire_bytes;
   const TimePoint t_req = fabric_.send_control(
       hca_, iod.hca(), req_bytes, t_client, ib::ControlKind::kRequest);
+  if (tr != nullptr && faults_->request_lost(iod_id, t_req)) {
+    // The iod never sees the read round; the timer drives the replay,
+    // which pins its own destination key.
+    if (release_key != 0) cache_.release(release_key);
+    sim::Trace::instance().emitf(t_req, hca_.name(),
+                                 "-> iod%u round %zu request lost", iod_id,
+                                 round_idx + 1);
+    return;
+  }
 
-  engine_.schedule_at(t_req, [this, op, iod_idx, rr = std::move(rr),
-                              &iod, t_req, path, dest, rkey, release_key,
+  engine_.schedule_at(t_req, [this, op, iod_idx, round_idx, tr,
+                              rr = std::move(rr), &iod, iod_id, t_req, path,
+                              dest, rkey, release_key,
                               r = &op->rounds[iod_idx][round_idx]] {
     const TimePoint t_svc = t_req + cfg_.pvfs.iod_request_cpu;
     Iod::ReadService svc = iod.read_round(rr, t_svc, path, &hca_, dest, rkey);
     if (stats_ != nullptr) stats_->add(stat::kPvfsReply);
     if (!svc.ok()) {
       if (release_key != 0) cache_.release(release_key);
-      round_done(op, iod_idx, svc.ready, svc.status);
+      fail_round(op, iod_idx, round_idx, tr, svc.ready, svc.status);
+      return;
+    }
+    if (tr != nullptr && faults_->reply_lost(iod_id, svc.ready)) {
+      // The return leg (data push completion or ready ack) vanished;
+      // reads are naturally idempotent, so the replay just re-reads.
+      if (release_key != 0) cache_.release(release_key);
+      sim::Trace::instance().emitf(svc.ready, hca_.name(),
+                                   "iod%u round %zu reply lost", iod_id,
+                                   round_idx + 1);
       return;
     }
     op->phases.disk += svc.disk_cost;
@@ -506,17 +702,18 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
         op->phases.wire +=
             (svc.ready - t_svc) - svc.disk_cost + cfg_.mem.copy_cost(off);
         const TimePoint t_done = svc.ready + cfg_.mem.copy_cost(off);
-        engine_.schedule_at(t_done, [this, op, iod_idx, t_done] {
-          round_done(op, iod_idx, t_done, Status::ok());
+        engine_.schedule_at(t_done, [this, op, iod_idx, round_idx, tr,
+                                     t_done] {
+          settle_round(op, iod_idx, round_idx, tr, t_done, Status::ok());
         });
         break;
       }
       case ReadReturn::kDirectGather: {
         op->phases.wire += (svc.ready - t_svc) - svc.disk_cost;
-        engine_.schedule_at(svc.ready, [this, op, iod_idx, release_key,
-                                        t = svc.ready] {
+        engine_.schedule_at(svc.ready, [this, op, iod_idx, round_idx, tr,
+                                        release_key, t = svc.ready] {
           if (release_key != 0) cache_.release(release_key);
-          round_done(op, iod_idx, t, Status::ok());
+          settle_round(op, iod_idx, round_idx, tr, t, Status::ok());
         });
         break;
       }
@@ -526,8 +723,8 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
         const TimePoint ack = fabric_.send_control(
             iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes, svc.ready,
             ib::ControlKind::kReply);
-        engine_.schedule_at(ack, [this, op, iod_idx, &iod, ack, r,
-                                  slot = rr.slot] {
+        engine_.schedule_at(ack, [this, op, iod_idx, round_idx, tr, &iod,
+                                  ack, r, slot = rr.slot] {
           core::TransferOutcome pull =
               xfer_.pull(ep_, r->mem, iod.staging(id_, slot), ack,
                          op->opts.policy);
@@ -536,9 +733,13 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
             op->phases.wire += (pull.complete - ack) - pull.reg_cost;
           }
           const TimePoint t_done = pull.complete;
-          engine_.schedule_at(t_done, [this, op, iod_idx, t_done,
-                                       st = pull.status] {
-            round_done(op, iod_idx, t_done, st);
+          engine_.schedule_at(t_done, [this, op, iod_idx, round_idx, tr,
+                                       t_done, st = pull.status] {
+            if (st.is_ok()) {
+              settle_round(op, iod_idx, round_idx, tr, t_done, st);
+            } else {
+              fail_round(op, iod_idx, round_idx, tr, t_done, st);
+            }
           });
         });
         break;

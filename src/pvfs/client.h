@@ -43,6 +43,10 @@
 #include "sim/engine.h"
 #include "vmem/address_space.h"
 
+namespace pvfsib::fault {
+class Injector;
+}
+
 namespace pvfsib::pvfs {
 
 struct OpenFile {
@@ -111,12 +115,17 @@ struct IoResult {
   TimePoint start = TimePoint::origin();
   TimePoint end = TimePoint::origin();
   IoPhases phases;
+  // Round retries the recovery layer spent on this operation (0 on a clean
+  // run; only ever nonzero when a fault plane is active).
+  u32 retries = 0;
 
   Duration elapsed() const { return end - start; }
   double bandwidth_mib() const {
     return pvfsib::bandwidth_mib(bytes, elapsed());
   }
   bool ok() const { return status.is_ok(); }
+  // Completed correctly, but only after surviving injected faults.
+  bool recovered() const { return ok() && retries > 0; }
 };
 
 using IoCallback = std::function<void(IoResult)>;
@@ -170,7 +179,7 @@ class Client {
  public:
   Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
          ib::Fabric& fabric, Manager& manager, std::vector<Iod*> iods,
-         Stats* stats);
+         Stats* stats, fault::Injector* faults = nullptr);
 
   // --- Metadata --------------------------------------------------------
   Result<OpenFile> create(const std::string& name);
@@ -228,6 +237,18 @@ class Client {
     u64 bytes = 0;
   };
   struct OpState;  // shared per-operation bookkeeping
+  // Recovery state of one round across its attempts (fault mode only; a
+  // null RoundTry means the fault plane is off and rounds cannot fail
+  // transiently). Shared between the attempt's event chain and the armed
+  // timeout timer; `settled` makes late duplicate completions harmless.
+  struct RoundTry {
+    u64 seq = 0;         // round_seq stamped once, reused on every replay
+    u32 attempts = 1;    // attempts started (1 = first try)
+    bool settled = false;
+    bool timer_armed = false;
+    sim::Engine::TimerId timer_id = 0;
+    TimePoint first_issue = TimePoint::origin();
+  };
 
   void start_op(const OpenFile& file, const core::ListIoRequest& req,
                 const IoOptions& opts, TimePoint start, bool is_write,
@@ -238,14 +259,36 @@ class Client {
   // outstanding-round window has room, else record the stall.
   void wire_cleared(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t);
   void run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
-                       size_t round_idx, TimePoint t0);
+                       size_t round_idx, TimePoint t0,
+                       std::shared_ptr<RoundTry> tr);
   void run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
-                      size_t round_idx, TimePoint t0);
-  // A round finished (reply received / data delivered / failed) at `t`.
-  void round_done(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t,
-                  Status status);
+                      size_t round_idx, TimePoint t0,
+                      std::shared_ptr<RoundTry> tr);
+  // Arm the per-round timeout for the attempt starting at `t`.
+  void arm_round_timer(std::shared_ptr<OpState> op, u32 iod_idx,
+                       size_t round_idx, std::shared_ptr<RoundTry> tr,
+                       TimePoint t);
+  // A round completed successfully (or terminally) at `t`: cancel its
+  // timer, record recovery stats, and feed round_done. Idempotent per
+  // round — late duplicate completions after a replay are ignored.
+  void settle_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                    size_t round_idx, std::shared_ptr<RoundTry> tr,
+                    TimePoint t, Status status);
+  // An attempt failed with `why` at `t`: retry with backoff if the error
+  // is transient and budget remains, else settle the round terminally.
+  void retry_or_fail(std::shared_ptr<OpState> op, u32 iod_idx,
+                     size_t round_idx, std::shared_ptr<RoundTry> tr,
+                     TimePoint t, Status why);
+  // Route a failed attempt: recovery path when `tr` exists, terminal
+  // round_done otherwise.
+  void fail_round(std::shared_ptr<OpState> op, u32 iod_idx, size_t round_idx,
+                  std::shared_ptr<RoundTry> tr, TimePoint t, Status why);
+  // A round left the window (settled) at `t`.
+  void round_done(std::shared_ptr<OpState> op, u32 iod_idx, size_t round_idx,
+                  TimePoint t, Status status);
   static std::vector<Round> split_rounds(const core::ServerSubRequest& sub,
                                          u64 max_pairs, u64 max_bytes);
+  bool faulty() const;
 
   u32 id_;
   ModelConfig cfg_;
@@ -254,7 +297,11 @@ class Client {
   Manager& manager_;
   std::vector<Iod*> iods_;
   Stats* stats_;
+  fault::Injector* faults_;
   std::optional<core::TransferPolicy> default_policy_;
+  // Next round_seq to stamp (client-wide counter; strictly increasing, so
+  // every (client, slot) subsequence is strictly increasing too).
+  u64 next_round_seq_ = 1;
 
   vmem::AddressSpace as_;
   ib::Hca hca_;

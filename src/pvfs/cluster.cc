@@ -4,19 +4,21 @@ namespace pvfsib::pvfs {
 
 Cluster::Cluster(const ModelConfig& cfg, u32 client_count, u32 iod_count)
     : cfg_(cfg) {
-  fabric_ = std::make_unique<ib::Fabric>(cfg.net, &stats_);
+  faults_ = std::make_unique<fault::Injector>(cfg.fault, &stats_);
+  fabric_ = std::make_unique<ib::Fabric>(cfg.net, &stats_, faults_.get());
   manager_ = std::make_unique<Manager>(cfg, *fabric_, &stats_);
   iods_.reserve(iod_count);
   for (u32 i = 0; i < iod_count; ++i) {
-    iods_.push_back(
-        std::make_unique<Iod>(i, client_count, cfg, *fabric_, &stats_));
+    iods_.push_back(std::make_unique<Iod>(i, client_count, cfg, *fabric_,
+                                          &stats_, faults_.get()));
   }
   std::vector<Iod*> iod_ptrs;
   for (auto& iod : iods_) iod_ptrs.push_back(iod.get());
   clients_.reserve(client_count);
   for (u32 c = 0; c < client_count; ++c) {
-    clients_.push_back(std::make_unique<Client>(
-        c, cfg, engine_, *fabric_, *manager_, iod_ptrs, &stats_));
+    clients_.push_back(std::make_unique<Client>(c, cfg, engine_, *fabric_,
+                                                *manager_, iod_ptrs, &stats_,
+                                                faults_.get()));
   }
 }
 

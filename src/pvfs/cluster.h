@@ -9,6 +9,7 @@
 
 #include "common/config.h"
 #include "common/stats.h"
+#include "fault/injector.h"
 #include "ib/fabric.h"
 #include "pvfs/client.h"
 #include "pvfs/iod.h"
@@ -26,6 +27,7 @@ class Cluster {
   Manager& manager() { return *manager_; }
   sim::Engine& engine() { return engine_; }
   ib::Fabric& fabric() { return *fabric_; }
+  fault::Injector& faults() { return *faults_; }
   Stats& stats() { return stats_; }
   const ModelConfig& config() const { return cfg_; }
   u32 client_count() const { return static_cast<u32>(clients_.size()); }
@@ -51,6 +53,8 @@ class Cluster {
   ModelConfig cfg_;
   Stats stats_;
   sim::Engine engine_;
+  // Declared before the fabric/iods/clients that hold raw pointers to it.
+  std::unique_ptr<fault::Injector> faults_;
   std::unique_ptr<ib::Fabric> fabric_;
   std::unique_ptr<Manager> manager_;
   std::vector<std::unique_ptr<Iod>> iods_;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/injector.h"
 #include "sim/trace.h"
 
 namespace pvfsib::pvfs {
@@ -13,11 +14,12 @@ std::string iod_name(u32 id) { return "iod" + std::to_string(id); }
 }  // namespace
 
 Iod::Iod(u32 id, u32 client_count, const ModelConfig& cfg, ib::Fabric& fabric,
-         Stats* stats)
+         Stats* stats, fault::Injector* faults)
     : id_(id),
       cfg_(cfg),
       fabric_(fabric),
       stats_(stats),
+      faults_(faults),
       hca_(iod_name(id), as_, cfg.reg, stats),
       fs_(iod_name(id), cfg.disk, cfg.fs, stats),
       disk_queue_(iod_name(id) + ".disk"),
@@ -55,6 +57,18 @@ Duration Iod::remove_file(Handle h) {
   const Duration cost = fs_.file(it->second).purge();
   files_.erase(it);
   return cost;
+}
+
+Duration Iod::disk_scaled(Duration cost, TimePoint at) const {
+  if (faults_ == nullptr || !faults_->enabled()) return cost;
+  return cost * faults_->disk_factor(id_, at);
+}
+
+bool Iod::already_applied(u32 client, u32 slot, u64 seq) {
+  u64& high = applied_seq_[{client, slot}];
+  if (seq <= high) return true;
+  high = seq;
+  return false;
 }
 
 core::StagingBuffer& Iod::staging(u32 client, u32 slot) {
@@ -133,6 +147,17 @@ Iod::DiskPhase Iod::write_disk_phase(const RoundRequest& r,
 
 TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
                            Duration* disk_cost) {
+  if (r.round_seq != 0 && already_applied(r.client, r.slot, r.round_seq)) {
+    // Replay of a round whose reply was lost: the disk phase already ran,
+    // so ack without re-applying (idempotent replay).
+    if (stats_ != nullptr) stats_->add(stat::kPvfsReplaysDeduped);
+    sim::Trace::instance().emitf(
+        data_ready, hca_.name(), "write round h%llu slot%u seq%llu: replay, %s",
+        static_cast<unsigned long long>(r.handle), r.slot,
+        static_cast<unsigned long long>(r.round_seq), "acked without reapply");
+    if (disk_cost != nullptr) *disk_cost = Duration::zero();
+    return data_ready;
+  }
   const core::StagingBuffer& sb = staging(r.client, r.slot);
   assert(r.bytes() <= sb.size);
   const std::span<const std::byte> stream =
@@ -142,6 +167,7 @@ TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
   // arrive in data-phase order), so the RMW range lock can never conflict;
   // a failure here is a protocol bug.
   assert(phase.status.is_ok());
+  phase.cost = disk_scaled(phase.cost, data_ready);
   if (disk_cost != nullptr) *disk_cost = phase.cost;
   return disk_queue_.acquire(data_ready, phase.cost);
 }
@@ -194,6 +220,7 @@ Iod::ReadService Iod::read_round(const RoundRequest& r, TimePoint start,
   if (!sieve) {
     // Access-by-access, packing straight into the staging buffer.
     DiskPhase phase = read_separate_phase(r, sb.addr);
+    phase.cost = disk_scaled(phase.cost, start);
     svc.disk_cost = phase.cost;
     const TimePoint data_at = disk_queue_.acquire(start, phase.cost);
     switch (path) {
@@ -227,6 +254,7 @@ Iod::ReadService Iod::read_round(const RoundRequest& r, TimePoint start,
     if (rd.value < w.span.length) {
       std::memset(sieve_buf + rd.value, 0, w.span.length - rd.value);
     }
+    rd.cost = disk_scaled(rd.cost, disk_done);
     svc.disk_cost += rd.cost;
     disk_done = disk_queue_.acquire(disk_done, rd.cost);
 

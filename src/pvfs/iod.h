@@ -23,12 +23,18 @@
 #include "sim/resource.h"
 #include "vmem/address_space.h"
 
+namespace pvfsib::fault {
+class Injector;
+}
+
 namespace pvfsib::pvfs {
 
 class Iod {
  public:
+  // `faults` (optional) contributes degraded-disk slowdown windows; crash
+  // windows are enforced at the client (requests to a down iod are lost).
   Iod(u32 id, u32 client_count, const ModelConfig& cfg, ib::Fabric& fabric,
-      Stats* stats);
+      Stats* stats, fault::Injector* faults = nullptr);
 
   // Local stripe file for a handle, created on first use.
   disk::LocalFile& file(Handle h);
@@ -100,10 +106,18 @@ class Iod {
   // into staging(client) and return the cost.
   DiskPhase read_separate_phase(const RoundRequest& r, u64 staging_addr);
 
+  // `cost` stretched by the fault plane's degraded-disk factor at `at`.
+  Duration disk_scaled(Duration cost, TimePoint at) const;
+
+  // Has the write round carrying `seq` already been applied on `slot` of
+  // `client`'s connection? Updates the high-water mark when new.
+  bool already_applied(u32 client, u32 slot, u64 seq);
+
   u32 id_;
   ModelConfig cfg_;
   ib::Fabric& fabric_;
   Stats* stats_;
+  fault::Injector* faults_;
   vmem::AddressSpace as_;
   ib::Hca hca_;
   disk::LocalFs fs_;
@@ -117,6 +131,9 @@ class Iod {
   u64 sieve_addr_ = 0;  // sieve buffer (RMW scratch), registered
   u32 sieve_key_ = 0;
   std::map<Handle, u32> files_;  // handle -> local fd
+  // Highest applied round_seq per (client, slot): the replay-dedupe log.
+  // Kept as if durable (a crash-restarted iod still recognises replays).
+  std::map<std::pair<u32, u32>, u64> applied_seq_;
 };
 
 }  // namespace pvfsib::pvfs

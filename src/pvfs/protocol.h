@@ -35,6 +35,12 @@ struct RoundRequest {
   // per iod and each must land in its own buffer; round k uses slot
   // k mod W, so a slot is only reused after its previous round replied.
   u32 slot = 0;
+  // Per-slot round sequence number (client-assigned, strictly increasing
+  // per (client, slot) chain; 0 = unsequenced). Makes write rounds
+  // idempotently replayable: when a reply is lost and the client replays
+  // the round, the iod recognises an already-applied sequence number and
+  // acks without re-running the disk phase.
+  u64 round_seq = 0;
   bool is_write = false;
   bool sync = false;       // fsync before replying (write) / O_DIRECT-ish
   bool use_ads = true;     // server may data-sieve if its model agrees

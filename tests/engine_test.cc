@@ -88,6 +88,65 @@ TEST(Resource, EarliestStartDoesNotReserve) {
   EXPECT_EQ(r.busy_until().as_us(), 10.0);  // unchanged by the query
 }
 
+// --- Cancellable timers -------------------------------------------------
+
+TEST(Engine, CancelledTimerNeverRunsNorAdvancesClock) {
+  Engine eng;
+  bool ran = false;
+  int others = 0;
+  const Engine::TimerId id =
+      eng.schedule_at(TimePoint::origin() + Duration::us(100),
+                      [&] { ran = true; });
+  eng.schedule_at(TimePoint::origin() + Duration::us(50), [&] { ++others; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(others, 1);
+  // The cancelled event was discarded: it neither counted as processed nor
+  // dragged the clock forward to its timestamp.
+  EXPECT_EQ(eng.events_processed(), 1u);
+  EXPECT_EQ(eng.now(), TimePoint::origin() + Duration::us(50));
+}
+
+TEST(Engine, CancelIsSelectiveAmongSimultaneousTimers) {
+  Engine eng;
+  std::vector<int> fired;
+  const TimePoint t = TimePoint::origin() + Duration::us(10);
+  eng.schedule_at(t, [&] { fired.push_back(0); });
+  const Engine::TimerId id = eng.schedule_at(t, [&] { fired.push_back(1); });
+  eng.schedule_at(t, [&] { fired.push_back(2); });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 2}));  // FIFO order preserved
+}
+
+TEST(Engine, CancelFromInsideAnEarlierHandler) {
+  // The reply-cancels-timeout pattern: a handler cancels a later-scheduled
+  // timer before it fires.
+  Engine eng;
+  bool timeout_fired = false;
+  const Engine::TimerId timer = eng.schedule_at(
+      TimePoint::origin() + Duration::us(100), [&] { timeout_fired = true; });
+  eng.schedule_at(TimePoint::origin() + Duration::us(10),
+                  [&] { eng.cancel(timer); });
+  eng.run();
+  EXPECT_FALSE(timeout_fired);
+  EXPECT_EQ(eng.events_processed(), 1u);
+}
+
+TEST(Engine, ResetClearsCancelTombstones) {
+  Engine eng;
+  const Engine::TimerId id = eng.schedule_in(Duration::us(5), [] {});
+  eng.cancel(id);
+  eng.reset();
+  // After reset, timer ids restart; a stale tombstone must not swallow the
+  // fresh event that happens to reuse the id.
+  bool ran = false;
+  eng.schedule_in(Duration::us(5), [&] { ran = true; });
+  eng.run();
+  EXPECT_TRUE(ran);
+}
+
 // Determinism: two identical runs produce identical event interleavings.
 TEST(Engine, Deterministic) {
   auto run_once = [] {

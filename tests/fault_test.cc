@@ -1,0 +1,234 @@
+// The fault plane and the recovery layer on top of it: injected request/
+// reply drops, transport retransmits, completion errors, iod crash windows
+// and degraded disks, against the client's per-round timeout + backoff +
+// idempotent-replay machinery.
+//
+// The load-bearing properties:
+//   1. a trivial FaultConfig leaves zero trace — no fault/recovery counters
+//      appear at all (profile tables stay seed-identical),
+//   2. every recoverable fault is retried to completion and the data is
+//      byte-for-byte correct afterwards,
+//   3. replayed write rounds whose reply was lost are recognised by
+//      round_seq at the iod and acked without re-running the disk, and
+//   4. a fault outliving the retry budget surfaces as a terminal non-ok
+//      IoResult instead of hanging or silently succeeding.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "pvfs/cluster.h"
+
+namespace pvfsib::pvfs {
+namespace {
+
+void fill(Client& c, u64 addr, u64 n, u64 seed) {
+  std::byte* p = c.memory().data(addr);
+  for (u64 i = 0; i < n; ++i) {
+    p[i] = static_cast<std::byte>((seed * 131 + i * 7) & 0xff);
+  }
+}
+
+bool equal_mem(Client& c, u64 a, u64 b, u64 n) {
+  return std::memcmp(c.memory().data(a), c.memory().data(b), n) == 0;
+}
+
+// A noncontiguous request large enough for several rounds per iod.
+core::ListIoRequest strided_request(Client& c, u64 pieces, u64 piece_len) {
+  core::ListIoRequest req;
+  const u64 buf = c.memory().alloc(pieces * piece_len);
+  for (u64 i = 0; i < pieces; ++i) {
+    req.mem.push_back({buf + i * piece_len, piece_len});
+    req.file.push_back({i * 4 * piece_len, piece_len});
+  }
+  return req;
+}
+
+// Fast-recovery policy so faulty tests finish in little virtual time.
+ModelConfig faulty_config() {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.fault.seed = 7;
+  cfg.fault.round_timeout = Duration::ms(2.0);
+  cfg.fault.backoff_base = Duration::us(100.0);
+  cfg.fault.backoff_cap = Duration::ms(2.0);
+  cfg.fault.max_retries = 25;
+  return cfg;
+}
+
+// Write a strided pattern, read it back, and byte-compare. Returns the
+// write result so callers can inspect retries/recovered().
+IoResult round_trip(Cluster& cluster, u64 pieces = 128, u64 piece_len = 2048) {
+  Client& c = cluster.client(0);
+  OpenFile f = c.create("/rt").value();
+  core::ListIoRequest req = strided_request(c, pieces, piece_len);
+  fill(c, req.mem.front().addr, pieces * piece_len, 11);
+  IoResult w = c.write_list(f, req);
+  EXPECT_TRUE(w.ok()) << w.status.to_string();
+
+  core::ListIoRequest back = req;
+  const u64 dst = c.memory().alloc(pieces * piece_len);
+  for (u64 i = 0; i < pieces; ++i) back.mem[i] = {dst + i * piece_len,
+                                                  piece_len};
+  IoResult r = c.read_list(f, back);
+  EXPECT_TRUE(r.ok()) << r.status.to_string();
+  for (u64 i = 0; i < pieces; ++i) {
+    EXPECT_TRUE(equal_mem(c, req.mem[i].addr, back.mem[i].addr, piece_len))
+        << "piece " << i << " corrupted";
+  }
+  return w;
+}
+
+// --- 1. zero-fault runs leave no trace ---------------------------------
+
+TEST(FaultTest, TrivialConfigReportsNoFaultOrRecoveryCounters) {
+  ASSERT_FALSE(ModelConfig::paper_defaults().fault.enabled());
+  Cluster cluster(ModelConfig::paper_defaults(), 2, 2);
+  round_trip(cluster);
+  for (const auto& [name, value] : cluster.stats().counters()) {
+    EXPECT_EQ(name.find("fault."), std::string::npos) << name << "=" << value;
+    EXPECT_NE(name, stat::kPvfsRetries);
+    EXPECT_NE(name, stat::kPvfsTimeouts);
+    EXPECT_NE(name, stat::kPvfsReplaysDeduped);
+  }
+}
+
+TEST(FaultTest, RecoveryKnobsAloneDoNotEnableTheFaultPlane) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.fault.round_timeout = Duration::ms(1.0);
+  cfg.fault.max_retries = 99;
+  EXPECT_FALSE(cfg.fault.enabled());
+}
+
+// --- 2. recoverable faults are retried to completion -------------------
+
+TEST(FaultTest, RequestDropsAreRetriedToCorrectCompletion) {
+  ModelConfig cfg = faulty_config();
+  cfg.fault.request_drop_rate = 0.15;
+  Cluster cluster(cfg, 1, 4);
+  // Enough pieces for several list rounds per iod, so the write phase is
+  // statistically certain to lose at least one request.
+  IoResult w = round_trip(cluster, /*pieces=*/2048, /*piece_len=*/2048);
+  // With ~hundreds of rounds at 15% drop, recovery must have fired.
+  EXPECT_GT(cluster.stats().get(stat::kFaultRequestDrop), 0);
+  EXPECT_GT(cluster.stats().get(stat::kPvfsTimeouts), 0);
+  EXPECT_GT(cluster.stats().get(stat::kPvfsRetries), 0);
+  EXPECT_TRUE(w.recovered());
+  EXPECT_GT(w.retries, 0u);
+}
+
+TEST(FaultTest, RetransmitsAndLatencySpikesOnlyAddLatency) {
+  ModelConfig clean = ModelConfig::paper_defaults();
+  Cluster base(clean, 1, 2);
+  const IoResult w0 = round_trip(base);
+
+  ModelConfig cfg = faulty_config();
+  cfg.fault.retransmit_rate = 0.3;
+  cfg.fault.latency_spike_rate = 0.3;
+  cfg.fault.round_timeout = Duration::ms(250.0);  // spikes must not time out
+  Cluster cluster(cfg, 1, 2);
+  const IoResult w1 = round_trip(cluster);
+
+  EXPECT_GT(cluster.stats().get(stat::kFaultRetransmit), 0);
+  EXPECT_GT(cluster.stats().get(stat::kFaultLatencySpike), 0);
+  // Transport-absorbed faults never fail a round, they just cost time.
+  EXPECT_EQ(cluster.stats().get(stat::kPvfsRetries), 0);
+  EXPECT_GT(w1.elapsed(), w0.elapsed());
+}
+
+TEST(FaultTest, CompletionErrorsAreRetried) {
+  ModelConfig cfg = faulty_config();
+  cfg.fault.completion_error_rate = 0.15;
+  Cluster cluster(cfg, 1, 4);
+  round_trip(cluster, /*pieces=*/2048, /*piece_len=*/2048);
+  EXPECT_GT(cluster.stats().get(stat::kFaultCompletionError), 0);
+  EXPECT_GT(cluster.stats().get(stat::kPvfsRetries), 0);
+}
+
+// --- 3. lost replies are replayed and deduped at the iod ----------------
+
+TEST(FaultTest, LostWriteRepliesAreReplayedWithoutReapplying) {
+  ModelConfig cfg = faulty_config();
+  cfg.fault.reply_drop_rate = 0.2;
+  Cluster cluster(cfg, 1, 4);
+  round_trip(cluster, /*pieces=*/2048, /*piece_len=*/2048);
+  EXPECT_GT(cluster.stats().get(stat::kFaultReplyDrop), 0);
+  // Every dropped *write* reply forces a replay the iod must recognise.
+  EXPECT_GT(cluster.stats().get(stat::kPvfsReplaysDeduped), 0);
+}
+
+// --- 4. iod crash windows ----------------------------------------------
+
+TEST(FaultTest, CrashWithRestartIsRiddenOutByRetries) {
+  ModelConfig cfg = faulty_config();
+  // iod 0 is down for the first 8 ms of the run, then comes back.
+  cfg.fault.schedule.push_back(FaultEvent{FaultKind::kIodCrash,
+                                          TimePoint::origin(), 0,
+                                          Duration::ms(8.0)});
+  Cluster cluster(cfg, 1, 4);
+  IoResult w = round_trip(cluster);
+  EXPECT_EQ(cluster.stats().get(stat::kFaultIodCrash), 1);
+  EXPECT_GT(cluster.stats().get(stat::kPvfsRetries), 0);
+  EXPECT_TRUE(w.recovered());
+}
+
+TEST(FaultTest, CrashOutlivingTheRetryBudgetIsTerminal) {
+  ModelConfig cfg = faulty_config();
+  cfg.fault.max_retries = 2;
+  cfg.fault.schedule.push_back(FaultEvent{FaultKind::kIodCrash,
+                                          TimePoint::origin(), 0,
+                                          Duration::sec(1000.0)});
+  Cluster cluster(cfg, 1, 4);
+  Client& c = cluster.client(0);
+  // Pin the file to the dead iod so the failure is guaranteed.
+  OpenFile f = c.create("/dead", 64 * kKiB, 1, /*base_iod=*/0).value();
+  const u64 n = 64 * kKiB;
+  const u64 src = c.memory().alloc(n);
+  fill(c, src, n, 3);
+  IoResult w = c.write(f, 0, src, n);
+  EXPECT_FALSE(w.ok());
+  EXPECT_FALSE(w.recovered());
+  EXPECT_EQ(w.status.code(), ErrorCode::kUnavailable)
+      << w.status.to_string();
+  EXPECT_NE(w.status.message().find("retries"), std::string::npos)
+      << w.status.to_string();
+}
+
+// --- 5. degraded disk ---------------------------------------------------
+
+TEST(FaultTest, DegradedDiskSlowsSyncWritesWithoutCorruption) {
+  auto timed_sync_write = [](const ModelConfig& cfg) {
+    Cluster cluster(cfg, 1, 2);
+    Client& c = cluster.client(0);
+    OpenFile f = c.create("/deg").value();
+    const u64 n = 1 * kMiB;
+    const u64 src = c.memory().alloc(n);
+    fill(c, src, n, 5);
+    IoResult w = c.write(f, 0, src, n, IoOptions{}.with_sync());
+    EXPECT_TRUE(w.ok()) << w.status.to_string();
+    return w.elapsed();
+  };
+  const Duration healthy = timed_sync_write(ModelConfig::paper_defaults());
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.fault.disk_degrade.push_back({/*iod=*/0, /*factor=*/25.0,
+                                    TimePoint::origin()});
+  const Duration degraded = timed_sync_write(cfg);
+  EXPECT_GT(degraded, healthy);
+}
+
+// --- 6. recovery under pipelining ---------------------------------------
+
+TEST(FaultTest, PipelinedChainsRecoverOutOfOrderSettles) {
+  // Wide window + drops: rounds settle out of order, the slot-reuse floor
+  // must still keep every staging slot single-occupancy, and the data must
+  // come back intact.
+  ModelConfig cfg = faulty_config();
+  cfg.pipeline_depth = 4;
+  cfg.fault.request_drop_rate = 0.1;
+  cfg.fault.reply_drop_rate = 0.1;
+  Cluster cluster(cfg, 1, 2);
+  IoResult w = round_trip(cluster, /*pieces=*/256, /*piece_len=*/2048);
+  EXPECT_TRUE(w.recovered());
+}
+
+}  // namespace
+}  // namespace pvfsib::pvfs

@@ -1,9 +1,11 @@
 // Queue pair semantics: connection requirement, posted receives and RNR,
-// receive-buffer bounds, send-queue depth with reaping, gather sends, and
-// RDMA forwarding.
+// receive-buffer bounds, send-queue depth with reaping, gather sends, RDMA
+// forwarding, and injector-forced RNR with sender-side retry.
 #include "ib/qp.h"
 
 #include <gtest/gtest.h>
+
+#include "fault/injector.h"
 
 namespace pvfsib::ib {
 namespace {
@@ -139,6 +141,82 @@ TEST_F(QpTest, RdmaForwardsToFabric) {
   TransferResult r =
       qa_.rdma_read({&sge, 1}, buf_b_ + 128, key_b_, TimePoint::origin());
   ASSERT_TRUE(r.ok());
+}
+
+TEST_F(QpTest, SendQueueExhaustionWithInterleavedReapAndRetry) {
+  QueuePair::connect(qa_, qb_);
+  // Push 12 messages through a depth-4 send queue by reaping exactly one
+  // completion whenever a post bounces — the classic produce/reap loop.
+  const Sge sge{buf_a_, 64, key_a_};
+  u32 delivered = 0;
+  u32 bounced = 0;
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        qb_.post_recv(i, buf_b_ + static_cast<u64>(i % 4) * 4096, 128, key_b_)
+            .is_ok());
+    QueuePair::SendResult r =
+        qa_.post_send(i, {&sge, 1}, TimePoint::origin());
+    while (!r.ok()) {
+      ASSERT_EQ(r.status.code(), ErrorCode::kResourceExhausted);
+      ++bounced;
+      ASSERT_TRUE(a_.cq().poll().has_value());  // consume before reaping
+      qa_.reap(1);
+      r = qa_.post_send(i, {&sge, 1}, TimePoint::origin());
+    }
+    ++delivered;
+    ASSERT_TRUE(b_.cq().poll().has_value());
+  }
+  EXPECT_EQ(delivered, 12u);
+  EXPECT_GT(bounced, 0u);  // the queue really did fill up along the way
+  EXPECT_EQ(qb_.recv_posted(), 0u);
+}
+
+TEST_F(QpTest, InjectedRnrFailsSendAndKeepsPeerReceivePosted) {
+  FaultConfig fc;
+  fc.rnr_rate = 1.0;
+  fault::Injector inj(fc, &stats_);
+  Fabric fabric(NetParams{}, &stats_, &inj);
+  QueuePair qa(a_, fabric, 4, 4), qb(b_, fabric, 4, 4);
+  QueuePair::connect(qa, qb);
+  ASSERT_TRUE(qb.post_recv(1, buf_b_, 4096, key_b_).is_ok());
+  const Sge sge{buf_a_, 100, key_a_};
+  QueuePair::SendResult r = qa.post_send(1, {&sge, 1}, TimePoint::origin());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kResourceExhausted);
+  // The NAK fired before any receive was consumed: the peer's buffer is
+  // still posted, so a sender-side retry needs no receiver cooperation.
+  EXPECT_EQ(qb.recv_posted(), 1u);
+  EXPECT_EQ(qa.sends_inflight(), 0u);
+  EXPECT_GT(stats_.get(stat::kFaultRnr), 0);
+}
+
+TEST_F(QpTest, InjectedRnrRetryEventuallyDelivers) {
+  FaultConfig fc;
+  fc.seed = 9;
+  fc.rnr_rate = 0.5;
+  fault::Injector inj(fc, &stats_);
+  Fabric fabric(NetParams{}, &stats_, &inj);
+  QueuePair qa(a_, fabric, 4, 4), qb(b_, fabric, 4, 4);
+  QueuePair::connect(qa, qb);
+  ASSERT_TRUE(qb.post_recv(7, buf_b_, 4096, key_b_).is_ok());
+  as_a_.write_pod<u8>(buf_a_, 0xAB);
+  const Sge sge{buf_a_, 64, key_a_};
+  u32 attempts = 0;
+  QueuePair::SendResult r;
+  do {
+    ++attempts;
+    ASSERT_LT(attempts, 64u) << "RNR never relented";
+    r = qa.post_send(1, {&sge, 1}, TimePoint::origin());
+    if (!r.ok()) {
+      EXPECT_EQ(r.status.code(), ErrorCode::kResourceExhausted);
+    }
+  } while (!r.ok());
+  EXPECT_EQ(as_b_.read_pod<u8>(buf_b_), 0xAB);
+  // Exactly the failed attempts were counted, and the one delivery
+  // consumed the one posted receive.
+  EXPECT_EQ(stats_.get(stat::kFaultRnr),
+            static_cast<i64>(attempts) - 1);
+  EXPECT_EQ(qb.recv_posted(), 0u);
 }
 
 TEST_F(QpTest, SendTimingMatchesChannelPath) {
