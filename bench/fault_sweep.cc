@@ -1,15 +1,25 @@
-// Fault sweep: the Figure 6 block-column write workload (4 procs x 4 iods,
-// list I/O + ADS, N=2048) run against an increasingly hostile fabric.
-// Request/reply drops, transport retransmits and injected completion errors
-// all scale with one fault rate; the recovery layer (per-round timeouts,
-// exponential backoff, idempotent replay) keeps the data correct and this
-// bench shows what that costs: goodput and p50/p99 round latency vs rate,
-// plus the recovery counters.
+// Fault sweep: the Figure 6/7 block-column workloads (4 procs x 4 iods,
+// list I/O + ADS, N=2048) run against an increasingly hostile fabric, plus
+// a crash-restart availability sweep comparing replication factor 1 to 2.
+//
+// Section 1/2: request/reply drops, transport retransmits and injected
+// completion errors all scale with one fault rate; the recovery layer
+// (per-round timeouts, exponential backoff, idempotent replay) keeps the
+// data correct and these tables show what that costs for writes and reads:
+// goodput and p50/p99 round latency vs rate, plus the recovery counters.
+//
+// Section 3: one iod crashes and restarts after a mean-time-to-repair; a
+// stream of strided operations pinned to that iod measures the fraction
+// that still complete. At factor 1 availability degrades with MTTR as soon
+// as the outage outlives the retry budget; at factor 2 writes settle on the
+// surviving replica's ack (write_quorum 1) and reads fail over, so
+// availability stays flat.
 //
 // Every row is deterministic: the injector's draws are a pure function of
 // the seed and the engine's event order, so re-running the sweep reproduces
-// it bit-for-bit.
+// it bit-for-bit. `--smoke` shrinks every axis for CI (asan) runs.
 #include <algorithm>
+#include <cstring>
 
 #include "bench_common.h"
 
@@ -35,7 +45,7 @@ Duration percentile(std::vector<Duration> samples, double p) {
   return samples[idx];
 }
 
-SweepPoint run_point(double rate) {
+SweepPoint run_point(double rate, bool is_write, u64 n) {
   ModelConfig cfg = ModelConfig::paper_defaults();
   cfg.fault.seed = 42;
   cfg.fault.request_drop_rate = rate;
@@ -54,8 +64,8 @@ SweepPoint run_point(double rate) {
   pvfs::Cluster cluster(cfg, 4, 4);
   SweepPoint pt;
   pt.rate = rate;
-  pt.outcome = run_block_column(cluster, 2048, mpiio::IoMethod::kListIoAds,
-                                /*is_write=*/true, /*sync=*/false,
+  pt.outcome = run_block_column(cluster, n, mpiio::IoMethod::kListIoAds,
+                                is_write, /*sync=*/false,
                                 /*cold_cache=*/false);
   pt.p50 = percentile(cluster.faults().round_latencies(), 0.50);
   pt.p99 = percentile(cluster.faults().round_latencies(), 0.99);
@@ -69,16 +79,11 @@ SweepPoint run_point(double rate) {
   return pt;
 }
 
-void run() {
-  header("Fault sweep: block-column write goodput vs injected fault rate",
-         "fig6 workload (N=2048, List+ADS, no sync); request/reply drops, "
-         "retransmits and\ncompletion errors at the given rate; 400 ms round "
-         "timeout, 1 ms base backoff");
-
+void run_rate_sweep(bool is_write, const std::vector<double>& rates, u64 n) {
   Table t({"rate", "goodput MB/s", "p50 round", "p99 round", "injected",
            "timeouts", "retries", "deduped", "ok"});
-  for (double rate : {0.0, 0.002, 0.01, 0.05, 0.2}) {
-    const SweepPoint pt = run_point(rate);
+  for (double rate : rates) {
+    const SweepPoint pt = run_point(rate, is_write, n);
     t.row({fmt(rate, 4), fmt(pt.outcome.mbps, 1),
            pt.p50 == Duration::zero() ? "-" : pt.p50.to_string(),
            pt.p99 == Duration::zero() ? "-" : pt.p99.to_string(),
@@ -89,10 +94,159 @@ void run() {
   std::printf("\n");
 }
 
+// --- Crash-restart availability vs MTTR ----------------------------------
+
+struct AvailPoint {
+  u32 ok = 0;
+  u32 total = 0;
+  i64 retries = 0;
+  i64 failovers = 0;
+  i64 replica_writes = 0;
+  i64 quorum_waits = 0;
+};
+
+// One client, four iods, a file pinned to base iod 0 (the one that
+// crashes). `ops` strided operations start at fixed virtual times spaced
+// so a healthy op finishes well before the next begins; the crash window
+// [crash_at, crash_at + mttr) sweeps across the stream. The retry budget
+// (timeout 5 ms, backoff 1..8 ms, 4 retries, ~35 ms total) decides which
+// factor-1 ops ride out the outage; factor 2 survives by construction.
+AvailPoint run_avail(Duration mttr, u32 factor, bool is_write, u32 ops) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.replication.factor = factor;
+  // Writes settle on the first surviving ack (availability over
+  // durability); reads need every replica written, so the preload fans to
+  // all of them.
+  cfg.replication.write_quorum = is_write ? 1 : 0;
+  cfg.fault.seed = 42;
+  cfg.fault.round_timeout = Duration::ms(5.0);
+  cfg.fault.backoff_base = Duration::ms(1.0);
+  cfg.fault.backoff_mult = 2.0;
+  cfg.fault.backoff_cap = Duration::ms(8.0);
+  cfg.fault.max_retries = 4;
+  const TimePoint crash_at = TimePoint::origin() + Duration::ms(50.0);
+  cfg.fault.schedule.push_back(
+      FaultEvent{FaultKind::kIodCrash, crash_at, /*target=*/0, mttr});
+
+  pvfs::Cluster cluster(cfg, 1, 4);
+  pvfs::Client& c = cluster.client(0);
+  pvfs::OpenFile f = c.create("/avail", 64 * kKiB, 4, /*base_iod=*/0).value();
+
+  // 128 x 2 KiB pieces at 8 KiB file stride: one list round per iod.
+  const u64 pieces = 128, piece_len = 2048;
+  core::ListIoRequest req;
+  const u64 buf = c.memory().alloc(pieces * piece_len);
+  std::memset(c.memory().data(buf), 0x5a, pieces * piece_len);
+  for (u64 i = 0; i < pieces; ++i) {
+    req.mem.push_back({buf + i * piece_len, piece_len});
+    req.file.push_back({i * 4 * piece_len, piece_len});
+  }
+
+  // Preload the whole strided span contiguously while everything is
+  // healthy: reads have real data on every replica, and the strided ops'
+  // RMW reads hit the page cache (a cold sieve read from media would
+  // outlive the 5 ms round timeout on its own). The crash window opens
+  // long after this lands.
+  const u64 span = pieces * 4 * piece_len;
+  pvfs::IoResult pre = c.write(f, 0, c.memory().alloc(span), span);
+  if (!pre.ok()) return {};
+
+  // Submit each op from an engine event at its start time (rather than all
+  // up front): the fabric computes wire occupancy in call order, so sends
+  // must be issued in nondecreasing virtual time. The grid starts at the
+  // origin, which the preload has already passed — clamp to the engine
+  // clock (only op 0 is affected, milliseconds before the crash window).
+  const Duration spacing = Duration::ms(40.0);
+  std::vector<pvfs::IoHandle> handles(ops);
+  for (u32 k = 0; k < ops; ++k) {
+    const TimePoint at =
+        max(TimePoint::origin() + spacing * static_cast<i64>(k),
+            cluster.engine().now());
+    cluster.engine().schedule_at(at, [&, k, at] {
+      pvfs::IoDesc d;
+      d.dir = is_write ? pvfs::IoDir::kWrite : pvfs::IoDir::kRead;
+      d.file = f;
+      d.req = req;
+      d.start = at;
+      handles[k] = c.submit(d);
+    });
+  }
+  cluster.run();
+
+  AvailPoint pt;
+  pt.total = ops;
+  for (const pvfs::IoHandle& h : handles) {
+    if (h.poll() && h.result().ok()) ++pt.ok;
+  }
+  const Stats& s = cluster.stats();
+  pt.retries = s.get(stat::kPvfsRetries);
+  pt.failovers = s.get(stat::kPvfsFailovers);
+  pt.replica_writes = s.get(stat::kPvfsReplicaWrites);
+  pt.quorum_waits = s.get(stat::kPvfsQuorumWaits);
+  return pt;
+}
+
+void run_avail_sweep(const std::vector<Duration>& mttrs, u32 ops) {
+  Table t({"MTTR", "dir", "factor", "ok/total", "availability", "retries",
+           "failovers", "replica wr", "quorum waits"});
+  for (Duration mttr : mttrs) {
+    for (bool is_write : {true, false}) {
+      for (u32 factor : {1u, 2u}) {
+        const AvailPoint pt = run_avail(mttr, factor, is_write, ops);
+        t.row({mttr.to_string(), is_write ? "write" : "read",
+               fmt_int(factor),
+               fmt_int(pt.ok) + "/" + fmt_int(pt.total),
+               fmt(pt.total == 0 ? 0.0
+                                 : static_cast<double>(pt.ok) /
+                                       static_cast<double>(pt.total),
+                   2),
+               fmt_int(pt.retries), fmt_int(pt.failovers),
+               fmt_int(pt.replica_writes), fmt_int(pt.quorum_waits)});
+      }
+    }
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void run(bool smoke) {
+  const u64 n = smoke ? 512 : 2048;
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.0, 0.01}
+            : std::vector<double>{0.0, 0.002, 0.01, 0.05, 0.2};
+  header("Fault sweep: block-column write goodput vs injected fault rate",
+         "fig6 workload (List+ADS, no sync); request/reply drops, "
+         "retransmits and\ncompletion errors at the given rate; 400 ms round "
+         "timeout, 1 ms base backoff");
+  run_rate_sweep(/*is_write=*/true, rates, n);
+
+  header("Fault sweep: block-column read goodput vs injected fault rate",
+         "fig7 workload (List+ADS); reads are idempotent, so lost requests "
+         "or replies\nare simply re-read after the round timeout");
+  run_rate_sweep(/*is_write=*/false, rates, n);
+
+  const std::vector<Duration> mttrs =
+      smoke ? std::vector<Duration>{Duration::ms(10.0), Duration::ms(150.0)}
+            : std::vector<Duration>{Duration::ms(5.0), Duration::ms(60.0),
+                                    Duration::ms(150.0), Duration::ms(250.0),
+                                    Duration::ms(400.0)};
+  const u32 ops = smoke ? 6 : 12;
+  header("Availability vs MTTR: replication factor 1 vs 2",
+         "one iod crashes at t=50ms and restarts after MTTR; strided ops "
+         "pinned to it\nstart every 40 ms; retry budget ~35 ms. factor 2: "
+         "writes settle on the\nsurviving replica (quorum 1), reads fail "
+         "over to it");
+  run_avail_sweep(mttrs, ops);
+}
+
 }  // namespace
 }  // namespace pvfsib::bench
 
-int main() {
-  pvfsib::bench::run();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  pvfsib::bench::run(smoke);
   return 0;
 }

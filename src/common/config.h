@@ -187,6 +187,10 @@ enum class FaultKind {
   kIodCrash,     // iod down for [at, at + duration); requests arriving are lost
   kDropRequest,  // drop the next round request to `target` at/after `at`
   kDropReply,    // drop the next round reply from `target` at/after `at`
+  // Drop the next metadata request to the manager at/after `at` (`target`
+  // is ignored; there is one manager). The client's metadata retry path
+  // notices via timeout and resends with capped backoff.
+  kDropMetaRequest,
 };
 
 struct FaultEvent {
@@ -209,6 +213,9 @@ struct FaultConfig {
   // Per-link latency spike (congestion, SM sweep): extra one-way latency.
   double latency_spike_rate = 0.0;
   Duration latency_spike = Duration::ms(1.0);
+  // Metadata request to the manager vanishes (client retries with the same
+  // backoff policy as data rounds).
+  double meta_request_drop_rate = 0.0;
   // QP-level failures: completion errors surface through
   // TransferResult.status as kUnavailable; RNR forces receiver-not-ready.
   double completion_error_rate = 0.0;
@@ -236,11 +243,46 @@ struct FaultConfig {
   double backoff_mult = 2.0;
   Duration backoff_cap = Duration::ms(50.0);
 
+  // Adaptive per-iod round timeouts (Jacobson-style RTT estimation over
+  // settled rounds): timeout = clamp(srtt + timeout_var_mult * rttvar,
+  // [timeout_min, timeout_max]). Until an iod has a sample the static
+  // round_timeout applies. Keeps failover from firing early against a
+  // merely-slow replica while still detecting a crashed one quickly.
+  bool adaptive_timeout = false;
+  double timeout_var_mult = 4.0;
+  Duration timeout_min = Duration::us(200.0);
+  Duration timeout_max = Duration::sec(2.0);
+
   bool enabled() const {
     return request_drop_rate > 0.0 || reply_drop_rate > 0.0 ||
            retransmit_rate > 0.0 || latency_spike_rate > 0.0 ||
            completion_error_rate > 0.0 || rnr_rate > 0.0 ||
-           !disk_degrade.empty() || !schedule.empty();
+           meta_request_drop_rate > 0.0 || !disk_degrade.empty() ||
+           !schedule.empty();
+  }
+};
+
+// --- Stripe replication (primary/backup) ------------------------------------
+// Classic PVFS keeps no redundancy: a crashed iod whose outage outlives the
+// retry budget fails the operation. With factor > 1 the manager places each
+// logical stripe server on `factor` distinct physical iods (the primary plus
+// factor-1 backups, rotated chained-declustering style), the client fans
+// every write round out to all replicas and settles on a quorum of acks, and
+// reads fail over to the next live replica when the current one exhausts its
+// retry budget. factor == 1 is bit-identical to the classic single-copy
+// protocol.
+struct ReplicationParams {
+  u32 factor = 1;  // replicas per stripe server (must be <= physical iods)
+  // Acks required to settle a write round; 0 means all `factor` replicas
+  // (durable but a crashed backup stalls the round until it restarts or the
+  // budget runs out). 1 trades durability for availability.
+  u32 write_quorum = 0;
+  // Reads re-route the remaining rounds of a chain to the next live replica
+  // when the serving iod exhausts its retry budget.
+  bool read_failover = true;
+
+  u32 effective_quorum() const {
+    return write_quorum == 0 ? factor : std::min(write_quorum, factor);
   }
 };
 
@@ -254,6 +296,7 @@ struct ModelConfig {
   FsParams fs;
   PvfsParams pvfs;
   FaultConfig fault;  // trivial by default: no faults, no recovery overhead
+  ReplicationParams replication;  // factor 1 = classic single-copy PVFS
 
   // Outstanding-round window per I/O server: how many list I/O rounds a
   // client may keep in flight to one iod. 1 reproduces classic PVFS

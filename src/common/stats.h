@@ -100,9 +100,20 @@ inline constexpr const char* kFaultRequestDrop = "fault.injected.request_drop";
 inline constexpr const char* kFaultReplyDrop = "fault.injected.reply_drop";
 inline constexpr const char* kFaultIodCrash = "fault.injected.iod_crash";
 inline constexpr const char* kFaultIodDownDrop = "fault.injected.iod_down_drop";
+inline constexpr const char* kFaultMetaRequestDrop =
+    "fault.injected.meta_request_drop";
 inline constexpr const char* kPvfsRetries = "pvfs.retries";
 inline constexpr const char* kPvfsTimeouts = "pvfs.timeouts";
 inline constexpr const char* kPvfsReplaysDeduped = "pvfs.replays_deduped";
+inline constexpr const char* kPvfsMetaRetries = "pvfs.meta_retries";
+// Partial-round restart: replays whose payload already landed in the
+// target's staging buffer skip the wire phase entirely.
+inline constexpr const char* kPvfsPartialRestarts = "pvfs.partial_restarts";
+// Replication and failover (reported only when replication_factor > 1, so
+// classic single-copy runs keep counter sets — and baselines — identical).
+inline constexpr const char* kPvfsReplicaWrites = "pvfs.replica_writes";
+inline constexpr const char* kPvfsQuorumWaits = "pvfs.quorum_waits";
+inline constexpr const char* kPvfsFailovers = "pvfs.failovers";
 inline constexpr const char* kAdsSieved = "ads.sieved";
 inline constexpr const char* kAdsSeparate = "ads.separate";
 inline constexpr const char* kAdsExtraBytes = "ads.extra_bytes";

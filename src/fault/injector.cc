@@ -105,6 +105,27 @@ bool Injector::reply_lost(u32 iod, TimePoint at) {
   return false;
 }
 
+bool Injector::meta_request_lost(TimePoint at) {
+  if (!enabled_) return false;
+  // There is one manager, so scheduled meta drops match on kind and time
+  // alone (the event's target field is ignored).
+  for (size_t i = 0; i < cfg_.schedule.size(); ++i) {
+    const FaultEvent& ev = cfg_.schedule[i];
+    if (!consumed_[i] && ev.kind == FaultKind::kDropMetaRequest &&
+        at >= ev.at) {
+      consumed_[i] = true;
+      if (stats_ != nullptr) stats_->add(stat::kFaultMetaRequestDrop);
+      return true;
+    }
+  }
+  if (cfg_.meta_request_drop_rate > 0.0 &&
+      rng_.chance(cfg_.meta_request_drop_rate)) {
+    if (stats_ != nullptr) stats_->add(stat::kFaultMetaRequestDrop);
+    return true;
+  }
+  return false;
+}
+
 double Injector::disk_factor(u32 iod, TimePoint at) const {
   if (!enabled_) return 1.0;
   double factor = 1.0;

@@ -59,6 +59,12 @@ class Injector {
   // Does the round reply leaving `iod` at `at` vanish?
   bool reply_lost(u32 iod, TimePoint at);
 
+  // --- Manager hooks --------------------------------------------------------
+  // Does the metadata request arriving at the manager at `at` vanish?
+  // (Scheduled kDropMetaRequest events plus the random drop rate; the
+  // manager has no crash windows yet.)
+  bool meta_request_lost(TimePoint at);
+
   // --- Iod hooks ------------------------------------------------------------
   // Disk service-time multiplier for `iod` at `at` (1.0 when healthy).
   double disk_factor(u32 iod, TimePoint at) const;

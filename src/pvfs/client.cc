@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <type_traits>
 
 #include "fault/injector.h"
 #include "sim/trace.h"
@@ -10,6 +11,21 @@ namespace pvfsib::pvfs {
 
 namespace {
 std::string client_name(u32 id) { return "client" + std::to_string(id); }
+
+// Uniform status access for the metadata retry loop, which handles both
+// Timed<Status> and Timed<Result<T>> manager calls.
+const Status& status_of(const Status& s) { return s; }
+template <typename T>
+const Status& status_of(const Result<T>& r) {
+  return r.status();
+}
+
+// Manager ops only surface kUnavailable when the fault plane swallowed the
+// request; everything else is a real (terminal) metadata answer.
+template <typename V>
+bool meta_lost(const V& v) {
+  return status_of(v).code() == ErrorCode::kUnavailable;
+}
 }  // namespace
 
 // Completion state shared by every copy of an IoHandle.
@@ -28,8 +44,13 @@ struct Client::OpState {
   IoCallback done;
   TimePoint start = TimePoint::origin();   // when the caller issued the op
   TimePoint launch = TimePoint::origin();  // after op-wide registration
-  std::vector<u32> iod_ids;                // per sub-request: target iod
+  std::vector<u32> iod_ids;                // per sub-request: primary iod
   std::vector<std::vector<Round>> rounds;  // per sub-request: its rounds
+  // Per sub-request: the ordered physical replicas serving it (primary
+  // first). A single-entry set equal to iod_ids[k] when unreplicated.
+  std::vector<std::vector<u32>> replica_sets;
+  bool replicated = false;  // file carries a replica table (factor > 1)
+  u32 quorum = 1;           // write acks needed to settle a round
   // One chain of rounds per target iod, flow-controlled by `window`.
   struct Chain {
     size_t next_issue = 0;  // index of the next round to put on the wire
@@ -45,6 +66,9 @@ struct Client::OpState {
     // inflight < window check.
     std::vector<bool> settled_rounds;
     size_t floor = 0;
+    // Which replica of the chain's set currently serves reads; read
+    // failover advances it and the chain's remaining rounds follow.
+    u32 replica = 0;
   };
   std::vector<Chain> chains;
   core::OgrOutcome prereg;  // op-wide buffer registration
@@ -82,9 +106,52 @@ Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
   ib::RegAttempt reg = hca_.register_memory(ep_.bounce_addr, ep_.bounce_size);
   assert(reg.ok());
   ep_.bounce_key = reg.key;
+  rtt_.resize(iods_.size());
 }
 
 // --- Metadata ----------------------------------------------------------
+
+// `fn(issue)` runs one manager round-trip issued at `issue` and returns its
+// Timed result. Without a fault plane this collapses to exactly one call.
+// With one, a swallowed request (kUnavailable) costs a round_timeout wait
+// plus the data-round backoff before the resend, up to max_retries; the
+// manager leaves its namespace untouched on a lost request, so resending
+// non-idempotent ops (create) is safe.
+template <typename Fn>
+auto Client::meta_call(Fn&& fn) {
+  TimePoint issue = max(now_, engine_.now());
+  auto r = fn(issue);
+  if (!faulty() || !meta_lost(r.value)) {
+    now_ = issue + r.cost;
+    return r.value;
+  }
+  const FaultConfig& fc = faults_->config();
+  u32 retries = 0;
+  while (meta_lost(r.value) && retries < fc.max_retries) {
+    if (stats_ != nullptr) stats_->add(stat::kPvfsMetaRetries);
+    Duration backoff = fc.backoff_base;
+    for (u32 i = 1; i <= retries && backoff < fc.backoff_cap; ++i) {
+      backoff = backoff * fc.backoff_mult;
+    }
+    backoff = min(backoff, fc.backoff_cap);
+    ++retries;
+    sim::Trace::instance().emitf(
+        issue + fc.round_timeout, hca_.name(), "metadata retry %u in %s",
+        retries, backoff.to_string().c_str());
+    issue = issue + fc.round_timeout + backoff;
+    r = fn(issue);
+  }
+  if (meta_lost(r.value)) {
+    // The final attempt vanished too: the client waits out its timeout and
+    // gives up.
+    now_ = issue + fc.round_timeout;
+    using V = std::decay_t<decltype(r.value)>;
+    return V(unavailable("metadata op failed after " +
+                         std::to_string(retries) + " retries"));
+  }
+  now_ = issue + r.cost;
+  return r.value;
+}
 
 Result<OpenFile> Client::create(const std::string& name) {
   return create(name, cfg_.pvfs.stripe_size,
@@ -94,37 +161,33 @@ Result<OpenFile> Client::create(const std::string& name) {
 Result<OpenFile> Client::create(const std::string& name, u64 stripe_size,
                                 u32 iod_count, u32 base_iod) {
   assert(iod_count <= iods_.size());
-  const TimePoint start = max(now_, engine_.now());
-  Timed<Result<FileMeta>> r =
-      manager_.create(hca_, start, name, stripe_size, iod_count, base_iod);
-  now_ = start + r.cost;
-  if (!r.value.is_ok()) return r.value.status();
-  return OpenFile{r.value.value()};
+  Result<FileMeta> r = meta_call([&](TimePoint issue) {
+    return manager_.create(hca_, issue, name, stripe_size, iod_count,
+                           base_iod, cfg_.replication.factor);
+  });
+  if (!r.is_ok()) return r.status();
+  return OpenFile{r.value()};
 }
 
 Result<OpenFile> Client::open(const std::string& name) {
-  const TimePoint start = max(now_, engine_.now());
-  Timed<Result<FileMeta>> r = manager_.open(hca_, start, name);
-  now_ = start + r.cost;
-  if (!r.value.is_ok()) return r.value.status();
-  return OpenFile{r.value.value()};
+  Result<FileMeta> r = meta_call(
+      [&](TimePoint issue) { return manager_.open(hca_, issue, name); });
+  if (!r.is_ok()) return r.status();
+  return OpenFile{r.value()};
 }
 
 Result<FileMeta> Client::stat(const std::string& name) {
   // stat is an open-shaped metadata round-trip.
-  const TimePoint start = max(now_, engine_.now());
-  Timed<Result<FileMeta>> r = manager_.open(hca_, start, name);
-  now_ = start + r.cost;
-  return r.value;
+  return meta_call(
+      [&](TimePoint issue) { return manager_.open(hca_, issue, name); });
 }
 
 Status Client::remove(const std::string& name) {
   Result<FileMeta> meta = stat(name);
   if (!meta.is_ok()) return meta.status();
-  const TimePoint start = max(now_, engine_.now());
-  Timed<Status> r = manager_.remove(hca_, start, name);
-  now_ = start + r.cost;
-  PVFSIB_RETURN_IF_ERROR(r.value);
+  Status r = meta_call(
+      [&](TimePoint issue) { return manager_.remove(hca_, issue, name); });
+  PVFSIB_RETURN_IF_ERROR(r);
   // The manager tells every iod to unlink its stripe file; the client
   // returns once all acknowledgements are in.
   TimePoint done = now_;
@@ -132,7 +195,13 @@ Status Client::remove(const std::string& name) {
     const TimePoint at = fabric_.send_control(
         manager_.hca(), iod->hca(), cfg_.pvfs.request_msg_bytes, now_,
         ib::ControlKind::kRequest);
-    const Duration unlink = iod->remove_file(meta.value().handle);
+    Duration unlink = iod->remove_file(meta.value().handle);
+    if (meta.value().replication_factor > 1) {
+      // Backup copies live under per-stripe shadow handles.
+      for (u32 k = 0; k < meta.value().iod_count; ++k) {
+        unlink += iod->remove_file(backup_handle(meta.value().handle, k));
+      }
+    }
     done = max(done, fabric_.send_control(
                          iod->hca(), manager_.hca(), cfg_.pvfs.reply_msg_bytes,
                          at + unlink, ib::ControlKind::kReply));
@@ -250,10 +319,27 @@ void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
 
   const core::StripeMap map(file.meta.stripe_size, file.meta.iod_count);
   const auto subs = core::partition(req, map);
+  op->replicated =
+      file.meta.replication_factor > 1 && !file.meta.replicas.empty();
+  if (op->replicated) {
+    const u32 q = file.meta.replication_factor;
+    op->quorum = cfg_.replication.write_quorum == 0
+                     ? q
+                     : std::min(cfg_.replication.write_quorum, q);
+  }
   for (const auto& sub : subs) {
     // Logical stripe server -> physical iod, honoring the file's base.
-    op->iod_ids.push_back(
-        (file.meta.base_iod + sub.server) % static_cast<u32>(iods_.size()));
+    const u32 primary =
+        (file.meta.base_iod + sub.server) % static_cast<u32>(iods_.size());
+    op->iod_ids.push_back(primary);
+    if (op->replicated) {
+      assert(sub.server < file.meta.replicas.size());
+      const std::vector<u32>& set = file.meta.replicas[sub.server];
+      assert(!set.empty() && set[0] == primary);
+      op->replica_sets.push_back(set);
+    } else {
+      op->replica_sets.push_back({primary});
+    }
     op->rounds.push_back(split_rounds(sub, cfg_.pvfs.max_list_pairs,
                                       cfg_.pvfs.staging_buffer));
   }
@@ -274,6 +360,52 @@ bool Client::faulty() const {
   return faults_ != nullptr && faults_->enabled();
 }
 
+u32 Client::current_target(const OpState& op, u32 iod_idx) const {
+  const std::vector<u32>& set = op.replica_sets[iod_idx];
+  return op.is_write ? set[0] : set[op.chains[iod_idx].replica];
+}
+
+// --- Adaptive round timeouts ---------------------------------------------
+
+void Client::note_rtt(u32 iod_id, Duration sample) {
+  RttEstimate& e = rtt_[iod_id];
+  if (!e.seeded) {
+    // RFC-6298-style seeding: srtt = S, rttvar = S/2.
+    e.seeded = true;
+    e.srtt = sample;
+    e.rttvar = sample / 2;
+    return;
+  }
+  // Jacobson/Karels: alpha = 1/8, beta = 1/4.
+  const Duration err = sample > e.srtt ? sample - e.srtt : e.srtt - sample;
+  e.rttvar = e.rttvar - e.rttvar / 4 + err / 4;
+  e.srtt = e.srtt - e.srtt / 8 + sample / 8;
+}
+
+Duration Client::iod_timeout(u32 iod_id) const {
+  const FaultConfig& fc = faults_->config();
+  const RttEstimate& e = rtt_[iod_id];
+  if (!e.seeded) return fc.round_timeout;
+  Duration t = e.srtt + e.rttvar * fc.timeout_var_mult;
+  t = max(t, fc.timeout_min);
+  return min(t, fc.timeout_max);
+}
+
+Duration Client::round_timeout_for(const OpState& op, u32 iod_idx) const {
+  const FaultConfig& fc = faults_->config();
+  if (!fc.adaptive_timeout) return fc.round_timeout;
+  if (op.is_write && op.replicated) {
+    // The round settles on a quorum of replicas; the slowest estimate
+    // bounds how long a fan-out may legitimately take.
+    Duration t = Duration::zero();
+    for (u32 iod_id : op.replica_sets[iod_idx]) {
+      t = max(t, iod_timeout(iod_id));
+    }
+    return t;
+  }
+  return iod_timeout(current_target(op, iod_idx));
+}
+
 void Client::issue_round(std::shared_ptr<OpState> op, u32 iod_idx,
                          TimePoint t) {
   OpState::Chain& ch = op->chains[iod_idx];
@@ -286,10 +418,14 @@ void Client::issue_round(std::shared_ptr<OpState> op, u32 iod_idx,
     stats_->set_max(stat::kPvfsRoundsInflightMax, ch.inflight);
   }
   std::shared_ptr<RoundTry> tr;
-  if (faulty()) {
+  // Recovery/fan state exists under a fault plane, and also for replicated
+  // writes on a healthy run (the quorum count needs per-replica acks).
+  if (faulty() || (op->replicated && op->is_write)) {
     tr = std::make_shared<RoundTry>();
     tr->seq = next_round_seq_++;
     tr->first_issue = t;
+    tr->acked.assign(op->replica_sets[iod_idx].size(), false);
+    tr->data_landed.assign(op->replica_sets[iod_idx].size(), false);
   }
   if (op->is_write) {
     run_write_round(op, iod_idx, round_idx, t, std::move(tr));
@@ -378,7 +514,7 @@ void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx,
 void Client::arm_round_timer(std::shared_ptr<OpState> op, u32 iod_idx,
                              size_t round_idx, std::shared_ptr<RoundTry> tr,
                              TimePoint t) {
-  const TimePoint deadline = t + faults_->config().round_timeout;
+  const TimePoint deadline = t + round_timeout_for(*op, iod_idx);
   tr->timer_armed = true;
   tr->timer_id =
       engine_.schedule_at(deadline, [this, op, iod_idx, round_idx, tr] {
@@ -387,8 +523,8 @@ void Client::arm_round_timer(std::shared_ptr<OpState> op, u32 iod_idx,
         if (stats_ != nullptr) stats_->add(stat::kPvfsTimeouts);
         sim::Trace::instance().emitf(
             engine_.now(), hca_.name(),
-            "iod%u round %zu attempt %u timed out", op->iod_ids[iod_idx],
-            round_idx + 1, tr->attempts);
+            "iod%u round %zu attempt %u timed out",
+            current_target(*op, iod_idx), round_idx + 1, tr->attempts);
         retry_or_fail(op, iod_idx, round_idx, tr, engine_.now(),
                       unavailable("round timed out waiting for reply"));
       });
@@ -405,7 +541,16 @@ void Client::settle_round(std::shared_ptr<OpState> op, u32 iod_idx,
       tr->timer_armed = false;
     }
     op->retries += tr->attempts - 1;
-    if (faulty()) faults_->note_round_latency(t - tr->first_issue);
+    if (faulty()) {
+      faults_->note_round_latency(t - tr->first_issue);
+      // Replicated writes feed the estimator per replica ack instead
+      // (write_replica_done); a settle from an older attempt's late
+      // completion can predate the newest issue, so skip those samples.
+      if (status.is_ok() && faults_->config().adaptive_timeout &&
+          !(op->is_write && op->replicated) && t >= tr->last_issue) {
+        note_rtt(current_target(*op, iod_idx), t - tr->last_issue);
+      }
+    }
   }
   round_done(op, iod_idx, round_idx, t, std::move(status));
 }
@@ -428,29 +573,71 @@ void Client::retry_or_fail(std::shared_ptr<OpState> op, u32 iod_idx,
     engine_.cancel(tr->timer_id);
     tr->timer_armed = false;
   }
+  // Transient errors are only minted by the fault plane; a RoundTry can
+  // also exist for a replicated write on a healthy run, where any failure
+  // is a real (terminal) one.
+  const bool retryable = faulty() &&
+                         (why.code() == ErrorCode::kUnavailable ||
+                          why.code() == ErrorCode::kResourceExhausted);
+  if (!retryable) {
+    settle_round(op, iod_idx, round_idx, tr, t, std::move(why));
+    return;
+  }
   const FaultConfig& fc = faults_->config();
-  const bool retryable = why.code() == ErrorCode::kUnavailable ||
-                         why.code() == ErrorCode::kResourceExhausted;
-  if (!retryable || tr->attempts - 1 >= fc.max_retries) {
-    Status terminal =
-        retryable ? unavailable("round failed after " +
-                                std::to_string(tr->attempts - 1) +
-                                " retries: " + why.message())
-                  : std::move(why);
-    settle_round(op, iod_idx, round_idx, tr, t, std::move(terminal));
+  // The budget counts attempts since the last failover: a fresh replica
+  // deserves a fresh budget.
+  if (tr->attempts - 1 - tr->budget_base >= fc.max_retries) {
+    const std::vector<u32>& set = op->replica_sets[iod_idx];
+    const u32 nrep = static_cast<u32>(set.size());
+    if (!op->is_write && op->replicated && cfg_.replication.read_failover &&
+        tr->failovers + 1 < nrep) {
+      // Read failover: the serving replica exhausted its budget; re-route
+      // this round — and the chain's remaining rounds — to the next live
+      // replica (falling back to plain rotation if all look down).
+      OpState::Chain& ch = op->chains[iod_idx];
+      u32 next = (ch.replica + 1) % nrep;
+      for (u32 i = 1; i <= nrep; ++i) {
+        const u32 cand = (ch.replica + i) % nrep;
+        if (cand != ch.replica && !faults_->iod_down(set[cand], t)) {
+          next = cand;
+          break;
+        }
+      }
+      const u32 from_iod = set[ch.replica];
+      ch.replica = next;
+      ++tr->failovers;
+      tr->budget_base = tr->attempts;
+      ++tr->attempts;
+      if (stats_ != nullptr) {
+        stats_->add(stat::kPvfsFailovers);
+        stats_->add(stat::kPvfsRetries);
+      }
+      sim::Trace::instance().emitf(
+          t, hca_.name(), "read round %zu failing over iod%u -> iod%u",
+          round_idx + 1, from_iod, set[next]);
+      // The new replica is presumed healthy: re-issue immediately.
+      run_read_round(op, iod_idx, round_idx, t, tr);
+      return;
+    }
+    settle_round(op, iod_idx, round_idx, tr, t,
+                 unavailable("round failed after " +
+                             std::to_string(tr->attempts - 1) +
+                             " retries: " + why.message()));
     return;
   }
   if (stats_ != nullptr) stats_->add(stat::kPvfsRetries);
-  // Exponential backoff, capped: base * mult^(retry - 1).
+  // Exponential backoff, capped: base * mult^(retry - 1), the exponent
+  // restarting with the budget at each failover.
   Duration backoff = fc.backoff_base;
-  for (u32 i = 1; i < tr->attempts && backoff < fc.backoff_cap; ++i) {
+  for (u32 i = 1; i < tr->attempts - tr->budget_base && backoff < fc.backoff_cap;
+       ++i) {
     backoff = backoff * fc.backoff_mult;
   }
   backoff = min(backoff, fc.backoff_cap);
   ++tr->attempts;
   sim::Trace::instance().emitf(
       t, hca_.name(), "iod%u round %zu retry %u in %s (%s)",
-      op->iod_ids[iod_idx], round_idx + 1, tr->attempts - 1,
+      current_target(*op, iod_idx), round_idx + 1, tr->attempts - 1,
       backoff.to_string().c_str(), why.message().c_str());
   engine_.schedule_at(t + backoff, [this, op, iod_idx, round_idx, tr] {
     if (tr->settled) return;
@@ -467,23 +654,76 @@ void Client::retry_or_fail(std::shared_ptr<OpState> op, u32 iod_idx,
 void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
                              size_t round_idx, TimePoint t0,
                              std::shared_ptr<RoundTry> tr) {
-  if (tr != nullptr) arm_round_timer(op, iod_idx, round_idx, tr, t0);
+  if (tr != nullptr && faulty()) arm_round_timer(op, iod_idx, round_idx, tr, t0);
+  if (tr != nullptr) tr->last_issue = t0;
   t0 += cfg_.pvfs.client_request_cpu;
+  const u32 nrep = static_cast<u32>(op->replica_sets[iod_idx].size());
+  for (u32 rep = 0; rep < nrep; ++rep) {
+    // Replays only re-fan to replicas that never acked; the acked ones
+    // already hold (and applied) the data.
+    if (tr != nullptr && tr->acked[rep]) continue;
+    run_write_replica(op, iod_idx, round_idx, rep, t0, tr);
+  }
+}
+
+void Client::write_replica_done(std::shared_ptr<OpState> op, u32 iod_idx,
+                                size_t round_idx, u32 rep,
+                                std::shared_ptr<RoundTry> tr, TimePoint t) {
+  if (!op->replicated || tr == nullptr) {
+    settle_round(op, iod_idx, round_idx, tr, t, Status::ok());
+    return;
+  }
+  if (tr->settled || tr->acked[rep]) return;  // late or duplicate ack
+  tr->acked[rep] = true;
+  ++tr->acks;
+  if (!tr->have_first_ack) {
+    tr->have_first_ack = true;
+    tr->first_ack = t;
+  }
+  if (faulty() && faults_->config().adaptive_timeout &&
+      t >= tr->last_issue) {
+    note_rtt(op->replica_sets[iod_idx][rep], t - tr->last_issue);
+  }
+  if (tr->acks < op->quorum) return;  // timer stays armed for the rest
+  if (stats_ != nullptr && op->quorum > 1 && t > tr->first_ack) {
+    stats_->add(stat::kPvfsQuorumWaits);
+  }
+  settle_round(op, iod_idx, round_idx, tr, t, Status::ok());
+}
+
+void Client::run_write_replica(std::shared_ptr<OpState> op, u32 iod_idx,
+                               size_t round_idx, u32 rep, TimePoint t0,
+                               std::shared_ptr<RoundTry> tr) {
   const Round& r = op->rounds[iod_idx][round_idx];
-  const u32 iod_id = op->iod_ids[iod_idx];
+  const u32 iod_id = op->replica_sets[iod_idx][rep];
   Iod& iod = *iods_[iod_id];
 
   RoundRequest rr;
-  rr.handle = op->file.meta.handle;
+  // A backup copy lives under the stripe's shadow handle and in its own
+  // staging-slot region: the target iod also serves a neighbour stripe's
+  // primary chain for this client, and the two must not share local files,
+  // staging buffers, or the (client, slot) replay-dedupe log.
+  rr.handle = rep == 0 ? op->file.meta.handle
+                       : backup_handle(op->file.meta.handle, iod_idx);
   rr.client = id_;
-  rr.slot = static_cast<u32>(round_idx % op->window);
+  rr.slot = rep * op->window + static_cast<u32>(round_idx % op->window);
   rr.round_seq = tr != nullptr ? tr->seq : 0;
   rr.is_write = true;
   rr.sync = op->opts.sync;
   rr.use_ads = op->opts.use_ads;
   rr.accesses = r.accesses;
+  // Partial-round restart: an earlier attempt's payload already landed in
+  // this replica's staging slot (and was applied — data arrival and the
+  // disk phase are atomic at the iod), so the replay carries no data
+  // phase; the iod dedupes it by round_seq and just acks.
+  const bool staged =
+      tr != nullptr && rep < tr->data_landed.size() && tr->data_landed[rep];
+  rr.data_staged = staged;
 
-  if (stats_ != nullptr) stats_->add(stat::kPvfsRequest);
+  if (stats_ != nullptr) {
+    stats_->add(stat::kPvfsRequest);
+    if (rep > 0) stats_->add(stat::kPvfsReplicaWrites);
+  }
   const u64 req_bytes =
       cfg_.pvfs.request_msg_bytes +
       r.accesses.size() * cfg_.pvfs.list_pair_wire_bytes;
@@ -492,72 +732,88 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
   // Fault plane: the request may vanish (random drop, scheduled drop, or
   // a crashed iod). The wire time was spent; nothing downstream happens
   // and the round timer drives the replay.
-  const bool req_lost = tr != nullptr && faults_->request_lost(iod_id, t_req);
+  const bool req_lost =
+      tr != nullptr && faulty() && faults_->request_lost(iod_id, t_req);
 
-  const auto& pol = op->opts.policy;
-  const bool eager =
-      r.bytes <= cfg_.pvfs.fast_rdma_threshold &&
-      (pol.scheme == core::XferScheme::kHybrid ||
-       pol.scheme == core::XferScheme::kPackUnpack);
-  sim::Trace::instance().emitf(
-      t0, hca_.name(), "-> iod%u write round %zu/%zu: %zu pairs, %llu B (%s)",
-      op->iod_ids[iod_idx], round_idx + 1, op->rounds[iod_idx].size(),
-      r.accesses.size(), static_cast<unsigned long long>(r.bytes),
-      eager ? "fast-rdma eager" : "rendezvous");
-  if (req_lost && !eager) {
-    // Rendezvous: the iod never saw the request, so no ack ever comes.
-    sim::Trace::instance().emitf(t_req, hca_.name(),
-                                 "-> iod%u round %zu request lost", iod_id,
-                                 round_idx + 1);
-    return;
-  }
-
-  core::TransferOutcome push;
-  TimePoint push_start;
   TimePoint data_ready;
-  if (eager) {
-    // Fast RDMA: pack into the pre-registered bounce buffer and write it
-    // into the iod's staging buffer alongside the request.
-    core::TransferPolicy p = pol;
-    p.scheme = core::XferScheme::kPackUnpack;
-    p.pack_preregistered = true;
-    push = xfer_.push(ep_, r.mem, iod.staging(id_, rr.slot), t0, p);
-    push_start = t0;
-    data_ready = max(push.complete, t_req);
+  if (staged) {
+    if (stats_ != nullptr) stats_->add(stat::kPvfsPartialRestarts);
+    sim::Trace::instance().emitf(
+        t0, hca_.name(),
+        "-> iod%u write round %zu replay, payload staged (wire skipped)",
+        iod_id, round_idx + 1);
     if (req_lost) {
-      // The eager data rode along with the lost request; the client still
-      // paid for the push but the iod never services the round.
-      if (push.ok()) {
-        op->phases.registration += push.reg_cost;
-        op->phases.wire += (push.complete - push_start) - push.reg_cost;
-      }
       sim::Trace::instance().emitf(t_req, hca_.name(),
                                    "-> iod%u round %zu request lost", iod_id,
                                    round_idx + 1);
       return;
     }
+    data_ready = t_req;
   } else {
-    // Rendezvous: the iod acknowledges buffer availability, then the client
-    // pushes with the configured scheme.
-    const TimePoint ack = fabric_.send_control(
-        iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
-        t_req + cfg_.pvfs.iod_request_cpu, ib::ControlKind::kReply);
-    push = xfer_.push(ep_, r.mem, iod.staging(id_, rr.slot), ack, pol);
-    push_start = ack;
-    data_ready = push.complete;
+    const auto& pol = op->opts.policy;
+    const bool eager =
+        r.bytes <= cfg_.pvfs.fast_rdma_threshold &&
+        (pol.scheme == core::XferScheme::kHybrid ||
+         pol.scheme == core::XferScheme::kPackUnpack);
+    sim::Trace::instance().emitf(
+        t0, hca_.name(), "-> iod%u write round %zu/%zu: %zu pairs, %llu B (%s)",
+        iod_id, round_idx + 1, op->rounds[iod_idx].size(),
+        r.accesses.size(), static_cast<unsigned long long>(r.bytes),
+        eager ? "fast-rdma eager" : "rendezvous");
+    if (req_lost && !eager) {
+      // Rendezvous: the iod never saw the request, so no ack ever comes.
+      sim::Trace::instance().emitf(t_req, hca_.name(),
+                                   "-> iod%u round %zu request lost", iod_id,
+                                   round_idx + 1);
+      return;
+    }
+
+    core::TransferOutcome push;
+    TimePoint push_start;
+    if (eager) {
+      // Fast RDMA: pack into the pre-registered bounce buffer and write it
+      // into the iod's staging buffer alongside the request.
+      core::TransferPolicy p = pol;
+      p.scheme = core::XferScheme::kPackUnpack;
+      p.pack_preregistered = true;
+      push = xfer_.push(ep_, r.mem, iod.staging(id_, rr.slot), t0, p);
+      push_start = t0;
+      data_ready = max(push.complete, t_req);
+      if (req_lost) {
+        // The eager data rode along with the lost request; the client still
+        // paid for the push but the iod never services the round.
+        if (push.ok()) {
+          op->phases.registration += push.reg_cost;
+          op->phases.wire += (push.complete - push_start) - push.reg_cost;
+        }
+        sim::Trace::instance().emitf(t_req, hca_.name(),
+                                     "-> iod%u round %zu request lost", iod_id,
+                                     round_idx + 1);
+        return;
+      }
+    } else {
+      // Rendezvous: the iod acknowledges buffer availability, then the client
+      // pushes with the configured scheme.
+      const TimePoint ack = fabric_.send_control(
+          iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
+          t_req + cfg_.pvfs.iod_request_cpu, ib::ControlKind::kReply);
+      push = xfer_.push(ep_, r.mem, iod.staging(id_, rr.slot), ack, pol);
+      push_start = ack;
+      data_ready = push.complete;
+    }
+    if (!push.ok()) {
+      fail_round(op, iod_idx, round_idx, tr, data_ready, push.status);
+      return;
+    }
+    op->phases.registration += push.reg_cost;
+    op->phases.wire += (push.complete - push_start) - push.reg_cost;
   }
-  if (!push.ok()) {
-    fail_round(op, iod_idx, round_idx, tr, data_ready, push.status);
-    return;
-  }
-  op->phases.registration += push.reg_cost;
-  op->phases.wire += (push.complete - push_start) - push.reg_cost;
 
   // Server disk phase begins when the data has landed.
-  engine_.schedule_at(data_ready, [this, op, iod_idx, round_idx, tr,
+  engine_.schedule_at(data_ready, [this, op, iod_idx, round_idx, rep, tr,
                                    rr = std::move(rr), &iod, iod_id,
                                    data_ready] {
-    if (tr != nullptr && faults_->iod_down(iod_id, data_ready)) {
+    if (tr != nullptr && faulty() && faults_->iod_down(iod_id, data_ready)) {
       // The iod crashed between accepting the request and the data
       // landing: the round dies on the server floor; the timer replays it.
       if (stats_ != nullptr) stats_->add(stat::kFaultIodDownDrop);
@@ -565,6 +821,9 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
                                    "iod%u down, round %zu data dropped",
                                    iod_id, round_idx + 1);
       return;
+    }
+    if (tr != nullptr && rep < tr->data_landed.size()) {
+      tr->data_landed[rep] = true;
     }
     Duration disk_cost = Duration::zero();
     const TimePoint t_disk = iod.write_round(
@@ -574,7 +833,7 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
     const TimePoint t_reply =
         fabric_.send_control(iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
                              t_disk, ib::ControlKind::kReply);
-    if (tr != nullptr && faults_->reply_lost(iod_id, t_disk)) {
+    if (tr != nullptr && faulty() && faults_->reply_lost(iod_id, t_disk)) {
       // The write applied but its ack vanished; the replay is recognised
       // by round_seq at the iod and acked without re-running the disk.
       sim::Trace::instance().emitf(t_disk, hca_.name(),
@@ -582,15 +841,16 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
                                    round_idx + 1);
       return;
     }
-    engine_.schedule_at(t_reply, [this, op, iod_idx, round_idx, tr,
+    engine_.schedule_at(t_reply, [this, op, iod_idx, round_idx, rep, tr,
                                   t_reply] {
-      settle_round(op, iod_idx, round_idx, tr, t_reply, Status::ok());
+      write_replica_done(op, iod_idx, round_idx, rep, tr, t_reply);
     });
   });
   // With the data phase off the wire, the client NIC is free: a wider
   // window may put the next round's request on the wire while this round's
-  // disk phase and reply are still pending.
-  if (op->window > 1) {
+  // disk phase and reply are still pending. The primary's data phase
+  // stands in for the whole fan (backup pushes start in lockstep).
+  if (op->window > 1 && rep == 0 && !staged) {
     engine_.schedule_at(data_ready, [this, op, iod_idx, data_ready] {
       wire_cleared(op, iod_idx, data_ready);
     });
@@ -603,15 +863,23 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
                             size_t round_idx, TimePoint t0,
                             std::shared_ptr<RoundTry> tr) {
   if (tr != nullptr) arm_round_timer(op, iod_idx, round_idx, tr, t0);
+  if (tr != nullptr) tr->last_issue = t0;
   t0 += cfg_.pvfs.client_request_cpu;
   const Round& r = op->rounds[iod_idx][round_idx];
-  const u32 iod_id = op->iod_ids[iod_idx];
+  // Reads are served by whichever replica the chain currently points at
+  // (the primary until a failover moves it).
+  const u32 iod_id = current_target(*op, iod_idx);
   Iod& iod = *iods_[iod_id];
 
+  const u32 replica = op->chains[iod_idx].replica;
   RoundRequest rr;
-  rr.handle = op->file.meta.handle;
+  // After a failover the backup serves the stripe from its shadow-handle
+  // local file, through its own staging-slot region (the backup iod's
+  // primary-chain slots for this client belong to a different stripe).
+  rr.handle = replica == 0 ? op->file.meta.handle
+                           : backup_handle(op->file.meta.handle, iod_idx);
   rr.client = id_;
-  rr.slot = static_cast<u32>(round_idx % op->window);
+  rr.slot = replica * op->window + static_cast<u32>(round_idx % op->window);
   rr.round_seq = tr != nullptr ? tr->seq : 0;
   rr.is_write = false;
   rr.sync = op->opts.sync;

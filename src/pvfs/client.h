@@ -237,10 +237,12 @@ class Client {
     u64 bytes = 0;
   };
   struct OpState;  // shared per-operation bookkeeping
-  // Recovery state of one round across its attempts (fault mode only; a
-  // null RoundTry means the fault plane is off and rounds cannot fail
-  // transiently). Shared between the attempt's event chain and the armed
-  // timeout timer; `settled` makes late duplicate completions harmless.
+  // Recovery state of one round across its attempts. Exists when the fault
+  // plane is on or the round is a replicated write (whose per-replica fan
+  // needs ack bookkeeping even on a healthy run); a null RoundTry means
+  // neither applies and the round cannot fail transiently. Shared between
+  // the attempt's event chain and the armed timeout timer; `settled` makes
+  // late duplicate completions harmless.
   struct RoundTry {
     u64 seq = 0;         // round_seq stamped once, reused on every replay
     u32 attempts = 1;    // attempts started (1 = first try)
@@ -248,6 +250,21 @@ class Client {
     bool timer_armed = false;
     sim::Engine::TimerId timer_id = 0;
     TimePoint first_issue = TimePoint::origin();
+    TimePoint last_issue = TimePoint::origin();  // newest attempt's start
+    // Read failover: attempts consumed before the latest failover (the
+    // retry budget restarts at each new replica) and failovers taken so
+    // far (capped at replica-count - 1 per round).
+    u32 budget_base = 0;
+    u32 failovers = 0;
+    // Replicated-write fan state, indexed by replica position in the
+    // chain's replica set: which replicas have acked this round (replays
+    // go only to the silent ones) and which already hold the payload in
+    // their staging slot (replays to those skip the wire phase).
+    std::vector<bool> acked;
+    std::vector<bool> data_landed;
+    u32 acks = 0;
+    bool have_first_ack = false;
+    TimePoint first_ack = TimePoint::origin();
   };
 
   void start_op(const OpenFile& file, const core::ListIoRequest& req,
@@ -258,9 +275,20 @@ class Client {
   // Round k's data phase cleared the wire at `t`: issue round k+1 if the
   // outstanding-round window has room, else record the stall.
   void wire_cleared(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t);
+  // Fan one write attempt out to every not-yet-acked replica of the chain
+  // (a single iod when unreplicated).
   void run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
                        size_t round_idx, TimePoint t0,
                        std::shared_ptr<RoundTry> tr);
+  // Drive one write round against replica `rep` of the chain's set.
+  void run_write_replica(std::shared_ptr<OpState> op, u32 iod_idx,
+                         size_t round_idx, u32 rep, TimePoint t0,
+                         std::shared_ptr<RoundTry> tr);
+  // Replica `rep` acked the write round at `t`: settle once the write
+  // quorum is met (immediately when unreplicated).
+  void write_replica_done(std::shared_ptr<OpState> op, u32 iod_idx,
+                          size_t round_idx, u32 rep,
+                          std::shared_ptr<RoundTry> tr, TimePoint t);
   void run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
                       size_t round_idx, TimePoint t0,
                       std::shared_ptr<RoundTry> tr);
@@ -290,6 +318,36 @@ class Client {
                                          u64 max_pairs, u64 max_bytes);
   bool faulty() const;
 
+  // The physical iod currently serving reads for (or primarying writes of)
+  // the chain — replica_sets[iod_idx][chain.replica] under replication,
+  // the classic single target otherwise.
+  u32 current_target(const OpState& op, u32 iod_idx) const;
+
+  // --- Adaptive round timeouts (Jacobson-style per-iod RTT estimation) ---
+  struct RttEstimate {
+    bool seeded = false;
+    Duration srtt = Duration::zero();
+    Duration rttvar = Duration::zero();
+  };
+  // Feed a settled attempt's issue-to-completion time into `iod`'s
+  // estimator (only called when FaultConfig::adaptive_timeout is on).
+  void note_rtt(u32 iod_id, Duration sample);
+  // Timeout for one iod: srtt + var_mult * rttvar, clamped; the static
+  // round_timeout until seeded or when adaptive timeouts are off.
+  Duration iod_timeout(u32 iod_id) const;
+  // Timeout for a round attempt: the (single) read target's timeout, or
+  // the max over a replicated write's fan so a slow backup is not declared
+  // dead by a fast primary's estimate.
+  Duration round_timeout_for(const OpState& op, u32 iod_idx) const;
+
+  // Run one manager metadata round-trip with the data-round retry policy:
+  // a lost request costs a round_timeout wait plus capped exponential
+  // backoff before the resend, up to max_retries. Returns the final
+  // attempt's result and advances the client clock. Defined in client.cc
+  // (all instantiations live there).
+  template <typename Fn>
+  auto meta_call(Fn&& fn);
+
   u32 id_;
   ModelConfig cfg_;
   sim::Engine& engine_;
@@ -300,8 +358,11 @@ class Client {
   fault::Injector* faults_;
   std::optional<core::TransferPolicy> default_policy_;
   // Next round_seq to stamp (client-wide counter; strictly increasing, so
-  // every (client, slot) subsequence is strictly increasing too).
+  // every (client, slot) subsequence is strictly increasing too). Shared
+  // across replicas of a fanned-out write round: each iod keeps its own
+  // high-water mark, so one sequence number dedupes replays everywhere.
   u64 next_round_seq_ = 1;
+  std::vector<RttEstimate> rtt_;  // per physical iod
 
   vmem::AddressSpace as_;
   ib::Hca hca_;

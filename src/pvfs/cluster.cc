@@ -6,7 +6,8 @@ Cluster::Cluster(const ModelConfig& cfg, u32 client_count, u32 iod_count)
     : cfg_(cfg) {
   faults_ = std::make_unique<fault::Injector>(cfg.fault, &stats_);
   fabric_ = std::make_unique<ib::Fabric>(cfg.net, &stats_, faults_.get());
-  manager_ = std::make_unique<Manager>(cfg, *fabric_, &stats_);
+  manager_ = std::make_unique<Manager>(cfg, *fabric_, &stats_, iod_count,
+                                       faults_.get());
   iods_.reserve(iod_count);
   for (u32 i = 0; i < iod_count; ++i) {
     iods_.push_back(std::make_unique<Iod>(i, client_count, cfg, *fabric_,

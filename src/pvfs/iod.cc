@@ -25,7 +25,11 @@ Iod::Iod(u32 id, u32 client_count, const ModelConfig& cfg, ib::Fabric& fabric,
       disk_queue_(iod_name(id) + ".disk"),
       ads_(cfg.disk, cfg.fs, cfg.mem,
            core::AdsConfig{cfg.pvfs.staging_buffer, true, false}, stats) {
-  slots_per_client_ = std::max<u32>(1, cfg.pipeline_depth);
+  // One buffer per in-flight round per client; replica chains bring their
+  // own slot region (see RoundRequest::slot), so the pool scales with the
+  // replication factor. At factor 1 this is exactly the classic pool.
+  slots_per_client_ = std::max<u32>(1, cfg.pipeline_depth) *
+                      std::max<u32>(1, cfg.replication.factor);
   staging_.resize(static_cast<size_t>(client_count) * slots_per_client_);
   for (core::StagingBuffer& sb : staging_) {
     sb.hca = &hca_;
@@ -158,6 +162,10 @@ TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
     if (disk_cost != nullptr) *disk_cost = Duration::zero();
     return data_ready;
   }
+  // A staged replay (partial-round restart) carries no payload; it must
+  // always hit the dedupe branch above — data landing and the disk apply
+  // are atomic at this iod, so "staged" implies "applied".
+  assert(!r.data_staged);
   const core::StagingBuffer& sb = staging(r.client, r.slot);
   assert(r.bytes() <= sb.size);
   const std::span<const std::byte> stream =

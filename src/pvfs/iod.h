@@ -43,8 +43,9 @@ class Iod {
   Duration remove_file(Handle h);
 
   // One staging buffer of `client`'s connection pool. The pool holds
-  // `staging_slots()` buffers per client (== pipeline_depth) so pipelined
-  // rounds in flight each own a distinct landing area.
+  // `staging_slots()` buffers per client (pipeline_depth * replication
+  // factor) so pipelined rounds in flight — and concurrent primary/backup
+  // chains under replication — each own a distinct landing area.
   core::StagingBuffer& staging(u32 client, u32 slot);
   // Slot-0 convenience (the only slot when pipelining is off).
   core::StagingBuffer& staging(u32 client) { return staging(client, 0); }

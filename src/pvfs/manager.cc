@@ -1,13 +1,35 @@
 #include "pvfs/manager.h"
 
+#include "fault/injector.h"
+
 namespace pvfsib::pvfs {
 
-Manager::Manager(const ModelConfig& cfg, ib::Fabric& fabric, Stats* stats)
-    : cfg_(cfg), fabric_(fabric), hca_("mgr", as_, cfg.reg, stats) {}
+namespace {
+Status meta_lost_status() { return unavailable("metadata request lost"); }
+}  // namespace
 
-Duration Manager::round_trip(ib::Hca& from, TimePoint ready, TimePoint* done) {
+Manager::Manager(const ModelConfig& cfg, ib::Fabric& fabric, Stats* stats,
+                 u32 cluster_iod_count, fault::Injector* faults)
+    : cfg_(cfg),
+      fabric_(fabric),
+      cluster_iod_count_(cluster_iod_count),
+      faults_(faults),
+      hca_("mgr", as_, cfg.reg, stats) {}
+
+Duration Manager::round_trip(ib::Hca& from, TimePoint ready, TimePoint* done,
+                             bool* lost) {
   const TimePoint at_mgr = fabric_.send_control(
       from, hca_, cfg_.pvfs.request_msg_bytes, ready, ib::ControlKind::kRequest);
+  if (faults_ != nullptr && faults_->enabled() &&
+      faults_->meta_request_lost(at_mgr)) {
+    // The request wire time was spent but the manager never saw it; the
+    // caller notices via timeout. `done` is meaningless to a client that
+    // received nothing, so report only the request leg.
+    *lost = true;
+    *done = at_mgr;
+    return at_mgr - ready;
+  }
+  *lost = false;
   // Metadata lookup cost on the manager.
   const TimePoint replied = at_mgr + Duration::us(5.0);
   *done = fabric_.send_control(hca_, from, cfg_.pvfs.reply_msg_bytes, replied,
@@ -15,12 +37,35 @@ Duration Manager::round_trip(ib::Hca& from, TimePoint ready, TimePoint* done) {
   return *done - ready;
 }
 
+Result<std::vector<std::vector<u32>>> Manager::place_replicas(
+    u32 base, u32 stripe_width, u32 factor, u32 physical_count) {
+  if (factor < 1) return invalid_argument("replication factor must be >= 1");
+  if (physical_count == 0) {
+    return invalid_argument("replica placement needs a known cluster size");
+  }
+  if (factor > physical_count) {
+    return invalid_argument(
+        "replication factor " + std::to_string(factor) + " exceeds " +
+        std::to_string(physical_count) + " physical iods");
+  }
+  std::vector<std::vector<u32>> out(stripe_width);
+  for (u32 k = 0; k < stripe_width; ++k) {
+    out[k].reserve(factor);
+    for (u32 j = 0; j < factor; ++j) {
+      out[k].push_back((base + k + j) % physical_count);
+    }
+  }
+  return out;
+}
+
 Timed<Result<FileMeta>> Manager::create(ib::Hca& from, TimePoint ready,
                                         const std::string& name,
                                         u64 stripe_size, u32 iod_count,
-                                        u32 base_iod) {
+                                        u32 base_iod, u32 replication_factor) {
   TimePoint done;
-  const Duration cost = round_trip(from, ready, &done);
+  bool lost = false;
+  const Duration cost = round_trip(from, ready, &done, &lost);
+  if (lost) return {Result<FileMeta>(meta_lost_status()), cost};
   if (by_name_.count(name) != 0) {
     return {Result<FileMeta>(already_exists("file exists: " + name)), cost};
   }
@@ -38,6 +83,13 @@ Timed<Result<FileMeta>> Manager::create(ib::Hca& from, TimePoint ready,
   meta.base_iod = base_iod == kAutoBase
                       ? static_cast<u32>(meta.handle % iod_count)
                       : base_iod;
+  meta.replication_factor = replication_factor;
+  if (replication_factor > 1) {
+    Result<std::vector<std::vector<u32>>> placed = place_replicas(
+        meta.base_iod, iod_count, replication_factor, cluster_iod_count_);
+    if (!placed.is_ok()) return {Result<FileMeta>(placed.status()), cost};
+    meta.replicas = std::move(placed.value());
+  }
   by_name_[name] = meta;
   by_handle_[meta.handle] = name;
   return {Result<FileMeta>(meta), cost};
@@ -46,7 +98,9 @@ Timed<Result<FileMeta>> Manager::create(ib::Hca& from, TimePoint ready,
 Timed<Result<FileMeta>> Manager::open(ib::Hca& from, TimePoint ready,
                                       const std::string& name) {
   TimePoint done;
-  const Duration cost = round_trip(from, ready, &done);
+  bool lost = false;
+  const Duration cost = round_trip(from, ready, &done, &lost);
+  if (lost) return {Result<FileMeta>(meta_lost_status()), cost};
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return {Result<FileMeta>(not_found("no such file: " + name)), cost};
@@ -57,7 +111,9 @@ Timed<Result<FileMeta>> Manager::open(ib::Hca& from, TimePoint ready,
 Timed<Status> Manager::remove(ib::Hca& from, TimePoint ready,
                               const std::string& name) {
   TimePoint done;
-  const Duration cost = round_trip(from, ready, &done);
+  bool lost = false;
+  const Duration cost = round_trip(from, ready, &done, &lost);
+  if (lost) return {meta_lost_status(), cost};
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return {not_found("no such file: " + name), cost};

@@ -12,25 +12,45 @@
 #include "pvfs/protocol.h"
 #include "vmem/address_space.h"
 
+namespace pvfsib::fault {
+class Injector;
+}
+
 namespace pvfsib::pvfs {
 
 class Manager {
  public:
-  Manager(const ModelConfig& cfg, ib::Fabric& fabric, Stats* stats);
+  // `cluster_iod_count` is the number of physical I/O servers behind the
+  // manager; it bounds replica placement (a file may stripe over fewer).
+  // 0 (unknown) only forbids replicated creates. `faults` routes metadata
+  // requests through the fault plane (may be null).
+  Manager(const ModelConfig& cfg, ib::Fabric& fabric, Stats* stats,
+          u32 cluster_iod_count = 0, fault::Injector* faults = nullptr);
 
   // Metadata operations; `from` is the requesting client's HCA and `ready`
   // its request time. Each returns the completion time of the round-trip
-  // alongside the result.
+  // alongside the result. When the fault plane swallows the request the
+  // result is kUnavailable ("metadata request lost") and the namespace is
+  // untouched; the client's retry path resends after a timeout.
   // `base_iod` = kAutoBase lets the manager rotate bases across files so
   // small files spread over the I/O servers (PVFS's default placement).
   static constexpr u32 kAutoBase = ~0u;
   Timed<Result<FileMeta>> create(ib::Hca& from, TimePoint ready,
                                  const std::string& name, u64 stripe_size,
-                                 u32 iod_count, u32 base_iod = kAutoBase);
+                                 u32 iod_count, u32 base_iod = kAutoBase,
+                                 u32 replication_factor = 1);
   Timed<Result<FileMeta>> open(ib::Hca& from, TimePoint ready,
                                const std::string& name);
   Timed<Status> remove(ib::Hca& from, TimePoint ready,
                        const std::string& name);
+
+  // Rotated primary/backup placement: logical stripe server k's replica j
+  // lands on physical iod (base + k + j) mod physical_count (chained
+  // declustering, so each iod backs up its predecessor's primaries).
+  // Fails when factor < 1, factor > physical_count, or physical_count == 0
+  // with factor > 1.
+  static Result<std::vector<std::vector<u32>>> place_replicas(
+      u32 base, u32 stripe_width, u32 factor, u32 physical_count);
 
   // Size bookkeeping (piggybacked on I/O completion in real PVFS; free).
   void note_written(Handle h, u64 end_offset);
@@ -39,11 +59,17 @@ class Manager {
   ib::Hca& hca() { return hca_; }
 
  private:
-  // Control round-trip helper: request to manager + reply back.
-  Duration round_trip(ib::Hca& from, TimePoint ready, TimePoint* done);
+  // Control round-trip helper: request to manager + reply back. Sets
+  // *lost when the fault plane swallowed the request before it reached
+  // the manager (the reply leg never runs; the caller must return
+  // kUnavailable without touching the namespace).
+  Duration round_trip(ib::Hca& from, TimePoint ready, TimePoint* done,
+                      bool* lost);
 
   ModelConfig cfg_;
   ib::Fabric& fabric_;
+  u32 cluster_iod_count_;
+  fault::Injector* faults_;
   vmem::AddressSpace as_;
   ib::Hca hca_;
   std::map<std::string, FileMeta> by_name_;

@@ -23,7 +23,26 @@ struct FileMeta {
   u32 iod_count = 0;  // pcount: how many iods stripe this file
   u32 base_iod = 0;   // first physical iod of the stripe set
   u64 logical_size = 0;  // high-water mark of written bytes
+  // Stripe replication (primary/backup). replicas[k] is the ordered set of
+  // physical iods holding logical stripe server k: replicas[k][0] is the
+  // primary, the rest backups, all distinct (manager-computed rotation
+  // (base_iod + k + j) mod physical-iod-count, chained declustering).
+  // Empty when replication_factor == 1: the client derives the single
+  // target from base_iod exactly as classic PVFS does.
+  u32 replication_factor = 1;
+  std::vector<std::vector<u32>> replicas;
 };
+
+// Local-file key for a backup copy of logical stripe server `stripe`. With
+// chained declustering one physical iod holds both its own primary stripe
+// and a neighbour stripe's backup of the same file, and the two cover the
+// same stripe-local offsets — so backups live under a per-stripe shadow
+// handle rather than the file handle. The top bit marks the shadow
+// namespace (real handles count up from 1); every backup of stripe k uses
+// the same key, so any replica can serve it after a failover.
+inline Handle backup_handle(Handle h, u32 stripe) {
+  return (Handle{1} << 63) | (static_cast<Handle>(stripe) << 48) | h;
+}
 
 // One round of a list I/O operation directed at one iod: at most
 // `max_list_pairs` file accesses and at most one staging buffer of data.
@@ -34,6 +53,11 @@ struct RoundRequest {
   // With pipelining (pipeline_depth W > 1) up to W rounds are in flight
   // per iod and each must land in its own buffer; round k uses slot
   // k mod W, so a slot is only reused after its previous round replied.
+  // Under replication the pool grows to factor * W per client and replica
+  // j of a chain uses slots [j*W, (j+1)*W): a physical iod serves its own
+  // primary chain and neighbour stripes' backup chains for the same
+  // client concurrently, and they must not share buffers (or the
+  // (client, slot) replay-dedupe log).
   u32 slot = 0;
   // Per-slot round sequence number (client-assigned, strictly increasing
   // per (client, slot) chain; 0 = unsequenced). Makes write rounds
@@ -41,6 +65,11 @@ struct RoundRequest {
   // the round, the iod recognises an already-applied sequence number and
   // acks without re-running the disk phase.
   u64 round_seq = 0;
+  // Partial-round restart: this replay's payload already landed in the
+  // target's staging buffer (and, because data arrival and the disk phase
+  // are atomic at the iod, was already applied), so the request carries no
+  // data phase and the iod will dedupe it by round_seq.
+  bool data_staged = false;
   bool is_write = false;
   bool sync = false;       // fsync before replying (write) / O_DIRECT-ish
   bool use_ads = true;     // server may data-sieve if its model agrees

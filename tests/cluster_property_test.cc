@@ -163,6 +163,64 @@ TEST(ClusterProperty, ConcurrentDisjointWritersNeverInterfere) {
   }
 }
 
+TEST(ClusterProperty, ReplicatedRandomCrashSchedulesLoseNoData) {
+  // Factor-2 replication with write_quorum = all: whatever combination of
+  // random crash windows hits the run, every acked byte must exist on both
+  // replicas and read back exactly. Crash windows are kept shorter than the
+  // retry budget so no operation fails terminally.
+  Rng rng(4242);
+  for (int iter = 0; iter < 6; ++iter) {
+    ModelConfig cfg = ModelConfig::paper_defaults();
+    cfg.replication.factor = 2;
+    cfg.fault.seed = 500 + static_cast<u64>(iter);
+    cfg.fault.round_timeout = Duration::ms(2.0);
+    cfg.fault.backoff_base = Duration::us(100.0);
+    cfg.fault.backoff_cap = Duration::ms(2.0);
+    cfg.fault.max_retries = 25;
+    const u32 iods = 2 + static_cast<u32>(rng.below(3));
+    const int crashes = 1 + static_cast<int>(rng.below(3));
+    for (int k = 0; k < crashes; ++k) {
+      cfg.fault.schedule.push_back(FaultEvent{
+          FaultKind::kIodCrash,
+          TimePoint::from_ns(static_cast<i64>(rng.below(5'000'000))),
+          static_cast<u32>(rng.below(iods)),
+          Duration::us(static_cast<double>(rng.range(200, 4000)))});
+    }
+    Cluster cluster(cfg, 1, iods);
+    Client& c = cluster.client(0);
+    OpenFile f = c.create("/repl").value();
+
+    core::ListIoRequest req = random_request(rng, c, 2 * kMiB);
+    fill_request(c, req, 7000 + iter);
+    IoResult w = c.write_list(f, req);
+    ASSERT_TRUE(w.ok()) << iter << ": " << w.status.to_string();
+
+    core::ListIoRequest back;
+    back.file = req.file;
+    u64 left = total_length(back.file);
+    while (left > 0) {
+      const u64 len = std::min(left, rng.range(1, 32 * kKiB));
+      back.mem.push_back({c.memory().alloc(len), len});
+      left -= len;
+    }
+    IoResult r = c.read_list(f, back);
+    ASSERT_TRUE(r.ok()) << iter << ": " << r.status.to_string();
+
+    std::vector<u8> ws, rs;
+    for (const auto& m : req.mem) {
+      for (u64 i = 0; i < m.length; ++i) {
+        ws.push_back(c.memory().read_pod<u8>(m.addr + i));
+      }
+    }
+    for (const auto& m : back.mem) {
+      for (u64 i = 0; i < m.length; ++i) {
+        rs.push_back(c.memory().read_pod<u8>(m.addr + i));
+      }
+    }
+    ASSERT_EQ(ws, rs) << "iteration " << iter;
+  }
+}
+
 TEST(ClusterProperty, AccountingInvariants) {
   Cluster cluster(ModelConfig::paper_defaults(), 2, 4);
   Client& c = cluster.client(0);

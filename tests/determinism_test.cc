@@ -80,6 +80,24 @@ TEST(DeterminismTest, FaultyFig6RunsAreBitIdenticalAcrossInvocations) {
   EXPECT_EQ(a, b);
 }
 
+TEST(DeterminismTest, ReplicatedFaultyRunsAreBitIdenticalAcrossInvocations) {
+  // The full robustness stack at once: factor-2 replication (fan-out,
+  // quorum settles, replay dedupe), adaptive timeouts, and a mid-run iod
+  // crash — still a pure function of the seed.
+  auto replicated = [](u64 seed) {
+    ModelConfig cfg = faulty_fig6_config(seed);
+    cfg.replication.factor = 2;
+    cfg.fault.adaptive_timeout = true;
+    return cfg;
+  };
+  const std::string a = run_fingerprint(replicated(99));
+  const std::string b = run_fingerprint(replicated(99));
+  // Replication actually engaged (the lock is not vacuous)...
+  EXPECT_NE(a.find("pvfs.replica_writes"), std::string::npos);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, run_fingerprint(replicated(100)));
+}
+
 TEST(DeterminismTest, DifferentFaultSeedsDiverge) {
   EXPECT_NE(run_fingerprint(faulty_fig6_config(123)),
             run_fingerprint(faulty_fig6_config(321)));

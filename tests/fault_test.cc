@@ -89,6 +89,11 @@ TEST(FaultTest, TrivialConfigReportsNoFaultOrRecoveryCounters) {
     EXPECT_NE(name, stat::kPvfsRetries);
     EXPECT_NE(name, stat::kPvfsTimeouts);
     EXPECT_NE(name, stat::kPvfsReplaysDeduped);
+    EXPECT_NE(name, stat::kPvfsMetaRetries);
+    EXPECT_NE(name, stat::kPvfsPartialRestarts);
+    EXPECT_NE(name, stat::kPvfsReplicaWrites);
+    EXPECT_NE(name, stat::kPvfsQuorumWaits);
+    EXPECT_NE(name, stat::kPvfsFailovers);
   }
 }
 
@@ -215,7 +220,169 @@ TEST(FaultTest, DegradedDiskSlowsSyncWritesWithoutCorruption) {
   EXPECT_GT(degraded, healthy);
 }
 
-// --- 6. recovery under pipelining ---------------------------------------
+// --- 6. partial-round restart -------------------------------------------
+
+TEST(FaultTest, ReplaysWithLandedPayloadSkipTheWirePhase) {
+  ModelConfig cfg = faulty_config();
+  cfg.fault.reply_drop_rate = 0.2;
+  Cluster cluster(cfg, 1, 4);
+  round_trip(cluster, /*pieces=*/2048, /*piece_len=*/2048);
+  const Stats& s = cluster.stats();
+  EXPECT_GT(s.get(stat::kFaultReplyDrop), 0);
+  // A dropped *reply* means the payload already landed and was applied; the
+  // replay goes out staged (no data phase) and the iod acks it via its
+  // round_seq dedupe. With only reply drops every write replay is staged,
+  // and every staged replay reaches the iod, so dedupes dominate restarts.
+  EXPECT_GT(s.get(stat::kPvfsPartialRestarts), 0);
+  EXPECT_LE(s.get(stat::kPvfsPartialRestarts),
+            s.get(stat::kPvfsReplaysDeduped));
+}
+
+// --- 7. metadata retry ---------------------------------------------------
+
+TEST(FaultTest, LostMetadataRequestsAreRetriedWithBackoff) {
+  ModelConfig cfg = faulty_config();
+  cfg.fault.meta_request_drop_rate = 0.4;
+  Cluster cluster(cfg, 1, 2);
+  Client& c = cluster.client(0);
+  // Enough metadata round-trips that several are statistically lost; every
+  // one must still come back with a real answer.
+  for (int i = 0; i < 12; ++i) {
+    const std::string name = "/m" + std::to_string(i);
+    Result<OpenFile> f = c.create(name);
+    ASSERT_TRUE(f.is_ok()) << f.status().to_string();
+    ASSERT_TRUE(c.open(name).is_ok());
+  }
+  EXPECT_GT(cluster.stats().get(stat::kPvfsMetaRetries), 0);
+}
+
+TEST(FaultTest, MetadataOutageOutlivingRetriesIsTerminal) {
+  ModelConfig cfg = faulty_config();
+  cfg.fault.meta_request_drop_rate = 1.0;
+  cfg.fault.max_retries = 3;
+  Cluster cluster(cfg, 1, 2);
+  Result<OpenFile> f = cluster.client(0).create("/never");
+  EXPECT_FALSE(f.is_ok());
+  EXPECT_EQ(f.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(cluster.stats().get(stat::kPvfsMetaRetries), 3);
+}
+
+// --- 8. adaptive round timeouts ------------------------------------------
+
+TEST(FaultTest, AdaptiveTimeoutDetectsDropsFasterThanStatic) {
+  // Same workload, same faults, same pessimistic static timeout; the only
+  // difference is whether the client may tighten it from observed RTTs.
+  auto elapsed_with = [](bool adaptive) {
+    ModelConfig cfg = ModelConfig::paper_defaults();
+    cfg.fault.seed = 9;
+    cfg.fault.request_drop_rate = 0.15;
+    cfg.fault.round_timeout = Duration::ms(40.0);
+    cfg.fault.backoff_base = Duration::us(100.0);
+    cfg.fault.backoff_cap = Duration::ms(1.0);
+    cfg.fault.max_retries = 50;
+    cfg.fault.adaptive_timeout = adaptive;
+    Cluster cluster(cfg, 1, 4);
+    IoResult w = round_trip(cluster, /*pieces=*/2048, /*piece_len=*/2048);
+    EXPECT_TRUE(w.ok()) << w.status.to_string();
+    EXPECT_GT(cluster.stats().get(stat::kPvfsTimeouts), 0);
+    return w.elapsed();
+  };
+  const Duration learned = elapsed_with(true);
+  const Duration fixed = elapsed_with(false);
+  // Every drop costs a full 40 ms under the static policy but only
+  // ~srtt + 4*rttvar once the estimator has samples.
+  EXPECT_LT(learned, fixed);
+}
+
+// --- 9. stripe replication -----------------------------------------------
+
+TEST(ReplicationTest, WriteRidesOutCrashViaReplayAndQuorum) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;  // write_quorum 0: every replica must ack
+  // One iod is down for the first 8 ms, well inside the retry budget;
+  // write rounds whose primary or backup lives there replay until it
+  // restarts, then the round settles on the full quorum.
+  cfg.fault.schedule.push_back(FaultEvent{FaultKind::kIodCrash,
+                                          TimePoint::origin(), 0,
+                                          Duration::ms(8.0)});
+  Cluster cluster(cfg, 1, 4);
+  IoResult w = round_trip(cluster);
+  EXPECT_TRUE(w.ok()) << w.status.to_string();
+  EXPECT_TRUE(w.recovered());
+  EXPECT_GT(cluster.stats().get(stat::kPvfsReplicaWrites), 0);
+  EXPECT_GT(cluster.stats().get(stat::kPvfsRetries), 0);
+}
+
+TEST(ReplicationTest, QuorumOneSettlesOnTheSurvivingReplica) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  cfg.replication.write_quorum = 1;
+  // Single-stripe file pinned to primary iod 0, backup iod 1; the backup
+  // is dead for the whole run.
+  cfg.fault.schedule.push_back(FaultEvent{FaultKind::kIodCrash,
+                                          TimePoint::origin(), 1,
+                                          Duration::sec(1000.0)});
+  Cluster cluster(cfg, 1, 4);
+  Client& c = cluster.client(0);
+  OpenFile f = c.create("/q1", 64 * kKiB, 1, /*base_iod=*/0).value();
+  const u64 n = 32 * kKiB;
+  const u64 src = c.memory().alloc(n);
+  fill(c, src, n, 17);
+  IoResult w = c.write(f, 0, src, n);
+  // The primary's ack alone reaches the quorum: no timeout fires, no
+  // retries, the dead backup costs nothing but the fan-out send.
+  EXPECT_TRUE(w.ok()) << w.status.to_string();
+  EXPECT_EQ(w.retries, 0u);
+  EXPECT_GT(cluster.stats().get(stat::kPvfsReplicaWrites), 0);
+  const u64 dst = c.memory().alloc(n);
+  ASSERT_TRUE(c.read(f, 0, dst, n).ok());
+  EXPECT_TRUE(equal_mem(c, src, dst, n));
+}
+
+TEST(ReplicationTest, ReadFailsOverToBackupWhenPrimaryCrashes) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  // Primary iod 0 is healthy while the write lands on both replicas, then
+  // crashes for longer than any retry budget.
+  cfg.fault.schedule.push_back(
+      FaultEvent{FaultKind::kIodCrash,
+                 TimePoint::origin() + Duration::ms(50.0), 0,
+                 Duration::sec(1000.0)});
+  Cluster cluster(cfg, 1, 4);
+  Client& c = cluster.client(0);
+  OpenFile f = c.create("/fo", 64 * kKiB, 1, /*base_iod=*/0).value();
+  const u64 n = 32 * kKiB;
+  const u64 src = c.memory().alloc(n);
+  fill(c, src, n, 21);
+  ASSERT_TRUE(c.write(f, 0, src, n).ok());
+
+  // Issue the read inside the crash window, from an engine event (the
+  // fabric computes wire occupancy in call order, so sends must be issued
+  // in nondecreasing virtual time).
+  const u64 dst = c.memory().alloc(n);
+  core::ListIoRequest rreq;
+  rreq.mem = {{dst, n}};
+  rreq.file = {{0, n}};
+  const TimePoint at = TimePoint::origin() + Duration::ms(60.0);
+  IoHandle h;
+  cluster.engine().schedule_at(at, [&] {
+    IoDesc d;
+    d.dir = IoDir::kRead;
+    d.file = f;
+    d.req = rreq;
+    d.start = at;
+    h = c.submit(d);
+  });
+  cluster.run();
+  ASSERT_TRUE(h.poll());
+  const IoResult r = h.result();
+  EXPECT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_TRUE(r.recovered());
+  EXPECT_GE(cluster.stats().get(stat::kPvfsFailovers), 1);
+  EXPECT_TRUE(equal_mem(c, src, dst, n));
+}
+
+// --- 10. recovery under pipelining ---------------------------------------
 
 TEST(FaultTest, PipelinedChainsRecoverOutOfOrderSettles) {
   // Wide window + drops: rounds settle out of order, the slot-reuse floor

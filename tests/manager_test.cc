@@ -88,5 +88,95 @@ TEST_F(ManagerTest, RoundTripTimeMatchesControlPath) {
   EXPECT_NEAR(f.cost.as_us(), 2 * cfg_.net.send_latency.as_us() + 5.0, 2.0);
 }
 
+// --- replica placement ---------------------------------------------------
+
+TEST(ReplicaPlacement, RotatesChainedAcrossPhysicalIods) {
+  auto r = Manager::place_replicas(/*base=*/0, /*stripe_width=*/4,
+                                   /*factor=*/2, /*physical_count=*/4);
+  ASSERT_TRUE(r.is_ok());
+  const std::vector<std::vector<u32>> want = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  EXPECT_EQ(r.value(), want);
+}
+
+TEST(ReplicaPlacement, HonoursBaseOffsetAndWrapsAtHigherFactor) {
+  auto r = Manager::place_replicas(/*base=*/2, /*stripe_width=*/2,
+                                   /*factor=*/3, /*physical_count=*/4);
+  ASSERT_TRUE(r.is_ok());
+  const std::vector<std::vector<u32>> want = {{2, 3, 0}, {3, 0, 1}};
+  EXPECT_EQ(r.value(), want);
+}
+
+TEST(ReplicaPlacement, ReplicasOfOneStripeAreAlwaysDistinct) {
+  for (u32 count = 1; count <= 6; ++count) {
+    for (u32 factor = 1; factor <= count; ++factor) {
+      auto r = Manager::place_replicas(1, /*stripe_width=*/count, factor,
+                                       count);
+      ASSERT_TRUE(r.is_ok());
+      for (const std::vector<u32>& set : r.value()) {
+        ASSERT_EQ(set.size(), factor);
+        for (size_t a = 0; a < set.size(); ++a) {
+          for (size_t b = a + 1; b < set.size(); ++b) {
+            EXPECT_NE(set[a], set[b]) << "count " << count << " factor "
+                                      << factor;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ReplicaPlacement, RejectsImpossibleFactors) {
+  EXPECT_FALSE(Manager::place_replicas(0, 4, /*factor=*/0, 4).is_ok());
+  EXPECT_FALSE(
+      Manager::place_replicas(0, 4, /*factor=*/5, /*physical_count=*/4)
+          .is_ok());
+  EXPECT_FALSE(
+      Manager::place_replicas(0, 4, /*factor=*/2, /*physical_count=*/0)
+          .is_ok());
+}
+
+TEST_F(ManagerTest, ReplicatedCreatePopulatesRotatedSets) {
+  Manager mgr(cfg_, fabric_, &stats_, /*cluster_iod_count=*/4);
+  auto f = mgr.create(client_hca_, TimePoint::origin(), "/rep", 64 * kKiB, 4,
+                      /*base_iod=*/0, /*replication_factor=*/2);
+  ASSERT_TRUE(f.value.is_ok());
+  const FileMeta& meta = f.value.value();
+  EXPECT_EQ(meta.replication_factor, 2u);
+  const std::vector<std::vector<u32>> want = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  EXPECT_EQ(meta.replicas, want);
+  // The primary of stripe k is exactly the classic PVFS target.
+  for (u32 k = 0; k < 4; ++k) {
+    EXPECT_EQ(meta.replicas[k][0], (meta.base_iod + k) % 4);
+  }
+}
+
+TEST_F(ManagerTest, FactorOneCreateLeavesReplicasEmpty) {
+  auto f = mgr_.create(client_hca_, TimePoint::origin(), "/one", 64 * kKiB, 4);
+  ASSERT_TRUE(f.value.is_ok());
+  EXPECT_EQ(f.value.value().replication_factor, 1u);
+  EXPECT_TRUE(f.value.value().replicas.empty());
+}
+
+TEST_F(ManagerTest, ReplicatedCreateRejectedBeyondClusterSize) {
+  // The fixture's manager was built with an unknown (0) cluster size:
+  // replicated creates must be refused rather than placed blindly.
+  auto unknown = mgr_.create(client_hca_, TimePoint::origin(), "/r0",
+                             64 * kKiB, 4, /*base_iod=*/0,
+                             /*replication_factor=*/2);
+  EXPECT_FALSE(unknown.value.is_ok());
+
+  Manager small(cfg_, fabric_, &stats_, /*cluster_iod_count=*/2);
+  auto too_wide = small.create(client_hca_, TimePoint::origin(), "/r1",
+                               64 * kKiB, 2, /*base_iod=*/0,
+                               /*replication_factor=*/3);
+  EXPECT_FALSE(too_wide.value.is_ok());
+  EXPECT_EQ(too_wide.value.status().code(), ErrorCode::kInvalidArgument);
+  // The name stays free after a rejected placement.
+  EXPECT_TRUE(small
+                  .create(client_hca_, TimePoint::origin(), "/r1", 64 * kKiB,
+                          2, /*base_iod=*/0, /*replication_factor=*/2)
+                  .value.is_ok());
+}
+
 }  // namespace
 }  // namespace pvfsib::pvfs
