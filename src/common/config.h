@@ -281,6 +281,36 @@ struct ReplicationParams {
   // when the serving iod exhausts its retry budget.
   bool read_failover = true;
 
+  // --- Version plane (per-stripe versions, read-repair, resync) -----------
+  // Every replicated write round carries a monotonically increasing
+  // per-stripe version; acks return the version the replica now holds, so
+  // the manager's staleness map knows which replicas are current. The three
+  // knobs below build repair paths on that map. All of it is structurally
+  // absent at factor 1.
+  //
+  // Read-repair: a read served by a fresher replica while another replica's
+  // recorded version trails schedules an async repair write of the just-read
+  // data to the stale one (pvfs.read_repairs). Heals content
+  // opportunistically; only write acks and resync mark a replica current in
+  // the staleness map (a repair covers one round's byte range, not
+  // necessarily everything its version covers).
+  bool read_repair = true;
+  // When several replicas are current, serve the read from the one with the
+  // lowest adaptive-timeout srtt estimate instead of always the primary
+  // (first slice of fault-aware scheduling). Off by default so fault-free
+  // replicated runs keep serving from the primary, baseline-identical.
+  bool read_bias = false;
+  // Background re-replication: a crash-restarted iod asks the manager for
+  // its stale stripes and pulls fresh data from a current peer in
+  // rate-limited rounds (pvfs.resync_stripes/resync_rounds), returning the
+  // chain to full factor F — so factor F survives F-1 *sequential* failures
+  // with MTTR-bounded exposure. Opt-in: it changes post-restart timelines.
+  bool resync = false;
+  // Wire rate cap for resync pulls in MiB/s (also bounded by the fabric's
+  // RDMA read bandwidth) and the chunk size of one resync round.
+  double resync_bandwidth = 200.0;
+  u64 resync_round_bytes = 256 * kKiB;
+
   u32 effective_quorum() const {
     return write_quorum == 0 ? factor : std::min(write_quorum, factor);
   }

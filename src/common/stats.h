@@ -114,6 +114,16 @@ inline constexpr const char* kPvfsPartialRestarts = "pvfs.partial_restarts";
 inline constexpr const char* kPvfsReplicaWrites = "pvfs.replica_writes";
 inline constexpr const char* kPvfsQuorumWaits = "pvfs.quorum_waits";
 inline constexpr const char* kPvfsFailovers = "pvfs.failovers";
+// Version plane (stripe versioning, read-repair, background resync). All
+// four only ever appear at replication_factor > 1, keeping factor-1 counter
+// sets baseline-identical; resync_* additionally require
+// ReplicationParams::resync. None of them count toward pvfs.request/reply
+// (repair and resync traffic is out-of-band of the round protocol).
+inline constexpr const char* kPvfsReadRepairs = "pvfs.read_repairs";
+inline constexpr const char* kPvfsStaleReadsAvoided =
+    "pvfs.stale_reads_avoided";
+inline constexpr const char* kPvfsResyncStripes = "pvfs.resync_stripes";
+inline constexpr const char* kPvfsResyncRounds = "pvfs.resync_rounds";
 inline constexpr const char* kAdsSieved = "ads.sieved";
 inline constexpr const char* kAdsSeparate = "ads.separate";
 inline constexpr const char* kAdsExtraBytes = "ads.extra_bytes";

@@ -22,6 +22,8 @@ const char* error_code_name(ErrorCode c) {
       return "ALREADY_EXISTS";
     case ErrorCode::kUnavailable:
       return "UNAVAILABLE";
+    case ErrorCode::kAllReplicasFailed:
+      return "ALL_REPLICAS_FAILED";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

@@ -20,6 +20,9 @@ enum class ErrorCode {
   kPermissionDenied,  // e.g. registering an unallocated page
   kAlreadyExists,
   kUnavailable,  // transient transport/server failure; safe to retry
+  // A replicated read exhausted the retry budget on *every* replica of the
+  // chain (terminal: failover has nowhere left to go).
+  kAllReplicasFailed,
   kInternal,
 };
 
@@ -70,6 +73,9 @@ inline Status already_exists(std::string m) {
 }
 inline Status unavailable(std::string m) {
   return Status(ErrorCode::kUnavailable, std::move(m));
+}
+inline Status all_replicas_failed(std::string m) {
+  return Status(ErrorCode::kAllReplicasFailed, std::move(m));
 }
 inline Status internal_error(std::string m) {
   return Status(ErrorCode::kInternal, std::move(m));

@@ -1,5 +1,7 @@
 #include "fault/injector.h"
 
+#include "sim/engine.h"
+
 namespace pvfsib::fault {
 
 Injector::Injector(const FaultConfig& cfg, Stats* stats)
@@ -124,6 +126,17 @@ bool Injector::meta_request_lost(TimePoint at) {
     return true;
   }
   return false;
+}
+
+void Injector::install_restart_hooks(sim::Engine& engine, RestartHook hook) {
+  if (!enabled_) return;
+  for (const FaultEvent& ev : cfg_.schedule) {
+    if (ev.kind != FaultKind::kIodCrash) continue;
+    const TimePoint at = ev.at + ev.duration;
+    engine.schedule_at(at, [hook, target = ev.target, at] {
+      hook(target, at);
+    });
+  }
 }
 
 double Injector::disk_factor(u32 iod, TimePoint at) const {

@@ -19,12 +19,17 @@
 // all, keeping zero-fault runs byte-identical to seed.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/config.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "common/stats.h"
+
+namespace pvfsib::sim {
+class Engine;
+}
 
 namespace pvfsib::fault {
 
@@ -68,6 +73,14 @@ class Injector {
   // --- Iod hooks ------------------------------------------------------------
   // Disk service-time multiplier for `iod` at `at` (1.0 when healthy).
   double disk_factor(u32 iod, TimePoint at) const;
+
+  // Schedule `hook(iod, restart_time)` on the engine for every kIodCrash
+  // window's end (the moment the iod comes back up). The resync scanner
+  // rides these (Cluster installs them when background re-replication is
+  // on); without a call the schedule drives nothing extra, keeping all
+  // other fault runs event-for-event identical.
+  using RestartHook = std::function<void(u32 iod, TimePoint at)>;
+  void install_restart_hooks(sim::Engine& engine, RestartHook hook);
 
   // --- Observability --------------------------------------------------------
   // The client records every recovered/settled round's issue-to-settle

@@ -45,6 +45,11 @@ struct Client::OpState {
   TimePoint start = TimePoint::origin();   // when the caller issued the op
   TimePoint launch = TimePoint::origin();  // after op-wide registration
   std::vector<u32> iod_ids;                // per sub-request: primary iod
+  // Per sub-request: the *logical stripe server* id (ServerSubRequest::
+  // server). partition() skips servers that receive no data, so the dense
+  // sub-request index is not the stripe id — shadow handles, version
+  // allocation and staleness-map keys must all use the stripe id.
+  std::vector<u32> stripes;
   std::vector<std::vector<Round>> rounds;  // per sub-request: its rounds
   // Per sub-request: the ordered physical replicas serving it (primary
   // first). A single-entry set equal to iod_ids[k] when unreplicated.
@@ -80,7 +85,8 @@ struct Client::OpState {
   Status status;
   bool failed = false;
   IoPhases phases;
-  u32 retries = 0;  // recovery retries accumulated across all rounds
+  u32 retries = 0;    // recovery retries accumulated across all rounds
+  u32 failovers = 0;  // read-failover hops accumulated across all rounds
 };
 
 Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
@@ -332,6 +338,7 @@ void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
     const u32 primary =
         (file.meta.base_iod + sub.server) % static_cast<u32>(iods_.size());
     op->iod_ids.push_back(primary);
+    op->stripes.push_back(sub.server);
     if (op->replicated) {
       assert(sub.server < file.meta.replicas.size());
       const std::vector<u32>& set = file.meta.replicas[sub.server];
@@ -346,6 +353,14 @@ void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
   op->chains.resize(subs.size());
   for (size_t k = 0; k < subs.size(); ++k) {
     op->chains[k].settled_rounds.resize(op->rounds[k].size(), false);
+  }
+  if (op->replicated && !is_write) {
+    // Replica-aware placement: start each chain at a replica the staleness
+    // map records current, instead of discovering a stale/dead primary via
+    // a failed round. Position 0 whenever all replicas are current.
+    for (u32 k = 0; k < op->chains.size(); ++k) {
+      op->chains[k].replica = pick_read_replica(*op, k);
+    }
   }
   op->pending = static_cast<u32>(subs.size());
   assert(op->pending > 0);
@@ -363,6 +378,125 @@ bool Client::faulty() const {
 u32 Client::current_target(const OpState& op, u32 iod_idx) const {
   const std::vector<u32>& set = op.replica_sets[iod_idx];
   return op.is_write ? set[0] : set[op.chains[iod_idx].replica];
+}
+
+// --- Version plane --------------------------------------------------------
+
+u32 Client::pick_read_replica(const OpState& op, u32 iod_idx) {
+  const std::vector<u32>& set = op.replica_sets[iod_idx];
+  if (set.size() <= 1) return 0;
+  const Manager::StripeVersionView v =
+      manager_.stripe_versions(op.file.meta.handle, op.stripes[iod_idx]);
+  // Candidates the staleness map does not rule out. An unknown stripe (no
+  // replicated write ever recorded) keeps everyone eligible.
+  std::vector<u32> current;
+  for (u32 j = 0; j < set.size(); ++j) {
+    if (!v.known || j >= v.replica_versions.size() ||
+        v.replica_versions[j] >= v.latest) {
+      current.push_back(j);
+    }
+  }
+  if (current.empty()) return 0;  // everyone trails: start at the primary
+  u32 choice = current[0];
+  if (cfg_.replication.read_bias && current.size() > 1) {
+    // Slow-replica bias: among current replicas, prefer the lowest srtt
+    // estimate. An unseeded estimator counts as zero (assume fast), which
+    // keeps the primary preferred until evidence says otherwise.
+    auto est = [&](u32 j) {
+      const RttEstimate& e = rtt_[set[j]];
+      return e.seeded ? e.srtt : Duration::zero();
+    };
+    for (u32 j : current) {
+      if (est(j) < est(choice)) choice = j;
+    }
+  }
+  if (choice != 0 && v.known && !v.replica_versions.empty() &&
+      v.replica_versions[0] < v.latest) {
+    // The primary would have served stale data; placement skipped it
+    // without burning a failover.
+    if (stats_ != nullptr) stats_->add(stat::kPvfsStaleReadsAvoided);
+    sim::Trace::instance().emitf(
+        engine_.now(), hca_.name(),
+        "read placement: stripe %u primary iod%u stale (v%llu < v%llu), "
+        "serving from iod%u",
+        op.stripes[iod_idx], set[0],
+        static_cast<unsigned long long>(v.replica_versions[0]),
+        static_cast<unsigned long long>(v.latest), set[choice]);
+  }
+  return choice;
+}
+
+void Client::maybe_read_repair(std::shared_ptr<OpState> op, u32 iod_idx,
+                               size_t round_idx, u64 serving_version,
+                               TimePoint t) {
+  if (!op->replicated || op->is_write) return;
+  const std::vector<u32>& set = op->replica_sets[iod_idx];
+  const u32 serving = op->chains[iod_idx].replica;
+  const u32 stripe = op->stripes[iod_idx];
+  // The serving replica demonstrably holds its header's version.
+  manager_.note_replica_version(op->file.meta.handle, stripe, set[serving],
+                                serving_version);
+  if (serving_version == 0 || !cfg_.replication.read_repair) return;
+  const Manager::StripeVersionView v =
+      manager_.stripe_versions(op->file.meta.handle, stripe);
+  for (u32 rep = 0; rep < set.size(); ++rep) {
+    if (rep == serving) continue;
+    const u64 held =
+        rep < v.replica_versions.size() ? v.replica_versions[rep] : 0;
+    if (held >= serving_version) continue;
+    schedule_repair_write(op, iod_idx, round_idx, rep, serving_version, t);
+  }
+}
+
+void Client::schedule_repair_write(std::shared_ptr<OpState> op, u32 iod_idx,
+                                   size_t round_idx, u32 rep, u64 version,
+                                   TimePoint t) {
+  const Round& r = op->rounds[iod_idx][round_idx];
+  const u32 target = op->replica_sets[iod_idx][rep];
+  const Handle lh =
+      rep == 0 ? op->file.meta.handle
+               : backup_handle(op->file.meta.handle, op->stripes[iod_idx]);
+  // Snapshot the just-read bytes now: the op's buffers belong to the
+  // caller and may be rewritten the moment the read completes. The repair
+  // stream is round-shaped (matches r.accesses in order).
+  auto data = std::make_shared<std::vector<std::byte>>();
+  data->reserve(r.bytes);
+  for (const core::MemSegment& m : r.mem) {
+    const std::span<const std::byte> s = as_.readable_span(m.addr, m.length);
+    data->insert(data->end(), s.begin(), s.end());
+  }
+  // Analytical background transfer: pack copy, then the wire at the resync
+  // rate cap. Serialized per target iod so repair traffic never bursts.
+  const double bw =
+      std::min(cfg_.replication.resync_bandwidth, cfg_.net.rdma_write_bw);
+  const Duration xfer = cfg_.mem.copy_cost(r.bytes) +
+                        cfg_.net.rdma_write_latency +
+                        transfer_time(r.bytes, bw);
+  TimePoint start = t;
+  const auto it = repair_busy_until_.find(target);
+  if (it != repair_busy_until_.end()) start = max(start, it->second);
+  const TimePoint arrive = start + xfer;
+  repair_busy_until_[target] = arrive;
+  sim::Trace::instance().emitf(
+      t, hca_.name(), "read-repair: round %zu -> iod%u (v%llu, %llu B)",
+      round_idx + 1, target, static_cast<unsigned long long>(version),
+      static_cast<unsigned long long>(r.bytes));
+  engine_.schedule_at(arrive, [this, op, iod_idx, round_idx, target, lh,
+                               version, data, arrive] {
+    if (faulty() && faults_->iod_down(target, arrive)) {
+      // The stale replica is (still) down: drop the repair silently;
+      // resync or a later read heals it.
+      return;
+    }
+    iods_[target]->apply_repair(
+        lh, op->rounds[iod_idx][round_idx].accesses,
+        {data->data(), data->size()}, version, arrive);
+    // Deliberately NOT noted with the manager: this repair covers one
+    // round's byte range, while the version covers everything written up
+    // to it — marking the replica current after a partial heal would
+    // misroute future reads. Only write acks and resync mark current.
+    if (stats_ != nullptr) stats_->add(stat::kPvfsReadRepairs);
+  });
 }
 
 // --- Adaptive round timeouts ---------------------------------------------
@@ -426,6 +560,12 @@ void Client::issue_round(std::shared_ptr<OpState> op, u32 iod_idx,
     tr->first_issue = t;
     tr->acked.assign(op->replica_sets[iod_idx].size(), false);
     tr->data_landed.assign(op->replica_sets[iod_idx].size(), false);
+    if (op->replicated && op->is_write) {
+      // Mint this round's per-stripe version (free piggyback on the
+      // metadata plane). Replays reuse it — a round is one version.
+      tr->version = manager_.allocate_stripe_version(op->file.meta.handle,
+                                                     op->stripes[iod_idx]);
+    }
   }
   if (op->is_write) {
     run_write_round(op, iod_idx, round_idx, t, std::move(tr));
@@ -500,6 +640,7 @@ void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx,
     result.end = op->max_end;
     result.phases = op->phases;
     result.retries = op->retries;
+    result.failovers = op->failovers;
     sim::Trace::instance().emitf(
         result.end, hca_.name(), "%s op complete: %llu B in %s",
         op->is_write ? "write" : "read",
@@ -541,6 +682,7 @@ void Client::settle_round(std::shared_ptr<OpState> op, u32 iod_idx,
       tr->timer_armed = false;
     }
     op->retries += tr->attempts - 1;
+    op->failovers += tr->failovers;
     if (faulty()) {
       faults_->note_round_latency(t - tr->first_issue);
       // Replicated writes feed the estimator per replica ack instead
@@ -619,6 +761,19 @@ void Client::retry_or_fail(std::shared_ptr<OpState> op, u32 iod_idx,
       run_read_round(op, iod_idx, round_idx, t, tr);
       return;
     }
+    if (!op->is_write && op->replicated && cfg_.replication.read_failover &&
+        nrep > 1) {
+      // Failover ran out of replicas: every member of the chain burned a
+      // full retry budget. Distinct terminal status so callers can tell
+      // "the whole chain is gone" from a single overloaded server.
+      settle_round(op, iod_idx, round_idx, tr, t,
+                   all_replicas_failed(
+                       "read exhausted all " + std::to_string(nrep) +
+                       " replicas (" + std::to_string(tr->attempts - 1) +
+                       " attempts, " + std::to_string(tr->failovers) +
+                       " failovers): " + why.message()));
+      return;
+    }
     settle_round(op, iod_idx, round_idx, tr, t,
                  unavailable("round failed after " +
                              std::to_string(tr->attempts - 1) +
@@ -668,13 +823,21 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
 
 void Client::write_replica_done(std::shared_ptr<OpState> op, u32 iod_idx,
                                 size_t round_idx, u32 rep,
-                                std::shared_ptr<RoundTry> tr, TimePoint t) {
+                                std::shared_ptr<RoundTry> tr, TimePoint t,
+                                u64 ack_version) {
   if (!op->replicated || tr == nullptr) {
     settle_round(op, iod_idx, round_idx, tr, t, Status::ok());
     return;
   }
-  if (tr->settled || tr->acked[rep]) return;  // late or duplicate ack
+  if (tr->acked[rep]) return;  // duplicate ack of one replica
   tr->acked[rep] = true;
+  // Record the ack with the staleness map even when the quorum already
+  // settled the round: a slow-but-alive replica that acks late is current,
+  // not stale, and must stay eligible for read placement.
+  manager_.note_replica_version(op->file.meta.handle, op->stripes[iod_idx],
+                                op->replica_sets[iod_idx][rep],
+                                ack_version != 0 ? ack_version : tr->version);
+  if (tr->settled) return;  // late ack after quorum settle
   ++tr->acks;
   if (!tr->have_first_ack) {
     tr->have_first_ack = true;
@@ -703,11 +866,13 @@ void Client::run_write_replica(std::shared_ptr<OpState> op, u32 iod_idx,
   // staging-slot region: the target iod also serves a neighbour stripe's
   // primary chain for this client, and the two must not share local files,
   // staging buffers, or the (client, slot) replay-dedupe log.
-  rr.handle = rep == 0 ? op->file.meta.handle
-                       : backup_handle(op->file.meta.handle, iod_idx);
+  rr.handle = rep == 0
+                  ? op->file.meta.handle
+                  : backup_handle(op->file.meta.handle, op->stripes[iod_idx]);
   rr.client = id_;
   rr.slot = rep * op->window + static_cast<u32>(round_idx % op->window);
   rr.round_seq = tr != nullptr ? tr->seq : 0;
+  rr.version = tr != nullptr ? tr->version : 0;
   rr.is_write = true;
   rr.sync = op->opts.sync;
   rr.use_ads = op->opts.use_ads;
@@ -826,25 +991,42 @@ void Client::run_write_replica(std::shared_ptr<OpState> op, u32 iod_idx,
       tr->data_landed[rep] = true;
     }
     Duration disk_cost = Duration::zero();
-    const TimePoint t_disk = iod.write_round(
-        rr, data_ready + cfg_.pvfs.iod_request_cpu, &disk_cost);
+    u64 ack_version = 0;
+    const TimePoint t_disk =
+        iod.write_round(rr, data_ready + cfg_.pvfs.iod_request_cpu,
+                        &disk_cost, &ack_version);
     op->phases.disk += disk_cost;
     if (stats_ != nullptr) stats_->add(stat::kPvfsReply);
-    const TimePoint t_reply =
-        fabric_.send_control(iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
-                             t_disk, ib::ControlKind::kReply);
-    if (tr != nullptr && faulty() && faults_->reply_lost(iod_id, t_disk)) {
-      // The write applied but its ack vanished; the replay is recognised
-      // by round_seq at the iod and acked without re-running the disk.
-      sim::Trace::instance().emitf(t_disk, hca_.name(),
-                                   "iod%u round %zu reply lost", iod_id,
-                                   round_idx + 1);
-      return;
+    auto send_reply = [this, op, iod_idx, round_idx, rep, tr, &iod, iod_id,
+                       t_disk, ack_version] {
+      const TimePoint t_reply =
+          fabric_.send_control(iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
+                               t_disk, ib::ControlKind::kReply);
+      if (tr != nullptr && faulty() && faults_->reply_lost(iod_id, t_disk)) {
+        // The write applied but its ack vanished; the replay is recognised
+        // by round_seq at the iod and acked without re-running the disk.
+        // The version note rides the ack, so it is lost with it.
+        sim::Trace::instance().emitf(t_disk, hca_.name(),
+                                     "iod%u round %zu reply lost", iod_id,
+                                     round_idx + 1);
+        return;
+      }
+      engine_.schedule_at(t_reply, [this, op, iod_idx, round_idx, rep, tr,
+                                    t_reply, ack_version] {
+        write_replica_done(op, iod_idx, round_idx, rep, tr, t_reply,
+                           ack_version);
+      });
+    };
+    if (op->replica_sets[iod_idx].size() > 1) {
+      // NIC occupancy is booked in call order, so a replica fan whose disk
+      // phases diverge (one copy on a degraded disk) must issue its reply
+      // sends in nondecreasing virtual time or the slow copy's in-flight
+      // ack time leaks into the fast copy's. Factor-1 chains keep the
+      // inline call: one reply per round, issue order already matches.
+      engine_.schedule_at(t_disk, send_reply);
+    } else {
+      send_reply();
     }
-    engine_.schedule_at(t_reply, [this, op, iod_idx, round_idx, rep, tr,
-                                  t_reply] {
-      write_replica_done(op, iod_idx, round_idx, rep, tr, t_reply);
-    });
   });
   // With the data phase off the wire, the client NIC is free: a wider
   // window may put the next round's request on the wire while this round's
@@ -876,8 +1058,9 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
   // After a failover the backup serves the stripe from its shadow-handle
   // local file, through its own staging-slot region (the backup iod's
   // primary-chain slots for this client belong to a different stripe).
-  rr.handle = replica == 0 ? op->file.meta.handle
-                           : backup_handle(op->file.meta.handle, iod_idx);
+  rr.handle = replica == 0
+                  ? op->file.meta.handle
+                  : backup_handle(op->file.meta.handle, op->stripes[iod_idx]);
   rr.client = id_;
   rr.slot = replica * op->window + static_cast<u32>(round_idx % op->window);
   rr.round_seq = tr != nullptr ? tr->seq : 0;
@@ -971,7 +1154,10 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
             (svc.ready - t_svc) - svc.disk_cost + cfg_.mem.copy_cost(off);
         const TimePoint t_done = svc.ready + cfg_.mem.copy_cost(off);
         engine_.schedule_at(t_done, [this, op, iod_idx, round_idx, tr,
-                                     t_done] {
+                                     t_done, ver = svc.version] {
+          if (tr == nullptr || !tr->settled) {
+            maybe_read_repair(op, iod_idx, round_idx, ver, t_done);
+          }
           settle_round(op, iod_idx, round_idx, tr, t_done, Status::ok());
         });
         break;
@@ -979,8 +1165,12 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
       case ReadReturn::kDirectGather: {
         op->phases.wire += (svc.ready - t_svc) - svc.disk_cost;
         engine_.schedule_at(svc.ready, [this, op, iod_idx, round_idx, tr,
-                                        release_key, t = svc.ready] {
+                                        release_key, t = svc.ready,
+                                        ver = svc.version] {
           if (release_key != 0) cache_.release(release_key);
+          if (tr == nullptr || !tr->settled) {
+            maybe_read_repair(op, iod_idx, round_idx, ver, t);
+          }
           settle_round(op, iod_idx, round_idx, tr, t, Status::ok());
         });
         break;
@@ -992,7 +1182,8 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
             iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes, svc.ready,
             ib::ControlKind::kReply);
         engine_.schedule_at(ack, [this, op, iod_idx, round_idx, tr, &iod,
-                                  ack, r, slot = rr.slot] {
+                                  ack, r, slot = rr.slot,
+                                  ver = svc.version] {
           core::TransferOutcome pull =
               xfer_.pull(ep_, r->mem, iod.staging(id_, slot), ack,
                          op->opts.policy);
@@ -1002,8 +1193,11 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
           }
           const TimePoint t_done = pull.complete;
           engine_.schedule_at(t_done, [this, op, iod_idx, round_idx, tr,
-                                       t_done, st = pull.status] {
+                                       t_done, st = pull.status, ver] {
             if (st.is_ok()) {
+              if (tr == nullptr || !tr->settled) {
+                maybe_read_repair(op, iod_idx, round_idx, ver, t_done);
+              }
               settle_round(op, iod_idx, round_idx, tr, t_done, st);
             } else {
               fail_round(op, iod_idx, round_idx, tr, t_done, st);

@@ -118,6 +118,10 @@ struct IoResult {
   // Round retries the recovery layer spent on this operation (0 on a clean
   // run; only ever nonzero when a fault plane is active).
   u32 retries = 0;
+  // Read-failover hops taken across the operation's rounds (replicated
+  // reads only). Together with `retries` this tells a caller *how* a read
+  // survived — or, with status kAllReplicasFailed, how hard it tried.
+  u32 failovers = 0;
 
   Duration elapsed() const { return end - start; }
   double bandwidth_mib() const {
@@ -256,6 +260,9 @@ class Client {
     // far (capped at replica-count - 1 per round).
     u32 budget_base = 0;
     u32 failovers = 0;
+    // Per-stripe version stamped on a replicated write round (manager-
+    // minted in issue_round; 0 otherwise). Replays carry the same version.
+    u64 version = 0;
     // Replicated-write fan state, indexed by replica position in the
     // chain's replica set: which replicas have acked this round (replays
     // go only to the silent ones) and which already hold the payload in
@@ -284,11 +291,15 @@ class Client {
   void run_write_replica(std::shared_ptr<OpState> op, u32 iod_idx,
                          size_t round_idx, u32 rep, TimePoint t0,
                          std::shared_ptr<RoundTry> tr);
-  // Replica `rep` acked the write round at `t`: settle once the write
-  // quorum is met (immediately when unreplicated).
+  // Replica `rep` acked the write round at `t` holding stripe version
+  // `ack_version`: record the version with the manager (even for late acks
+  // after the quorum settled — a slow-but-alive replica is current, not
+  // stale) and settle once the write quorum is met (immediately when
+  // unreplicated).
   void write_replica_done(std::shared_ptr<OpState> op, u32 iod_idx,
                           size_t round_idx, u32 rep,
-                          std::shared_ptr<RoundTry> tr, TimePoint t);
+                          std::shared_ptr<RoundTry> tr, TimePoint t,
+                          u64 ack_version);
   void run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
                       size_t round_idx, TimePoint t0,
                       std::shared_ptr<RoundTry> tr);
@@ -322,6 +333,28 @@ class Client {
   // the chain — replica_sets[iod_idx][chain.replica] under replication,
   // the classic single target otherwise.
   u32 current_target(const OpState& op, u32 iod_idx) const;
+
+  // --- Version plane (replica-aware reads, read-repair) -------------------
+  // Starting replica for a replicated read chain: the first replica the
+  // manager's staleness map records current (counting a skipped stale
+  // primary as pvfs.stale_reads_avoided), tie-broken by the lowest srtt
+  // estimate when ReplicationParams::read_bias is on. Position 0 whenever
+  // every replica is current — fault-free runs keep serving from the
+  // primary, baseline-identical.
+  u32 pick_read_replica(const OpState& op, u32 iod_idx);
+  // A read round settled OK at `t`, served by the chain's current replica
+  // whose stripe header reported `serving_version`: record that with the
+  // manager and schedule async repair writes of the round's data to every
+  // chain replica whose recorded version trails (pvfs.read_repairs), when
+  // ReplicationParams::read_repair allows.
+  void maybe_read_repair(std::shared_ptr<OpState> op, u32 iod_idx,
+                         size_t round_idx, u64 serving_version, TimePoint t);
+  // Gather the round's bytes from client memory now and apply them to
+  // replica position `rep` after an analytical pack+wire delay, serialized
+  // per target iod (one outstanding repair per target).
+  void schedule_repair_write(std::shared_ptr<OpState> op, u32 iod_idx,
+                             size_t round_idx, u32 rep, u64 version,
+                             TimePoint t);
 
   // --- Adaptive round timeouts (Jacobson-style per-iod RTT estimation) ---
   struct RttEstimate {
@@ -363,6 +396,10 @@ class Client {
   // high-water mark, so one sequence number dedupes replays everywhere.
   u64 next_round_seq_ = 1;
   std::vector<RttEstimate> rtt_;  // per physical iod
+  // Async repair writes are serialized per target iod: the next repair to
+  // a target starts when the previous one arrived (background traffic,
+  // one outstanding chunk per target).
+  std::map<u32, TimePoint> repair_busy_until_;
 
   vmem::AddressSpace as_;
   ib::Hca hca_;

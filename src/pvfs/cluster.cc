@@ -21,6 +21,18 @@ Cluster::Cluster(const ModelConfig& cfg, u32 client_count, u32 iod_count)
                                                 *manager_, iod_ptrs, &stats_,
                                                 faults_.get()));
   }
+  if (cfg.replication.factor > 1 && cfg.replication.resync) {
+    // Background re-replication: every iod can scan the manager's
+    // staleness map against its peers, and each scheduled crash window's
+    // end triggers a scan on the restarted iod. Off (the default) the
+    // engine sees no extra events and runs stay byte-identical.
+    for (auto& iod : iods_) {
+      iod->configure_resync(&engine_, manager_.get(), iod_ptrs);
+    }
+    faults_->install_restart_hooks(engine_, [this](u32 iod, TimePoint at) {
+      if (iod < iods_.size()) iods_[iod]->on_restart(at);
+    });
+  }
 }
 
 }  // namespace pvfsib::pvfs

@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "fault/injector.h"
+#include "pvfs/manager.h"
+#include "sim/engine.h"
 #include "sim/trace.h"
 
 namespace pvfsib::pvfs {
@@ -150,16 +152,18 @@ Iod::DiskPhase Iod::write_disk_phase(const RoundRequest& r,
 }
 
 TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
-                           Duration* disk_cost) {
+                           Duration* disk_cost, u64* ack_version) {
   if (r.round_seq != 0 && already_applied(r.client, r.slot, r.round_seq)) {
     // Replay of a round whose reply was lost: the disk phase already ran,
-    // so ack without re-applying (idempotent replay).
+    // so ack without re-applying (idempotent replay). The original apply
+    // merged the version; the ack reports the current header.
     if (stats_ != nullptr) stats_->add(stat::kPvfsReplaysDeduped);
     sim::Trace::instance().emitf(
         data_ready, hca_.name(), "write round h%llu slot%u seq%llu: replay, %s",
         static_cast<unsigned long long>(r.handle), r.slot,
         static_cast<unsigned long long>(r.round_seq), "acked without reapply");
     if (disk_cost != nullptr) *disk_cost = Duration::zero();
+    if (ack_version != nullptr) *ack_version = stripe_version(r.handle);
     return data_ready;
   }
   // A staged replay (partial-round restart) carries no payload; it must
@@ -177,7 +181,157 @@ TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
   assert(phase.status.is_ok());
   phase.cost = disk_scaled(phase.cost, data_ready);
   if (disk_cost != nullptr) *disk_cost = phase.cost;
+  // Merge the round's version into the stripe header (kept as if durable,
+  // like applied_seq_). Unversioned rounds — the only kind at factor 1 —
+  // never touch the map.
+  if (r.version != 0) {
+    u64& header = stripe_version_[r.handle];
+    header = std::max(header, r.version);
+  }
+  if (ack_version != nullptr) *ack_version = stripe_version(r.handle);
   return disk_queue_.acquire(data_ready, phase.cost);
+}
+
+u64 Iod::stripe_version(Handle h) const {
+  auto it = stripe_version_.find(h);
+  return it == stripe_version_.end() ? 0 : it->second;
+}
+
+TimePoint Iod::apply_repair(Handle h, const ExtentList& accesses,
+                            std::span<const std::byte> stream, u64 version,
+                            TimePoint at) {
+  RoundRequest rr;
+  rr.handle = h;
+  rr.is_write = true;
+  rr.use_ads = false;  // the repair stream is already round-shaped
+  rr.accesses = accesses;
+  DiskPhase phase = write_disk_phase(rr, stream, at);
+  assert(phase.status.is_ok());
+  phase.cost = disk_scaled(phase.cost, at);
+  if (version != 0) {
+    u64& header = stripe_version_[h];
+    header = std::max(header, version);
+  }
+  return disk_queue_.acquire(at, phase.cost);
+}
+
+Timed<u64> Iod::serve_resync(const ResyncRequest& rq,
+                             std::span<std::byte> dst) {
+  disk::LocalFile& f = file(rq.peer_handle);
+  const u64 size = f.size();
+  if (rq.offset >= size) return {0, Duration::zero()};
+  const u64 n = std::min({rq.max_bytes, size - rq.offset, dst.size()});
+  return f.pread(rq.offset, dst.subspan(0, n), {});
+}
+
+// --- Background re-replication --------------------------------------------
+
+struct Iod::ResyncState {
+  std::vector<Manager::ResyncTarget> targets;
+  size_t ti = 0;   // current target
+  u64 off = 0;     // byte cursor within the current stripe's local file
+  u64 rounds = 0;  // chunk pulls spent on the current stripe
+  TimePoint t = TimePoint::origin();
+};
+
+void Iod::configure_resync(sim::Engine* engine, Manager* manager,
+                           std::vector<Iod*> peers) {
+  engine_ = engine;
+  manager_ = manager;
+  peers_ = std::move(peers);
+}
+
+void Iod::on_restart(TimePoint t) {
+  if (engine_ == nullptr || manager_ == nullptr) return;
+  auto st = std::make_shared<ResyncState>();
+  st->targets = manager_->resync_targets(id_);
+  if (st->targets.empty()) return;
+  st->t = t;
+  sim::Trace::instance().emitf(t, hca_.name(),
+                               "resync: %zu stale stripe(s) after restart",
+                               st->targets.size());
+  resync_step(st);
+}
+
+void Iod::resync_step(std::shared_ptr<ResyncState> st) {
+  // Crashed again mid-scan: abandon; the next restart rescans (the map
+  // still records every unfinished stripe as stale).
+  if (faults_ != nullptr && faults_->enabled() &&
+      faults_->iod_down(id_, st->t)) {
+    return;
+  }
+  while (st->ti < st->targets.size()) {
+    const Manager::ResyncTarget& tg = st->targets[st->ti];
+    // The first chain peer recorded current and up right now is the pull
+    // source; with none, skip the stripe (still recorded stale — a later
+    // restart retries).
+    Iod* peer = nullptr;
+    Handle peer_handle = 0;
+    for (size_t j = 0; j < tg.peers.size(); ++j) {
+      const u32 p = tg.peers[j];
+      if (p < peers_.size() && peers_[p] != nullptr &&
+          !(faults_ != nullptr && faults_->enabled() &&
+            faults_->iod_down(p, st->t))) {
+        peer = peers_[p];
+        peer_handle = tg.peer_handles[j];
+        break;
+      }
+    }
+    if (peer == nullptr) {
+      ++st->ti;
+      st->off = 0;
+      st->rounds = 0;
+      continue;
+    }
+    const u64 peer_size = peer->file(peer_handle).size();
+    if (st->off >= peer_size) {
+      // Stripe fully pulled: the copy now holds everything the map's
+      // latest version covers, so the replica is current again.
+      u64& header = stripe_version_[tg.local_handle];
+      header = std::max(header, tg.latest);
+      manager_->note_replica_version(tg.handle, tg.stripe, id_, tg.latest);
+      if (stats_ != nullptr) stats_->add(stat::kPvfsResyncStripes);
+      sim::Trace::instance().emitf(
+          st->t, hca_.name(),
+          "resync: h%llu stripe %u current at v%llu (%llu B in %llu rounds)",
+          static_cast<unsigned long long>(tg.handle), tg.stripe,
+          static_cast<unsigned long long>(tg.latest),
+          static_cast<unsigned long long>(peer_size),
+          static_cast<unsigned long long>(st->rounds));
+      ++st->ti;
+      st->off = 0;
+      st->rounds = 0;
+      continue;
+    }
+    // Pull one chunk: RESYNC request over the fabric, peer disk read, the
+    // return wire capped at the resync rate, local disk write. Chunks are
+    // strictly sequential — one outstanding pull keeps the background
+    // traffic bounded by resync_bandwidth.
+    ResyncRequest rq;
+    rq.handle = tg.handle;
+    rq.stripe = tg.stripe;
+    rq.peer_handle = peer_handle;
+    rq.offset = st->off;
+    rq.max_bytes = cfg_.replication.resync_round_bytes;
+    std::vector<std::byte> buf(
+        std::min(rq.max_bytes, peer_size - st->off));
+    const TimePoint req_at =
+        fabric_.send_control(hca_, peer->hca(), cfg_.pvfs.request_msg_bytes,
+                             st->t, ib::ControlKind::kRequest);
+    const Timed<u64> rd = peer->serve_resync(rq, buf);
+    const double bw =
+        std::min(cfg_.replication.resync_bandwidth, cfg_.net.rdma_read_bw);
+    const Duration wire =
+        cfg_.net.rdma_read_latency + transfer_time(rd.value, bw);
+    const Timed<u64> wr = file(tg.local_handle)
+                              .pwrite(st->off, {buf.data(), rd.value}, {});
+    if (stats_ != nullptr) stats_->add(stat::kPvfsResyncRounds);
+    st->off += rd.value;
+    ++st->rounds;
+    st->t = req_at + rd.cost + wire + wr.cost;
+    engine_->schedule_at(st->t, [this, st] { resync_step(st); });
+    return;
+  }
 }
 
 Iod::DiskPhase Iod::read_separate_phase(const RoundRequest& r,
@@ -205,6 +359,7 @@ Iod::ReadService Iod::read_round(const RoundRequest& r, TimePoint start,
                                  ReadReturn path, ib::Hca* client_hca,
                                  u64 client_dest, u32 client_rkey) {
   ReadService svc;
+  svc.version = stripe_version(r.handle);
   const core::StagingBuffer& sb = staging(r.client, r.slot);
   const u64 total = r.bytes();
   if (total > sb.size) {

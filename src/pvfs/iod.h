@@ -27,7 +27,13 @@ namespace pvfsib::fault {
 class Injector;
 }
 
+namespace pvfsib::sim {
+class Engine;
+}
+
 namespace pvfsib::pvfs {
+
+class Manager;
 
 class Iod {
  public:
@@ -56,9 +62,12 @@ class Iod {
   // `data_ready`. Performs the disk phase (separate accesses or sieved
   // read-modify-write) and returns the time the round is durably done
   // (post-fsync when sync). When `disk_cost` is non-null it receives the
-  // pure service time (excluding disk-queue wait).
+  // pure service time (excluding disk-queue wait). When `ack_version` is
+  // non-null it receives the stripe-header version the ack carries back
+  // (after merging r.version; 0 for unversioned files).
   TimePoint write_round(const RoundRequest& r, TimePoint data_ready,
-                        Duration* disk_cost = nullptr);
+                        Duration* disk_cost = nullptr,
+                        u64* ack_version = nullptr);
 
   // --- Read round -------------------------------------------------------
   struct ReadService {
@@ -70,6 +79,9 @@ class Iod {
     // Server-side service time spent on the disk phase (reads, sieve
     // copies), excluding queueing and the return-path network time.
     Duration disk_cost = Duration::zero();
+    // Stripe-header version of the serving local file (0 when unversioned):
+    // a trailing version tells the client this replica is stale.
+    u64 version = 0;
 
     bool ok() const { return status.is_ok(); }
   };
@@ -80,6 +92,38 @@ class Iod {
   ReadService read_round(const RoundRequest& r, TimePoint start,
                          ReadReturn path, ib::Hca* client_hca,
                          u64 client_dest, u32 client_rkey);
+
+  // --- Version plane ----------------------------------------------------
+  // Stripe-header version of the local file keyed `h` (0 = unversioned).
+  // Under replication each local file (a primary handle or a per-stripe
+  // shadow handle) belongs to exactly one chain, so one header per local
+  // handle is unambiguous. Kept as if durable, like applied_seq_.
+  u64 stripe_version(Handle h) const;
+
+  // Apply a repair/resync write directly: scatter `stream` into the local
+  // file at `accesses` and merge `version` into the stripe header. Bypasses
+  // the staging-slot pool (repairs are out-of-band of the round protocol
+  // and must not collide with in-flight rounds' slots); the disk work still
+  // serializes through the disk queue. Returns the completion time.
+  TimePoint apply_repair(Handle h, const ExtentList& accesses,
+                         std::span<const std::byte> stream, u64 version,
+                         TimePoint at);
+
+  // Serve one resync pull: pread `rq.max_bytes` (capped by EOF) at
+  // `rq.offset` from the local file keyed rq.peer_handle into `dst`.
+  Timed<u64> serve_resync(const ResyncRequest& rq, std::span<std::byte> dst);
+
+  // --- Background re-replication ---------------------------------------
+  // Wire the resync scanner (Cluster does this when factor > 1 and
+  // ReplicationParams::resync): the engine to schedule pull rounds on, the
+  // manager's staleness map to target with, and the peer iods (indexed by
+  // physical id) to pull from.
+  void configure_resync(sim::Engine* engine, Manager* manager,
+                        std::vector<Iod*> peers);
+  // Restart hook (fault::Injector::install_restart_hooks): scan the
+  // staleness map and pull every stale stripe from a current peer in
+  // rate-limited rounds. No-op unless configure_resync ran.
+  void on_restart(TimePoint t);
 
   ib::Hca& hca() { return hca_; }
   disk::LocalFs& fs() { return fs_; }
@@ -114,6 +158,12 @@ class Iod {
   // `client`'s connection? Updates the high-water mark when new.
   bool already_applied(u32 client, u32 slot, u64 seq);
 
+  // One in-progress restart resync: the target list and the cursor within
+  // it. Shared with the engine events driving the chunk pulls.
+  struct ResyncState;
+  // Pull the next chunk (or finish the current stripe / the whole scan).
+  void resync_step(std::shared_ptr<ResyncState> st);
+
   u32 id_;
   ModelConfig cfg_;
   ib::Fabric& fabric_;
@@ -135,6 +185,13 @@ class Iod {
   // Highest applied round_seq per (client, slot): the replay-dedupe log.
   // Kept as if durable (a crash-restarted iod still recognises replays).
   std::map<std::pair<u32, u32>, u64> applied_seq_;
+  // Stripe-header versions per local file (see stripe_version()). Only ever
+  // populated by versioned (replicated) writes; empty at factor 1.
+  std::map<Handle, u64> stripe_version_;
+  // Resync wiring (null unless Cluster enabled background re-replication).
+  sim::Engine* engine_ = nullptr;
+  Manager* manager_ = nullptr;
+  std::vector<Iod*> peers_;
 };
 
 }  // namespace pvfsib::pvfs

@@ -118,8 +118,11 @@ Timed<Status> Manager::remove(ib::Hca& from, TimePoint ready,
   if (it == by_name_.end()) {
     return {not_found("no such file: " + name), cost};
   }
-  by_handle_.erase(it->second.handle);
+  const Handle h = it->second.handle;
+  by_handle_.erase(h);
   by_name_.erase(it);
+  stripe_state_.erase(stripe_state_.lower_bound({h, 0}),
+                      stripe_state_.upper_bound({h, ~0u}));
   return {Status::ok(), cost};
 }
 
@@ -134,6 +137,80 @@ Result<FileMeta> Manager::stat(const std::string& name) const {
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return not_found("no such file: " + name);
   return it->second;
+}
+
+// --- Version plane ---------------------------------------------------------
+
+const FileMeta* Manager::meta_of(Handle h) const {
+  auto it = by_handle_.find(h);
+  if (it == by_handle_.end()) return nullptr;
+  return &by_name_.at(it->second);
+}
+
+u64 Manager::allocate_stripe_version(Handle h, u32 stripe) {
+  const FileMeta* meta = meta_of(h);
+  if (meta == nullptr || meta->replication_factor <= 1) return 0;
+  StripeState& st = stripe_state_[{h, stripe}];
+  if (st.replica.empty()) st.replica.resize(meta->replication_factor, 0);
+  return ++st.latest;
+}
+
+void Manager::note_replica_version(Handle h, u32 stripe, u32 iod_id,
+                                   u64 version) {
+  if (version == 0) return;
+  const FileMeta* meta = meta_of(h);
+  if (meta == nullptr || stripe >= meta->replicas.size()) return;
+  const std::vector<u32>& set = meta->replicas[stripe];
+  StripeState& st = stripe_state_[{h, stripe}];
+  if (st.replica.empty()) st.replica.resize(set.size(), 0);
+  for (size_t j = 0; j < set.size(); ++j) {
+    if (set[j] == iod_id) {
+      st.replica[j] = std::max(st.replica[j], version);
+      // A replica cannot hold a version that was never minted; keep the
+      // sequence monotone even if notes and allocations ever race.
+      st.latest = std::max(st.latest, version);
+      return;
+    }
+  }
+}
+
+Manager::StripeVersionView Manager::stripe_versions(Handle h,
+                                                    u32 stripe) const {
+  StripeVersionView v;
+  auto it = stripe_state_.find({h, stripe});
+  if (it == stripe_state_.end()) return v;
+  v.known = true;
+  v.latest = it->second.latest;
+  v.replica_versions = it->second.replica;
+  return v;
+}
+
+std::vector<Manager::ResyncTarget> Manager::resync_targets(u32 iod) const {
+  std::vector<ResyncTarget> out;
+  for (const auto& [key, st] : stripe_state_) {
+    const auto& [h, stripe] = key;
+    const FileMeta* meta = meta_of(h);
+    if (meta == nullptr || stripe >= meta->replicas.size()) continue;
+    const std::vector<u32>& set = meta->replicas[stripe];
+    size_t pos = set.size();
+    for (size_t j = 0; j < set.size() && j < st.replica.size(); ++j) {
+      if (set[j] == iod) pos = j;
+    }
+    if (pos == set.size() || st.replica[pos] >= st.latest) continue;
+    ResyncTarget t;
+    t.handle = h;
+    t.stripe = stripe;
+    t.latest = st.latest;
+    t.local_handle = pos == 0 ? h : backup_handle(h, stripe);
+    for (size_t j = 0; j < set.size() && j < st.replica.size(); ++j) {
+      if (j != pos && st.replica[j] >= st.latest) {
+        t.peers.push_back(set[j]);
+        t.peer_handles.push_back(j == 0 ? h : backup_handle(h, stripe));
+      }
+    }
+    if (!t.peers.empty()) out.push_back(std::move(t));
+  }
+  return out;
 }
 
 }  // namespace pvfsib::pvfs

@@ -56,6 +56,43 @@ class Manager {
   void note_written(Handle h, u64 end_offset);
   Result<FileMeta> stat(const std::string& name) const;
 
+  // --- Version plane ----------------------------------------------------
+  // Per-(handle, logical stripe) version sequence plus the staleness map:
+  // which version each replica of the chain is recorded to hold. Like
+  // note_written these are free piggyback calls (version allocation rides
+  // the write round, ack notes ride the reply) — they add no wire traffic,
+  // so factor-1 and fault-free timelines are untouched.
+
+  // Mint the next version for a replicated write round on (h, stripe).
+  u64 allocate_stripe_version(Handle h, u32 stripe);
+  // Record that physical iod `iod_id` acked/served (h, stripe) at `version`
+  // (max semantics; versions only move forward). No-op for unknown files or
+  // iods outside the stripe's replica set.
+  void note_replica_version(Handle h, u32 stripe, u32 iod_id, u64 version);
+
+  struct StripeVersionView {
+    bool known = false;  // false: no versioned write ever touched the stripe
+    u64 latest = 0;
+    // Recorded version per replica position (parallel to
+    // FileMeta.replicas[stripe]); a replica trailing `latest` is stale.
+    std::vector<u64> replica_versions;
+  };
+  StripeVersionView stripe_versions(Handle h, u32 stripe) const;
+
+  // Resync targeting: every stripe whose copy on physical iod `iod` is
+  // recorded stale, with the chain peers recorded current (candidate pull
+  // sources, chain order) and everyone's local-file keys. Deterministic
+  // order (map iteration).
+  struct ResyncTarget {
+    Handle handle = 0;
+    u32 stripe = 0;
+    u64 latest = 0;          // the version the stripe must reach
+    Handle local_handle = 0;  // the stale iod's local-file key
+    std::vector<u32> peers;
+    std::vector<Handle> peer_handles;
+  };
+  std::vector<ResyncTarget> resync_targets(u32 iod) const;
+
   ib::Hca& hca() { return hca_; }
 
  private:
@@ -66,6 +103,13 @@ class Manager {
   Duration round_trip(ib::Hca& from, TimePoint ready, TimePoint* done,
                       bool* lost);
 
+  const FileMeta* meta_of(Handle h) const;
+
+  struct StripeState {
+    u64 latest = 0;
+    std::vector<u64> replica;  // recorded version per replica position
+  };
+
   ModelConfig cfg_;
   ib::Fabric& fabric_;
   u32 cluster_iod_count_;
@@ -74,6 +118,7 @@ class Manager {
   ib::Hca hca_;
   std::map<std::string, FileMeta> by_name_;
   std::map<Handle, std::string> by_handle_;
+  std::map<std::pair<Handle, u32>, StripeState> stripe_state_;
   Handle next_handle_ = 1;
 };
 

@@ -73,8 +73,29 @@ struct RoundRequest {
   bool is_write = false;
   bool sync = false;       // fsync before replying (write) / O_DIRECT-ish
   bool use_ads = true;     // server may data-sieve if its model agrees
+  // Per-stripe version carried by replicated write rounds (client-assigned
+  // from the manager's per-(handle, stripe) sequence; 0 = unversioned, the
+  // only value at factor 1). The iod persists max(header, version) in the
+  // local file's stripe header and returns the header in its ack, and read
+  // services return it too — that is how the client (and via its notes the
+  // manager's staleness map) learns which replicas are current vs stale.
+  u64 version = 0;
   ExtentList accesses;     // iod-local file extents, stream order
   u64 bytes() const { return total_length(accesses); }
+};
+
+// RESYNC request: a crash-restarted iod pulling one chunk of a stale stripe
+// from a current peer in the chain. The puller learned (handle, stripe, the
+// target version, and the peer's local-file key) from the manager's
+// staleness map; the peer answers with the chunk's bytes out of that local
+// file. Rate-limited by ReplicationParams::resync_bandwidth, chunked by
+// resync_round_bytes.
+struct ResyncRequest {
+  Handle handle = 0;       // cluster-wide file handle (for tracing)
+  u32 stripe = 0;          // logical stripe server index
+  Handle peer_handle = 0;  // the peer's local-file key for this stripe
+  u64 offset = 0;          // chunk start within the stripe-local file
+  u64 max_bytes = 0;       // chunk size cap (resync_round_bytes)
 };
 
 // How read data returns to the client.

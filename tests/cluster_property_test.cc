@@ -5,6 +5,8 @@
 // stack.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/rng.h"
 #include "pvfs/cluster.h"
 
@@ -218,6 +220,126 @@ TEST(ClusterProperty, ReplicatedRandomCrashSchedulesLoseNoData) {
       }
     }
     ASSERT_EQ(ws, rs) << "iteration " << iter;
+  }
+}
+
+TEST(ClusterProperty, RandomSequentialFailuresSurviveOnlyWithResync) {
+  // Factor 2 survives two crashes that do NOT overlap only when the
+  // restarted replica re-replicates during the gap. Randomizes the cluster
+  // width, the stripe's home iod, the file size, and the overwrite extent;
+  // a host-side mirror of every acked byte is the oracle. The crash
+  // schedule is fixed (primary down for the overwrite, backup dead for
+  // good before the read) so the property, not the timing, is random.
+  // Replay a failing schedule with PVFS_PROPERTY_SEED=<seed>.
+  u64 seed = 2026;
+  if (const char* env = std::getenv("PVFS_PROPERTY_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  SCOPED_TRACE("PVFS_PROPERTY_SEED=" + std::to_string(seed));
+  Rng rng(seed);
+  for (int iter = 0; iter < 3; ++iter) {
+    const u32 iods = 2 + static_cast<u32>(rng.below(3));
+    const u32 x = static_cast<u32>(rng.below(iods));  // the stripe's home
+    const u64 n = rng.range(4 * kKiB, 64 * kKiB);     // one 64 KiB stripe
+    const u64 off = rng.below(n / 2);
+    const u64 len = rng.range(1, n - off);
+
+    struct Out {
+      bool ok = false, fresh = false, stale = false;
+      i64 resync_stripes = 0;
+    };
+    auto run_one = [&](bool resync) {
+      ModelConfig cfg = ModelConfig::paper_defaults();
+      cfg.fault.seed = seed + static_cast<u64>(iter);
+      cfg.fault.round_timeout = Duration::ms(2.0);
+      cfg.fault.backoff_base = Duration::us(100.0);
+      cfg.fault.backoff_cap = Duration::ms(2.0);
+      cfg.fault.max_retries = 25;
+      cfg.replication.factor = 2;
+      cfg.replication.write_quorum = 1;
+      cfg.replication.resync = resync;
+      const u32 y = (x + 1) % iods;  // the stripe's chained backup
+      cfg.fault.schedule.push_back(
+          FaultEvent{FaultKind::kIodCrash,
+                     TimePoint::origin() + Duration::ms(20.0), x,
+                     Duration::ms(30.0)});
+      cfg.fault.schedule.push_back(
+          FaultEvent{FaultKind::kIodCrash,
+                     TimePoint::origin() + Duration::ms(150.0), y,
+                     Duration::sec(1000.0)});
+      Cluster cluster(cfg, 1, iods);
+      Client& c = cluster.client(0);
+      OpenFile f = c.create("/seq", 64 * kKiB, 1, x).value();
+      // Preload [0, n) before the first crash.
+      std::vector<u8> mirror(n);
+      Rng fill(seed * 31 + static_cast<u64>(iter));
+      const u64 a = c.memory().alloc(n);
+      for (u64 i = 0; i < n; ++i) {
+        mirror[i] = static_cast<u8>(fill.next());
+        c.memory().write_pod<u8>(a + i, mirror[i]);
+      }
+      EXPECT_TRUE(c.write(f, 0, a, n).ok());
+      // Overwrite [off, off+len) while x is down: quorum 1, so the backup
+      // alone acks it. Every overwritten byte differs from the preload
+      // (xor 0xa5) so a stale read cannot pass by coincidence.
+      const u64 b = c.memory().alloc(len);
+      for (u64 i = 0; i < len; ++i) {
+        const u8 v = static_cast<u8>(mirror[off + i] ^ 0xa5);
+        c.memory().write_pod<u8>(b + i, v);
+        mirror[off + i] = v;
+      }
+      IoHandle w;
+      const TimePoint at = TimePoint::origin() + Duration::ms(25.0);
+      cluster.engine().schedule_at(at, [&, at] {
+        core::ListIoRequest req;
+        req.mem = {{b, len}};
+        req.file = {{off, len}};
+        w = c.submit({IoDir::kWrite, f, req, {}, at});
+      });
+      cluster.engine().run_until([&w] { return w.valid() && w.poll(); });
+      EXPECT_TRUE(w.poll() && w.result().ok());
+      // Read everything back once the backup is gone for good.
+      const u64 dst = c.memory().alloc(n);
+      IoHandle rh;
+      const TimePoint rat = TimePoint::origin() + Duration::ms(500.0);
+      cluster.engine().schedule_at(rat, [&, rat] {
+        core::ListIoRequest req;
+        req.mem = {{dst, n}};
+        req.file = {{0, n}};
+        rh = c.submit({IoDir::kRead, f, req, {}, rat});
+      });
+      cluster.engine().run_until([&rh] { return rh.valid() && rh.poll(); });
+      Out out;
+      out.ok = rh.poll() && rh.result().ok();
+      bool fresh = true, stale = true;
+      for (u64 i = 0; i < n && out.ok; ++i) {
+        const u8 got = c.memory().read_pod<u8>(dst + i);
+        if (got != mirror[i]) fresh = false;
+        const bool over = i >= off && i < off + len;
+        const u8 pre = over ? static_cast<u8>(mirror[i] ^ 0xa5) : mirror[i];
+        if (got != pre) stale = false;
+      }
+      out.fresh = out.ok && fresh;
+      out.stale = out.ok && stale;
+      out.resync_stripes = cluster.stats().get(stat::kPvfsResyncStripes);
+      return out;
+    };
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": " +
+                 std::to_string(iods) + " iods, home " + std::to_string(x) +
+                 ", n=" + std::to_string(n) + ", overwrite [" +
+                 std::to_string(off) + ", " + std::to_string(off + len) +
+                 ")");
+    const Out with = run_one(true);
+    EXPECT_TRUE(with.ok);
+    EXPECT_TRUE(with.fresh) << "acked overwrite lost despite resync";
+    EXPECT_GE(with.resync_stripes, 1);
+    const Out without = run_one(false);
+    // Without re-replication the read "succeeds" — from the stale
+    // restarted home: the acked overwrite is gone.
+    EXPECT_TRUE(without.ok);
+    EXPECT_FALSE(without.fresh);
+    EXPECT_TRUE(without.stale);
+    EXPECT_EQ(without.resync_stripes, 0);
   }
 }
 

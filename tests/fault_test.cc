@@ -94,6 +94,10 @@ TEST(FaultTest, TrivialConfigReportsNoFaultOrRecoveryCounters) {
     EXPECT_NE(name, stat::kPvfsReplicaWrites);
     EXPECT_NE(name, stat::kPvfsQuorumWaits);
     EXPECT_NE(name, stat::kPvfsFailovers);
+    EXPECT_NE(name, stat::kPvfsReadRepairs);
+    EXPECT_NE(name, stat::kPvfsStaleReadsAvoided);
+    EXPECT_NE(name, stat::kPvfsResyncStripes);
+    EXPECT_NE(name, stat::kPvfsResyncRounds);
   }
 }
 
@@ -382,7 +386,229 @@ TEST(ReplicationTest, ReadFailsOverToBackupWhenPrimaryCrashes) {
   EXPECT_TRUE(equal_mem(c, src, dst, n));
 }
 
-// --- 10. recovery under pipelining ---------------------------------------
+// --- 10. version plane: staleness, read-repair, resync --------------------
+
+// Chain {iod0, iod1} on a width-1 file: preload pattern A while healthy
+// (both replicas current at v1), then write pattern B while iod0 is down
+// over [10 ms, 40 ms) — quorum 1 settles it on iod1's ack alone, leaving
+// iod0 recorded stale at v1 with latest v2.
+struct StalePrimary {
+  static constexpr u64 kN = 32 * kKiB;
+  std::unique_ptr<Cluster> cluster;
+  OpenFile f;
+  u64 a = 0, b = 0;  // pattern buffers: the old and the acked-latest data
+};
+
+StalePrimary stale_primary_setup(ModelConfig cfg) {
+  cfg.replication.factor = 2;
+  cfg.replication.write_quorum = 1;
+  cfg.fault.schedule.push_back(
+      FaultEvent{FaultKind::kIodCrash,
+                 TimePoint::origin() + Duration::ms(10.0), /*target=*/0,
+                 Duration::ms(30.0)});
+  StalePrimary s;
+  s.cluster = std::make_unique<Cluster>(cfg, 1, 2);
+  Client& c = s.cluster->client(0);
+  s.f = c.create("/stale", 64 * kKiB, 1, /*base_iod=*/0).value();
+  s.a = c.memory().alloc(StalePrimary::kN);
+  s.b = c.memory().alloc(StalePrimary::kN);
+  fill(c, s.a, StalePrimary::kN, 3);
+  fill(c, s.b, StalePrimary::kN, 9);
+  EXPECT_TRUE(c.write(s.f, 0, s.a, StalePrimary::kN).ok());
+  IoHandle w;
+  const TimePoint at = TimePoint::origin() + Duration::ms(15.0);
+  s.cluster->engine().schedule_at(at, [&s, &c, &w, at] {
+    core::ListIoRequest req;
+    req.mem = {{s.b, StalePrimary::kN}};
+    req.file = {{0, StalePrimary::kN}};
+    w = c.submit({IoDir::kWrite, s.f, req, {}, at});
+  });
+  s.cluster->engine().run_until([&w] { return w.valid() && w.poll(); });
+  EXPECT_TRUE(w.poll() && w.result().ok());
+  return s;
+}
+
+// Read the whole file at `at` into a fresh buffer; returns {result, buf}.
+std::pair<IoResult, u64> read_at(Cluster& cluster, const OpenFile& f,
+                                 Duration at_offset, u64 n) {
+  Client& c = cluster.client(0);
+  const u64 dst = c.memory().alloc(n);
+  const TimePoint at = TimePoint::origin() + at_offset;
+  IoHandle h;
+  cluster.engine().schedule_at(at, [&, at] {
+    core::ListIoRequest req;
+    req.mem = {{dst, n}};
+    req.file = {{0, n}};
+    h = c.submit({IoDir::kRead, f, req, {}, at});
+  });
+  cluster.engine().run_until([&h] { return h.valid() && h.poll(); });
+  EXPECT_TRUE(h.poll());
+  return {h.result(), dst};
+}
+
+TEST(VersionPlaneTest, PlacementAvoidsStaleReplicaWithoutFailover) {
+  StalePrimary s = stale_primary_setup(faulty_config());
+  Client& c = s.cluster->client(0);
+  // iod0 is back up (and would happily serve v1); the staleness map routes
+  // the read to the current backup with no failed round and no failover.
+  auto [r, dst] = read_at(*s.cluster, s.f, Duration::ms(200.0),
+                          StalePrimary::kN);
+  EXPECT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.failovers, 0u);
+  EXPECT_TRUE(equal_mem(c, s.b, dst, StalePrimary::kN));
+  EXPECT_EQ(s.cluster->stats().get(stat::kPvfsStaleReadsAvoided), 1);
+}
+
+TEST(VersionPlaneTest, ReadRepairHealsStaleReplicaContent) {
+  StalePrimary s = stale_primary_setup(faulty_config());
+  Client& c = s.cluster->client(0);
+  const Handle h = s.f.meta.handle;
+  // Before the read: iod0 still holds pattern A at header v1.
+  EXPECT_EQ(s.cluster->iod(0).stripe_version(h), 1u);
+  auto [r, dst] = read_at(*s.cluster, s.f, Duration::ms(200.0),
+                          StalePrimary::kN);
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  s.cluster->run();  // drain the async repair write
+  EXPECT_GE(s.cluster->stats().get(stat::kPvfsReadRepairs), 1);
+  // The repair scattered the just-read bytes into iod0's local file and
+  // merged the header.
+  EXPECT_EQ(s.cluster->iod(0).stripe_version(h), 2u);
+  const std::span<const std::byte> healed =
+      s.cluster->iod(0).file(h).contents();
+  ASSERT_GE(healed.size(), StalePrimary::kN);
+  EXPECT_EQ(std::memcmp(healed.data(), c.memory().data(s.b),
+                        StalePrimary::kN),
+            0);
+  // Deliberately conservative: the manager still records iod0 stale (a
+  // repair covers one round's range, not everything its version covers);
+  // only write acks and resync mark a replica current.
+  Manager::StripeVersionView v =
+      s.cluster->manager().stripe_versions(h, 0);
+  ASSERT_TRUE(v.known);
+  EXPECT_EQ(v.replica_versions[0], 1u);
+  EXPECT_EQ(v.latest, 2u);
+}
+
+TEST(VersionPlaneTest, AllReplicasFailedIsTerminalAndDistinct) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  cfg.fault.max_retries = 2;
+  // Both members of the chain die at 50 ms and never come back.
+  for (u32 iod : {0u, 1u}) {
+    cfg.fault.schedule.push_back(
+        FaultEvent{FaultKind::kIodCrash,
+                   TimePoint::origin() + Duration::ms(50.0), iod,
+                   Duration::sec(1000.0)});
+  }
+  Cluster cluster(cfg, 1, 2);
+  Client& c = cluster.client(0);
+  OpenFile f = c.create("/all", 64 * kKiB, 1, /*base_iod=*/0).value();
+  const u64 n = 32 * kKiB;
+  const u64 src = c.memory().alloc(n);
+  fill(c, src, n, 13);
+  ASSERT_TRUE(c.write(f, 0, src, n).ok());
+  auto [r, dst] = read_at(cluster, f, Duration::ms(60.0), n);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kAllReplicasFailed)
+      << r.status.to_string();
+  // One failover (to the second and last replica), both budgets burned.
+  EXPECT_EQ(r.failovers, 1u);
+  EXPECT_GE(r.retries, 2u * cfg.fault.max_retries);
+}
+
+TEST(VersionPlaneTest, ReadBiasRoutesAroundDegradedReplica) {
+  auto cold_read_elapsed = [](bool bias) {
+    ModelConfig cfg = ModelConfig::paper_defaults();
+    cfg.replication.factor = 2;
+    cfg.replication.read_bias = bias;
+    cfg.fault.adaptive_timeout = true;
+    // Static timeout high enough that the degraded primary's slow write
+    // ack arrives unretried and seeds an honestly large srtt.
+    cfg.fault.round_timeout = Duration::ms(500.0);
+    cfg.fault.disk_degrade.push_back(
+        {/*iod=*/0, /*factor=*/50.0, TimePoint::origin()});
+    Cluster cluster(cfg, 1, 2);
+    Client& c = cluster.client(0);
+    OpenFile f = c.create("/bias", 64 * kKiB, 1, /*base_iod=*/0).value();
+    const u64 n = 64 * kKiB;
+    const u64 src = c.memory().alloc(n);
+    fill(c, src, n, 29);
+    EXPECT_TRUE(c.write(f, 0, src, n, IoOptions{}.with_sync()).ok());
+    // Cold caches: the read's disk phase hits media, where the primary is
+    // 50x slower than the current backup.
+    cluster.drop_all_caches();
+    const u64 dst = c.memory().alloc(n);
+    IoResult r = c.read(f, 0, dst, n);
+    EXPECT_TRUE(r.ok()) << r.status.to_string();
+    EXPECT_TRUE(equal_mem(c, src, dst, n));
+    return r.elapsed();
+  };
+  const Duration primary_bound = cold_read_elapsed(false);
+  const Duration biased = cold_read_elapsed(true);
+  EXPECT_LT(biased, primary_bound);
+}
+
+// The tentpole end-to-end: factor 2 survives two *sequential* failures
+// with background re-replication, and provably loses acked data without
+// it. Timeline: preload A healthy; iod0 down [20 ms, 50 ms); B written at
+// 25 ms (settles on iod1 alone); iod1 dies for good at 100 ms; read at
+// 500 ms can only be served by iod0.
+TEST(VersionPlaneTest, SequentialCrashesSurviveOnlyWithResync) {
+  auto run_seq = [](bool resync) {
+    ModelConfig cfg = faulty_config();
+    cfg.replication.factor = 2;
+    cfg.replication.write_quorum = 1;
+    cfg.replication.resync = resync;
+    cfg.fault.schedule.push_back(
+        FaultEvent{FaultKind::kIodCrash,
+                   TimePoint::origin() + Duration::ms(20.0), /*target=*/0,
+                   Duration::ms(30.0)});
+    cfg.fault.schedule.push_back(
+        FaultEvent{FaultKind::kIodCrash,
+                   TimePoint::origin() + Duration::ms(100.0), /*target=*/1,
+                   Duration::sec(1000.0)});
+    auto cluster = std::make_unique<Cluster>(cfg, 1, 2);
+    Client& c = cluster->client(0);
+    OpenFile f = c.create("/seq", 64 * kKiB, 1, /*base_iod=*/0).value();
+    const u64 n = 32 * kKiB;
+    const u64 a = c.memory().alloc(n);
+    const u64 b = c.memory().alloc(n);
+    fill(c, a, n, 3);
+    fill(c, b, n, 9);
+    EXPECT_TRUE(c.write(f, 0, a, n).ok());
+    IoHandle w;
+    const TimePoint at = TimePoint::origin() + Duration::ms(25.0);
+    cluster->engine().schedule_at(at, [&, at] {
+      core::ListIoRequest req;
+      req.mem = {{b, n}};
+      req.file = {{0, n}};
+      w = c.submit({IoDir::kWrite, f, req, {}, at});
+    });
+    cluster->engine().run_until([&w] { return w.valid() && w.poll(); });
+    EXPECT_TRUE(w.poll() && w.result().ok());  // B was acked
+    auto [r, dst] = read_at(*cluster, f, Duration::ms(500.0), n);
+    EXPECT_TRUE(r.ok()) << r.status.to_string();
+    struct Out {
+      bool fresh, stale;
+      i64 resync_stripes, resync_rounds;
+    } out{equal_mem(c, b, dst, n), equal_mem(c, a, dst, n),
+          cluster->stats().get(stat::kPvfsResyncStripes),
+          cluster->stats().get(stat::kPvfsResyncRounds)};
+    return out;
+  };
+  const auto with = run_seq(true);
+  EXPECT_TRUE(with.fresh);  // no acked write lost
+  EXPECT_EQ(with.resync_stripes, 1);
+  EXPECT_GE(with.resync_rounds, 1);
+  const auto without = run_seq(false);
+  // The read "succeeds" — from the stale survivor: acked data is gone.
+  EXPECT_FALSE(without.fresh);
+  EXPECT_TRUE(without.stale);
+  EXPECT_EQ(without.resync_stripes, 0);
+}
+
+// --- 11. recovery under pipelining ---------------------------------------
 
 TEST(FaultTest, PipelinedChainsRecoverOutOfOrderSettles) {
   // Wide window + drops: rounds settle out of order, the slot-reuse floor

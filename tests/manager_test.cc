@@ -178,5 +178,83 @@ TEST_F(ManagerTest, ReplicatedCreateRejectedBeyondClusterSize) {
                   .value.is_ok());
 }
 
+// --- version plane -------------------------------------------------------
+
+TEST_F(ManagerTest, VersionPlaneIsInertAtFactorOne) {
+  auto f = mgr_.create(client_hca_, TimePoint::origin(), "/v1", 64 * kKiB, 4);
+  ASSERT_TRUE(f.value.is_ok());
+  const Handle h = f.value.value().handle;
+  EXPECT_EQ(mgr_.allocate_stripe_version(h, 0), 0u);
+  EXPECT_EQ(mgr_.allocate_stripe_version(h, 0), 0u);
+  EXPECT_FALSE(mgr_.stripe_versions(h, 0).known);
+  EXPECT_EQ(mgr_.allocate_stripe_version(/*unknown=*/999, 0), 0u);
+}
+
+TEST_F(ManagerTest, VersionsMonotonePerStripeAndTrackedPerReplica) {
+  Manager mgr(cfg_, fabric_, &stats_, /*cluster_iod_count=*/4);
+  auto f = mgr.create(client_hca_, TimePoint::origin(), "/rep", 64 * kKiB, 4,
+                      /*base_iod=*/0, /*replication_factor=*/2);
+  ASSERT_TRUE(f.value.is_ok());
+  const Handle h = f.value.value().handle;
+  // Stripe 1's chain is {iod1, iod2}.
+  EXPECT_EQ(mgr.allocate_stripe_version(h, 1), 1u);
+  EXPECT_EQ(mgr.allocate_stripe_version(h, 1), 2u);
+  EXPECT_EQ(mgr.allocate_stripe_version(h, 3), 1u);  // per-stripe sequences
+  mgr.note_replica_version(h, 1, /*iod_id=*/1, 1);   // primary acked v1 only
+  mgr.note_replica_version(h, 1, /*iod_id=*/2, 2);   // backup acked v2
+  Manager::StripeVersionView v = mgr.stripe_versions(h, 1);
+  ASSERT_TRUE(v.known);
+  EXPECT_EQ(v.latest, 2u);
+  ASSERT_EQ(v.replica_versions.size(), 2u);
+  EXPECT_EQ(v.replica_versions[0], 1u);
+  EXPECT_EQ(v.replica_versions[1], 2u);
+  // A stale (replayed) note never regresses the record.
+  mgr.note_replica_version(h, 1, 2, 1);
+  EXPECT_EQ(mgr.stripe_versions(h, 1).replica_versions[1], 2u);
+  // Notes from iods outside the stripe's chain are ignored.
+  mgr.note_replica_version(h, 1, 3, 7);
+  EXPECT_EQ(mgr.stripe_versions(h, 1).latest, 2u);
+}
+
+TEST_F(ManagerTest, ResyncTargetsListStaleReplicasWithCurrentPeers) {
+  Manager mgr(cfg_, fabric_, &stats_, /*cluster_iod_count=*/4);
+  auto f = mgr.create(client_hca_, TimePoint::origin(), "/rep", 64 * kKiB, 4,
+                      /*base_iod=*/0, /*replication_factor=*/2);
+  const Handle h = f.value.value().handle;
+  mgr.allocate_stripe_version(h, 1);
+  mgr.allocate_stripe_version(h, 1);
+  mgr.note_replica_version(h, 1, /*iod_id=*/1, 1);
+  mgr.note_replica_version(h, 1, /*iod_id=*/2, 2);
+  // iod1 (position 0 of {1,2}) trails: one target, served from its primary
+  // local file, pulling from the current backup's shadow file.
+  std::vector<Manager::ResyncTarget> t = mgr.resync_targets(1);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].handle, h);
+  EXPECT_EQ(t[0].stripe, 1u);
+  EXPECT_EQ(t[0].latest, 2u);
+  EXPECT_EQ(t[0].local_handle, h);
+  ASSERT_EQ(t[0].peers.size(), 1u);
+  EXPECT_EQ(t[0].peers[0], 2u);
+  EXPECT_EQ(t[0].peer_handles[0], backup_handle(h, 1));
+  // The current replica has nothing to pull; once the stale one catches up
+  // (a resync completion notes it), the target disappears.
+  EXPECT_TRUE(mgr.resync_targets(2).empty());
+  mgr.note_replica_version(h, 1, 1, 2);
+  EXPECT_TRUE(mgr.resync_targets(1).empty());
+}
+
+TEST_F(ManagerTest, RemoveDropsStripeState) {
+  Manager mgr(cfg_, fabric_, &stats_, /*cluster_iod_count=*/4);
+  auto f = mgr.create(client_hca_, TimePoint::origin(), "/rep", 64 * kKiB, 4,
+                      /*base_iod=*/0, /*replication_factor=*/2);
+  const Handle h = f.value.value().handle;
+  mgr.allocate_stripe_version(h, 0);
+  ASSERT_TRUE(mgr.stripe_versions(h, 0).known);
+  ASSERT_TRUE(mgr.remove(client_hca_, TimePoint::origin(), "/rep")
+                  .value.is_ok());
+  EXPECT_FALSE(mgr.stripe_versions(h, 0).known);
+  EXPECT_EQ(mgr.allocate_stripe_version(h, 0), 0u);  // meta gone too
+}
+
 }  // namespace
 }  // namespace pvfsib::pvfs
