@@ -191,6 +191,11 @@ enum class FaultKind {
   // is ignored; there is one manager). The client's metadata retry path
   // notices via timeout and resends with capped backoff.
   kDropMetaRequest,
+  // Manager down for [at, at + duration); metadata requests arriving in the
+  // window are lost (`target` is ignored). With FaultConfig::standby_takeover
+  // a standby manager takes over `manager_takeover_delay` after the window
+  // opens; otherwise clients just burn their retry budgets.
+  kManagerCrash,
 };
 
 struct FaultEvent {
@@ -252,6 +257,18 @@ struct FaultConfig {
   double timeout_var_mult = 4.0;
   Duration timeout_min = Duration::us(200.0);
   Duration timeout_max = Duration::sec(2.0);
+
+  // --- Manager takeover -----------------------------------------------------
+  // Place a standby manager that takes over when a kManagerCrash window
+  // opens: it bumps the cluster-wide manager epoch, adopts the namespace,
+  // rebuilds the staleness map conservatively from iod stripe headers and
+  // resumes minting above the highest version observed. Clients fail
+  // metadata requests over to it (pvfs.meta_failovers); stale-epoch mints
+  // and notes are fenced (pvfs.epoch_rejections). Takeover fires
+  // `manager_takeover_delay` after the crash window opens (failure
+  // detection + rebuild time).
+  bool standby_takeover = false;
+  Duration manager_takeover_delay = Duration::ms(50.0);
 
   bool enabled() const {
     return request_drop_rate > 0.0 || reply_drop_rate > 0.0 ||

@@ -102,10 +102,22 @@ inline constexpr const char* kFaultIodCrash = "fault.injected.iod_crash";
 inline constexpr const char* kFaultIodDownDrop = "fault.injected.iod_down_drop";
 inline constexpr const char* kFaultMetaRequestDrop =
     "fault.injected.meta_request_drop";
+inline constexpr const char* kFaultManagerCrash =
+    "fault.injected.manager_crash";
+inline constexpr const char* kFaultManagerDownDrop =
+    "fault.injected.manager_down_drop";
 inline constexpr const char* kPvfsRetries = "pvfs.retries";
 inline constexpr const char* kPvfsTimeouts = "pvfs.timeouts";
 inline constexpr const char* kPvfsReplaysDeduped = "pvfs.replays_deduped";
 inline constexpr const char* kPvfsMetaRetries = "pvfs.meta_retries";
+// Manager takeover plane (reported only when a standby manager is placed
+// and a manager crash actually fires, so runs without manager faults keep
+// counter sets identical). meta_failovers counts a client re-targeting a
+// metadata request at the other manager; epoch_rejections counts fenced
+// stale-epoch version mints / staleness notes (zombie-primary protection).
+inline constexpr const char* kPvfsMetaFailovers = "pvfs.meta_failovers";
+inline constexpr const char* kPvfsEpochRejections = "pvfs.epoch_rejections";
+inline constexpr const char* kPvfsManagerTakeovers = "pvfs.manager_takeovers";
 // Partial-round restart: replays whose payload already landed in the
 // target's staging buffer skip the wire phase entirely.
 inline constexpr const char* kPvfsPartialRestarts = "pvfs.partial_restarts";

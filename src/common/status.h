@@ -16,6 +16,11 @@ enum class ErrorCode {
   kNotFound,
   kOutOfRange,
   kResourceExhausted,
+  // Also the manager's "not the active manager" redirect: a demoted or
+  // not-yet-promoted manager answers metadata requests with
+  // kFailedPrecondition (a fast reply, unlike kUnavailable which the client
+  // only infers from a timeout), and the client re-targets the request at
+  // the other manager (pvfs.meta_failovers).
   kFailedPrecondition,
   kPermissionDenied,  // e.g. registering an unallocated page
   kAlreadyExists,

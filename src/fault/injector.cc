@@ -16,6 +16,9 @@ Injector::Injector(const FaultConfig& cfg, Stats* stats)
   // schedule even if no request ever lands in a down window.
   for (const FaultEvent& ev : cfg_.schedule) {
     if (ev.kind == FaultKind::kIodCrash) stats_->add(stat::kFaultIodCrash);
+    if (ev.kind == FaultKind::kManagerCrash) {
+      stats_->add(stat::kFaultManagerCrash);
+    }
   }
 }
 
@@ -107,8 +110,22 @@ bool Injector::reply_lost(u32 iod, TimePoint at) {
   return false;
 }
 
-bool Injector::meta_request_lost(TimePoint at) {
+bool Injector::manager_down(TimePoint at) const {
+  for (const FaultEvent& ev : cfg_.schedule) {
+    if (ev.kind == FaultKind::kManagerCrash && at >= ev.at &&
+        at < ev.at + ev.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Injector::meta_request_lost(TimePoint at, bool primary) {
   if (!enabled_) return false;
+  if (primary && manager_down(at)) {
+    if (stats_ != nullptr) stats_->add(stat::kFaultManagerDownDrop);
+    return true;
+  }
   // There is one manager, so scheduled meta drops match on kind and time
   // alone (the event's target field is ignored).
   for (size_t i = 0; i < cfg_.schedule.size(); ++i) {
@@ -136,6 +153,17 @@ void Injector::install_restart_hooks(sim::Engine& engine, RestartHook hook) {
     engine.schedule_at(at, [hook, target = ev.target, at] {
       hook(target, at);
     });
+  }
+}
+
+void Injector::install_manager_takeover_hooks(sim::Engine& engine,
+                                              Duration delay,
+                                              TakeoverHook hook) {
+  if (!enabled_) return;
+  for (const FaultEvent& ev : cfg_.schedule) {
+    if (ev.kind != FaultKind::kManagerCrash) continue;
+    const TimePoint at = ev.at + delay;
+    engine.schedule_at(at, [hook, at] { hook(at); });
   }
 }
 

@@ -65,10 +65,24 @@ class Injector {
   bool reply_lost(u32 iod, TimePoint at);
 
   // --- Manager hooks --------------------------------------------------------
+  // Is the primary manager crashed (scheduled kManagerCrash window) at `at`?
+  // (The standby never crashes; once promoted it stays up.)
+  bool manager_down(TimePoint at) const;
+
   // Does the metadata request arriving at the manager at `at` vanish?
-  // (Scheduled kDropMetaRequest events plus the random drop rate; the
-  // manager has no crash windows yet.)
-  bool meta_request_lost(TimePoint at);
+  // Scheduled kDropMetaRequest events plus the random drop rate; for the
+  // primary (`primary` true) also the kManagerCrash windows. The standby
+  // only loses requests to drops, never to crash windows.
+  bool meta_request_lost(TimePoint at, bool primary = true);
+
+  // Schedule `hook(takeover_time)` on the engine `delay` after every
+  // kManagerCrash window *opens* (failure detection + rebuild time — the
+  // standby does not wait for the primary to come back). Cluster installs
+  // these when FaultConfig::standby_takeover is set; without a call the
+  // schedule drives nothing extra.
+  using TakeoverHook = std::function<void(TimePoint at)>;
+  void install_manager_takeover_hooks(sim::Engine& engine, Duration delay,
+                                      TakeoverHook hook);
 
   // --- Iod hooks ------------------------------------------------------------
   // Disk service-time multiplier for `iod` at `at` (1.0 when healthy).

@@ -26,6 +26,14 @@ template <typename V>
 bool meta_lost(const V& v) {
   return status_of(v).code() == ErrorCode::kUnavailable;
 }
+
+// A demoted or not-yet-promoted manager answers kFailedPrecondition
+// ("manager not active") — a fast redirect, not a timeout: the client
+// re-targets the request at the other manager without waiting.
+template <typename V>
+bool meta_redirected(const V& v) {
+  return status_of(v).code() == ErrorCode::kFailedPrecondition;
+}
 }  // namespace
 
 // Completion state shared by every copy of an IoHandle.
@@ -104,6 +112,7 @@ Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
       cache_(hca_),
       registrar_(cache_, cfg.os, core::OgrConfig{}, stats),
       xfer_(fabric, cfg.mem) {
+  managers_.push_back(&manager_);
   ep_.hca = &hca_;
   ep_.cache = &cache_;
   ep_.registrar = &registrar_;
@@ -117,23 +126,29 @@ Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
 
 // --- Metadata ----------------------------------------------------------
 
-// `fn(issue)` runs one manager round-trip issued at `issue` and returns its
-// Timed result. Without a fault plane this collapses to exactly one call.
-// With one, a swallowed request (kUnavailable) costs a round_timeout wait
-// plus the data-round backoff before the resend, up to max_retries; the
-// manager leaves its namespace untouched on a lost request, so resending
-// non-idempotent ops (create) is safe.
+// `fn(manager, issue)` runs one manager round-trip issued at `issue` and
+// returns its Timed result. Without a fault plane this collapses to exactly
+// one call against the believed-active manager. With one, a swallowed
+// request (kUnavailable) costs a round_timeout wait plus the data-round
+// backoff before the resend, up to max_retries; the manager leaves its
+// namespace untouched on a lost request, so resending non-idempotent ops
+// (create) is safe. A "manager not active" redirect (kFailedPrecondition)
+// burns a retry too, but is noticed at the reply — no timeout wait. When a
+// standby is registered, each failed attempt rotates the target manager
+// (pvfs.meta_failovers), so an outage of the primary converges on the
+// standby within one rotation.
 template <typename Fn>
 auto Client::meta_call(Fn&& fn) {
   TimePoint issue = max(now_, engine_.now());
-  auto r = fn(issue);
-  if (!faulty() || !meta_lost(r.value)) {
+  auto r = fn(*managers_[active_meta_], issue);
+  if (!faulty() || !(meta_lost(r.value) || meta_redirected(r.value))) {
     now_ = issue + r.cost;
     return r.value;
   }
   const FaultConfig& fc = faults_->config();
   u32 retries = 0;
-  while (meta_lost(r.value) && retries < fc.max_retries) {
+  while ((meta_lost(r.value) || meta_redirected(r.value)) &&
+         retries < fc.max_retries) {
     if (stats_ != nullptr) stats_->add(stat::kPvfsMetaRetries);
     Duration backoff = fc.backoff_base;
     for (u32 i = 1; i <= retries && backoff < fc.backoff_cap; ++i) {
@@ -141,16 +156,31 @@ auto Client::meta_call(Fn&& fn) {
     }
     backoff = min(backoff, fc.backoff_cap);
     ++retries;
-    sim::Trace::instance().emitf(
-        issue + fc.round_timeout, hca_.name(), "metadata retry %u in %s",
-        retries, backoff.to_string().c_str());
-    issue = issue + fc.round_timeout + backoff;
-    r = fn(issue);
+    // A lost request is only noticed when the timeout fires; a redirect is
+    // a real (fast) reply.
+    const bool lost = meta_lost(r.value);
+    const TimePoint noticed = lost ? issue + fc.round_timeout : issue + r.cost;
+    if (managers_.size() > 1) {
+      active_meta_ = (active_meta_ + 1) % managers_.size();
+      if (stats_ != nullptr) stats_->add(stat::kPvfsMetaFailovers);
+      sim::Trace::instance().emitf(
+          noticed, hca_.name(),
+          "metadata %s, failing over to %s (retry %u in %s)",
+          lost ? "timeout" : "redirect",
+          managers_[active_meta_]->hca().name().c_str(), retries,
+          backoff.to_string().c_str());
+    } else {
+      sim::Trace::instance().emitf(
+          issue + fc.round_timeout, hca_.name(), "metadata retry %u in %s",
+          retries, backoff.to_string().c_str());
+    }
+    issue = noticed + backoff;
+    r = fn(*managers_[active_meta_], issue);
   }
-  if (meta_lost(r.value)) {
-    // The final attempt vanished too: the client waits out its timeout and
-    // gives up.
-    now_ = issue + fc.round_timeout;
+  if (meta_lost(r.value) || meta_redirected(r.value)) {
+    // The final attempt failed too: the client waits out its timeout (or
+    // takes the redirect reply on the chin) and gives up.
+    now_ = meta_lost(r.value) ? issue + fc.round_timeout : issue + r.cost;
     using V = std::decay_t<decltype(r.value)>;
     return V(unavailable("metadata op failed after " +
                          std::to_string(retries) + " retries"));
@@ -167,9 +197,9 @@ Result<OpenFile> Client::create(const std::string& name) {
 Result<OpenFile> Client::create(const std::string& name, u64 stripe_size,
                                 u32 iod_count, u32 base_iod) {
   assert(iod_count <= iods_.size());
-  Result<FileMeta> r = meta_call([&](TimePoint issue) {
-    return manager_.create(hca_, issue, name, stripe_size, iod_count,
-                           base_iod, cfg_.replication.factor);
+  Result<FileMeta> r = meta_call([&](Manager& m, TimePoint issue) {
+    return m.create(hca_, issue, name, stripe_size, iod_count, base_iod,
+                    cfg_.replication.factor);
   });
   if (!r.is_ok()) return r.status();
   return OpenFile{r.value()};
@@ -177,7 +207,7 @@ Result<OpenFile> Client::create(const std::string& name, u64 stripe_size,
 
 Result<OpenFile> Client::open(const std::string& name) {
   Result<FileMeta> r = meta_call(
-      [&](TimePoint issue) { return manager_.open(hca_, issue, name); });
+      [&](Manager& m, TimePoint issue) { return m.open(hca_, issue, name); });
   if (!r.is_ok()) return r.status();
   return OpenFile{r.value()};
 }
@@ -185,21 +215,22 @@ Result<OpenFile> Client::open(const std::string& name) {
 Result<FileMeta> Client::stat(const std::string& name) {
   // stat is an open-shaped metadata round-trip.
   return meta_call(
-      [&](TimePoint issue) { return manager_.open(hca_, issue, name); });
+      [&](Manager& m, TimePoint issue) { return m.open(hca_, issue, name); });
 }
 
 Status Client::remove(const std::string& name) {
   Result<FileMeta> meta = stat(name);
   if (!meta.is_ok()) return meta.status();
   Status r = meta_call(
-      [&](TimePoint issue) { return manager_.remove(hca_, issue, name); });
+      [&](Manager& m, TimePoint issue) { return m.remove(hca_, issue, name); });
   PVFSIB_RETURN_IF_ERROR(r);
-  // The manager tells every iod to unlink its stripe file; the client
-  // returns once all acknowledgements are in.
+  // The manager that served the remove tells every iod to unlink its stripe
+  // file; the client returns once all acknowledgements are in.
+  Manager& mgr = *managers_[active_meta_];
   TimePoint done = now_;
   for (Iod* iod : iods_) {
     const TimePoint at = fabric_.send_control(
-        manager_.hca(), iod->hca(), cfg_.pvfs.request_msg_bytes, now_,
+        mgr.hca(), iod->hca(), cfg_.pvfs.request_msg_bytes, now_,
         ib::ControlKind::kRequest);
     Duration unlink = iod->remove_file(meta.value().handle);
     if (meta.value().replication_factor > 1) {
@@ -209,7 +240,7 @@ Status Client::remove(const std::string& name) {
       }
     }
     done = max(done, fabric_.send_control(
-                         iod->hca(), manager_.hca(), cfg_.pvfs.reply_msg_bytes,
+                         iod->hca(), mgr.hca(), cfg_.pvfs.reply_msg_bytes,
                          at + unlink, ib::ControlKind::kReply));
   }
   advance_to(done);
@@ -382,11 +413,33 @@ u32 Client::current_target(const OpState& op, u32 iod_idx) const {
 
 // --- Version plane --------------------------------------------------------
 
+Manager& Client::version_authority() {
+  if (managers_.size() > 1 && managers_[active_meta_]->epoch_stale()) {
+    // The believed-active manager was superseded by a takeover this client
+    // never witnessed. Minting from it (or feeding it notes) would split
+    // the version plane, so the client refuses and re-targets the
+    // epoch-current manager.
+    if (stats_ != nullptr) stats_->add(stat::kPvfsEpochRejections);
+    for (size_t i = 0; i < managers_.size(); ++i) {
+      if (!managers_[i]->epoch_stale()) {
+        active_meta_ = i;
+        break;
+      }
+    }
+    sim::Trace::instance().emitf(
+        engine_.now(), hca_.name(),
+        "version authority stale, re-targeting %s (epoch %llu)",
+        managers_[active_meta_]->hca().name().c_str(),
+        static_cast<unsigned long long>(managers_[active_meta_]->epoch()));
+  }
+  return *managers_[active_meta_];
+}
+
 u32 Client::pick_read_replica(const OpState& op, u32 iod_idx) {
   const std::vector<u32>& set = op.replica_sets[iod_idx];
   if (set.size() <= 1) return 0;
-  const Manager::StripeVersionView v =
-      manager_.stripe_versions(op.file.meta.handle, op.stripes[iod_idx]);
+  const Manager::StripeVersionView v = version_authority().stripe_versions(
+      op.file.meta.handle, op.stripes[iod_idx]);
   // Candidates the staleness map does not rule out. An unknown stripe (no
   // replicated write ever recorded) keeps everyone eligible.
   std::vector<u32> current;
@@ -433,12 +486,15 @@ void Client::maybe_read_repair(std::shared_ptr<OpState> op, u32 iod_idx,
   const std::vector<u32>& set = op->replica_sets[iod_idx];
   const u32 serving = op->chains[iod_idx].replica;
   const u32 stripe = op->stripes[iod_idx];
-  // The serving replica demonstrably holds its header's version.
-  manager_.note_replica_version(op->file.meta.handle, stripe, set[serving],
-                                serving_version);
+  // The serving replica demonstrably holds its header's version — a direct
+  // observation of an applied header, trusted regardless of which manager
+  // epoch minted it (note_epoch 0).
+  Manager& authority = version_authority();
+  authority.note_replica_version(op->file.meta.handle, stripe, set[serving],
+                                 serving_version);
   if (serving_version == 0 || !cfg_.replication.read_repair) return;
   const Manager::StripeVersionView v =
-      manager_.stripe_versions(op->file.meta.handle, stripe);
+      authority.stripe_versions(op->file.meta.handle, stripe);
   for (u32 rep = 0; rep < set.size(); ++rep) {
     if (rep == serving) continue;
     const u64 held =
@@ -562,9 +618,13 @@ void Client::issue_round(std::shared_ptr<OpState> op, u32 iod_idx,
     tr->data_landed.assign(op->replica_sets[iod_idx].size(), false);
     if (op->replicated && op->is_write) {
       // Mint this round's per-stripe version (free piggyback on the
-      // metadata plane). Replays reuse it — a round is one version.
-      tr->version = manager_.allocate_stripe_version(op->file.meta.handle,
-                                                     op->stripes[iod_idx]);
+      // metadata plane). Replays reuse it — a round is one version — and
+      // carry the minting manager's epoch so iods can fence the mint if a
+      // takeover supersedes it mid-flight.
+      Manager& authority = version_authority();
+      tr->version = authority.allocate_stripe_version(op->file.meta.handle,
+                                                      op->stripes[iod_idx]);
+      tr->epoch = authority.epoch();
     }
   }
   if (op->is_write) {
@@ -631,7 +691,7 @@ void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx,
   if (--op->pending == 0) {
     if (!op->prereg.keys.empty()) registrar_.release(op->prereg);
     if (op->is_write && !op->failed) {
-      manager_.note_written(op->file.meta.handle, op->logical_end);
+      version_authority().note_written(op->file.meta.handle, op->logical_end);
     }
     IoResult result;
     result.status = op->status;
@@ -833,10 +893,13 @@ void Client::write_replica_done(std::shared_ptr<OpState> op, u32 iod_idx,
   tr->acked[rep] = true;
   // Record the ack with the staleness map even when the quorum already
   // settled the round: a slow-but-alive replica that acks late is current,
-  // not stale, and must stay eligible for read placement.
-  manager_.note_replica_version(op->file.meta.handle, op->stripes[iod_idx],
-                                op->replica_sets[iod_idx][rep],
-                                ack_version != 0 ? ack_version : tr->version);
+  // not stale, and must stay eligible for read placement. The note carries
+  // the round's mint epoch; the manager fences notes whose epoch a
+  // takeover has superseded.
+  version_authority().note_replica_version(
+      op->file.meta.handle, op->stripes[iod_idx],
+      op->replica_sets[iod_idx][rep],
+      ack_version != 0 ? ack_version : tr->version, tr->epoch);
   if (tr->settled) return;  // late ack after quorum settle
   ++tr->acks;
   if (!tr->have_first_ack) {
@@ -873,6 +936,7 @@ void Client::run_write_replica(std::shared_ptr<OpState> op, u32 iod_idx,
   rr.slot = rep * op->window + static_cast<u32>(round_idx % op->window);
   rr.round_seq = tr != nullptr ? tr->seq : 0;
   rr.version = tr != nullptr ? tr->version : 0;
+  rr.epoch = tr != nullptr ? tr->epoch : 0;
   rr.is_write = true;
   rr.sync = op->opts.sync;
   rr.use_ads = op->opts.use_ads;

@@ -220,6 +220,11 @@ class Client {
     return default_policy_;
   }
 
+  // Register a standby manager as a failover metadata target (Cluster does
+  // this when FaultConfig::standby_takeover places one). Order matters:
+  // targets rotate in registration order on metadata failover.
+  void add_standby_manager(Manager* m) { managers_.push_back(m); }
+
   // The client's process state.
   vmem::AddressSpace& memory() { return as_; }
   ib::Hca& hca() { return hca_; }
@@ -263,6 +268,10 @@ class Client {
     // Per-stripe version stamped on a replicated write round (manager-
     // minted in issue_round; 0 otherwise). Replays carry the same version.
     u64 version = 0;
+    // Manager epoch `version` was minted under (0 when unversioned). Rides
+    // every attempt of the round so iods can fence mints that a manager
+    // takeover has since superseded.
+    u64 epoch = 0;
     // Replicated-write fan state, indexed by replica position in the
     // chain's replica set: which replicas have acked this round (replays
     // go only to the silent ones) and which already hold the payload in
@@ -373,19 +382,34 @@ class Client {
   // dead by a fast primary's estimate.
   Duration round_timeout_for(const OpState& op, u32 iod_idx) const;
 
-  // Run one manager metadata round-trip with the data-round retry policy:
-  // a lost request costs a round_timeout wait plus capped exponential
-  // backoff before the resend, up to max_retries. Returns the final
+  // Run one manager metadata round-trip with the data-round retry policy.
+  // `fn(manager, issue)` runs the attempt against one manager; a lost
+  // request costs a round_timeout wait plus capped exponential backoff
+  // before the resend, up to max_retries. With a standby placed, each lost
+  // or redirected (kFailedPrecondition "manager not active") attempt also
+  // rotates the target manager (pvfs.meta_failovers). Returns the final
   // attempt's result and advances the client clock. Defined in client.cc
   // (all instantiations live there).
   template <typename Fn>
   auto meta_call(Fn&& fn);
+
+  // The manager this client currently trusts for the version plane (mints,
+  // staleness notes/queries, size bookkeeping). When the believed manager's
+  // epoch went stale — a takeover it never noticed — the client refuses to
+  // use it (pvfs.epoch_rejections) and re-targets the epoch-current one.
+  // With a single manager this is always `manager_`, side-effect free.
+  Manager& version_authority();
 
   u32 id_;
   ModelConfig cfg_;
   sim::Engine& engine_;
   ib::Fabric& fabric_;
   Manager& manager_;
+  // Metadata targets in failover rotation order: managers_[0] is the
+  // primary (&manager_), any standby follows. active_meta_ is the one this
+  // client currently believes is the authority.
+  std::vector<Manager*> managers_;
+  size_t active_meta_ = 0;
   std::vector<Iod*> iods_;
   Stats* stats_;
   fault::Injector* faults_;

@@ -1,5 +1,7 @@
 #include "pvfs/cluster.h"
 
+#include "sim/trace.h"
+
 namespace pvfsib::pvfs {
 
 Cluster::Cluster(const ModelConfig& cfg, u32 client_count, u32 iod_count)
@@ -8,6 +10,13 @@ Cluster::Cluster(const ModelConfig& cfg, u32 client_count, u32 iod_count)
   fabric_ = std::make_unique<ib::Fabric>(cfg.net, &stats_, faults_.get());
   manager_ = std::make_unique<Manager>(cfg, *fabric_, &stats_, iod_count,
                                        faults_.get());
+  active_manager_ = manager_.get();
+  if (cfg.fault.standby_takeover) {
+    standby_ = std::make_unique<Manager>(cfg, *fabric_, &stats_, iod_count,
+                                         faults_.get(), "mgr2");
+    manager_->attach_epoch(&epoch_, /*active=*/true);
+    standby_->attach_epoch(&epoch_, /*active=*/false);
+  }
   iods_.reserve(iod_count);
   for (u32 i = 0; i < iod_count; ++i) {
     iods_.push_back(std::make_unique<Iod>(i, client_count, cfg, *fabric_,
@@ -20,6 +29,9 @@ Cluster::Cluster(const ModelConfig& cfg, u32 client_count, u32 iod_count)
     clients_.push_back(std::make_unique<Client>(c, cfg, engine_, *fabric_,
                                                 *manager_, iod_ptrs, &stats_,
                                                 faults_.get()));
+    if (standby_ != nullptr) {
+      clients_.back()->add_standby_manager(standby_.get());
+    }
   }
   if (cfg.replication.factor > 1 && cfg.replication.resync) {
     // Background re-replication: every iod can scan the manager's
@@ -32,6 +44,47 @@ Cluster::Cluster(const ModelConfig& cfg, u32 client_count, u32 iod_count)
     faults_->install_restart_hooks(engine_, [this](u32 iod, TimePoint at) {
       if (iod < iods_.size()) iods_[iod]->on_restart(at);
     });
+  }
+  if (standby_ != nullptr && faults_->enabled()) {
+    // Fenced takeover rides the fault schedule: `manager_takeover_delay`
+    // after each kManagerCrash window opens the standby promotes itself.
+    faults_->install_manager_takeover_hooks(
+        engine_, cfg.fault.manager_takeover_delay,
+        [this](TimePoint at) { manager_takeover(at); });
+  }
+}
+
+void Cluster::manager_takeover(TimePoint at) {
+  if (standby_ == nullptr || standby_->active()) return;
+  // Scan every iod's stripe headers (durable, like the data): the raw
+  // material for the conservative staleness-map rebuild. The scan also
+  // yields the highest version observed anywhere, the new mint floor.
+  std::vector<Manager::HeaderObservation> headers;
+  for (auto& iod : iods_) {
+    for (const auto& [local_handle, version] : iod->stripe_headers()) {
+      headers.push_back({iod->id(), local_handle, version});
+    }
+  }
+  standby_->take_over(*manager_, headers, at);
+  // Sweep the new epoch to every iod: from here on, version mints stamped
+  // by the demoted primary are fenced out of stripe headers.
+  for (auto& iod : iods_) iod->note_manager_epoch(epoch_.value);
+  active_manager_ = standby_.get();
+  stats_.add(stat::kPvfsManagerTakeovers);
+  sim::Trace::instance().emitf(
+      at, "cluster", "manager takeover -> mgr2 (epoch %llu)",
+      static_cast<unsigned long long>(epoch_.value));
+  if (cfg_.replication.factor > 1 && cfg_.replication.resync) {
+    // Re-point the resync scanner at the new authority and kick a
+    // staleness sweep on every iod: the rebuild marks anything not provably
+    // current as a resync target, and those targets should heal without
+    // waiting for the next crash-restart hook.
+    std::vector<Iod*> iod_ptrs;
+    for (auto& iod : iods_) iod_ptrs.push_back(iod.get());
+    for (auto& iod : iods_) {
+      iod->configure_resync(&engine_, standby_.get(), iod_ptrs);
+      iod->on_restart(at);
+    }
   }
 }
 

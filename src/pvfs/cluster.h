@@ -24,7 +24,15 @@ class Cluster {
 
   Client& client(u32 i) { return *clients_.at(i); }
   Iod& iod(u32 i) { return *iods_.at(i); }
+  // The primary manager (historic accessor; most callers want the version
+  // plane's current authority, active_manager()).
   Manager& manager() { return *manager_; }
+  // The manager currently holding the cluster epoch: the primary until a
+  // standby takeover, the standby after.
+  Manager& active_manager() { return *active_manager_; }
+  // The standby manager, or null when FaultConfig::standby_takeover is off.
+  Manager* standby() { return standby_.get(); }
+  const ManagerEpoch& manager_epoch() const { return epoch_; }
   sim::Engine& engine() { return engine_; }
   ib::Fabric& fabric() { return *fabric_; }
   fault::Injector& faults() { return *faults_; }
@@ -49,6 +57,16 @@ class Cluster {
   // latest event time (the makespan of whatever was launched).
   TimePoint run() { return engine_.run(); }
 
+  // Standby takeover at `at` (normally fired by the injector's takeover
+  // hooks, `manager_takeover_delay` after a kManagerCrash window opens;
+  // tests may call it directly). Bumps the cluster epoch, scans every iod's
+  // stripe headers to rebuild the staleness map conservatively, sweeps the
+  // new epoch to all iods (the zombie-primary fence), re-points resync at
+  // the new manager and kicks a staleness sweep on every iod so rebuilt
+  // resync targets actually heal. Idempotent: a second call while the
+  // standby already holds the epoch is a no-op.
+  void manager_takeover(TimePoint at);
+
  private:
   ModelConfig cfg_;
   Stats stats_;
@@ -56,7 +74,11 @@ class Cluster {
   // Declared before the fabric/iods/clients that hold raw pointers to it.
   std::unique_ptr<fault::Injector> faults_;
   std::unique_ptr<ib::Fabric> fabric_;
+  // The shared epoch cell outlives both managers (declared first).
+  ManagerEpoch epoch_;
   std::unique_ptr<Manager> manager_;
+  std::unique_ptr<Manager> standby_;  // null unless standby_takeover
+  Manager* active_manager_ = nullptr;
   std::vector<std::unique_ptr<Iod>> iods_;
   std::vector<std::unique_ptr<Client>> clients_;
 };

@@ -62,6 +62,10 @@ Duration Iod::remove_file(Handle h) {
   if (it == files_.end()) return Duration::zero();
   const Duration cost = fs_.file(it->second).purge();
   files_.erase(it);
+  // Drop the stripe header with the data: a header outliving its file
+  // would resurrect the deleted stripe in a later takeover's header scan
+  // (and leak versions into a recreated file reusing the local key).
+  stripe_version_.erase(h);
   return cost;
 }
 
@@ -183,10 +187,24 @@ TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
   if (disk_cost != nullptr) *disk_cost = phase.cost;
   // Merge the round's version into the stripe header (kept as if durable,
   // like applied_seq_). Unversioned rounds — the only kind at factor 1 —
-  // never touch the map.
+  // never touch the map. A version minted under a manager epoch this iod
+  // has seen superseded is fenced out of the header (the bytes above still
+  // landed; only the version plane is epoch-gated), so a zombie primary's
+  // in-flight mints cannot make this replica look current to a takeover
+  // scan or to its own acks.
   if (r.version != 0) {
-    u64& header = stripe_version_[r.handle];
-    header = std::max(header, r.version);
+    if (r.epoch != 0 && r.epoch < manager_epoch_) {
+      if (stats_ != nullptr) stats_->add(stat::kPvfsEpochRejections);
+      sim::Trace::instance().emitf(
+          data_ready, hca_.name(),
+          "write round h%llu slot%u: stale epoch %llu < %llu, header fenced",
+          static_cast<unsigned long long>(r.handle), r.slot,
+          static_cast<unsigned long long>(r.epoch),
+          static_cast<unsigned long long>(manager_epoch_));
+    } else {
+      u64& header = stripe_version_[r.handle];
+      header = std::max(header, r.version);
+    }
   }
   if (ack_version != nullptr) *ack_version = stripe_version(r.handle);
   return disk_queue_.acquire(data_ready, phase.cost);

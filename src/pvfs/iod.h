@@ -100,6 +100,20 @@ class Iod {
   // handle is unambiguous. Kept as if durable, like applied_seq_.
   u64 stripe_version(Handle h) const;
 
+  // All stripe headers of this iod (local-file key -> version), the
+  // takeover scan's raw material. Deterministic map order.
+  const std::map<Handle, u64>& stripe_headers() const {
+    return stripe_version_;
+  }
+
+  // Manager-epoch fence. A takeover sweeps the new epoch to every iod;
+  // write rounds whose version was minted under an older epoch still land
+  // their bytes but are refused the header merge (pvfs.epoch_rejections),
+  // so a zombie primary's mints can never mark this replica current.
+  void note_manager_epoch(u64 epoch) {
+    manager_epoch_ = std::max(manager_epoch_, epoch);
+  }
+
   // Apply a repair/resync write directly: scatter `stream` into the local
   // file at `accesses` and merge `version` into the stripe header. Bypasses
   // the staging-slot pool (repairs are out-of-band of the round protocol
@@ -188,6 +202,10 @@ class Iod {
   // Stripe-header versions per local file (see stripe_version()). Only ever
   // populated by versioned (replicated) writes; empty at factor 1.
   std::map<Handle, u64> stripe_version_;
+  // Highest manager epoch this iod has been told about (0 until a takeover
+  // sweep; the fence in write_round only engages for versioned rounds that
+  // carry an older, non-zero epoch).
+  u64 manager_epoch_ = 0;
   // Resync wiring (null unless Cluster enabled background re-replication).
   sim::Engine* engine_ = nullptr;
   Manager* manager_ = nullptr;

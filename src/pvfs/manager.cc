@@ -1,27 +1,43 @@
 #include "pvfs/manager.h"
 
 #include "fault/injector.h"
+#include "sim/trace.h"
 
 namespace pvfsib::pvfs {
 
 namespace {
 Status meta_lost_status() { return unavailable("metadata request lost"); }
+// A demoted (zombie) or not-yet-promoted manager answers fast with a
+// redirect instead of silently timing out; the client re-targets the
+// request at the other manager (pvfs.meta_failovers).
+Status manager_inactive_status() {
+  return failed_precondition("manager not active");
+}
 }  // namespace
 
 Manager::Manager(const ModelConfig& cfg, ib::Fabric& fabric, Stats* stats,
-                 u32 cluster_iod_count, fault::Injector* faults)
+                 u32 cluster_iod_count, fault::Injector* faults,
+                 const std::string& name)
     : cfg_(cfg),
       fabric_(fabric),
+      stats_(stats),
       cluster_iod_count_(cluster_iod_count),
       faults_(faults),
-      hca_("mgr", as_, cfg.reg, stats) {}
+      hca_(name, as_, cfg.reg, stats) {}
+
+void Manager::attach_epoch(ManagerEpoch* cell, bool active) {
+  epoch_cell_ = cell;
+  epoch_ = cell->value;
+  active_ = active;
+  primary_ = active;
+}
 
 Duration Manager::round_trip(ib::Hca& from, TimePoint ready, TimePoint* done,
                              bool* lost) {
   const TimePoint at_mgr = fabric_.send_control(
       from, hca_, cfg_.pvfs.request_msg_bytes, ready, ib::ControlKind::kRequest);
   if (faults_ != nullptr && faults_->enabled() &&
-      faults_->meta_request_lost(at_mgr)) {
+      faults_->meta_request_lost(at_mgr, primary_)) {
     // The request wire time was spent but the manager never saw it; the
     // caller notices via timeout. `done` is meaningless to a client that
     // received nothing, so report only the request leg.
@@ -66,6 +82,9 @@ Timed<Result<FileMeta>> Manager::create(ib::Hca& from, TimePoint ready,
   bool lost = false;
   const Duration cost = round_trip(from, ready, &done, &lost);
   if (lost) return {Result<FileMeta>(meta_lost_status()), cost};
+  if (!active_ || epoch_stale()) {
+    return {Result<FileMeta>(manager_inactive_status()), cost};
+  }
   if (by_name_.count(name) != 0) {
     return {Result<FileMeta>(already_exists("file exists: " + name)), cost};
   }
@@ -101,6 +120,9 @@ Timed<Result<FileMeta>> Manager::open(ib::Hca& from, TimePoint ready,
   bool lost = false;
   const Duration cost = round_trip(from, ready, &done, &lost);
   if (lost) return {Result<FileMeta>(meta_lost_status()), cost};
+  if (!active_ || epoch_stale()) {
+    return {Result<FileMeta>(manager_inactive_status()), cost};
+  }
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return {Result<FileMeta>(not_found("no such file: " + name)), cost};
@@ -114,6 +136,9 @@ Timed<Status> Manager::remove(ib::Hca& from, TimePoint ready,
   bool lost = false;
   const Duration cost = round_trip(from, ready, &done, &lost);
   if (lost) return {meta_lost_status(), cost};
+  if (!active_ || epoch_stale()) {
+    return {manager_inactive_status(), cost};
+  }
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return {not_found("no such file: " + name), cost};
@@ -151,20 +176,40 @@ u64 Manager::allocate_stripe_version(Handle h, u32 stripe) {
   const FileMeta* meta = meta_of(h);
   if (meta == nullptr || meta->replication_factor <= 1) return 0;
   StripeState& st = stripe_state_[{h, stripe}];
-  if (st.replica.empty()) st.replica.resize(meta->replication_factor, 0);
+  if (st.replica.empty()) {
+    st.replica.resize(meta->replication_factor, 0);
+    // Post-takeover, a stripe with no surviving header evidence mints above
+    // the highest version observed in *any* header so a fresh sequence can
+    // never collide with the old primary's in-flight mints. Rebuilt stripes
+    // already continue above their own observed maximum; forcing the global
+    // floor onto them would spuriously mark their current replicas stale.
+    st.latest = std::max(st.latest, mint_floor_);
+  }
   return ++st.latest;
 }
 
 void Manager::note_replica_version(Handle h, u32 stripe, u32 iod_id,
-                                   u64 version) {
+                                   u64 version, u64 note_epoch) {
   if (version == 0) return;
+  if (note_epoch != 0 && note_epoch < epoch_) {
+    // The version was minted by a manager this one has superseded; marking
+    // the replica current on its word could hide a stripe the takeover
+    // rebuild decided needs resync. The fenced ack's bytes still landed —
+    // resync or read-repair will reconcile them.
+    if (stats_ != nullptr) stats_->add(stat::kPvfsEpochRejections);
+    return;
+  }
   const FileMeta* meta = meta_of(h);
   if (meta == nullptr || stripe >= meta->replicas.size()) return;
   const std::vector<u32>& set = meta->replicas[stripe];
-  StripeState& st = stripe_state_[{h, stripe}];
-  if (st.replica.empty()) st.replica.resize(set.size(), 0);
   for (size_t j = 0; j < set.size(); ++j) {
     if (set[j] == iod_id) {
+      // The entry is created only after the replica-set membership check:
+      // a note from an iod outside the set — or a post-settle late ack
+      // arriving after remove() dropped the range (caught above by the
+      // meta_of liveness fence) — must not materialize stripe state.
+      StripeState& st = stripe_state_[{h, stripe}];
+      if (st.replica.empty()) st.replica.resize(set.size(), 0);
       st.replica[j] = std::max(st.replica[j], version);
       // A replica cannot hold a version that was never minted; keep the
       // sequence monotone even if notes and allocations ever race.
@@ -172,6 +217,58 @@ void Manager::note_replica_version(Handle h, u32 stripe, u32 iod_id,
       return;
     }
   }
+}
+
+void Manager::take_over(const Manager& durable,
+                        const std::vector<HeaderObservation>& headers,
+                        TimePoint at) {
+  // Fence first: every mint and note stamped by the old primary now carries
+  // a stale epoch and will be rejected by iods and by this manager.
+  if (epoch_cell_ != nullptr) epoch_ = ++epoch_cell_->value;
+  active_ = true;
+  // Adopt the namespace. File metadata proper (names, handles, striping,
+  // replica placement) is durable in PVFS; only the staleness map below is
+  // manager-resident soft state that must be reconstructed.
+  by_name_ = durable.by_name_;
+  by_handle_ = durable.by_handle_;
+  next_handle_ = durable.next_handle_;
+  // Conservative rebuild from the scanned stripe headers: a replica is
+  // credited exactly the version its header proves it applied; anything
+  // trailing the highest version observed for its stripe is a resync
+  // target. Headers of deleted files decode to no live meta and are
+  // skipped (they still raise the mint floor, which only needs "some
+  // version up to v was minted somewhere").
+  stripe_state_.clear();
+  mint_floor_ = 0;
+  for (const HeaderObservation& obs : headers) {
+    mint_floor_ = std::max(mint_floor_, obs.version);
+    if (obs.version == 0) continue;
+    const bool backup = (obs.local_handle >> 63) != 0;
+    const Handle h =
+        backup ? (obs.local_handle & ((Handle{1} << 48) - 1)) : obs.local_handle;
+    const FileMeta* meta = meta_of(h);
+    if (meta == nullptr || meta->replication_factor <= 1) continue;
+    for (u32 k = 0; k < meta->replicas.size(); ++k) {
+      // A backup header names its stripe in the shadow handle; a primary
+      // header is the file's local data file, shared by every stripe whose
+      // primary lands on that iod, and credits each of them (the same
+      // conservative per-local-file semantics write acks already have).
+      const std::vector<u32>& set = meta->replicas[k];
+      for (size_t j = 0; j < set.size(); ++j) {
+        if (set[j] != obs.iod_id) continue;
+        const Handle key = j == 0 ? h : backup_handle(h, k);
+        if (key != obs.local_handle) continue;
+        StripeState& st = stripe_state_[{h, k}];
+        if (st.replica.empty()) st.replica.resize(set.size(), 0);
+        st.replica[j] = std::max(st.replica[j], obs.version);
+        st.latest = std::max(st.latest, obs.version);
+      }
+    }
+  }
+  sim::Trace::instance().emitf(
+      at, hca_.name(), "takeover epoch=%llu headers=%zu stripes=%zu floor=%llu",
+      static_cast<unsigned long long>(epoch_), headers.size(),
+      stripe_state_.size(), static_cast<unsigned long long>(mint_floor_));
 }
 
 Manager::StripeVersionView Manager::stripe_versions(Handle h,

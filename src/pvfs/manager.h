@@ -23,9 +23,11 @@ class Manager {
   // `cluster_iod_count` is the number of physical I/O servers behind the
   // manager; it bounds replica placement (a file may stripe over fewer).
   // 0 (unknown) only forbids replicated creates. `faults` routes metadata
-  // requests through the fault plane (may be null).
+  // requests through the fault plane (may be null). `name` labels the
+  // manager's HCA ("mgr" for the primary, "mgr2" for a standby).
   Manager(const ModelConfig& cfg, ib::Fabric& fabric, Stats* stats,
-          u32 cluster_iod_count = 0, fault::Injector* faults = nullptr);
+          u32 cluster_iod_count = 0, fault::Injector* faults = nullptr,
+          const std::string& name = "mgr");
 
   // Metadata operations; `from` is the requesting client's HCA and `ready`
   // its request time. Each returns the completion time of the round-trip
@@ -66,9 +68,15 @@ class Manager {
   // Mint the next version for a replicated write round on (h, stripe).
   u64 allocate_stripe_version(Handle h, u32 stripe);
   // Record that physical iod `iod_id` acked/served (h, stripe) at `version`
-  // (max semantics; versions only move forward). No-op for unknown files or
-  // iods outside the stripe's replica set.
-  void note_replica_version(Handle h, u32 stripe, u32 iod_id, u64 version);
+  // (max semantics; versions only move forward). No-op for unknown files
+  // (handle-liveness fence: a post-settle late ack arriving after remove()
+  // dropped the range must not resurrect the entry) or iods outside the
+  // stripe's replica set. `note_epoch` is the manager epoch the version was
+  // minted under (0 = trusted, e.g. read observations of applied headers);
+  // notes minted under a stale epoch are rejected (pvfs.epoch_rejections)
+  // so a zombie primary's in-flight writes cannot mark replicas current.
+  void note_replica_version(Handle h, u32 stripe, u32 iod_id, u64 version,
+                            u64 note_epoch = 0);
 
   struct StripeVersionView {
     bool known = false;  // false: no versioned write ever touched the stripe
@@ -95,6 +103,44 @@ class Manager {
 
   ib::Hca& hca() { return hca_; }
 
+  // --- Manager epoch / standby takeover ----------------------------------
+  // Attach this manager to the cluster-wide epoch cell (a stand-in for a
+  // durable epoch register). `active` marks the current authority; the
+  // active-at-attach manager is the *primary* — only it is subject to
+  // kManagerCrash windows — and the standby stays inactive until
+  // take_over(). Without a cell the manager behaves exactly as before
+  // (epoch 1, always active: single-manager runs are untouched).
+  void attach_epoch(ManagerEpoch* cell, bool active);
+  u64 epoch() const { return epoch_; }
+  bool active() const { return active_; }
+  // True when the cluster epoch moved past this manager's: it was demoted
+  // by a takeover it never saw (zombie primary). Checked against the shared
+  // cell on every metadata request, the way a lease check would be.
+  bool epoch_stale() const {
+    return epoch_cell_ != nullptr && epoch_ < epoch_cell_->value;
+  }
+
+  // One iod stripe header observed during a takeover scan: the physical iod,
+  // the local-file key it was found under (primary copies live under the
+  // file handle, backups under backup_handle) and the recorded version.
+  struct HeaderObservation {
+    u32 iod_id = 0;
+    Handle local_handle = 0;
+    u64 version = 0;
+  };
+  // Standby takeover. Bumps the cluster epoch (fencing every in-flight mint
+  // and note stamped by the old primary), adopts the namespace from the
+  // demoted manager (file metadata proper is durable in PVFS — only the
+  // staleness map is manager-resident soft state), rebuilds the staleness
+  // map conservatively from the scanned iod headers (a replica is current
+  // only if its header provably carries the highest version observed for
+  // the stripe; everything else becomes a resync target), and resumes
+  // minting above the highest version observed in any header (the mint
+  // floor, applied to stripes with no surviving header evidence — rebuilt
+  // stripes mint above their own observed maximum already).
+  void take_over(const Manager& durable,
+                 const std::vector<HeaderObservation>& headers, TimePoint at);
+
  private:
   // Control round-trip helper: request to manager + reply back. Sets
   // *lost when the fault plane swallowed the request before it reached
@@ -112,10 +158,16 @@ class Manager {
 
   ModelConfig cfg_;
   ib::Fabric& fabric_;
+  Stats* stats_;
   u32 cluster_iod_count_;
   fault::Injector* faults_;
   vmem::AddressSpace as_;
   ib::Hca hca_;
+  ManagerEpoch* epoch_cell_ = nullptr;
+  u64 epoch_ = 1;
+  bool active_ = true;
+  bool primary_ = true;  // subject to kManagerCrash windows
+  u64 mint_floor_ = 0;   // takeover: fresh stripes mint above this
   std::map<std::string, FileMeta> by_name_;
   std::map<Handle, std::string> by_handle_;
   std::map<std::pair<Handle, u32>, StripeState> stripe_state_;

@@ -33,6 +33,15 @@ struct FileMeta {
   std::vector<std::vector<u32>> replicas;
 };
 
+// Cluster-wide manager epoch cell, shared by the primary and standby
+// manager (stand-in for a durable epoch register / lease service). Takeover
+// bumps it; every version mint and staleness note is stamped with the
+// minter's epoch so iods and the active manager can fence a zombie primary
+// (pvfs.epoch_rejections). Starts at 1 = the primary's epoch.
+struct ManagerEpoch {
+  u64 value = 1;
+};
+
 // Local-file key for a backup copy of logical stripe server `stripe`. With
 // chained declustering one physical iod holds both its own primary stripe
 // and a neighbour stripe's backup of the same file, and the two cover the
@@ -80,6 +89,12 @@ struct RoundRequest {
   // services return it too — that is how the client (and via its notes the
   // manager's staleness map) learns which replicas are current vs stale.
   u64 version = 0;
+  // Manager epoch under which `version` was minted (0 = unversioned round).
+  // An iod that has seen a newer epoch refuses to merge the version into
+  // its stripe header (the bytes still land — data is not epoch-gated, only
+  // the version plane is), so mints from a zombie primary cannot mark a
+  // replica current (pvfs.epoch_rejections).
+  u64 epoch = 0;
   ExtentList accesses;     // iod-local file extents, stream order
   u64 bytes() const { return total_length(accesses); }
 };

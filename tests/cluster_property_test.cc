@@ -343,6 +343,151 @@ TEST(ClusterProperty, RandomSequentialFailuresSurviveOnlyWithResync) {
   }
 }
 
+TEST(ClusterProperty, RandomManagerCrashTakeoversLoseNoAckedData) {
+  // A manager crash with standby takeover at a random point of a
+  // replicated workload, interleaved with random short iod crash windows
+  // and a concurrent read: every acked write must survive the takeover,
+  // and no read may serve stale bytes afterwards. The write quorum is the
+  // full chain, so acked bytes exist on every replica and a host-side
+  // byte mirror is an exact oracle regardless of where the rebuilt
+  // staleness map routes the read. The overwrites' extents are mutually
+  // disjoint (a retry-stalled write may still be in flight when the next
+  // is submitted, so completion order must not matter), and the
+  // concurrent read covers only the never-overwritten top half.
+  // Replay a failing schedule with PVFS_PROPERTY_SEED=<seed>.
+  u64 seed = 2026;
+  if (const char* env = std::getenv("PVFS_PROPERTY_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  SCOPED_TRACE("PVFS_PROPERTY_SEED=" + std::to_string(seed));
+  Rng rng(seed);
+  for (int iter = 0; iter < 3; ++iter) {
+    ModelConfig cfg = ModelConfig::paper_defaults();
+    cfg.fault.seed = seed + static_cast<u64>(iter);
+    cfg.fault.round_timeout = Duration::ms(2.0);
+    cfg.fault.backoff_base = Duration::us(100.0);
+    cfg.fault.backoff_cap = Duration::ms(2.0);
+    cfg.fault.max_retries = 25;
+    cfg.replication.factor = 2;
+    cfg.replication.resync = true;
+    cfg.fault.standby_takeover = true;
+    cfg.fault.manager_takeover_delay =
+        Duration::us(static_cast<double>(rng.range(500, 4000)));
+    // The primary manager dies at a random point of the write window and
+    // never comes back; the standby must carry the rest of the run.
+    cfg.fault.schedule.push_back(FaultEvent{
+        FaultKind::kManagerCrash,
+        TimePoint::from_ns(static_cast<i64>(rng.range(8'000'000, 35'000'000))),
+        0, Duration::sec(1000.0)});
+    const u32 iods = 2 + static_cast<u32>(rng.below(3));
+    const u32 x = static_cast<u32>(rng.below(iods));  // the stripe's home
+    const u64 n = rng.range(16 * kKiB, 64 * kKiB);
+    const int crashes = static_cast<int>(rng.below(3));
+    for (int k = 0; k < crashes; ++k) {
+      // Short iod crash windows (well inside the retry budget) that may
+      // overlap the takeover itself.
+      cfg.fault.schedule.push_back(FaultEvent{
+          FaultKind::kIodCrash,
+          TimePoint::from_ns(
+              static_cast<i64>(rng.range(8'000'000, 40'000'000))),
+          static_cast<u32>(rng.below(iods)),
+          Duration::us(static_cast<double>(rng.range(500, 6000)))});
+    }
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": " +
+                 std::to_string(iods) + " iods, home " + std::to_string(x) +
+                 ", n=" + std::to_string(n) + ", " + std::to_string(crashes) +
+                 " iod crashes");
+    Cluster cluster(cfg, 1, iods);
+    Client& c = cluster.client(0);
+    OpenFile f = c.create("/mgrprop", 64 * kKiB, 1, x).value();
+
+    // Preload [0, n) while everything is healthy; the mirror tracks every
+    // byte the file system ever acked.
+    std::vector<u8> mirror(n);
+    Rng fillr(seed * 131 + static_cast<u64>(iter));
+    const u64 a = c.memory().alloc(n);
+    for (u64 i = 0; i < n; ++i) {
+      mirror[i] = static_cast<u8>(fillr.next());
+      c.memory().write_pod<u8>(a + i, mirror[i]);
+    }
+    ASSERT_TRUE(c.write(f, 0, a, n).ok());
+
+    // Four overwrites across the crash/takeover window, each confined to
+    // its own quarter of the bottom half. Every overwritten byte differs
+    // from the preload (xor 0xa5), so a lost write cannot pass unnoticed.
+    constexpr int kWrites = 4;
+    const u64 slice = (n / 2) / kWrites;
+    std::vector<IoHandle> ws(kWrites);
+    for (int k = 0; k < kWrites; ++k) {
+      const u64 off = static_cast<u64>(k) * slice + rng.below(slice / 2);
+      const u64 len = rng.range(1, slice / 2);
+      const u64 b = c.memory().alloc(len);
+      for (u64 i = 0; i < len; ++i) {
+        const u8 v = static_cast<u8>(mirror[off + i] ^ 0xa5);
+        c.memory().write_pod<u8>(b + i, v);
+        mirror[off + i] = v;
+      }
+      const TimePoint at =
+          TimePoint::origin() + Duration::ms(10.0 + 6.0 * k);
+      cluster.engine().schedule_at(at, [&c, &ws, &f, b, off, len, at, k] {
+        core::ListIoRequest req;
+        req.mem = {{b, len}};
+        req.file = {{off, len}};
+        ws[static_cast<size_t>(k)] = c.submit({IoDir::kWrite, f, req, {}, at});
+      });
+    }
+    // A read of the untouched top half racing the crash window.
+    const u64 top = n - n / 2;
+    const u64 mid = c.memory().alloc(top);
+    IoHandle mr;
+    const TimePoint mat =
+        TimePoint::origin() +
+        Duration::ms(static_cast<double>(rng.range(12, 38)));
+    cluster.engine().schedule_at(mat, [&, mat] {
+      core::ListIoRequest req;
+      req.mem = {{mid, top}};
+      req.file = {{n / 2, top}};
+      mr = c.submit({IoDir::kRead, f, req, {}, mat});
+    });
+    // The full read-back long after everything settled.
+    const u64 dst = c.memory().alloc(n);
+    IoHandle rh;
+    const TimePoint rat = TimePoint::origin() + Duration::ms(500.0);
+    cluster.engine().schedule_at(rat, [&, rat] {
+      core::ListIoRequest req;
+      req.mem = {{dst, n}};
+      req.file = {{0, n}};
+      rh = c.submit({IoDir::kRead, f, req, {}, rat});
+    });
+    cluster.engine().run_until([&rh] { return rh.valid() && rh.poll(); });
+
+    for (int k = 0; k < kWrites; ++k) {
+      ASSERT_TRUE(ws[static_cast<size_t>(k)].poll());
+      ASSERT_TRUE(ws[static_cast<size_t>(k)].result().ok())
+          << "write " << k << ": "
+          << ws[static_cast<size_t>(k)].result().status.to_string();
+    }
+    ASSERT_TRUE(mr.poll() && mr.result().ok())
+        << mr.result().status.to_string();
+    for (u64 i = 0; i < top; ++i) {
+      ASSERT_EQ(c.memory().read_pod<u8>(mid + i), mirror[n / 2 + i])
+          << "concurrent read byte " << i;
+    }
+    ASSERT_TRUE(rh.poll() && rh.result().ok())
+        << rh.result().status.to_string();
+    for (u64 i = 0; i < n; ++i) {
+      ASSERT_EQ(c.memory().read_pod<u8>(dst + i), mirror[i])
+          << "post-takeover byte " << i;
+    }
+    const Stats& s = cluster.stats();
+    EXPECT_EQ(s.get(stat::kFaultManagerCrash), 1);
+    EXPECT_EQ(s.get(stat::kPvfsManagerTakeovers), 1);
+    // At least one consult of the demoted authority was fenced and
+    // re-targeted (the first version-plane touch after the takeover).
+    EXPECT_GE(s.get(stat::kPvfsEpochRejections), 1);
+  }
+}
+
 TEST(ClusterProperty, AccountingInvariants) {
   Cluster cluster(ModelConfig::paper_defaults(), 2, 4);
   Client& c = cluster.client(0);

@@ -98,6 +98,9 @@ TEST(FaultTest, TrivialConfigReportsNoFaultOrRecoveryCounters) {
     EXPECT_NE(name, stat::kPvfsStaleReadsAvoided);
     EXPECT_NE(name, stat::kPvfsResyncStripes);
     EXPECT_NE(name, stat::kPvfsResyncRounds);
+    EXPECT_NE(name, stat::kPvfsMetaFailovers);
+    EXPECT_NE(name, stat::kPvfsEpochRejections);
+    EXPECT_NE(name, stat::kPvfsManagerTakeovers);
   }
 }
 
@@ -621,6 +624,144 @@ TEST(FaultTest, PipelinedChainsRecoverOutOfOrderSettles) {
   Cluster cluster(cfg, 1, 2);
   IoResult w = round_trip(cluster, /*pieces=*/256, /*piece_len=*/2048);
   EXPECT_TRUE(w.recovered());
+}
+
+// --- 12. manager crash windows + standby takeover -------------------------
+
+TEST(ManagerCrashTest, OutageWithoutStandbyIsRiddenOutByMetaRetries) {
+  ModelConfig cfg = faulty_config();
+  // The manager is down for the first 4 ms; a 2 ms round timeout and sub-ms
+  // backoff ride it out well inside the retry budget.
+  cfg.fault.schedule.push_back(FaultEvent{FaultKind::kManagerCrash,
+                                          TimePoint::origin(), 0,
+                                          Duration::ms(4.0)});
+  Cluster cluster(cfg, 1, 2);
+  Result<OpenFile> f = cluster.client(0).create("/solo");
+  ASSERT_TRUE(f.is_ok()) << f.status().to_string();
+  const Stats& s = cluster.stats();
+  EXPECT_EQ(s.get(stat::kFaultManagerCrash), 1);
+  EXPECT_GT(s.get(stat::kFaultManagerDownDrop), 0);
+  EXPECT_GT(s.get(stat::kPvfsMetaRetries), 0);
+  // One manager: nothing to fail over to, nothing took over.
+  EXPECT_EQ(s.get(stat::kPvfsMetaFailovers), 0);
+  EXPECT_EQ(s.get(stat::kPvfsManagerTakeovers), 0);
+}
+
+TEST(ManagerCrashTest, StandbyTakeoverFailsOverClientsAndFencesTheZombie) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  cfg.fault.standby_takeover = true;
+  cfg.fault.manager_takeover_delay = Duration::ms(2.0);
+  // The primary dies at 10 ms and never comes back; the standby promotes
+  // itself at 12 ms.
+  cfg.fault.schedule.push_back(
+      FaultEvent{FaultKind::kManagerCrash,
+                 TimePoint::origin() + Duration::ms(10.0), 0,
+                 Duration::sec(1000.0)});
+  Cluster cluster(cfg, 2, 2);
+  Client& c = cluster.client(0);
+  OpenFile f = c.create("/mgr", 64 * kKiB, 1, /*base_iod=*/0).value();
+  const u64 n = 32 * kKiB;
+  const u64 a = c.memory().alloc(n);
+  const u64 b = c.memory().alloc(n);
+  fill(c, a, n, 3);
+  fill(c, b, n, 9);
+  ASSERT_TRUE(c.write(f, 0, a, n).ok());  // epoch-1 mints, pre-crash
+
+  // Overwrite at 50 ms, well after the takeover. The client still believes
+  // the demoted primary is the version authority; the epoch fence catches
+  // that (pvfs.epoch_rejections) and re-targets the mint at the standby —
+  // no metadata round-trip, no timeout.
+  IoHandle w;
+  const TimePoint at = TimePoint::origin() + Duration::ms(50.0);
+  cluster.engine().schedule_at(at, [&, at] {
+    core::ListIoRequest req;
+    req.mem = {{b, n}};
+    req.file = {{0, n}};
+    w = c.submit({IoDir::kWrite, f, req, {}, at});
+  });
+  cluster.engine().run_until([&w] { return w.valid() && w.poll(); });
+  ASSERT_TRUE(w.poll());
+  EXPECT_TRUE(w.result().ok()) << w.result().status.to_string();
+
+  const Stats& s = cluster.stats();
+  EXPECT_EQ(s.get(stat::kFaultManagerCrash), 1);
+  EXPECT_EQ(s.get(stat::kPvfsManagerTakeovers), 1);
+  EXPECT_GE(s.get(stat::kPvfsEpochRejections), 1);
+  EXPECT_TRUE(cluster.standby()->active());
+  EXPECT_EQ(cluster.manager_epoch().value, 2u);
+  EXPECT_EQ(&cluster.active_manager(), cluster.standby());
+
+  // Client 0 learned the new authority through the version plane — its
+  // metadata target moved with it, no timeout needed. Client 1 has not: its
+  // first request still goes to the dead primary, times out, and fails over
+  // to the (active) standby — which serves the adopted namespace.
+  Result<OpenFile> o = cluster.client(1).open("/mgr");
+  ASSERT_TRUE(o.is_ok()) << o.status().to_string();
+  EXPECT_EQ(o.value().meta.handle, f.meta.handle);
+  EXPECT_GE(s.get(stat::kPvfsMetaFailovers), 1);
+  EXPECT_GT(s.get(stat::kFaultManagerDownDrop), 0);
+
+  // The overwrite minted under epoch 2 marked both replicas current; the
+  // read returns the acked bytes.
+  auto [r, dst] = read_at(cluster, f, Duration::ms(200.0), n);
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_TRUE(equal_mem(c, b, dst, n));
+}
+
+TEST(ManagerCrashTest, TakeoverRebuildHealsViaResyncAfterLostNotes) {
+  // The conservative rebuild end to end: quorum-1 write settles on the
+  // backup while the primary copy is down, then the manager (with that
+  // staleness knowledge) crashes. The standby's header scan re-discovers
+  // the gap — the backup header is ahead of the primary's — marks the
+  // primary copy stale, and the takeover's resync sweep heals it; a later
+  // read served by the healed primary sees the acked bytes.
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  cfg.replication.write_quorum = 1;
+  cfg.replication.resync = true;
+  cfg.fault.standby_takeover = true;
+  cfg.fault.manager_takeover_delay = Duration::ms(2.0);
+  cfg.fault.schedule.push_back(
+      FaultEvent{FaultKind::kIodCrash,
+                 TimePoint::origin() + Duration::ms(10.0), /*target=*/0,
+                 Duration::ms(30.0)});
+  cfg.fault.schedule.push_back(
+      FaultEvent{FaultKind::kManagerCrash,
+                 TimePoint::origin() + Duration::ms(60.0), 0,
+                 Duration::sec(1000.0)});
+  // After resync heals iod0, iod1 (the only current copy before the heal)
+  // dies for good; the read can only be served by iod0.
+  cfg.fault.schedule.push_back(
+      FaultEvent{FaultKind::kIodCrash,
+                 TimePoint::origin() + Duration::ms(300.0), /*target=*/1,
+                 Duration::sec(1000.0)});
+  Cluster cluster(cfg, 1, 2);
+  Client& c = cluster.client(0);
+  OpenFile f = c.create("/heal", 64 * kKiB, 1, /*base_iod=*/0).value();
+  const u64 n = 32 * kKiB;
+  const u64 a = c.memory().alloc(n);
+  const u64 b = c.memory().alloc(n);
+  fill(c, a, n, 3);
+  fill(c, b, n, 9);
+  ASSERT_TRUE(c.write(f, 0, a, n).ok());
+  IoHandle w;
+  const TimePoint at = TimePoint::origin() + Duration::ms(15.0);
+  cluster.engine().schedule_at(at, [&, at] {
+    core::ListIoRequest req;
+    req.mem = {{b, n}};
+    req.file = {{0, n}};
+    w = c.submit({IoDir::kWrite, f, req, {}, at});
+  });
+  cluster.engine().run_until([&w] { return w.valid() && w.poll(); });
+  ASSERT_TRUE(w.poll() && w.result().ok());  // B acked on iod1 alone
+
+  auto [r, dst] = read_at(cluster, f, Duration::ms(500.0), n);
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_TRUE(equal_mem(c, b, dst, n));  // no acked write lost
+  const Stats& s = cluster.stats();
+  EXPECT_EQ(s.get(stat::kPvfsManagerTakeovers), 1);
+  EXPECT_GE(s.get(stat::kPvfsResyncStripes), 1);
 }
 
 }  // namespace

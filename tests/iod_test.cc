@@ -231,6 +231,55 @@ TEST_F(IodTest, OversizedRoundRejected) {
   EXPECT_FALSE(svc.ok());
 }
 
+TEST_F(IodTest, StaleEpochMintsAreFencedOutOfStripeHeaders) {
+  // The zombie-primary fence: once a takeover sweep raises this iod's
+  // manager epoch, versioned rounds whose mint is stamped with an older
+  // epoch still land their bytes but never merge the stripe header — a
+  // demoted primary can keep writing data, it just can't mark anything
+  // current.
+  stage_pattern(4096, 4);
+  RoundRequest r = round({{0, 1024}}, /*write=*/true, /*ads=*/false);
+  r.version = 1;
+  r.epoch = 1;
+  iod_.write_round(r, TimePoint::origin());
+  EXPECT_EQ(iod_.stripe_version(7), 1u);
+
+  iod_.note_manager_epoch(2);
+  r.version = 5;
+  r.epoch = 1;  // minted by the demoted manager
+  r.accesses = {{1024, 1024}};
+  const i64 before = stats_.get(stat::kPvfsEpochRejections);
+  iod_.write_round(r, TimePoint::origin());
+  EXPECT_EQ(stats_.get(stat::kPvfsEpochRejections), before + 1);
+  EXPECT_EQ(iod_.stripe_version(7), 1u);  // header fenced...
+  EXPECT_GE(iod_.file(7).size(), 2048u);  // ...bytes still applied
+
+  // Mints under the current epoch, and unstamped (trusted, e.g. repair)
+  // versions, merge as usual.
+  r.version = 6;
+  r.epoch = 2;
+  iod_.write_round(r, TimePoint::origin());
+  EXPECT_EQ(iod_.stripe_version(7), 6u);
+  r.version = 7;
+  r.epoch = 0;
+  iod_.write_round(r, TimePoint::origin());
+  EXPECT_EQ(iod_.stripe_version(7), 7u);
+}
+
+TEST_F(IodTest, RemoveFilePurgesTheStripeHeader) {
+  // A header outliving its file would resurrect a deleted stripe in the
+  // takeover scan (and in resync targeting).
+  stage_pattern(1024, 6);
+  RoundRequest r = round({{0, 1024}}, /*write=*/true, /*ads=*/false);
+  r.version = 3;
+  iod_.write_round(r, TimePoint::origin());
+  EXPECT_EQ(iod_.stripe_version(7), 3u);
+  EXPECT_EQ(iod_.stripe_headers().count(7), 1u);
+  iod_.remove_file(7);
+  EXPECT_EQ(iod_.stripe_version(7), 0u);
+  EXPECT_TRUE(iod_.stripe_headers().empty());
+}
+
 TEST_F(IodTest, DiskQueueSerializesRounds) {
   stage_pattern(1 * kMiB, 3);
   RoundRequest r = round({{0, 1 * kMiB}}, true, false);

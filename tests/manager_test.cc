@@ -243,6 +243,44 @@ TEST_F(ManagerTest, ResyncTargetsListStaleReplicasWithCurrentPeers) {
   EXPECT_TRUE(mgr.resync_targets(1).empty());
 }
 
+// Regression (note fencing on handle liveness / replica-set membership):
+// a note must never materialize stripe state for a handle the namespace no
+// longer knows, or from an iod outside the stripe's chain.
+
+TEST_F(ManagerTest, NoteFromOutOfSetIodCreatesNoStripeState) {
+  Manager mgr(cfg_, fabric_, &stats_, /*cluster_iod_count=*/4);
+  auto f = mgr.create(client_hca_, TimePoint::origin(), "/rep", 64 * kKiB, 4,
+                      /*base_iod=*/0, /*replication_factor=*/2);
+  const Handle h = f.value.value().handle;
+  // Stripe 2's chain is {2, 3}; iod0 is a stranger. The note must be
+  // dropped without creating the (h, 2) entry as a side effect.
+  mgr.note_replica_version(h, 2, /*iod_id=*/0, 7);
+  EXPECT_FALSE(mgr.stripe_versions(h, 2).known);
+}
+
+TEST_F(ManagerTest, LateAckAfterRemoveDoesNotResurrectStripeState) {
+  Manager mgr(cfg_, fabric_, &stats_, /*cluster_iod_count=*/4);
+  auto f = mgr.create(client_hca_, TimePoint::origin(), "/rep", 64 * kKiB, 4,
+                      /*base_iod=*/0, /*replication_factor=*/2);
+  const Handle h = f.value.value().handle;
+  mgr.allocate_stripe_version(h, 1);
+  mgr.note_replica_version(h, 1, /*iod_id=*/1, 1);
+  ASSERT_TRUE(mgr.stripe_versions(h, 1).known);
+  ASSERT_TRUE(
+      mgr.remove(client_hca_, TimePoint::origin(), "/rep").value.is_ok());
+  // A post-settle late ack for the deleted handle arrives: the liveness
+  // fence drops it and the stripe-state range stays empty.
+  mgr.note_replica_version(h, 1, /*iod_id=*/1, 1);
+  EXPECT_FALSE(mgr.stripe_versions(h, 1).known);
+  // A recreated file under the same name gets a fresh handle, so stale
+  // notes against the old handle stay inert for it too.
+  auto g = mgr.create(client_hca_, TimePoint::origin(), "/rep", 64 * kKiB, 4,
+                      /*base_iod=*/0, /*replication_factor=*/2);
+  ASSERT_TRUE(g.value.is_ok());
+  EXPECT_NE(g.value.value().handle, h);
+  EXPECT_FALSE(mgr.stripe_versions(g.value.value().handle, 1).known);
+}
+
 TEST_F(ManagerTest, RemoveDropsStripeState) {
   Manager mgr(cfg_, fabric_, &stats_, /*cluster_iod_count=*/4);
   auto f = mgr.create(client_hca_, TimePoint::origin(), "/rep", 64 * kKiB, 4,
@@ -254,6 +292,129 @@ TEST_F(ManagerTest, RemoveDropsStripeState) {
                   .value.is_ok());
   EXPECT_FALSE(mgr.stripe_versions(h, 0).known);
   EXPECT_EQ(mgr.allocate_stripe_version(h, 0), 0u);  // meta gone too
+}
+
+// --- manager epoch / standby takeover ------------------------------------
+
+class TakeoverTest : public ManagerTest {
+ protected:
+  TakeoverTest()
+      : primary_(cfg_, fabric_, &stats_, /*cluster_iod_count=*/4),
+        standby_(cfg_, fabric_, &stats_, /*cluster_iod_count=*/4,
+                 /*faults=*/nullptr, "mgr2") {
+    primary_.attach_epoch(&cell_, /*active=*/true);
+    standby_.attach_epoch(&cell_, /*active=*/false);
+  }
+
+  Handle create_replicated(const char* name) {
+    auto f = primary_.create(client_hca_, TimePoint::origin(), name, 64 * kKiB,
+                             4, /*base_iod=*/0, /*replication_factor=*/2);
+    EXPECT_TRUE(f.value.is_ok());
+    return f.value.value().handle;
+  }
+
+  ManagerEpoch cell_;
+  Manager primary_;
+  Manager standby_;
+};
+
+TEST_F(TakeoverTest, StandbyRedirectsUntilPromoted) {
+  create_replicated("/rep");
+  // Before takeover the standby refuses metadata work with a fast redirect
+  // (kFailedPrecondition), not a timeout.
+  auto o = standby_.open(client_hca_, TimePoint::origin(), "/rep");
+  EXPECT_EQ(o.value.status().code(), ErrorCode::kFailedPrecondition);
+  standby_.take_over(primary_, {}, TimePoint::origin());
+  // Post-takeover the standby serves the adopted namespace...
+  EXPECT_TRUE(
+      standby_.open(client_hca_, TimePoint::origin(), "/rep").value.is_ok());
+  // ...and the demoted primary (which can see the cluster epoch moved on)
+  // redirects instead of split-braining the namespace.
+  auto z = primary_.create(client_hca_, TimePoint::origin(), "/z", 64 * kKiB, 4);
+  EXPECT_EQ(z.value.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(TakeoverTest, TakeoverBumpsEpochAndFencesStaleNotes) {
+  const Handle h = create_replicated("/rep");
+  EXPECT_EQ(primary_.allocate_stripe_version(h, 1), 1u);
+  EXPECT_EQ(primary_.epoch(), 1u);
+  ASSERT_FALSE(standby_.active());
+
+  standby_.take_over(primary_, {}, TimePoint::origin());
+  EXPECT_EQ(cell_.value, 2u);
+  EXPECT_EQ(standby_.epoch(), 2u);
+  EXPECT_TRUE(standby_.active());
+  EXPECT_TRUE(primary_.epoch_stale());
+  EXPECT_FALSE(standby_.epoch_stale());
+
+  // A note whose version was minted under the demoted epoch is fenced.
+  const i64 before = stats_.get(stat::kPvfsEpochRejections);
+  standby_.note_replica_version(h, 1, /*iod_id=*/1, 1, /*note_epoch=*/1);
+  EXPECT_EQ(stats_.get(stat::kPvfsEpochRejections), before + 1);
+  EXPECT_FALSE(standby_.stripe_versions(h, 1).known);
+  // Trusted (epoch-0) observations and current-epoch notes pass.
+  standby_.note_replica_version(h, 1, /*iod_id=*/1, 1);
+  EXPECT_TRUE(standby_.stripe_versions(h, 1).known);
+  standby_.note_replica_version(h, 1, /*iod_id=*/2, 1, /*note_epoch=*/2);
+  EXPECT_EQ(standby_.stripe_versions(h, 1).replica_versions[1], 1u);
+}
+
+TEST_F(TakeoverTest, RebuildsStalenessMapFromScannedHeaders) {
+  const Handle h = create_replicated("/rep");
+  // Pretend pre-crash history: stripe 1 (chain {1, 2}) reached v2 on the
+  // primary copy (iod1, the file's own local key) while the backup copy
+  // (iod2, shadow key) only applied v1.
+  const std::vector<Manager::HeaderObservation> headers = {
+      {/*iod_id=*/1, h, /*version=*/2},
+      {/*iod_id=*/2, backup_handle(h, 1), /*version=*/1},
+  };
+  standby_.take_over(primary_, headers, TimePoint::origin());
+
+  Manager::StripeVersionView v = standby_.stripe_versions(h, 1);
+  ASSERT_TRUE(v.known);
+  EXPECT_EQ(v.latest, 2u);
+  ASSERT_EQ(v.replica_versions.size(), 2u);
+  EXPECT_EQ(v.replica_versions[0], 2u);
+  EXPECT_EQ(v.replica_versions[1], 1u);
+  // The trailing backup is a resync target pulling from the current
+  // primary; the current primary has nothing to do.
+  std::vector<Manager::ResyncTarget> t = standby_.resync_targets(2);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].handle, h);
+  EXPECT_EQ(t[0].stripe, 1u);
+  EXPECT_EQ(t[0].latest, 2u);
+  EXPECT_EQ(t[0].local_handle, backup_handle(h, 1));
+  ASSERT_EQ(t[0].peers.size(), 1u);
+  EXPECT_EQ(t[0].peers[0], 1u);
+  EXPECT_TRUE(standby_.resync_targets(1).empty());
+
+  // Stripes with no header evidence stay unknown, and mint above the
+  // highest version observed anywhere (the floor), so a fresh sequence can
+  // never collide with the old primary's in-flight mints.
+  EXPECT_FALSE(standby_.stripe_versions(h, 0).known);
+  EXPECT_EQ(standby_.allocate_stripe_version(h, 0), 3u);
+  // Rebuilt stripes continue above their own observed maximum.
+  EXPECT_EQ(standby_.allocate_stripe_version(h, 1), 3u);
+}
+
+TEST_F(TakeoverTest, RebuildSkipsDeletedFilesButKeepsTheMintFloor) {
+  const Handle h = create_replicated("/gone");
+  ASSERT_TRUE(
+      primary_.remove(client_hca_, TimePoint::origin(), "/gone").value.is_ok());
+  // An orphaned header for the deleted handle survives on some iod (e.g.
+  // the iod was down during the unlink): the rebuild must not resurrect
+  // the file's stripe state, but the floor still honours the version.
+  const std::vector<Manager::HeaderObservation> headers = {
+      {/*iod_id=*/1, h, /*version=*/5},
+  };
+  standby_.take_over(primary_, headers, TimePoint::origin());
+  EXPECT_FALSE(standby_.stripe_versions(h, 1).known);
+  EXPECT_FALSE(standby_.stat("/gone").is_ok());
+  auto g = standby_.create(client_hca_, TimePoint::origin(), "/fresh",
+                           64 * kKiB, 4, /*base_iod=*/0,
+                           /*replication_factor=*/2);
+  ASSERT_TRUE(g.value.is_ok());
+  EXPECT_EQ(standby_.allocate_stripe_version(g.value.value().handle, 0), 6u);
 }
 
 }  // namespace
