@@ -1,0 +1,201 @@
+// Metadata storm: many clients hammer the metadata plane with pure
+// namespace traffic (create, open, remove) and the sweep varies how many
+// active manager shards serve it. With one shard every request funnels
+// through a single manager's service queue and HCA; with N shards the
+// FNV-1a name hash spreads the storm across N independent managers, so
+// throughput scales until something shared (here the iods, on remove's
+// unlink broadcast) becomes the bottleneck.
+//
+// The run sets `pvfs.meta_cpu_queue` so the managers' 5 us lookup cost
+// queues on a per-manager CPU resource instead of overlapping for free —
+// that queue is precisely what sharding exists to split. Each client is a
+// chain of engine events: one blocking metadata op per event, the next
+// event scheduled at the client's post-op clock, so the engine interleaves
+// the 16 clients' requests in timestamp order like a real open queue.
+//
+// Besides the human-readable table, the bench emits BENCH_metadata.json
+// (create/open/remove throughput and p99 latency vs shard count) for
+// machine consumption.
+#include <cstring>
+#include <functional>
+#include <memory>
+
+#include "bench_common.h"
+
+namespace pvfsib::bench {
+namespace {
+
+Duration percentile(std::vector<Duration> samples, double p) {
+  if (samples.empty()) return Duration::zero();
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+struct PhaseResult {
+  double ops_per_s = 0.0;
+  Duration p50 = Duration::zero();
+  Duration p99 = Duration::zero();
+  bool ok = true;
+};
+
+struct StormPoint {
+  u32 shards = 1;
+  PhaseResult create;
+  PhaseResult open;
+  PhaseResult remove;
+  i64 redirects = 0;
+  bool ok = true;
+};
+
+std::string storm_name(u32 client, u32 k) {
+  return "/storm_c" + std::to_string(client) + "_f" + std::to_string(k);
+}
+
+// Run one phase (op 0 = create, 1 = open, 2 = remove) across all clients:
+// every client starts at `start` and issues its ops back to back, each op
+// an engine event scheduled at the client's clock after the previous op.
+PhaseResult run_phase(pvfs::Cluster& cluster, int op, TimePoint start,
+                      u32 ops_per_client) {
+  const u32 clients = cluster.client_count();
+  std::vector<Duration> lat;
+  lat.reserve(static_cast<size_t>(clients) * ops_per_client);
+  bool ok = true;
+  // One self-rescheduling closure per client; held alive in `steps`.
+  auto steps = std::make_shared<std::vector<std::function<void(u32)>>>(clients);
+  for (u32 ci = 0; ci < clients; ++ci) {
+    (*steps)[ci] = [&, steps, ci, op, ops_per_client](u32 k) {
+      pvfs::Client& c = cluster.client(ci);
+      c.advance_to(cluster.engine().now());
+      const TimePoint t0 = c.now();
+      const std::string name = storm_name(ci, k);
+      switch (op) {
+        case 0:
+          ok = c.create(name, 64 * kKiB, cluster.iod_count(), 0).is_ok() && ok;
+          break;
+        case 1:
+          ok = c.open(name).is_ok() && ok;
+          break;
+        default:
+          ok = c.remove(name).is_ok() && ok;
+          break;
+      }
+      lat.push_back(c.now() - t0);
+      if (k + 1 < ops_per_client) {
+        cluster.engine().schedule_at(c.now(),
+                                     [steps, ci, k] { (*steps)[ci](k + 1); });
+      }
+    };
+    cluster.engine().schedule_at(start, [steps, ci] { (*steps)[ci](0); });
+  }
+  const TimePoint end = cluster.run();
+  PhaseResult r;
+  r.ok = ok;
+  const Duration makespan = end - start;
+  const double secs = makespan.as_sec();
+  const double total = static_cast<double>(lat.size());
+  r.ops_per_s = secs > 0.0 ? total / secs : 0.0;
+  r.p50 = percentile(lat, 0.50);
+  r.p99 = percentile(lat, 0.99);
+  return r;
+}
+
+StormPoint run_storm(u32 shards, u32 clients, u32 ops_per_client) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  // The storm measures the managers' service queue: make lookup cost a
+  // real per-manager CPU resource instead of a fixed latency adder.
+  cfg.pvfs.meta_cpu_queue = true;
+  pvfs::Cluster cluster(cfg, pvfs::Cluster::Topology{}
+                                 .clients(clients)
+                                 .iods(4)
+                                 .metadata_shards(shards));
+  StormPoint pt;
+  pt.shards = shards;
+  TimePoint t = TimePoint::origin();
+  pt.create = run_phase(cluster, 0, t, ops_per_client);
+  t = cluster.engine().now();
+  pt.open = run_phase(cluster, 1, t, ops_per_client);
+  t = cluster.engine().now();
+  pt.remove = run_phase(cluster, 2, t, ops_per_client);
+  pt.redirects = cluster.stats().get(stat::kPvfsShardRedirects);
+  pt.ok = pt.create.ok && pt.open.ok && pt.remove.ok;
+  return pt;
+}
+
+std::string fmt_kops(double ops_per_s) { return fmt(ops_per_s / 1000.0, 1); }
+
+void write_json(const std::vector<StormPoint>& points, u32 clients,
+                u32 ops_per_client) {
+  std::FILE* f = std::fopen("BENCH_metadata.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "meta_storm: cannot write BENCH_metadata.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"meta_storm\",\n");
+  std::fprintf(f, "  \"clients\": %u,\n  \"ops_per_client\": %u,\n", clients,
+               ops_per_client);
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const StormPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"shards\": %u, \"ok\": %s,\n"
+                 "     \"create_ops_per_s\": %.1f, \"create_p50_us\": %.3f, "
+                 "\"create_p99_us\": %.3f,\n"
+                 "     \"open_ops_per_s\": %.1f, \"open_p50_us\": %.3f, "
+                 "\"open_p99_us\": %.3f,\n"
+                 "     \"remove_ops_per_s\": %.1f, \"remove_p50_us\": %.3f, "
+                 "\"remove_p99_us\": %.3f}%s\n",
+                 p.shards, p.ok ? "true" : "false", p.create.ops_per_s,
+                 p.create.p50.as_us(), p.create.p99.as_us(), p.open.ops_per_s,
+                 p.open.p50.as_us(), p.open.p99.as_us(), p.remove.ops_per_s,
+                 p.remove.p50.as_us(), p.remove.p99.as_us(),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_metadata.json\n");
+}
+
+void run(bool smoke) {
+  const u32 clients = smoke ? 8 : 16;
+  const u32 ops_per_client = smoke ? 16 : 64;
+  const std::vector<u32> shard_counts =
+      smoke ? std::vector<u32>{1, 4} : std::vector<u32>{1, 2, 4, 8};
+
+  header("Metadata storm: namespace op throughput vs manager shard count",
+         fmt_int(clients) + " clients x " + fmt_int(ops_per_client) +
+             " ops per phase (create, then open, then remove); names "
+             "FNV-1a-hash\nacross the shards, meta_cpu_queue on so each "
+             "manager's 5 us lookup queues on\nits own CPU. Remove also "
+             "broadcasts unlinks to the (shared) iods, so it\nscales less "
+             "than create/open");
+
+  Table t({"shards", "create kop/s", "create p99", "open kop/s", "open p99",
+           "remove kop/s", "remove p99", "redirects", "status"});
+  std::vector<StormPoint> points;
+  for (u32 shards : shard_counts) {
+    points.push_back(run_storm(shards, clients, ops_per_client));
+    const StormPoint& p = points.back();
+    t.row({fmt_int(p.shards), fmt_kops(p.create.ops_per_s),
+           p.create.p99.to_string(), fmt_kops(p.open.ops_per_s),
+           p.open.p99.to_string(), fmt_kops(p.remove.ops_per_s),
+           p.remove.p99.to_string(), fmt_int(p.redirects),
+           p.ok ? "ok" : "FAILED"});
+  }
+  t.print();
+  std::printf("\n");
+  write_json(points, clients, ops_per_client);
+}
+
+}  // namespace
+}  // namespace pvfsib::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  pvfsib::bench::run(smoke);
+  return 0;
+}

@@ -173,6 +173,17 @@ struct PvfsParams {
   // job queueing, completion handling). Dominant for Multiple I/O's
   // thousands of tiny calls, negligible for list I/O's few rounds.
   Duration client_request_cpu = Duration::us(15.0);
+  // Active metadata managers, each owning a hash shard of the namespace and
+  // of the version plane (protocol.h shard_of/shard_of_handle). 1 is the
+  // classic single-manager PVFS plane, byte-identical to before sharding.
+  u32 metadata_shards = 1;
+  // Model the manager's metadata service as a serially-reusable CPU
+  // (sim::Resource busy-until queueing) instead of a fixed per-request
+  // latency. Off by default: concurrent metadata requests then overlap
+  // freely, which keeps the figure benches' timelines untouched. The
+  // metadata-storm bench turns it on — queueing at the manager CPU is
+  // exactly the contention sharding exists to relieve.
+  bool meta_cpu_queue = false;
 };
 
 // --- Fault injection and recovery ------------------------------------------
@@ -187,21 +198,23 @@ enum class FaultKind {
   kIodCrash,     // iod down for [at, at + duration); requests arriving are lost
   kDropRequest,  // drop the next round request to `target` at/after `at`
   kDropReply,    // drop the next round reply from `target` at/after `at`
-  // Drop the next metadata request to the manager at/after `at` (`target`
-  // is ignored; there is one manager). The client's metadata retry path
-  // notices via timeout and resends with capped backoff.
+  // Drop the next metadata request arriving at metadata shard `target`'s
+  // manager at/after `at` (shard 0 is the only shard — and the single
+  // manager — when the plane is unsharded). The client's metadata retry
+  // path notices via timeout and resends with capped backoff.
   kDropMetaRequest,
-  // Manager down for [at, at + duration); metadata requests arriving in the
-  // window are lost (`target` is ignored). With FaultConfig::standby_takeover
-  // a standby manager takes over `manager_takeover_delay` after the window
-  // opens; otherwise clients just burn their retry budgets.
+  // Metadata shard `target`'s primary manager down for [at, at + duration);
+  // metadata requests arriving in the window are lost. With
+  // FaultConfig::standby_takeover the shard's standby manager takes over
+  // `manager_takeover_delay` after the window opens; otherwise clients just
+  // burn their retry budgets.
   kManagerCrash,
 };
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kIodCrash;
   TimePoint at = TimePoint::origin();
-  u32 target = 0;                        // iod id
+  u32 target = 0;  // iod id; metadata shard for the manager/meta kinds
   Duration duration = Duration::zero();  // kIodCrash: restart delay
 };
 

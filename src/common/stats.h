@@ -118,6 +118,17 @@ inline constexpr const char* kPvfsMetaRetries = "pvfs.meta_retries";
 inline constexpr const char* kPvfsMetaFailovers = "pvfs.meta_failovers";
 inline constexpr const char* kPvfsEpochRejections = "pvfs.epoch_rejections";
 inline constexpr const char* kPvfsManagerTakeovers = "pvfs.manager_takeovers";
+// Sharded metadata plane (reported only when a request actually hits a
+// wrong-shard manager or a takeover bumps the shard map — never in
+// fault-free runs, whose maps are seeded correct at mount and stay so).
+// shard_redirects counts kWrongShard replies; shard_map_refreshes counts
+// the map refreshes those redirects (and takeovers) deliver to clients.
+inline constexpr const char* kPvfsShardRedirects = "pvfs.shard_redirects";
+inline constexpr const char* kPvfsShardMapRefreshes =
+    "pvfs.shard_map_refreshes";
+// Client re-minted a write round's version/epoch after an iod fenced the
+// old-epoch mint (closes the sub-quorum old-epoch divergence window).
+inline constexpr const char* kPvfsVersionRemints = "pvfs.version_remints";
 // Partial-round restart: replays whose payload already landed in the
 // target's staging buffer skip the wire phase entirely.
 inline constexpr const char* kPvfsPartialRestarts = "pvfs.partial_restarts";

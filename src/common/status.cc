@@ -16,6 +16,8 @@ const char* error_code_name(ErrorCode c) {
       return "RESOURCE_EXHAUSTED";
     case ErrorCode::kFailedPrecondition:
       return "FAILED_PRECONDITION";
+    case ErrorCode::kWrongShard:
+      return "WRONG_SHARD";
     case ErrorCode::kPermissionDenied:
       return "PERMISSION_DENIED";
     case ErrorCode::kAlreadyExists:

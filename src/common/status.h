@@ -22,6 +22,12 @@ enum class ErrorCode {
   // only infers from a timeout), and the client re-targets the request at
   // the other manager (pvfs.meta_failovers).
   kFailedPrecondition,
+  // The manager's "not my shard" redirect: a metadata request routed by a
+  // stale shard map reaches a manager that does not own the name. Like
+  // kFailedPrecondition this is a fast reply, but it additionally carries a
+  // shard-map refresh — the client re-routes by the fresh map
+  // (pvfs.shard_redirects) instead of rotating within the shard.
+  kWrongShard,
   kPermissionDenied,  // e.g. registering an unallocated page
   kAlreadyExists,
   kUnavailable,  // transient transport/server failure; safe to retry
@@ -69,6 +75,9 @@ inline Status resource_exhausted(std::string m) {
 }
 inline Status failed_precondition(std::string m) {
   return Status(ErrorCode::kFailedPrecondition, std::move(m));
+}
+inline Status wrong_shard(std::string m) {
+  return Status(ErrorCode::kWrongShard, std::move(m));
 }
 inline Status permission_denied(std::string m) {
   return Status(ErrorCode::kPermissionDenied, std::move(m));

@@ -110,28 +110,28 @@ bool Injector::reply_lost(u32 iod, TimePoint at) {
   return false;
 }
 
-bool Injector::manager_down(TimePoint at) const {
+bool Injector::manager_down(TimePoint at, u32 shard) const {
   for (const FaultEvent& ev : cfg_.schedule) {
-    if (ev.kind == FaultKind::kManagerCrash && at >= ev.at &&
-        at < ev.at + ev.duration) {
+    if (ev.kind == FaultKind::kManagerCrash && ev.target == shard &&
+        at >= ev.at && at < ev.at + ev.duration) {
       return true;
     }
   }
   return false;
 }
 
-bool Injector::meta_request_lost(TimePoint at, bool primary) {
+bool Injector::meta_request_lost(TimePoint at, bool primary, u32 shard) {
   if (!enabled_) return false;
-  if (primary && manager_down(at)) {
+  if (primary && manager_down(at, shard)) {
     if (stats_ != nullptr) stats_->add(stat::kFaultManagerDownDrop);
     return true;
   }
-  // There is one manager, so scheduled meta drops match on kind and time
-  // alone (the event's target field is ignored).
+  // Scheduled meta drops match on kind, shard and time (unsharded planes
+  // are shard 0, matching the event target's default).
   for (size_t i = 0; i < cfg_.schedule.size(); ++i) {
     const FaultEvent& ev = cfg_.schedule[i];
     if (!consumed_[i] && ev.kind == FaultKind::kDropMetaRequest &&
-        at >= ev.at) {
+        ev.target == shard && at >= ev.at) {
       consumed_[i] = true;
       if (stats_ != nullptr) stats_->add(stat::kFaultMetaRequestDrop);
       return true;
@@ -163,7 +163,7 @@ void Injector::install_manager_takeover_hooks(sim::Engine& engine,
   for (const FaultEvent& ev : cfg_.schedule) {
     if (ev.kind != FaultKind::kManagerCrash) continue;
     const TimePoint at = ev.at + delay;
-    engine.schedule_at(at, [hook, at] { hook(at); });
+    engine.schedule_at(at, [hook, shard = ev.target, at] { hook(shard, at); });
   }
 }
 

@@ -65,22 +65,25 @@ class Injector {
   bool reply_lost(u32 iod, TimePoint at);
 
   // --- Manager hooks --------------------------------------------------------
-  // Is the primary manager crashed (scheduled kManagerCrash window) at `at`?
-  // (The standby never crashes; once promoted it stays up.)
-  bool manager_down(TimePoint at) const;
+  // Is metadata shard `shard`'s primary manager crashed (scheduled
+  // kManagerCrash window with that target) at `at`? (Standbys never crash;
+  // once promoted they stay up. Shard 0 is the only shard on an unsharded
+  // plane, matching legacy schedules whose target defaulted to 0.)
+  bool manager_down(TimePoint at, u32 shard = 0) const;
 
-  // Does the metadata request arriving at the manager at `at` vanish?
-  // Scheduled kDropMetaRequest events plus the random drop rate; for the
-  // primary (`primary` true) also the kManagerCrash windows. The standby
-  // only loses requests to drops, never to crash windows.
-  bool meta_request_lost(TimePoint at, bool primary = true);
+  // Does the metadata request arriving at shard `shard`'s manager at `at`
+  // vanish? Scheduled kDropMetaRequest events targeting the shard plus the
+  // random drop rate; for the shard's primary (`primary` true) also its
+  // kManagerCrash windows. Standbys only lose requests to drops, never to
+  // crash windows.
+  bool meta_request_lost(TimePoint at, bool primary = true, u32 shard = 0);
 
-  // Schedule `hook(takeover_time)` on the engine `delay` after every
+  // Schedule `hook(shard, takeover_time)` on the engine `delay` after every
   // kManagerCrash window *opens* (failure detection + rebuild time — the
-  // standby does not wait for the primary to come back). Cluster installs
-  // these when FaultConfig::standby_takeover is set; without a call the
-  // schedule drives nothing extra.
-  using TakeoverHook = std::function<void(TimePoint at)>;
+  // standby does not wait for the primary to come back); `shard` is the
+  // event's target. Cluster installs these when FaultConfig::standby_takeover
+  // is set; without a call the schedule drives nothing extra.
+  using TakeoverHook = std::function<void(u32 shard, TimePoint at)>;
   void install_manager_takeover_hooks(sim::Engine& engine, Duration delay,
                                       TakeoverHook hook);
 

@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <cstring>
-#include <type_traits>
 
 #include "fault/injector.h"
 #include "sim/trace.h"
@@ -11,29 +10,6 @@ namespace pvfsib::pvfs {
 
 namespace {
 std::string client_name(u32 id) { return "client" + std::to_string(id); }
-
-// Uniform status access for the metadata retry loop, which handles both
-// Timed<Status> and Timed<Result<T>> manager calls.
-const Status& status_of(const Status& s) { return s; }
-template <typename T>
-const Status& status_of(const Result<T>& r) {
-  return r.status();
-}
-
-// Manager ops only surface kUnavailable when the fault plane swallowed the
-// request; everything else is a real (terminal) metadata answer.
-template <typename V>
-bool meta_lost(const V& v) {
-  return status_of(v).code() == ErrorCode::kUnavailable;
-}
-
-// A demoted or not-yet-promoted manager answers kFailedPrecondition
-// ("manager not active") — a fast redirect, not a timeout: the client
-// re-targets the request at the other manager without waiting.
-template <typename V>
-bool meta_redirected(const V& v) {
-  return status_of(v).code() == ErrorCode::kFailedPrecondition;
-}
 }  // namespace
 
 // Completion state shared by every copy of an IoHandle.
@@ -98,21 +74,20 @@ struct Client::OpState {
 };
 
 Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
-               ib::Fabric& fabric, Manager& manager, std::vector<Iod*> iods,
-               Stats* stats, fault::Injector* faults)
+               ib::Fabric& fabric, const MetaRegistry& registry,
+               std::vector<Iod*> iods, Stats* stats, fault::Injector* faults)
     : id_(id),
       cfg_(cfg),
       engine_(engine),
       fabric_(fabric),
-      manager_(manager),
       iods_(std::move(iods)),
       stats_(stats),
       faults_(faults),
       hca_(client_name(id), as_, cfg.reg, stats),
       cache_(hca_),
       registrar_(cache_, cfg.os, core::OgrConfig{}, stats),
-      xfer_(fabric, cfg.mem) {
-  managers_.push_back(&manager_);
+      xfer_(fabric, cfg.mem),
+      meta_(hca_, engine, stats, faults, &registry) {
   ep_.hca = &hca_;
   ep_.cache = &cache_;
   ep_.registrar = &registrar_;
@@ -126,67 +101,10 @@ Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
 
 // --- Metadata ----------------------------------------------------------
 
-// `fn(manager, issue)` runs one manager round-trip issued at `issue` and
-// returns its Timed result. Without a fault plane this collapses to exactly
-// one call against the believed-active manager. With one, a swallowed
-// request (kUnavailable) costs a round_timeout wait plus the data-round
-// backoff before the resend, up to max_retries; the manager leaves its
-// namespace untouched on a lost request, so resending non-idempotent ops
-// (create) is safe. A "manager not active" redirect (kFailedPrecondition)
-// burns a retry too, but is noticed at the reply — no timeout wait. When a
-// standby is registered, each failed attempt rotates the target manager
-// (pvfs.meta_failovers), so an outage of the primary converges on the
-// standby within one rotation.
-template <typename Fn>
-auto Client::meta_call(Fn&& fn) {
-  TimePoint issue = max(now_, engine_.now());
-  auto r = fn(*managers_[active_meta_], issue);
-  if (!faulty() || !(meta_lost(r.value) || meta_redirected(r.value))) {
-    now_ = issue + r.cost;
-    return r.value;
-  }
-  const FaultConfig& fc = faults_->config();
-  u32 retries = 0;
-  while ((meta_lost(r.value) || meta_redirected(r.value)) &&
-         retries < fc.max_retries) {
-    if (stats_ != nullptr) stats_->add(stat::kPvfsMetaRetries);
-    Duration backoff = fc.backoff_base;
-    for (u32 i = 1; i <= retries && backoff < fc.backoff_cap; ++i) {
-      backoff = backoff * fc.backoff_mult;
-    }
-    backoff = min(backoff, fc.backoff_cap);
-    ++retries;
-    // A lost request is only noticed when the timeout fires; a redirect is
-    // a real (fast) reply.
-    const bool lost = meta_lost(r.value);
-    const TimePoint noticed = lost ? issue + fc.round_timeout : issue + r.cost;
-    if (managers_.size() > 1) {
-      active_meta_ = (active_meta_ + 1) % managers_.size();
-      if (stats_ != nullptr) stats_->add(stat::kPvfsMetaFailovers);
-      sim::Trace::instance().emitf(
-          noticed, hca_.name(),
-          "metadata %s, failing over to %s (retry %u in %s)",
-          lost ? "timeout" : "redirect",
-          managers_[active_meta_]->hca().name().c_str(), retries,
-          backoff.to_string().c_str());
-    } else {
-      sim::Trace::instance().emitf(
-          issue + fc.round_timeout, hca_.name(), "metadata retry %u in %s",
-          retries, backoff.to_string().c_str());
-    }
-    issue = noticed + backoff;
-    r = fn(*managers_[active_meta_], issue);
-  }
-  if (meta_lost(r.value) || meta_redirected(r.value)) {
-    // The final attempt failed too: the client waits out its timeout (or
-    // takes the redirect reply on the chin) and gives up.
-    now_ = meta_lost(r.value) ? issue + fc.round_timeout : issue + r.cost;
-    using V = std::decay_t<decltype(r.value)>;
-    return V(unavailable("metadata op failed after " +
-                         std::to_string(retries) + " retries"));
-  }
-  now_ = issue + r.cost;
-  return r.value;
+MetaReply Client::meta_roundtrip(const MetaRequest& rq) {
+  MetaClient::Outcome o = meta_.call(rq, max(now_, engine_.now()));
+  now_ = max(now_, o.done);
+  return std::move(o.reply);
 }
 
 Result<OpenFile> Client::create(const std::string& name) {
@@ -197,36 +115,48 @@ Result<OpenFile> Client::create(const std::string& name) {
 Result<OpenFile> Client::create(const std::string& name, u64 stripe_size,
                                 u32 iod_count, u32 base_iod) {
   assert(iod_count <= iods_.size());
-  Result<FileMeta> r = meta_call([&](Manager& m, TimePoint issue) {
-    return m.create(hca_, issue, name, stripe_size, iod_count, base_iod,
-                    cfg_.replication.factor);
-  });
-  if (!r.is_ok()) return r.status();
-  return OpenFile{r.value()};
+  MetaRequest rq;
+  rq.op = MetaOp::kCreate;
+  rq.name = name;
+  rq.stripe_size = stripe_size;
+  rq.iod_count = iod_count;
+  rq.base_iod = base_iod;
+  rq.replication_factor = cfg_.replication.factor;
+  MetaReply r = meta_roundtrip(rq);
+  if (!r.status.is_ok()) return r.status;
+  return OpenFile{r.meta};
 }
 
 Result<OpenFile> Client::open(const std::string& name) {
-  Result<FileMeta> r = meta_call(
-      [&](Manager& m, TimePoint issue) { return m.open(hca_, issue, name); });
-  if (!r.is_ok()) return r.status();
-  return OpenFile{r.value()};
+  MetaRequest rq;
+  rq.op = MetaOp::kOpen;
+  rq.name = name;
+  MetaReply r = meta_roundtrip(rq);
+  if (!r.status.is_ok()) return r.status;
+  return OpenFile{r.meta};
 }
 
 Result<FileMeta> Client::stat(const std::string& name) {
   // stat is an open-shaped metadata round-trip.
-  return meta_call(
-      [&](Manager& m, TimePoint issue) { return m.open(hca_, issue, name); });
+  MetaRequest rq;
+  rq.op = MetaOp::kStat;
+  rq.name = name;
+  MetaReply r = meta_roundtrip(rq);
+  if (!r.status.is_ok()) return r.status;
+  return r.meta;
 }
 
 Status Client::remove(const std::string& name) {
   Result<FileMeta> meta = stat(name);
   if (!meta.is_ok()) return meta.status();
-  Status r = meta_call(
-      [&](Manager& m, TimePoint issue) { return m.remove(hca_, issue, name); });
+  MetaRequest rq;
+  rq.op = MetaOp::kRemove;
+  rq.name = name;
+  Status r = meta_roundtrip(rq).status;
   PVFSIB_RETURN_IF_ERROR(r);
   // The manager that served the remove tells every iod to unlink its stripe
   // file; the client returns once all acknowledgements are in.
-  Manager& mgr = *managers_[active_meta_];
+  Manager& mgr = meta_.route(name);
   TimePoint done = now_;
   for (Iod* iod : iods_) {
     const TimePoint at = fabric_.send_control(
@@ -413,33 +343,12 @@ u32 Client::current_target(const OpState& op, u32 iod_idx) const {
 
 // --- Version plane --------------------------------------------------------
 
-Manager& Client::version_authority() {
-  if (managers_.size() > 1 && managers_[active_meta_]->epoch_stale()) {
-    // The believed-active manager was superseded by a takeover this client
-    // never witnessed. Minting from it (or feeding it notes) would split
-    // the version plane, so the client refuses and re-targets the
-    // epoch-current manager.
-    if (stats_ != nullptr) stats_->add(stat::kPvfsEpochRejections);
-    for (size_t i = 0; i < managers_.size(); ++i) {
-      if (!managers_[i]->epoch_stale()) {
-        active_meta_ = i;
-        break;
-      }
-    }
-    sim::Trace::instance().emitf(
-        engine_.now(), hca_.name(),
-        "version authority stale, re-targeting %s (epoch %llu)",
-        managers_[active_meta_]->hca().name().c_str(),
-        static_cast<unsigned long long>(managers_[active_meta_]->epoch()));
-  }
-  return *managers_[active_meta_];
-}
-
 u32 Client::pick_read_replica(const OpState& op, u32 iod_idx) {
   const std::vector<u32>& set = op.replica_sets[iod_idx];
   if (set.size() <= 1) return 0;
-  const Manager::StripeVersionView v = version_authority().stripe_versions(
-      op.file.meta.handle, op.stripes[iod_idx]);
+  const Manager::StripeVersionView v =
+      meta_.authority(op.file.meta.handle)
+          .stripe_versions(op.file.meta.handle, op.stripes[iod_idx]);
   // Candidates the staleness map does not rule out. An unknown stripe (no
   // replicated write ever recorded) keeps everyone eligible.
   std::vector<u32> current;
@@ -489,7 +398,7 @@ void Client::maybe_read_repair(std::shared_ptr<OpState> op, u32 iod_idx,
   // The serving replica demonstrably holds its header's version — a direct
   // observation of an applied header, trusted regardless of which manager
   // epoch minted it (note_epoch 0).
-  Manager& authority = version_authority();
+  Manager& authority = meta_.authority(op->file.meta.handle);
   authority.note_replica_version(op->file.meta.handle, stripe, set[serving],
                                  serving_version);
   if (serving_version == 0 || !cfg_.replication.read_repair) return;
@@ -621,7 +530,7 @@ void Client::issue_round(std::shared_ptr<OpState> op, u32 iod_idx,
       // metadata plane). Replays reuse it — a round is one version — and
       // carry the minting manager's epoch so iods can fence the mint if a
       // takeover supersedes it mid-flight.
-      Manager& authority = version_authority();
+      Manager& authority = meta_.authority(op->file.meta.handle);
       tr->version = authority.allocate_stripe_version(op->file.meta.handle,
                                                       op->stripes[iod_idx]);
       tr->epoch = authority.epoch();
@@ -691,7 +600,8 @@ void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx,
   if (--op->pending == 0) {
     if (!op->prereg.keys.empty()) registrar_.release(op->prereg);
     if (op->is_write && !op->failed) {
-      version_authority().note_written(op->file.meta.handle, op->logical_end);
+      meta_.authority(op->file.meta.handle)
+          .note_written(op->file.meta.handle, op->logical_end);
     }
     IoResult result;
     result.status = op->status;
@@ -884,9 +794,50 @@ void Client::run_write_round(std::shared_ptr<OpState> op, u32 iod_idx,
 void Client::write_replica_done(std::shared_ptr<OpState> op, u32 iod_idx,
                                 size_t round_idx, u32 rep,
                                 std::shared_ptr<RoundTry> tr, TimePoint t,
-                                u64 ack_version) {
+                                u64 ack_version, u64 attempt_seq,
+                                bool epoch_rejected) {
   if (!op->replicated || tr == nullptr) {
     settle_round(op, iod_idx, round_idx, tr, t, Status::ok());
+    return;
+  }
+  // An ack from an attempt a re-mint has since superseded (its seq is not
+  // the round's current one) proves nothing about the current mint's fate.
+  if (attempt_seq != tr->seq) return;
+  if (epoch_rejected) {
+    if (tr->settled) return;  // quorum settled before the fence was seen
+    // The iod landed the bytes but fenced the version out of the header: a
+    // takeover superseded the minting manager mid-flight. The round cannot
+    // make progress under the dead mint, so re-mint version+epoch from the
+    // current authority and replay everywhere under a *fresh* seq: the old
+    // seq sits in the iods' dedupe logs and a same-seq replay would be
+    // acked without re-running the disk phase — the header would never
+    // move. A fresh seq also means the staged-payload shortcut no longer
+    // applies (the replay carries data again), so data_landed resets too.
+    if (tr->timer_armed) {
+      engine_.cancel(tr->timer_id);
+      tr->timer_armed = false;
+    }
+    Manager& authority = meta_.authority(op->file.meta.handle);
+    tr->version = authority.allocate_stripe_version(op->file.meta.handle,
+                                                    op->stripes[iod_idx]);
+    tr->epoch = authority.epoch();
+    tr->seq = next_round_seq_++;
+    tr->acked.assign(op->replica_sets[iod_idx].size(), false);
+    tr->data_landed.assign(op->replica_sets[iod_idx].size(), false);
+    tr->acks = 0;
+    tr->have_first_ack = false;
+    ++tr->attempts;
+    if (stats_ != nullptr) {
+      stats_->add(stat::kPvfsVersionRemints);
+      stats_->add(stat::kPvfsRetries);
+    }
+    sim::Trace::instance().emitf(
+        t, hca_.name(),
+        "write round %zu: mint fenced by epoch, re-minting v%llu "
+        "(epoch %llu) and replaying",
+        round_idx + 1, static_cast<unsigned long long>(tr->version),
+        static_cast<unsigned long long>(tr->epoch));
+    run_write_round(op, iod_idx, round_idx, t, tr);
     return;
   }
   if (tr->acked[rep]) return;  // duplicate ack of one replica
@@ -896,10 +847,11 @@ void Client::write_replica_done(std::shared_ptr<OpState> op, u32 iod_idx,
   // not stale, and must stay eligible for read placement. The note carries
   // the round's mint epoch; the manager fences notes whose epoch a
   // takeover has superseded.
-  version_authority().note_replica_version(
-      op->file.meta.handle, op->stripes[iod_idx],
-      op->replica_sets[iod_idx][rep],
-      ack_version != 0 ? ack_version : tr->version, tr->epoch);
+  meta_.authority(op->file.meta.handle)
+      .note_replica_version(op->file.meta.handle, op->stripes[iod_idx],
+                            op->replica_sets[iod_idx][rep],
+                            ack_version != 0 ? ack_version : tr->version,
+                            tr->epoch);
   if (tr->settled) return;  // late ack after quorum settle
   ++tr->acks;
   if (!tr->have_first_ack) {
@@ -1056,13 +1008,15 @@ void Client::run_write_replica(std::shared_ptr<OpState> op, u32 iod_idx,
     }
     Duration disk_cost = Duration::zero();
     u64 ack_version = 0;
+    bool epoch_rejected = false;
     const TimePoint t_disk =
         iod.write_round(rr, data_ready + cfg_.pvfs.iod_request_cpu,
-                        &disk_cost, &ack_version);
+                        &disk_cost, &ack_version, &epoch_rejected);
     op->phases.disk += disk_cost;
     if (stats_ != nullptr) stats_->add(stat::kPvfsReply);
+    const u64 attempt_seq = rr.round_seq;
     auto send_reply = [this, op, iod_idx, round_idx, rep, tr, &iod, iod_id,
-                       t_disk, ack_version] {
+                       t_disk, ack_version, attempt_seq, epoch_rejected] {
       const TimePoint t_reply =
           fabric_.send_control(iod.hca(), hca_, cfg_.pvfs.reply_msg_bytes,
                                t_disk, ib::ControlKind::kReply);
@@ -1076,9 +1030,10 @@ void Client::run_write_replica(std::shared_ptr<OpState> op, u32 iod_idx,
         return;
       }
       engine_.schedule_at(t_reply, [this, op, iod_idx, round_idx, rep, tr,
-                                    t_reply, ack_version] {
+                                    t_reply, ack_version, attempt_seq,
+                                    epoch_rejected] {
         write_replica_done(op, iod_idx, round_idx, rep, tr, t_reply,
-                           ack_version);
+                           ack_version, attempt_seq, epoch_rejected);
       });
     };
     if (op->replica_sets[iod_idx].size() > 1) {

@@ -39,6 +39,7 @@
 #include "ib/mr_cache.h"
 #include "pvfs/iod.h"
 #include "pvfs/manager.h"
+#include "pvfs/meta_client.h"
 #include "pvfs/protocol.h"
 #include "sim/engine.h"
 #include "vmem/address_space.h"
@@ -182,10 +183,15 @@ class IoHandle {
 class Client {
  public:
   Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
-         ib::Fabric& fabric, Manager& manager, std::vector<Iod*> iods,
-         Stats* stats, fault::Injector* faults = nullptr);
+         ib::Fabric& fabric, const MetaRegistry& registry,
+         std::vector<Iod*> iods, Stats* stats,
+         fault::Injector* faults = nullptr);
 
   // --- Metadata --------------------------------------------------------
+  // Thin blocking shims over MetaClient::call: each builds one typed
+  // MetaRequest, routes it through the shard map, and advances the
+  // client's logical clock past the reply (docs/ASYNC_API.md has the full
+  // request/reply mapping).
   Result<OpenFile> create(const std::string& name);
   Result<OpenFile> create(const std::string& name, u64 stripe_size,
                           u32 iod_count,
@@ -220,10 +226,10 @@ class Client {
     return default_policy_;
   }
 
-  // Register a standby manager as a failover metadata target (Cluster does
-  // this when FaultConfig::standby_takeover places one). Order matters:
-  // targets rotate in registration order on metadata failover.
-  void add_standby_manager(Manager* m) { managers_.push_back(m); }
+  // The metadata routing facade (shard map cache, redirects, version-plane
+  // authority selection). Exposed for tests and tooling that poke at the
+  // cached map (e.g. MetaClient::invalidate_map).
+  MetaClient& meta() { return meta_; }
 
   // The client's process state.
   vmem::AddressSpace& memory() { return as_; }
@@ -304,11 +310,17 @@ class Client {
   // `ack_version`: record the version with the manager (even for late acks
   // after the quorum settled — a slow-but-alive replica is current, not
   // stale) and settle once the write quorum is met (immediately when
-  // unreplicated).
+  // unreplicated). `attempt_seq` is the round_seq the attempt carried —
+  // acks from attempts older than the round's current seq (superseded by a
+  // re-mint) are dropped. `epoch_rejected` means the iod fenced the
+  // attempt's version as epoch-stale: the round re-mints a fresh
+  // version+epoch from the current authority and replays under a fresh
+  // seq (pvfs.version_remints) instead of counting the ack.
   void write_replica_done(std::shared_ptr<OpState> op, u32 iod_idx,
                           size_t round_idx, u32 rep,
                           std::shared_ptr<RoundTry> tr, TimePoint t,
-                          u64 ack_version);
+                          u64 ack_version, u64 attempt_seq,
+                          bool epoch_rejected);
   void run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
                       size_t round_idx, TimePoint t0,
                       std::shared_ptr<RoundTry> tr);
@@ -382,34 +394,15 @@ class Client {
   // dead by a fast primary's estimate.
   Duration round_timeout_for(const OpState& op, u32 iod_idx) const;
 
-  // Run one manager metadata round-trip with the data-round retry policy.
-  // `fn(manager, issue)` runs the attempt against one manager; a lost
-  // request costs a round_timeout wait plus capped exponential backoff
-  // before the resend, up to max_retries. With a standby placed, each lost
-  // or redirected (kFailedPrecondition "manager not active") attempt also
-  // rotates the target manager (pvfs.meta_failovers). Returns the final
-  // attempt's result and advances the client clock. Defined in client.cc
-  // (all instantiations live there).
-  template <typename Fn>
-  auto meta_call(Fn&& fn);
-
-  // The manager this client currently trusts for the version plane (mints,
-  // staleness notes/queries, size bookkeeping). When the believed manager's
-  // epoch went stale — a takeover it never noticed — the client refuses to
-  // use it (pvfs.epoch_rejections) and re-targets the epoch-current one.
-  // With a single manager this is always `manager_`, side-effect free.
-  Manager& version_authority();
+  // Run one typed metadata request through MetaClient::call starting at
+  // the client's logical clock, then advance the clock past the reply (or
+  // the final timeout when every retry failed).
+  MetaReply meta_roundtrip(const MetaRequest& rq);
 
   u32 id_;
   ModelConfig cfg_;
   sim::Engine& engine_;
   ib::Fabric& fabric_;
-  Manager& manager_;
-  // Metadata targets in failover rotation order: managers_[0] is the
-  // primary (&manager_), any standby follows. active_meta_ is the one this
-  // client currently believes is the authority.
-  std::vector<Manager*> managers_;
-  size_t active_meta_ = 0;
   std::vector<Iod*> iods_;
   Stats* stats_;
   fault::Injector* faults_;
@@ -430,6 +423,9 @@ class Client {
   ib::MrCache cache_;
   core::GroupRegistrar registrar_;
   core::NoncontigTransfer xfer_;
+  // Metadata routing facade: cached shard map + retry/redirect machinery.
+  // Declared after hca_ (it labels traces and sources requests with it).
+  MetaClient meta_;
   core::TransferEndpoint ep_;  // bounce buffer endpoint
   TimePoint now_ = TimePoint::origin();
 };

@@ -1,88 +1,137 @@
 #include "pvfs/cluster.h"
 
+#include <string>
+
 #include "sim/trace.h"
 
 namespace pvfsib::pvfs {
 
-Cluster::Cluster(const ModelConfig& cfg, u32 client_count, u32 iod_count)
-    : cfg_(cfg) {
+namespace {
+// "mgr"/"mgr2" for the classic unsharded plane (byte-compatible trace
+// labels); "mgr<s>"/"mgr<s>b" per shard once the plane is sharded.
+std::string primary_name(u32 shard, u32 shard_count) {
+  if (shard_count <= 1) return "mgr";
+  return "mgr" + std::to_string(shard);
+}
+std::string standby_name(u32 shard, u32 shard_count) {
+  if (shard_count <= 1) return "mgr2";
+  return "mgr" + std::to_string(shard) + "b";
+}
+}  // namespace
+
+Cluster::Cluster(const ModelConfig& cfg, const Topology& topo) : cfg_(cfg) {
+  const u32 shard_count =
+      std::max<u32>(1, topo.shard_count != 0 ? topo.shard_count
+                                             : cfg.pvfs.metadata_shards);
+  // Keep the config coherent with the built topology: iods consult
+  // pvfs.metadata_shards to route epoch fences and resync notes by handle.
+  cfg_.pvfs.metadata_shards = shard_count;
+  const bool with_standbys =
+      topo.with_standbys.value_or(cfg.fault.standby_takeover);
   faults_ = std::make_unique<fault::Injector>(cfg.fault, &stats_);
-  fabric_ = std::make_unique<ib::Fabric>(cfg.net, &stats_, faults_.get());
-  manager_ = std::make_unique<Manager>(cfg, *fabric_, &stats_, iod_count,
-                                       faults_.get());
-  active_manager_ = manager_.get();
-  if (cfg.fault.standby_takeover) {
-    standby_ = std::make_unique<Manager>(cfg, *fabric_, &stats_, iod_count,
-                                         faults_.get(), "mgr2");
-    manager_->attach_epoch(&epoch_, /*active=*/true);
-    standby_->attach_epoch(&epoch_, /*active=*/false);
+  fabric_ = std::make_unique<ib::Fabric>(cfg_.net, &stats_, faults_.get());
+  // Sized once up front: managers hold pointers into the vector.
+  epochs_.resize(shard_count);
+  managers_.reserve(shard_count);
+  standbys_.resize(shard_count);
+  active_.reserve(shard_count);
+  for (u32 s = 0; s < shard_count; ++s) {
+    managers_.push_back(std::make_unique<Manager>(
+        cfg_, *fabric_, &stats_,
+        ManagerOptions{.cluster_iod_count = topo.iod_count,
+                       .faults = faults_.get(),
+                       .name = primary_name(s, shard_count),
+                       .shard_id = s,
+                       .shard_count = shard_count}));
+    active_.push_back(managers_.back().get());
+    if (with_standbys) {
+      standbys_[s] = std::make_unique<Manager>(
+          cfg_, *fabric_, &stats_,
+          ManagerOptions{.cluster_iod_count = topo.iod_count,
+                         .faults = faults_.get(),
+                         .name = standby_name(s, shard_count),
+                         .shard_id = s,
+                         .shard_count = shard_count});
+      managers_[s]->attach_epoch(&epochs_[s], /*active=*/true);
+      standbys_[s]->attach_epoch(&epochs_[s], /*active=*/false);
+    }
   }
-  iods_.reserve(iod_count);
-  for (u32 i = 0; i < iod_count; ++i) {
-    iods_.push_back(std::make_unique<Iod>(i, client_count, cfg, *fabric_,
-                                          &stats_, faults_.get()));
+  for (u32 s = 0; s < shard_count; ++s) {
+    std::vector<Manager*> candidates{managers_[s].get()};
+    if (standbys_[s] != nullptr) candidates.push_back(standbys_[s].get());
+    registry_.add_shard(std::move(candidates));
+  }
+  iods_.reserve(topo.iod_count);
+  for (u32 i = 0; i < topo.iod_count; ++i) {
+    iods_.push_back(std::make_unique<Iod>(i, topo.client_count, cfg_,
+                                          *fabric_, &stats_, faults_.get()));
   }
   std::vector<Iod*> iod_ptrs;
   for (auto& iod : iods_) iod_ptrs.push_back(iod.get());
-  clients_.reserve(client_count);
-  for (u32 c = 0; c < client_count; ++c) {
-    clients_.push_back(std::make_unique<Client>(c, cfg, engine_, *fabric_,
-                                                *manager_, iod_ptrs, &stats_,
+  clients_.reserve(topo.client_count);
+  for (u32 c = 0; c < topo.client_count; ++c) {
+    clients_.push_back(std::make_unique<Client>(c, cfg_, engine_, *fabric_,
+                                                registry_, iod_ptrs, &stats_,
                                                 faults_.get()));
-    if (standby_ != nullptr) {
-      clients_.back()->add_standby_manager(standby_.get());
-    }
   }
-  if (cfg.replication.factor > 1 && cfg.replication.resync) {
-    // Background re-replication: every iod can scan the manager's
+  if (cfg_.replication.factor > 1 && cfg_.replication.resync) {
+    // Background re-replication: every iod can scan each shard authority's
     // staleness map against its peers, and each scheduled crash window's
     // end triggers a scan on the restarted iod. Off (the default) the
     // engine sees no extra events and runs stay byte-identical.
     for (auto& iod : iods_) {
-      iod->configure_resync(&engine_, manager_.get(), iod_ptrs);
+      iod->configure_resync(&engine_, active_, iod_ptrs);
     }
     faults_->install_restart_hooks(engine_, [this](u32 iod, TimePoint at) {
       if (iod < iods_.size()) iods_[iod]->on_restart(at);
     });
   }
-  if (standby_ != nullptr && faults_->enabled()) {
+  if (with_standbys && faults_->enabled()) {
     // Fenced takeover rides the fault schedule: `manager_takeover_delay`
-    // after each kManagerCrash window opens the standby promotes itself.
+    // after each shard's kManagerCrash window opens, the shard's standby
+    // promotes itself.
     faults_->install_manager_takeover_hooks(
-        engine_, cfg.fault.manager_takeover_delay,
-        [this](TimePoint at) { manager_takeover(at); });
+        engine_, cfg_.fault.manager_takeover_delay,
+        [this](u32 shard, TimePoint at) { manager_takeover(shard, at); });
   }
 }
 
-void Cluster::manager_takeover(TimePoint at) {
-  if (standby_ == nullptr || standby_->active()) return;
-  // Scan every iod's stripe headers (durable, like the data): the raw
-  // material for the conservative staleness-map rebuild. The scan also
-  // yields the highest version observed anywhere, the new mint floor.
+void Cluster::manager_takeover(u32 shard, TimePoint at) {
+  if (shard >= managers_.size()) return;
+  Manager* standby = standbys_[shard].get();
+  if (standby == nullptr || standby->active()) return;
+  // Scan every iod's stripe headers (durable, like the data) belonging to
+  // this shard: the raw material for the conservative staleness-map
+  // rebuild. The scan also yields the highest version observed anywhere in
+  // the shard, the new mint floor. Other shards' headers are not this
+  // authority's to judge.
+  const u32 shard_count = static_cast<u32>(managers_.size());
   std::vector<Manager::HeaderObservation> headers;
   for (auto& iod : iods_) {
     for (const auto& [local_handle, version] : iod->stripe_headers()) {
+      if (shard_of_handle(local_handle, shard_count) != shard) continue;
       headers.push_back({iod->id(), local_handle, version});
     }
   }
-  standby_->take_over(*manager_, headers, at);
-  // Sweep the new epoch to every iod: from here on, version mints stamped
-  // by the demoted primary are fenced out of stripe headers.
-  for (auto& iod : iods_) iod->note_manager_epoch(epoch_.value);
-  active_manager_ = standby_.get();
+  standby->take_over(*managers_[shard], headers, at);
+  // Sweep the new epoch to the shard's cell on every iod: from here on,
+  // version mints stamped by the demoted primary are fenced out of the
+  // shard's stripe headers.
+  for (auto& iod : iods_) iod->note_manager_epoch(epochs_[shard].value, shard);
+  active_[shard] = standby;
+  registry_.set_active(shard, 1);
   stats_.add(stat::kPvfsManagerTakeovers);
   sim::Trace::instance().emitf(
-      at, "cluster", "manager takeover -> mgr2 (epoch %llu)",
-      static_cast<unsigned long long>(epoch_.value));
+      at, "cluster", "manager takeover shard %u -> %s (epoch %llu)", shard,
+      standby->hca().name().c_str(),
+      static_cast<unsigned long long>(epochs_[shard].value));
   if (cfg_.replication.factor > 1 && cfg_.replication.resync) {
-    // Re-point the resync scanner at the new authority and kick a
+    // Re-point the shard's resync authority at the new manager and kick a
     // staleness sweep on every iod: the rebuild marks anything not provably
     // current as a resync target, and those targets should heal without
     // waiting for the next crash-restart hook.
-    std::vector<Iod*> iod_ptrs;
-    for (auto& iod : iods_) iod_ptrs.push_back(iod.get());
     for (auto& iod : iods_) {
-      iod->configure_resync(&engine_, standby_.get(), iod_ptrs);
+      iod->set_resync_authority(shard, standby);
       iod->on_restart(at);
     }
   }

@@ -1,6 +1,7 @@
-// Wires a whole simulated cluster together: event engine, fabric, metadata
-// manager, N compute (client) nodes and M I/O nodes — the in-process
-// equivalent of the paper's 8-node InfiniBand testbed.
+// Wires a whole simulated cluster together: event engine, fabric, the
+// sharded metadata plane (N active managers, optional per-shard standbys),
+// M compute (client) nodes and K I/O nodes — the in-process equivalent of
+// the paper's 8-node InfiniBand testbed.
 #pragma once
 
 #include <memory>
@@ -14,25 +15,64 @@
 #include "pvfs/client.h"
 #include "pvfs/iod.h"
 #include "pvfs/manager.h"
+#include "pvfs/meta_client.h"
 #include "sim/engine.h"
 
 namespace pvfsib::pvfs {
 
 class Cluster {
  public:
-  Cluster(const ModelConfig& cfg, u32 client_count, u32 iod_count);
+  // Fluent topology builder:
+  //   Cluster c(cfg, Cluster::Topology{}.clients(4).iods(8)
+  //                                     .metadata_shards(4).standbys());
+  // Unset knobs defer to the config (PvfsParams::metadata_shards,
+  // FaultConfig::standby_takeover), so Topology{}.clients(n).iods(m) is
+  // exactly the classic two-int constructor.
+  struct Topology {
+    u32 client_count = 1;
+    u32 iod_count = 1;
+    u32 shard_count = 0;  // 0: take ModelConfig's pvfs.metadata_shards
+    std::optional<bool> with_standbys;  // unset: fault.standby_takeover
+
+    Topology& clients(u32 n) {
+      client_count = n;
+      return *this;
+    }
+    Topology& iods(u32 n) {
+      iod_count = n;
+      return *this;
+    }
+    Topology& metadata_shards(u32 k) {
+      shard_count = k;
+      return *this;
+    }
+    Topology& standbys(bool v = true) {
+      with_standbys = v;
+      return *this;
+    }
+  };
+
+  Cluster(const ModelConfig& cfg, const Topology& topo);
+  // Classic shape: n clients, m iods, topology knobs from the config.
+  Cluster(const ModelConfig& cfg, u32 client_count, u32 iod_count)
+      : Cluster(cfg, Topology{}.clients(client_count).iods(iod_count)) {}
 
   Client& client(u32 i) { return *clients_.at(i); }
   Iod& iod(u32 i) { return *iods_.at(i); }
-  // The primary manager (historic accessor; most callers want the version
-  // plane's current authority, active_manager()).
-  Manager& manager() { return *manager_; }
-  // The manager currently holding the cluster epoch: the primary until a
+  // The primary manager of `shard` (historic accessor; most callers want
+  // the shard's current authority, active_manager()).
+  Manager& manager(u32 shard = 0) { return *managers_.at(shard); }
+  // The manager currently holding `shard`'s epoch: the primary until a
   // standby takeover, the standby after.
-  Manager& active_manager() { return *active_manager_; }
-  // The standby manager, or null when FaultConfig::standby_takeover is off.
-  Manager* standby() { return standby_.get(); }
-  const ManagerEpoch& manager_epoch() const { return epoch_; }
+  Manager& active_manager(u32 shard = 0) { return *active_.at(shard); }
+  // The shard's standby manager, or null when the plane runs without one.
+  Manager* standby(u32 shard = 0) { return standbys_.at(shard).get(); }
+  const ManagerEpoch& manager_epoch(u32 shard = 0) const {
+    return epochs_.at(shard);
+  }
+  // Authoritative shard map the clients' MetaClients seed from.
+  const MetaRegistry& registry() const { return registry_; }
+  u32 metadata_shards() const { return static_cast<u32>(managers_.size()); }
   sim::Engine& engine() { return engine_; }
   ib::Fabric& fabric() { return *fabric_; }
   fault::Injector& faults() { return *faults_; }
@@ -57,15 +97,19 @@ class Cluster {
   // latest event time (the makespan of whatever was launched).
   TimePoint run() { return engine_.run(); }
 
-  // Standby takeover at `at` (normally fired by the injector's takeover
-  // hooks, `manager_takeover_delay` after a kManagerCrash window opens;
-  // tests may call it directly). Bumps the cluster epoch, scans every iod's
-  // stripe headers to rebuild the staleness map conservatively, sweeps the
-  // new epoch to all iods (the zombie-primary fence), re-points resync at
-  // the new manager and kicks a staleness sweep on every iod so rebuilt
-  // resync targets actually heal. Idempotent: a second call while the
-  // standby already holds the epoch is a no-op.
-  void manager_takeover(TimePoint at);
+  // Standby takeover of one metadata shard at `at` (normally fired by the
+  // injector's takeover hooks, `manager_takeover_delay` after the shard's
+  // kManagerCrash window opens; tests may call it directly). Bumps the
+  // shard's epoch, scans every iod's stripe headers *belonging to the
+  // shard* to rebuild the staleness map conservatively, sweeps the new
+  // epoch to the shard's cell on all iods (the zombie-primary fence),
+  // promotes the standby in the registry (stale client maps converge via
+  // their own rotation), re-points the shard's resync authority and kicks
+  // a staleness sweep on every iod so rebuilt resync targets actually
+  // heal. Idempotent: a second call while the standby already holds the
+  // epoch is a no-op.
+  void manager_takeover(u32 shard, TimePoint at);
+  void manager_takeover(TimePoint at) { manager_takeover(0, at); }
 
  private:
   ModelConfig cfg_;
@@ -74,11 +118,15 @@ class Cluster {
   // Declared before the fabric/iods/clients that hold raw pointers to it.
   std::unique_ptr<fault::Injector> faults_;
   std::unique_ptr<ib::Fabric> fabric_;
-  // The shared epoch cell outlives both managers (declared first).
-  ManagerEpoch epoch_;
-  std::unique_ptr<Manager> manager_;
-  std::unique_ptr<Manager> standby_;  // null unless standby_takeover
-  Manager* active_manager_ = nullptr;
+  // Per-shard epoch cells; sized once in the constructor (managers hold
+  // pointers into it), before any manager attaches.
+  std::vector<ManagerEpoch> epochs_;
+  std::vector<std::unique_ptr<Manager>> managers_;   // per-shard primary
+  std::vector<std::unique_ptr<Manager>> standbys_;   // per-shard, may be null
+  std::vector<Manager*> active_;                     // per-shard authority
+  // Declared before clients_ (each Client's MetaClient seeds from it and
+  // keeps the pointer for redirect-driven refreshes).
+  MetaRegistry registry_;
   std::vector<std::unique_ptr<Iod>> iods_;
   std::vector<std::unique_ptr<Client>> clients_;
 };

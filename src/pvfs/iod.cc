@@ -156,7 +156,9 @@ Iod::DiskPhase Iod::write_disk_phase(const RoundRequest& r,
 }
 
 TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
-                           Duration* disk_cost, u64* ack_version) {
+                           Duration* disk_cost, u64* ack_version,
+                           bool* epoch_rejected) {
+  if (epoch_rejected != nullptr) *epoch_rejected = false;
   if (r.round_seq != 0 && already_applied(r.client, r.slot, r.round_seq)) {
     // Replay of a round whose reply was lost: the disk phase already ran,
     // so ack without re-applying (idempotent replay). The original apply
@@ -193,14 +195,17 @@ TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
   // in-flight mints cannot make this replica look current to a takeover
   // scan or to its own acks.
   if (r.version != 0) {
-    if (r.epoch != 0 && r.epoch < manager_epoch_) {
+    const u64 fence =
+        manager_epoch(shard_of_handle(r.handle, cfg_.pvfs.metadata_shards));
+    if (r.epoch != 0 && r.epoch < fence) {
+      if (epoch_rejected != nullptr) *epoch_rejected = true;
       if (stats_ != nullptr) stats_->add(stat::kPvfsEpochRejections);
       sim::Trace::instance().emitf(
           data_ready, hca_.name(),
           "write round h%llu slot%u: stale epoch %llu < %llu, header fenced",
           static_cast<unsigned long long>(r.handle), r.slot,
           static_cast<unsigned long long>(r.epoch),
-          static_cast<unsigned long long>(manager_epoch_));
+          static_cast<unsigned long long>(fence));
     } else {
       u64& header = stripe_version_[r.handle];
       header = std::max(header, r.version);
@@ -252,17 +257,26 @@ struct Iod::ResyncState {
   TimePoint t = TimePoint::origin();
 };
 
-void Iod::configure_resync(sim::Engine* engine, Manager* manager,
+void Iod::configure_resync(sim::Engine* engine,
+                           std::vector<Manager*> authorities,
                            std::vector<Iod*> peers) {
   engine_ = engine;
-  manager_ = manager;
+  managers_ = std::move(authorities);
   peers_ = std::move(peers);
 }
 
+void Iod::set_resync_authority(u32 shard, Manager* manager) {
+  if (shard < managers_.size()) managers_[shard] = manager;
+}
+
 void Iod::on_restart(TimePoint t) {
-  if (engine_ == nullptr || manager_ == nullptr) return;
+  if (engine_ == nullptr || managers_.empty()) return;
   auto st = std::make_shared<ResyncState>();
-  st->targets = manager_->resync_targets(id_);
+  for (Manager* m : managers_) {
+    if (m == nullptr) continue;
+    auto part = m->resync_targets(id_);
+    st->targets.insert(st->targets.end(), part.begin(), part.end());
+  }
   if (st->targets.empty()) return;
   st->t = t;
   sim::Trace::instance().emitf(t, hca_.name(),
@@ -307,7 +321,11 @@ void Iod::resync_step(std::shared_ptr<ResyncState> st) {
       // latest version covers, so the replica is current again.
       u64& header = stripe_version_[tg.local_handle];
       header = std::max(header, tg.latest);
-      manager_->note_replica_version(tg.handle, tg.stripe, id_, tg.latest);
+      const u32 shard = shard_of_handle(tg.handle, cfg_.pvfs.metadata_shards);
+      if (shard < managers_.size() && managers_[shard] != nullptr) {
+        managers_[shard]->note_replica_version(tg.handle, tg.stripe, id_,
+                                               tg.latest);
+      }
       if (stats_ != nullptr) stats_->add(stat::kPvfsResyncStripes);
       sim::Trace::instance().emitf(
           st->t, hca_.name(),

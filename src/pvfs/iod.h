@@ -64,10 +64,14 @@ class Iod {
   // (post-fsync when sync). When `disk_cost` is non-null it receives the
   // pure service time (excluding disk-queue wait). When `ack_version` is
   // non-null it receives the stripe-header version the ack carries back
-  // (after merging r.version; 0 for unversioned files).
+  // (after merging r.version; 0 for unversioned files). When
+  // `epoch_rejected` is non-null it reports whether the round's version
+  // was epoch-fenced out of the header (the ack tells the client to
+  // re-mint and replay under the current epoch).
   TimePoint write_round(const RoundRequest& r, TimePoint data_ready,
                         Duration* disk_cost = nullptr,
-                        u64* ack_version = nullptr);
+                        u64* ack_version = nullptr,
+                        bool* epoch_rejected = nullptr);
 
   // --- Read round -------------------------------------------------------
   struct ReadService {
@@ -106,12 +110,18 @@ class Iod {
     return stripe_version_;
   }
 
-  // Manager-epoch fence. A takeover sweeps the new epoch to every iod;
-  // write rounds whose version was minted under an older epoch still land
-  // their bytes but are refused the header merge (pvfs.epoch_rejections),
-  // so a zombie primary's mints can never mark this replica current.
-  void note_manager_epoch(u64 epoch) {
-    manager_epoch_ = std::max(manager_epoch_, epoch);
+  // Manager-epoch fence, one cell per metadata shard. A takeover sweeps
+  // the shard's new epoch to every iod; write rounds whose version was
+  // minted under an older epoch of their handle's shard still land their
+  // bytes but are refused the header merge (pvfs.epoch_rejections), so a
+  // zombie primary's mints can never mark this replica current. Shard
+  // defaults to 0, the only shard of an unsharded plane.
+  void note_manager_epoch(u64 epoch, u32 shard = 0) {
+    if (shard >= manager_epoch_.size()) manager_epoch_.resize(shard + 1, 0);
+    manager_epoch_[shard] = std::max(manager_epoch_[shard], epoch);
+  }
+  u64 manager_epoch(u32 shard = 0) const {
+    return shard < manager_epoch_.size() ? manager_epoch_[shard] : 0;
   }
 
   // Apply a repair/resync write directly: scatter `stream` into the local
@@ -130,10 +140,15 @@ class Iod {
   // --- Background re-replication ---------------------------------------
   // Wire the resync scanner (Cluster does this when factor > 1 and
   // ReplicationParams::resync): the engine to schedule pull rounds on, the
-  // manager's staleness map to target with, and the peer iods (indexed by
-  // physical id) to pull from.
-  void configure_resync(sim::Engine* engine, Manager* manager,
+  // per-shard staleness-map authorities to target with (index = metadata
+  // shard; a single-entry vector on an unsharded plane), and the peer iods
+  // (indexed by physical id) to pull from.
+  void configure_resync(sim::Engine* engine,
+                        std::vector<Manager*> authorities,
                         std::vector<Iod*> peers);
+  // A takeover re-points one shard's staleness-map authority at the
+  // promoted standby. No-op unless configure_resync ran.
+  void set_resync_authority(u32 shard, Manager* manager);
   // Restart hook (fault::Injector::install_restart_hooks): scan the
   // staleness map and pull every stale stripe from a current peer in
   // rate-limited rounds. No-op unless configure_resync ran.
@@ -202,13 +217,15 @@ class Iod {
   // Stripe-header versions per local file (see stripe_version()). Only ever
   // populated by versioned (replicated) writes; empty at factor 1.
   std::map<Handle, u64> stripe_version_;
-  // Highest manager epoch this iod has been told about (0 until a takeover
-  // sweep; the fence in write_round only engages for versioned rounds that
-  // carry an older, non-zero epoch).
-  u64 manager_epoch_ = 0;
-  // Resync wiring (null unless Cluster enabled background re-replication).
+  // Highest manager epoch this iod has been told about, per metadata shard
+  // (empty/0 until a takeover sweep; the fence in write_round only engages
+  // for versioned rounds that carry an older, non-zero epoch of their
+  // handle's shard). Grown on demand.
+  std::vector<u64> manager_epoch_;
+  // Resync wiring (empty unless Cluster enabled background re-replication).
+  // One staleness-map authority per metadata shard.
   sim::Engine* engine_ = nullptr;
-  Manager* manager_ = nullptr;
+  std::vector<Manager*> managers_;
   std::vector<Iod*> peers_;
 };
 

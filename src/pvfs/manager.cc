@@ -13,17 +13,26 @@ Status meta_lost_status() { return unavailable("metadata request lost"); }
 Status manager_inactive_status() {
   return failed_precondition("manager not active");
 }
+// A manager reached with a name outside its shard answers fast with a
+// redirect carrying the fresh shard map; the client re-routes by it
+// (pvfs.shard_redirects).
+Status wrong_shard_status(u32 owner) {
+  return wrong_shard("name owned by shard " + std::to_string(owner));
+}
 }  // namespace
 
 Manager::Manager(const ModelConfig& cfg, ib::Fabric& fabric, Stats* stats,
-                 u32 cluster_iod_count, fault::Injector* faults,
-                 const std::string& name)
+                 ManagerOptions opts)
     : cfg_(cfg),
       fabric_(fabric),
       stats_(stats),
-      cluster_iod_count_(cluster_iod_count),
-      faults_(faults),
-      hca_(name, as_, cfg.reg, stats) {}
+      cluster_iod_count_(opts.cluster_iod_count),
+      faults_(opts.faults),
+      shard_id_(opts.shard_id),
+      shard_count_(opts.shard_count == 0 ? 1 : opts.shard_count),
+      hca_(opts.name, as_, cfg.reg, stats),
+      cpu_(opts.name + ".cpu"),
+      next_handle_(Handle{opts.shard_id} + 1) {}
 
 void Manager::attach_epoch(ManagerEpoch* cell, bool active) {
   epoch_cell_ = cell;
@@ -37,7 +46,7 @@ Duration Manager::round_trip(ib::Hca& from, TimePoint ready, TimePoint* done,
   const TimePoint at_mgr = fabric_.send_control(
       from, hca_, cfg_.pvfs.request_msg_bytes, ready, ib::ControlKind::kRequest);
   if (faults_ != nullptr && faults_->enabled() &&
-      faults_->meta_request_lost(at_mgr, primary_)) {
+      faults_->meta_request_lost(at_mgr, primary_, shard_id_)) {
     // The request wire time was spent but the manager never saw it; the
     // caller notices via timeout. `done` is meaningless to a client that
     // received nothing, so report only the request leg.
@@ -46,8 +55,14 @@ Duration Manager::round_trip(ib::Hca& from, TimePoint ready, TimePoint* done,
     return at_mgr - ready;
   }
   *lost = false;
-  // Metadata lookup cost on the manager.
-  const TimePoint replied = at_mgr + Duration::us(5.0);
+  // Metadata lookup cost on the manager. With meta_cpu_queue the lookup
+  // serializes through the manager's CPU (busy-until queueing — the
+  // contention the metadata-storm bench measures); otherwise it is a fixed
+  // latency and concurrent requests overlap freely, as before.
+  const Duration service = Duration::us(5.0);
+  const TimePoint replied = cfg_.pvfs.meta_cpu_queue
+                                ? cpu_.acquire(at_mgr, service)
+                                : at_mgr + service;
   *done = fabric_.send_control(hca_, from, cfg_.pvfs.reply_msg_bytes, replied,
                                ib::ControlKind::kReply);
   return *done - ready;
@@ -85,6 +100,10 @@ Timed<Result<FileMeta>> Manager::create(ib::Hca& from, TimePoint ready,
   if (!active_ || epoch_stale()) {
     return {Result<FileMeta>(manager_inactive_status()), cost};
   }
+  if (!owns(name)) {
+    return {Result<FileMeta>(wrong_shard_status(shard_of(name, shard_count_))),
+            cost};
+  }
   if (by_name_.count(name) != 0) {
     return {Result<FileMeta>(already_exists("file exists: " + name)), cost};
   }
@@ -93,7 +112,8 @@ Timed<Result<FileMeta>> Manager::create(ib::Hca& from, TimePoint ready,
             cost};
   }
   FileMeta meta;
-  meta.handle = next_handle_++;
+  meta.handle = next_handle_;
+  next_handle_ += shard_count_;
   meta.name = name;
   meta.stripe_size = stripe_size;
   meta.iod_count = iod_count;
@@ -123,6 +143,10 @@ Timed<Result<FileMeta>> Manager::open(ib::Hca& from, TimePoint ready,
   if (!active_ || epoch_stale()) {
     return {Result<FileMeta>(manager_inactive_status()), cost};
   }
+  if (!owns(name)) {
+    return {Result<FileMeta>(wrong_shard_status(shard_of(name, shard_count_))),
+            cost};
+  }
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return {Result<FileMeta>(not_found("no such file: " + name)), cost};
@@ -139,6 +163,9 @@ Timed<Status> Manager::remove(ib::Hca& from, TimePoint ready,
   if (!active_ || epoch_stale()) {
     return {manager_inactive_status(), cost};
   }
+  if (!owns(name)) {
+    return {wrong_shard_status(shard_of(name, shard_count_)), cost};
+  }
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return {not_found("no such file: " + name), cost};
@@ -149,6 +176,35 @@ Timed<Status> Manager::remove(ib::Hca& from, TimePoint ready,
   stripe_state_.erase(stripe_state_.lower_bound({h, 0}),
                       stripe_state_.upper_bound({h, ~0u}));
   return {Status::ok(), cost};
+}
+
+Timed<MetaReply> Manager::serve(ib::Hca& from, TimePoint ready,
+                                const MetaRequest& rq) {
+  MetaReply rep;
+  switch (rq.op) {
+    case MetaOp::kCreate: {
+      Timed<Result<FileMeta>> r =
+          create(from, ready, rq.name, rq.stripe_size, rq.iod_count,
+                 rq.base_iod, rq.replication_factor);
+      rep.status = r.value.is_ok() ? Status::ok() : r.value.status();
+      if (r.value.is_ok()) rep.meta = std::move(r.value).value();
+      return {std::move(rep), r.cost};
+    }
+    case MetaOp::kOpen:
+    case MetaOp::kStat: {
+      Timed<Result<FileMeta>> r = open(from, ready, rq.name);
+      rep.status = r.value.is_ok() ? Status::ok() : r.value.status();
+      if (r.value.is_ok()) rep.meta = std::move(r.value).value();
+      return {std::move(rep), r.cost};
+    }
+    case MetaOp::kRemove: {
+      Timed<Status> r = remove(from, ready, rq.name);
+      rep.status = std::move(r.value);
+      return {std::move(rep), r.cost};
+    }
+  }
+  rep.status = internal_error("unknown metadata op");
+  return {std::move(rep), Duration::zero()};
 }
 
 void Manager::note_written(Handle h, u64 end_offset) {

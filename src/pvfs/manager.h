@@ -5,11 +5,13 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "common/config.h"
 #include "common/status.h"
 #include "ib/fabric.h"
 #include "pvfs/protocol.h"
+#include "sim/resource.h"
 #include "vmem/address_space.h"
 
 namespace pvfsib::fault {
@@ -18,25 +20,45 @@ class Injector;
 
 namespace pvfsib::pvfs {
 
+// Construction parameters for a Manager (designated-initializer friendly).
+struct ManagerOptions {
+  // Physical I/O servers behind the metadata plane; bounds replica
+  // placement (a file may stripe over fewer). 0 (unknown) only forbids
+  // replicated creates.
+  u32 cluster_iod_count = 0;
+  // Routes metadata requests through the fault plane (may be null).
+  fault::Injector* faults = nullptr;
+  // Labels the manager's HCA ("mgr" for a lone primary, "mgr2" for its
+  // standby, "mgr<k>"/"mgr<k>b" per shard when the plane is sharded).
+  std::string name = "mgr";
+  // Which hash shard of the namespace/version plane this manager owns, out
+  // of `shard_count` active managers. The defaults are the classic
+  // unsharded plane: one manager owning everything.
+  u32 shard_id = 0;
+  u32 shard_count = 1;
+};
+
 class Manager {
  public:
-  // `cluster_iod_count` is the number of physical I/O servers behind the
-  // manager; it bounds replica placement (a file may stripe over fewer).
-  // 0 (unknown) only forbids replicated creates. `faults` routes metadata
-  // requests through the fault plane (may be null). `name` labels the
-  // manager's HCA ("mgr" for the primary, "mgr2" for a standby).
   Manager(const ModelConfig& cfg, ib::Fabric& fabric, Stats* stats,
-          u32 cluster_iod_count = 0, fault::Injector* faults = nullptr,
-          const std::string& name = "mgr");
+          ManagerOptions opts = {});
 
   // Metadata operations; `from` is the requesting client's HCA and `ready`
   // its request time. Each returns the completion time of the round-trip
   // alongside the result. When the fault plane swallows the request the
   // result is kUnavailable ("metadata request lost") and the namespace is
-  // untouched; the client's retry path resends after a timeout.
+  // untouched; the client's retry path resends after a timeout. A request
+  // for a name outside this manager's shard is answered kWrongShard (fast
+  // redirect; MetaClient refreshes its map and re-routes).
   // `base_iod` = kAutoBase lets the manager rotate bases across files so
   // small files spread over the I/O servers (PVFS's default placement).
-  static constexpr u32 kAutoBase = ~0u;
+  static constexpr u32 kAutoBase = kAutoBaseIod;
+
+  // Typed dispatcher over create/open/stat/remove — the wire entry point
+  // MetaClient routes through. stat is open-shaped (same round-trip, no
+  // client-side state).
+  Timed<MetaReply> serve(ib::Hca& from, TimePoint ready,
+                         const MetaRequest& rq);
   Timed<Result<FileMeta>> create(ib::Hca& from, TimePoint ready,
                                  const std::string& name, u64 stripe_size,
                                  u32 iod_count, u32 base_iod = kAutoBase,
@@ -103,6 +125,14 @@ class Manager {
 
   ib::Hca& hca() { return hca_; }
 
+  // --- Shard identity ---------------------------------------------------
+  u32 shard_id() const { return shard_id_; }
+  u32 shard_count() const { return shard_count_; }
+  // Does this manager's shard own `name`?
+  bool owns(std::string_view name) const {
+    return shard_of(name, shard_count_) == shard_id_;
+  }
+
   // --- Manager epoch / standby takeover ----------------------------------
   // Attach this manager to the cluster-wide epoch cell (a stand-in for a
   // durable epoch register). `active` marks the current authority; the
@@ -161,8 +191,12 @@ class Manager {
   Stats* stats_;
   u32 cluster_iod_count_;
   fault::Injector* faults_;
+  u32 shard_id_;
+  u32 shard_count_;
   vmem::AddressSpace as_;
   ib::Hca hca_;
+  // Metadata service CPU (only queues when PvfsParams::meta_cpu_queue).
+  sim::Resource cpu_;
   ManagerEpoch* epoch_cell_ = nullptr;
   u64 epoch_ = 1;
   bool active_ = true;
@@ -171,7 +205,10 @@ class Manager {
   std::map<std::string, FileMeta> by_name_;
   std::map<Handle, std::string> by_handle_;
   std::map<std::pair<Handle, u32>, StripeState> stripe_state_;
-  Handle next_handle_ = 1;
+  // Shard s mints handles s+1, s+1+N, s+1+2N, ... (N = shard_count), so
+  // shard_of_handle recovers the owner without a lookup. N=1 counts 1,2,3…
+  // exactly as before.
+  Handle next_handle_;
 };
 
 }  // namespace pvfsib::pvfs

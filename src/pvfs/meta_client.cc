@@ -1,0 +1,169 @@
+#include "pvfs/meta_client.h"
+
+#include <string>
+
+#include "fault/injector.h"
+#include "pvfs/manager.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace pvfsib::pvfs {
+
+namespace {
+// Manager ops only surface kUnavailable when the fault plane swallowed the
+// request; everything else is a real (terminal) metadata answer.
+bool meta_lost(const MetaReply& r) {
+  return r.status.code() == ErrorCode::kUnavailable;
+}
+// A demoted or not-yet-promoted manager answers kFailedPrecondition
+// ("manager not active") — a fast redirect, not a timeout: the client
+// re-targets the request at the shard's other candidate without waiting.
+bool meta_redirected(const MetaReply& r) {
+  return r.status.code() == ErrorCode::kFailedPrecondition;
+}
+bool meta_wrong_shard(const MetaReply& r) {
+  return r.status.code() == ErrorCode::kWrongShard;
+}
+}  // namespace
+
+MetaClient::MetaClient(ib::Hca& hca, sim::Engine& engine, Stats* stats,
+                       fault::Injector* faults, const MetaRegistry* registry)
+    : hca_(hca),
+      engine_(engine),
+      stats_(stats),
+      faults_(faults),
+      registry_(registry) {
+  // Mount-time config fetch: the cached map starts correct and free (no
+  // pvfs.shard_map_refreshes — the counter tracks redirect-driven
+  // refreshes, which never happen in fault-free runs).
+  shards_.clear();
+  for (u32 s = 0; s < registry_->shard_count(); ++s) {
+    const MetaRegistry::Shard& sh = registry_->shard(s);
+    shards_.push_back(CachedShard{sh.candidates, sh.active});
+  }
+  version_ = registry_->version();
+}
+
+bool MetaClient::faulty() const {
+  return faults_ != nullptr && faults_->enabled();
+}
+
+void MetaClient::refresh_map() {
+  shards_.clear();
+  for (u32 s = 0; s < registry_->shard_count(); ++s) {
+    const MetaRegistry::Shard& sh = registry_->shard(s);
+    shards_.push_back(CachedShard{sh.candidates, sh.active});
+  }
+  version_ = registry_->version();
+  if (stats_ != nullptr) stats_->add(stat::kPvfsShardMapRefreshes);
+}
+
+void MetaClient::invalidate_map() {
+  // A stale mount: one shard, its current candidates, pre-reshard version.
+  CachedShard only = shards_.empty()
+                         ? CachedShard{}
+                         : CachedShard{shards_[0].candidates, shards_[0].active};
+  shards_.assign(1, std::move(only));
+  version_ = 0;
+}
+
+Manager& MetaClient::route(std::string_view name) {
+  return active_of(shard_of(name, shard_count()));
+}
+
+MetaClient::Outcome MetaClient::call(const MetaRequest& rq, TimePoint issue) {
+  u32 shard = shard_of(rq.name, shard_count());
+  Timed<MetaReply> r = active_of(shard).serve(hca_, issue, rq);
+  // Stale-map redirect: a fast reply carrying the fresh shard map. Handled
+  // outside the fault-retry loop — it is protocol, not failure — and at
+  // most once per call, because the refreshed map routes correctly.
+  if (meta_wrong_shard(r.value)) {
+    if (stats_ != nullptr) stats_->add(stat::kPvfsShardRedirects);
+    const TimePoint noticed = issue + r.cost;
+    const u64 stale_version = version_;
+    refresh_map();
+    const u32 owner = shard_of(rq.name, shard_count());
+    sim::Trace::instance().emitf(
+        noticed, hca_.name(),
+        "metadata wrong shard (map v%llu -> v%llu), re-routing to %s",
+        static_cast<unsigned long long>(stale_version),
+        static_cast<unsigned long long>(version_),
+        active_of(owner).hca().name().c_str());
+    shard = owner;
+    issue = noticed;
+    r = active_of(shard).serve(hca_, issue, rq);
+  }
+  if (!faulty() || !(meta_lost(r.value) || meta_redirected(r.value))) {
+    return {std::move(r.value), issue + r.cost};
+  }
+  const FaultConfig& fc = faults_->config();
+  CachedShard& cs = shards_[shard];
+  u32 retries = 0;
+  while ((meta_lost(r.value) || meta_redirected(r.value)) &&
+         retries < fc.max_retries) {
+    if (stats_ != nullptr) stats_->add(stat::kPvfsMetaRetries);
+    Duration backoff = fc.backoff_base;
+    for (u32 i = 1; i <= retries && backoff < fc.backoff_cap; ++i) {
+      backoff = backoff * fc.backoff_mult;
+    }
+    backoff = min(backoff, fc.backoff_cap);
+    ++retries;
+    // A lost request is only noticed when the timeout fires; a redirect is
+    // a real (fast) reply.
+    const bool lost = meta_lost(r.value);
+    const TimePoint noticed = lost ? issue + fc.round_timeout : issue + r.cost;
+    if (cs.candidates.size() > 1) {
+      cs.active = (cs.active + 1) % cs.candidates.size();
+      if (stats_ != nullptr) stats_->add(stat::kPvfsMetaFailovers);
+      sim::Trace::instance().emitf(
+          noticed, hca_.name(),
+          "metadata %s, failing over to %s (retry %u in %s)",
+          lost ? "timeout" : "redirect",
+          cs.candidates[cs.active]->hca().name().c_str(), retries,
+          backoff.to_string().c_str());
+    } else {
+      sim::Trace::instance().emitf(
+          issue + fc.round_timeout, hca_.name(), "metadata retry %u in %s",
+          retries, backoff.to_string().c_str());
+    }
+    issue = noticed + backoff;
+    r = cs.candidates[cs.active]->serve(hca_, issue, rq);
+  }
+  if (meta_lost(r.value) || meta_redirected(r.value)) {
+    // The final attempt failed too: the client waits out its timeout (or
+    // takes the redirect reply on the chin) and gives up.
+    const TimePoint done =
+        meta_lost(r.value) ? issue + fc.round_timeout : issue + r.cost;
+    MetaReply rep;
+    rep.status = unavailable("metadata op failed after " +
+                             std::to_string(retries) + " retries");
+    return {std::move(rep), done};
+  }
+  return {std::move(r.value), issue + r.cost};
+}
+
+Manager& MetaClient::authority(Handle h) {
+  const u32 shard = shard_of_handle(h, shard_count());
+  CachedShard& cs = shards_[shard];
+  if (cs.candidates.size() > 1 && cs.candidates[cs.active]->epoch_stale()) {
+    // The believed-active manager was superseded by a takeover this client
+    // never witnessed. Minting from it (or feeding it notes) would split
+    // the version plane, so the client refuses and re-targets the
+    // epoch-current candidate.
+    if (stats_ != nullptr) stats_->add(stat::kPvfsEpochRejections);
+    for (size_t i = 0; i < cs.candidates.size(); ++i) {
+      if (!cs.candidates[i]->epoch_stale()) {
+        cs.active = i;
+        break;
+      }
+    }
+    sim::Trace::instance().emitf(
+        engine_.now(), hca_.name(),
+        "version authority stale, re-targeting %s (epoch %llu)",
+        cs.candidates[cs.active]->hca().name().c_str(),
+        static_cast<unsigned long long>(cs.candidates[cs.active]->epoch()));
+  }
+  return *cs.candidates[cs.active];
+}
+
+}  // namespace pvfsib::pvfs

@@ -5,9 +5,12 @@
 // carry.
 #pragma once
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/extent.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "core/listio.h"
 
@@ -15,6 +18,10 @@ namespace pvfsib::pvfs {
 
 // PVFS file handle, cluster-wide.
 using Handle = u64;
+
+// Sentinel for "let the manager pick the base iod" (PVFS's rotated default
+// placement). Manager::kAutoBase aliases this.
+inline constexpr u32 kAutoBaseIod = ~0u;
 
 struct FileMeta {
   Handle handle = 0;
@@ -33,11 +40,12 @@ struct FileMeta {
   std::vector<std::vector<u32>> replicas;
 };
 
-// Cluster-wide manager epoch cell, shared by the primary and standby
+// Per-shard manager epoch cell, shared by the shard's primary and standby
 // manager (stand-in for a durable epoch register / lease service). Takeover
 // bumps it; every version mint and staleness note is stamped with the
 // minter's epoch so iods and the active manager can fence a zombie primary
-// (pvfs.epoch_rejections). Starts at 1 = the primary's epoch.
+// (pvfs.epoch_rejections). Starts at 1 = the primary's epoch. Unsharded
+// clusters have exactly one cell, as before.
 struct ManagerEpoch {
   u64 value = 1;
 };
@@ -52,6 +60,60 @@ struct ManagerEpoch {
 inline Handle backup_handle(Handle h, u32 stripe) {
   return (Handle{1} << 63) | (static_cast<Handle>(stripe) << 48) | h;
 }
+
+// --- Metadata sharding ------------------------------------------------------
+// The namespace and the version plane are hash-partitioned over
+// `metadata_shards` active managers. Names route by FNV-1a; handles route
+// by their minting shard (shard s mints s+1, s+1+N, s+1+2N, ... so the
+// shard is recoverable from the handle alone — no map lookup on the data
+// path). Both collapse to shard 0 when the plane is unsharded, keeping
+// single-manager runs untouched.
+
+inline u32 shard_of(std::string_view name, u32 shard_count) {
+  if (shard_count <= 1) return 0;
+  u64 h = 1469598103934665603ull;  // FNV-1a 64-bit
+  for (const char c : name) {
+    h ^= static_cast<u8>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<u32>(h % shard_count);
+}
+
+inline u32 shard_of_handle(Handle h, u32 shard_count) {
+  if (shard_count <= 1) return 0;
+  // Backup copies live under per-stripe shadow handles (top bit set); the
+  // version plane still belongs to the file handle's shard.
+  const Handle raw = (h >> 63) != 0 ? (h & ((Handle{1} << 48) - 1)) : h;
+  return static_cast<u32>((raw - 1) % shard_count);
+}
+
+// --- Typed metadata messages ------------------------------------------------
+// One request/reply pair covers every manager metadata operation. The
+// MetaClient facade routes a MetaRequest to the shard that owns its name;
+// replies from a manager that does not own the name carry kWrongShard (a
+// fast redirect + shard-map refresh), from an inactive manager
+// kFailedPrecondition (re-aim at the shard's other candidate).
+enum class MetaOp : u8 {
+  kCreate,
+  kOpen,
+  kStat,    // open-shaped lookup; no client-side open state
+  kRemove,
+};
+
+struct MetaRequest {
+  MetaOp op = MetaOp::kOpen;
+  std::string name;
+  // kCreate parameters (ignored by the other ops).
+  u64 stripe_size = 0;
+  u32 iod_count = 0;
+  u32 base_iod = kAutoBaseIod;
+  u32 replication_factor = 1;
+};
+
+struct MetaReply {
+  Status status;
+  FileMeta meta;  // valid when status.is_ok() and op != kRemove
+};
 
 // One round of a list I/O operation directed at one iod: at most
 // `max_list_pairs` file accesses and at most one staging buffer of data.

@@ -101,6 +101,9 @@ TEST(FaultTest, TrivialConfigReportsNoFaultOrRecoveryCounters) {
     EXPECT_NE(name, stat::kPvfsMetaFailovers);
     EXPECT_NE(name, stat::kPvfsEpochRejections);
     EXPECT_NE(name, stat::kPvfsManagerTakeovers);
+    EXPECT_NE(name, stat::kPvfsShardRedirects);
+    EXPECT_NE(name, stat::kPvfsShardMapRefreshes);
+    EXPECT_NE(name, stat::kPvfsVersionRemints);
   }
 }
 
