@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_load.json emitted by bench/load_harness.
+
+Fails (exit 1) when the file does not parse as JSON or is missing the keys
+CI depends on: the sweep itself plus, per point, the saturation-curve
+quantities documented in EXPERIMENTS.md.
+"""
+import json
+import sys
+
+TOP_KEYS = ("bench", "config", "points")
+POINT_KEYS = (
+    "clients",
+    "iods",
+    "ok",
+    "ops",
+    "ops_per_s",
+    "mib_per_s",
+    "p50_us",
+    "p99_us",
+    "p999_us",
+    "fairness",
+    "intervals",
+)
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_load.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    for key in TOP_KEYS:
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+    if doc["bench"] != "load_harness":
+        fail(f"{path}: unexpected bench name {doc['bench']!r}")
+    points = doc["points"]
+    if not isinstance(points, list) or not points:
+        fail(f"{path}: 'points' must be a non-empty list")
+    for i, pt in enumerate(points):
+        for key in POINT_KEYS:
+            if key not in pt:
+                fail(f"{path}: points[{i}] missing key '{key}'")
+        if not pt["ok"]:
+            fail(f"{path}: points[{i}] (clients={pt['clients']}) reports ok=false")
+        if pt["ops"] > 0 and not (pt["p50_us"] <= pt["p99_us"] <= pt["p999_us"]):
+            fail(f"{path}: points[{i}] quantiles not monotone")
+    print(f"{path}: OK ({len(points)} sweep points)")
+
+
+if __name__ == "__main__":
+    main()

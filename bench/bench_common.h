@@ -67,6 +67,140 @@ inline void header(const std::string& title, const std::string& note) {
   std::printf("\n");
 }
 
+// --- machine-readable output ---------------------------------------------
+
+// Minimal streaming JSON writer for the BENCH_*.json files: nesting and
+// comma placement are handled once here instead of ad hoc in every bench.
+// Output is deterministic (fixed printf formatting), so identical runs
+// emit bit-identical files.
+class JsonWriter {
+ public:
+  JsonWriter() { open_scope('{'); }
+
+  JsonWriter& field(const char* key, const std::string& v) {
+    std::string quoted;
+    quoted.reserve(v.size() + 2);
+    quoted += '"';
+    quoted += escape(v);
+    quoted += '"';
+    scalar(key, quoted);
+    return *this;
+  }
+  JsonWriter& field(const char* key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonWriter& field(const char* key, bool v) {
+    scalar(key, v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& field(const char* key, double v, int prec = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    scalar(key, buf);
+    return *this;
+  }
+  JsonWriter& field(const char* key, i64 v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    scalar(key, buf);
+    return *this;
+  }
+  JsonWriter& field(const char* key, u64 v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    scalar(key, buf);
+    return *this;
+  }
+  JsonWriter& field(const char* key, u32 v) {
+    return field(key, static_cast<u64>(v));
+  }
+  JsonWriter& field(const char* key, int v) {
+    return field(key, static_cast<i64>(v));
+  }
+
+  JsonWriter& begin_object(const char* key = nullptr) {
+    prefix(key);
+    open_scope('{');
+    return *this;
+  }
+  JsonWriter& end_object() {
+    close_scope('}');
+    return *this;
+  }
+  JsonWriter& begin_array(const char* key = nullptr) {
+    prefix(key);
+    open_scope('[');
+    return *this;
+  }
+  JsonWriter& end_array() {
+    close_scope(']');
+    return *this;
+  }
+
+  // Close any scopes still open (including the root) and return the text.
+  const std::string& str() {
+    while (!stack_.empty()) close_scope(stack_.back() == '{' ? '}' : ']');
+    return out_;
+  }
+
+  // Finish the document and write it to `path`. Returns false (with a
+  // message on stderr) when the file cannot be written.
+  bool write_file(const char* path) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return false;
+    }
+    std::fputs(str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  void prefix(const char* key) {
+    if (!first_) out_ += ",";
+    out_ += "\n";
+    out_.append(stack_.size() * 2, ' ');
+    if (key != nullptr) {
+      out_ += "\"";
+      out_ += key;
+      out_ += "\": ";
+    }
+    first_ = false;
+  }
+  void scalar(const char* key, const std::string& text) {
+    prefix(key);
+    out_ += text;
+  }
+  void open_scope(char c) {
+    out_ += c;
+    stack_.push_back(c);
+    first_ = true;
+  }
+  void close_scope(char c) {
+    stack_.pop_back();
+    out_ += "\n";
+    out_.append(stack_.size() * 2, ' ');
+    out_ += c;
+    first_ = false;
+  }
+
+  std::string out_;
+  std::vector<char> stack_;
+  bool first_ = true;
+};
+
 // --- workload runners ----------------------------------------------------
 
 struct RunOutcome {

@@ -1,0 +1,186 @@
+// Closed-loop scaling benchmark: the src/load workload engine driving an
+// increasing number of simulated clients against a fixed cluster to find
+// the saturation knee. Each point stands up a fresh cluster, runs the
+// seeded op-mix state machines (Zipf-skewed reads/writes, open/stat
+// metadata traffic, create/remove churn) through ramp -> measure -> drain,
+// and reports saturation throughput, p50/p99/p999 latency, and the Jain
+// fairness index over per-client goodput. Below the knee, doubling the
+// clients doubles the ops; past it, throughput is flat and every extra
+// client shows up as tail latency instead.
+//
+// A second (non-smoke) sweep holds the client count at the saturating
+// point and scales the iod count, showing the knee move with server
+// capacity — the standing yardstick for iod-scheduler / caching / RDMA
+// fast-path work, tracked across PRs via machine-readable BENCH_load.json.
+// Identical seeds reproduce the JSON bit-for-bit.
+#include <cstring>
+
+#include "bench_common.h"
+#include "load/load_engine.h"
+
+namespace pvfsib::bench {
+namespace {
+
+struct Point {
+  u32 clients = 0;
+  u32 iods = 0;
+  load::LoadSummary sum;
+};
+
+load::LoadConfig base_config(bool smoke) {
+  load::LoadConfig lc;
+  lc.seed = 42;
+  lc.population = smoke ? 8 : 32;
+  lc.file_bytes = smoke ? 64 * kKiB : 256 * kKiB;
+  lc.io_min_bytes = 4 * kKiB;
+  lc.io_max_bytes = smoke ? 16 * kKiB : 64 * kKiB;
+  lc.ramp = smoke ? Duration::ms(5.0) : Duration::ms(20.0);
+  lc.measure = smoke ? Duration::ms(40.0) : Duration::ms(200.0);
+  lc.start_jitter = smoke ? Duration::ms(2.0) : Duration::ms(5.0);
+  lc.interval = smoke ? Duration::ms(10.0) : Duration::ms(20.0);
+  return lc;
+}
+
+Point run_point(u32 clients, u32 iods, u32 shards, const load::LoadConfig& lc) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  // Metadata service queues on a real per-manager CPU so the metadata leg
+  // of the mix saturates honestly alongside the iods.
+  cfg.pvfs.meta_cpu_queue = true;
+  pvfs::Cluster cluster(cfg, pvfs::Cluster::Topology{}
+                                 .clients(clients)
+                                 .iods(iods)
+                                 .metadata_shards(shards));
+  load::LoadEngine engine(cluster, lc);
+  Point pt;
+  pt.clients = clients;
+  pt.iods = iods;
+  pt.sum = engine.run();
+  return pt;
+}
+
+std::string us(Duration d) { return fmt(d.as_us(), 1); }
+
+void table_row(Table& t, const Point& pt) {
+  const load::LoadSummary& s = pt.sum;
+  t.row({fmt_int(pt.clients), fmt_int(pt.iods), fmt_int(s.ops),
+         fmt(s.ops_per_s / 1000.0, 1), fmt(s.mib_per_s, 1),
+         us(s.latency.quantile(0.50)), us(s.latency.quantile(0.99)),
+         us(s.latency.quantile(0.999)), fmt(s.fairness, 3),
+         s.ok ? "ok" : "FAILED"});
+}
+
+void json_point(JsonWriter& j, const Point& pt) {
+  const load::LoadSummary& s = pt.sum;
+  j.begin_object();
+  j.field("clients", pt.clients);
+  j.field("iods", pt.iods);
+  j.field("ok", s.ok);
+  j.field("ops", s.ops);
+  j.field("data_ops", s.data_ops);
+  j.field("meta_ops", s.meta_ops);
+  j.field("bytes", s.bytes);
+  j.field("ops_per_s", s.ops_per_s, 3);
+  j.field("mib_per_s", s.mib_per_s, 3);
+  j.field("p50_us", s.latency.quantile(0.50).as_us(), 3);
+  j.field("p99_us", s.latency.quantile(0.99).as_us(), 3);
+  j.field("p999_us", s.latency.quantile(0.999).as_us(), 3);
+  j.field("mean_us", s.latency.mean().as_us(), 3);
+  j.field("max_us", s.latency.max().as_us(), 3);
+  j.field("data_p99_us", s.data_latency.quantile(0.99).as_us(), 3);
+  j.field("meta_p99_us", s.meta_latency.quantile(0.99).as_us(), 3);
+  j.field("fairness", s.fairness, 6);
+  j.begin_array("intervals");
+  for (const load::LoadSummary::Interval& w : s.intervals) {
+    j.begin_object();
+    j.field("start_ms", w.start_ms, 3);
+    j.field("end_ms", w.end_ms, 3);
+    j.field("ops", w.ops);
+    j.field("bytes", w.bytes);
+    j.field("pvfs_requests", w.pvfs_requests);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+void run(bool smoke) {
+  const load::LoadConfig lc = base_config(smoke);
+  const std::vector<u32> client_counts =
+      smoke ? std::vector<u32>{2, 8} : std::vector<u32>{4, 16, 64, 192};
+  const u32 iods = 4;
+  const u32 shards = smoke ? 1 : 2;
+
+  header("Closed-loop load scaling: throughput and tail latency vs clients",
+         fmt_int(iods) + " iods, " + fmt_int(shards) +
+             " metadata shard(s); each client runs a seeded op-mix state "
+             "machine\n(40% read / 25% write / 15% open / 10% stat / 10% "
+             "create-remove churn,\nZipf(0.99) file popularity, log-uniform "
+             "4K..64K ops, half list I/O) in a\nclosed loop: ramp " +
+             fmt(lc.ramp.as_ms(), 0) + " ms, measure " +
+             fmt(lc.measure.as_ms(), 0) +
+             " ms, then drain. Past the saturation\nknee, extra clients buy "
+             "tail latency, not ops");
+
+  Table t({"clients", "iods", "ops", "kop/s", "MiB/s", "p50 us", "p99 us",
+           "p999 us", "fairness", "status"});
+  std::vector<Point> points;
+  for (u32 n : client_counts) {
+    points.push_back(run_point(n, iods, shards, lc));
+    table_row(t, points.back());
+  }
+  t.print();
+  std::printf("\n");
+
+  // Server-capacity sweep: the knee should move with the iod count.
+  std::vector<Point> iod_points;
+  if (!smoke) {
+    const u32 at_clients = client_counts.back();
+    header("Closed-loop load scaling: saturated clients vs iod count",
+           fmt_int(at_clients) +
+               " clients (past the knee above); more iods move the "
+               "saturation\nceiling up until the metadata plane or the "
+               "fabric takes over as the bottleneck");
+    Table t2({"clients", "iods", "ops", "kop/s", "MiB/s", "p50 us", "p99 us",
+              "p999 us", "fairness", "status"});
+    for (u32 k : {2u, 4u, 8u}) {
+      iod_points.push_back(run_point(at_clients, k, shards, lc));
+      table_row(t2, iod_points.back());
+    }
+    t2.print();
+    std::printf("\n");
+  }
+
+  JsonWriter j;
+  j.field("bench", "load_harness");
+  j.field("smoke", smoke);
+  j.begin_object("config");
+  j.field("seed", lc.seed);
+  j.field("iods", iods);
+  j.field("metadata_shards", shards);
+  j.field("population", lc.population);
+  j.field("file_bytes", lc.file_bytes);
+  j.field("zipf_theta", lc.zipf_theta, 3);
+  j.field("ramp_ms", lc.ramp.as_ms(), 3);
+  j.field("measure_ms", lc.measure.as_ms(), 3);
+  j.field("interval_ms", lc.interval.as_ms(), 3);
+  j.end_object();
+  j.begin_array("points");
+  for (const Point& pt : points) json_point(j, pt);
+  j.end_array();
+  j.begin_array("iod_points");
+  for (const Point& pt : iod_points) json_point(j, pt);
+  j.end_array();
+  j.write_file("BENCH_load.json");
+}
+
+}  // namespace
+}  // namespace pvfsib::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  pvfsib::bench::run(smoke);
+  return 0;
+}

@@ -10,33 +10,32 @@
 // queues on a per-manager CPU resource instead of overlapping for free —
 // that queue is precisely what sharding exists to split. Each client is a
 // chain of engine events: one blocking metadata op per event, the next
-// event scheduled at the client's post-op clock, so the engine interleaves
-// the 16 clients' requests in timestamp order like a real open queue.
+// event scheduled at the client's post-op clock. Clients start at seeded
+// jittered offsets and insert a small seeded think time between consecutive
+// ops, rather than issuing in lockstep: with identical start times and zero
+// think time the per-shard FIFO queue converges to a deterministic rotation
+// where every arrival meets the same queue depth, so the latency
+// distribution collapses to a point (p50 == p99 even at 1 shard — start
+// offsets alone cannot fix that, the rotation re-forms after one round).
+// The per-op jitter keeps arrivals desynchronized for the whole run, so the
+// depth each request meets varies and the reported tail is real.
 //
-// Besides the human-readable table, the bench emits BENCH_metadata.json
-// (create/open/remove throughput and p99 latency vs shard count) for
-// machine consumption.
+// Latencies feed the shared log-bucketed LatencyHistogram; besides the
+// human-readable table the bench emits BENCH_metadata.json (create/open/
+// remove throughput and p50/p99/p999 latency vs shard count).
 #include <cstring>
 #include <functional>
 #include <memory>
 
 #include "bench_common.h"
+#include "common/rng.h"
 
 namespace pvfsib::bench {
 namespace {
 
-Duration percentile(std::vector<Duration> samples, double p) {
-  if (samples.empty()) return Duration::zero();
-  std::sort(samples.begin(), samples.end());
-  const size_t idx = static_cast<size_t>(
-      p * static_cast<double>(samples.size() - 1) + 0.5);
-  return samples[std::min(idx, samples.size() - 1)];
-}
-
 struct PhaseResult {
   double ops_per_s = 0.0;
-  Duration p50 = Duration::zero();
-  Duration p99 = Duration::zero();
+  LatencyHistogram lat;
   bool ok = true;
 };
 
@@ -53,19 +52,40 @@ std::string storm_name(u32 client, u32 k) {
   return "/storm_c" + std::to_string(client) + "_f" + std::to_string(k);
 }
 
+// Largest per-client start offset: a few ops' worth of service time, enough
+// to break arrival lockstep without distorting the measured makespan.
+constexpr Duration kStartJitter = Duration::us(40.0);
+// Per-op think time is drawn from [0, prev_latency/kThinkDiv): proportional
+// to whatever the op actually costs, so every phase and shard count keeps
+// the same high utilization (mean think is ~12% of a queue rotation) while
+// the number of clients "thinking" at any instant — and with it the queue
+// depth an arrival meets — genuinely fluctuates. A fixed think constant
+// cannot do both: small enough to saturate an 8-shard create queue, it is
+// invisible against remove's 1 ms rotation and the point-mass returns.
+constexpr i64 kThinkDiv = 4;
+
 // Run one phase (op 0 = create, 1 = open, 2 = remove) across all clients:
-// every client starts at `start` and issues its ops back to back, each op
-// an engine event scheduled at the client's clock after the previous op.
+// every client starts at `start` plus its seeded jitter offset and issues
+// its ops back to back, each op an engine event scheduled at the client's
+// clock after the previous op.
 PhaseResult run_phase(pvfs::Cluster& cluster, int op, TimePoint start,
                       u32 ops_per_client) {
   const u32 clients = cluster.client_count();
-  std::vector<Duration> lat;
-  lat.reserve(static_cast<size_t>(clients) * ops_per_client);
+  PhaseResult r;
   bool ok = true;
-  // One self-rescheduling closure per client; held alive in `steps`.
+  LatencyHistogram lat;
+  // One self-rescheduling closure per client, kept alive by the scheduled
+  // events; the stored closures hold only a weak self-reference so the
+  // table frees itself when the phase drains (no shared_ptr cycle).
   auto steps = std::make_shared<std::vector<std::function<void(u32)>>>(clients);
+  std::weak_ptr<std::vector<std::function<void(u32)>>> weak_steps = steps;
+  // Per-(phase, client) jitter streams: deterministic, distinct per phase.
+  auto rngs = std::make_shared<std::vector<Rng>>();
   for (u32 ci = 0; ci < clients; ++ci) {
-    (*steps)[ci] = [&, steps, ci, op, ops_per_client](u32 k) {
+    rngs->push_back(Rng(0x5707ULL * (static_cast<u64>(op) + 1) + ci));
+  }
+  for (u32 ci = 0; ci < clients; ++ci) {
+    (*steps)[ci] = [&, weak_steps, rngs, ci, op, ops_per_client](u32 k) {
       pvfs::Client& c = cluster.client(ci);
       c.advance_to(cluster.engine().now());
       const TimePoint t0 = c.now();
@@ -81,23 +101,31 @@ PhaseResult run_phase(pvfs::Cluster& cluster, int op, TimePoint start,
           ok = c.remove(name).is_ok() && ok;
           break;
       }
-      lat.push_back(c.now() - t0);
+      const Duration op_lat = c.now() - t0;
+      lat.record(op_lat);
       if (k + 1 < ops_per_client) {
-        cluster.engine().schedule_at(c.now(),
-                                     [steps, ci, k] { (*steps)[ci](k + 1); });
+        const u64 bound =
+            static_cast<u64>(std::max<i64>(1, op_lat.as_ns() / kThinkDiv));
+        const Duration think =
+            Duration::ns(static_cast<i64>((*rngs)[ci].below(bound)));
+        cluster.engine().schedule_at(
+            c.now() + think, [s = weak_steps.lock(), ci, k] {
+              if (s != nullptr) (*s)[ci](k + 1);
+            });
       }
     };
-    cluster.engine().schedule_at(start, [steps, ci] { (*steps)[ci](0); });
+    const Duration jitter = Duration::ns(static_cast<i64>(
+        (*rngs)[ci].below(static_cast<u64>(kStartJitter.as_ns()))));
+    cluster.engine().schedule_at(start + jitter,
+                                 [steps, ci] { (*steps)[ci](0); });
   }
   const TimePoint end = cluster.run();
-  PhaseResult r;
   r.ok = ok;
+  r.lat = lat;
   const Duration makespan = end - start;
   const double secs = makespan.as_sec();
-  const double total = static_cast<double>(lat.size());
+  const double total = static_cast<double>(lat.count());
   r.ops_per_s = secs > 0.0 ? total / secs : 0.0;
-  r.p50 = percentile(lat, 0.50);
-  r.p99 = percentile(lat, 0.99);
   return r;
 }
 
@@ -125,36 +153,33 @@ StormPoint run_storm(u32 shards, u32 clients, u32 ops_per_client) {
 
 std::string fmt_kops(double ops_per_s) { return fmt(ops_per_s / 1000.0, 1); }
 
+void json_phase(JsonWriter& j, const char* tag, const PhaseResult& p) {
+  const std::string t(tag);
+  j.field((t + "_ops_per_s").c_str(), p.ops_per_s, 1);
+  j.field((t + "_p50_us").c_str(), p.lat.quantile(0.50).as_us(), 3);
+  j.field((t + "_p99_us").c_str(), p.lat.quantile(0.99).as_us(), 3);
+  j.field((t + "_p999_us").c_str(), p.lat.quantile(0.999).as_us(), 3);
+}
+
 void write_json(const std::vector<StormPoint>& points, u32 clients,
                 u32 ops_per_client) {
-  std::FILE* f = std::fopen("BENCH_metadata.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "meta_storm: cannot write BENCH_metadata.json\n");
-    return;
+  JsonWriter j;
+  j.field("bench", "meta_storm");
+  j.field("clients", clients);
+  j.field("ops_per_client", ops_per_client);
+  j.begin_array("points");
+  for (const StormPoint& p : points) {
+    j.begin_object();
+    j.field("shards", p.shards);
+    j.field("ok", p.ok);
+    json_phase(j, "create", p.create);
+    json_phase(j, "open", p.open);
+    json_phase(j, "remove", p.remove);
+    j.field("redirects", p.redirects);
+    j.end_object();
   }
-  std::fprintf(f, "{\n  \"bench\": \"meta_storm\",\n");
-  std::fprintf(f, "  \"clients\": %u,\n  \"ops_per_client\": %u,\n", clients,
-               ops_per_client);
-  std::fprintf(f, "  \"points\": [\n");
-  for (size_t i = 0; i < points.size(); ++i) {
-    const StormPoint& p = points[i];
-    std::fprintf(f,
-                 "    {\"shards\": %u, \"ok\": %s,\n"
-                 "     \"create_ops_per_s\": %.1f, \"create_p50_us\": %.3f, "
-                 "\"create_p99_us\": %.3f,\n"
-                 "     \"open_ops_per_s\": %.1f, \"open_p50_us\": %.3f, "
-                 "\"open_p99_us\": %.3f,\n"
-                 "     \"remove_ops_per_s\": %.1f, \"remove_p50_us\": %.3f, "
-                 "\"remove_p99_us\": %.3f}%s\n",
-                 p.shards, p.ok ? "true" : "false", p.create.ops_per_s,
-                 p.create.p50.as_us(), p.create.p99.as_us(), p.open.ops_per_s,
-                 p.open.p50.as_us(), p.open.p99.as_us(), p.remove.ops_per_s,
-                 p.remove.p50.as_us(), p.remove.p99.as_us(),
-                 i + 1 < points.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote BENCH_metadata.json\n");
+  j.end_array();
+  j.write_file("BENCH_metadata.json");
 }
 
 void run(bool smoke) {
@@ -171,16 +196,19 @@ void run(bool smoke) {
              "broadcasts unlinks to the (shared) iods, so it\nscales less "
              "than create/open");
 
-  Table t({"shards", "create kop/s", "create p99", "open kop/s", "open p99",
-           "remove kop/s", "remove p99", "redirects", "status"});
+  Table t({"shards", "create kop/s", "create p50", "create p99",
+           "open kop/s", "open p99", "remove kop/s", "remove p99",
+           "redirects", "status"});
   std::vector<StormPoint> points;
   for (u32 shards : shard_counts) {
     points.push_back(run_storm(shards, clients, ops_per_client));
     const StormPoint& p = points.back();
     t.row({fmt_int(p.shards), fmt_kops(p.create.ops_per_s),
-           p.create.p99.to_string(), fmt_kops(p.open.ops_per_s),
-           p.open.p99.to_string(), fmt_kops(p.remove.ops_per_s),
-           p.remove.p99.to_string(), fmt_int(p.redirects),
+           p.create.lat.quantile(0.50).to_string(),
+           p.create.lat.quantile(0.99).to_string(),
+           fmt_kops(p.open.ops_per_s), p.open.lat.quantile(0.99).to_string(),
+           fmt_kops(p.remove.ops_per_s),
+           p.remove.lat.quantile(0.99).to_string(), fmt_int(p.redirects),
            p.ok ? "ok" : "FAILED"});
   }
   t.print();

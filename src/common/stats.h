@@ -2,14 +2,25 @@
 // Table 6: request counts, registration counts, cache hits, disk op counts,
 // communication volumes). Every subsystem takes a Stats* and bumps named
 // counters; benches snapshot/diff them.
+//
+// Also hosts the shared measurement plane the load-generation subsystem and
+// the benches build on: a log-bucketed LatencyHistogram (p50/p99/p999
+// without storing every sample) and IntervalSeries, rolling per-window
+// snapshots of a Stats registry in the style of OrangeFS's
+// pint-perf-counter rolling server counters.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "common/types.h"
 
 namespace pvfsib {
@@ -60,6 +71,137 @@ class Stats {
   }
 
   CounterMap counters_;
+};
+
+// Log-bucketed latency histogram: constant memory, deterministic quantile
+// estimates with bounded relative error, no per-sample storage. Buckets are
+// power-of-two octaves split into 16 sub-buckets (HdrHistogram-style), so a
+// quantile is reported as the midpoint of a bucket at most 6.25% wide;
+// values below 16 ns land in exact unit buckets. min/max/sum are tracked
+// exactly and quantiles clamp into [min, max].
+class LatencyHistogram {
+ public:
+  void record(Duration d) {
+    const i64 ns = d.as_ns() < 0 ? 0 : d.as_ns();
+    ++buckets_[bucket_of(ns)];
+    ++count_;
+    sum_ns_ += ns;
+    if (ns < min_ns_) min_ns_ = ns;
+    if (ns > max_ns_) max_ns_ = ns;
+  }
+
+  // Smallest recorded value v such that at least ceil(p * count) samples
+  // are <= v, reported at bucket resolution. p outside [0, 1] is clamped.
+  Duration quantile(double p) const {
+    if (count_ == 0) return Duration::zero();
+    if (p <= 0.0) return Duration::ns(min_ns_);
+    const u64 rank = p >= 1.0
+                         ? count_
+                         : std::max<u64>(
+                               1, static_cast<u64>(
+                                      p * static_cast<double>(count_) + 0.5));
+    u64 cum = 0;
+    for (u32 i = 0; i < kBuckets; ++i) {
+      cum += buckets_[i];
+      if (cum >= rank) {
+        const i64 mid = bucket_mid(i);
+        return Duration::ns(std::min(std::max(mid, min_ns_), max_ns_));
+      }
+    }
+    return Duration::ns(max_ns_);
+  }
+
+  u64 count() const { return count_; }
+  Duration min() const {
+    return count_ == 0 ? Duration::zero() : Duration::ns(min_ns_);
+  }
+  Duration max() const { return Duration::ns(max_ns_); }
+  Duration mean() const {
+    return count_ == 0 ? Duration::zero()
+                       : Duration::ns(sum_ns_ / static_cast<i64>(count_));
+  }
+
+  void merge(const LatencyHistogram& o) {
+    for (u32 i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ns_ += o.sum_ns_;
+    if (o.count_ > 0) {
+      if (o.min_ns_ < min_ns_) min_ns_ = o.min_ns_;
+      if (o.max_ns_ > max_ns_) max_ns_ = o.max_ns_;
+    }
+  }
+
+  void clear() { *this = LatencyHistogram{}; }
+
+ private:
+  static constexpr u32 kSubBits = 4;            // 16 sub-buckets per octave
+  static constexpr u32 kSub = 1u << kSubBits;
+  static constexpr u32 kBuckets = (64 - kSubBits) * kSub;
+
+  static u32 bucket_of(i64 ns) {
+    const u64 v = static_cast<u64>(ns);
+    if (v < kSub) return static_cast<u32>(v);
+    const u32 e = 63 - static_cast<u32>(std::countl_zero(v));
+    const u32 sub = static_cast<u32>((v >> (e - kSubBits)) & (kSub - 1));
+    return (e - kSubBits + 1) * kSub + sub;
+  }
+
+  static i64 bucket_mid(u32 idx) {
+    if (idx < kSub) return static_cast<i64>(idx);  // exact unit buckets
+    const u32 e = idx / kSub + kSubBits - 1;
+    const u32 sub = idx % kSub;
+    const i64 lo = static_cast<i64>(kSub + sub) << (e - kSubBits);
+    const i64 width = static_cast<i64>(1) << (e - kSubBits);
+    return lo + width / 2;
+  }
+
+  std::array<u64, kBuckets> buckets_{};
+  u64 count_ = 0;
+  i64 sum_ns_ = 0;
+  i64 min_ns_ = std::numeric_limits<i64>::max();
+  i64 max_ns_ = 0;
+};
+
+// Rolling interval counters over a live Stats registry: each window's delta
+// is the counter movement since the previous window closed, so per-window
+// throughput and server-side rates are visible mid-run instead of only as
+// one end-of-run aggregate (OrangeFS pint-perf-counter's rolling server
+// counters are the exemplar). The caller decides the sampling cadence —
+// Cluster::sample_intervals() schedules closes on the event engine.
+class IntervalSeries {
+ public:
+  struct Window {
+    TimePoint start;
+    TimePoint end;
+    Stats delta;
+  };
+
+  IntervalSeries(const Stats* source, TimePoint start)
+      : source_(source), last_(*source), window_start_(start) {}
+
+  // Close the current window at `now`: its delta is everything the source
+  // counters moved since the previous close (or construction).
+  void close_window(TimePoint now) {
+    windows_.push_back(Window{window_start_, now, source_->diff(last_)});
+    last_ = *source_;
+    window_start_ = now;
+  }
+
+  const std::vector<Window>& windows() const { return windows_; }
+
+  // Counter movement in window `i` as a per-second rate.
+  double rate_per_sec(size_t i, std::string_view name) const {
+    const Window& w = windows_.at(i);
+    const double secs = (w.end - w.start).as_sec();
+    if (secs <= 0.0) return 0.0;
+    return static_cast<double>(w.delta.get(name)) / secs;
+  }
+
+ private:
+  const Stats* source_;
+  Stats last_;            // snapshot at the last window close
+  TimePoint window_start_;
+  std::vector<Window> windows_;
 };
 
 // Canonical counter names (keep in one place so benches and modules agree).

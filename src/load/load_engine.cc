@@ -1,0 +1,338 @@
+#include "load/load_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+namespace pvfsib::load {
+
+namespace {
+
+// Log-uniform power-of-two size in [lo, hi] (both rounded to powers of
+// two): small ops dominate counts, large ops dominate bytes — the shape of
+// real mixed file-system traffic.
+u64 sample_pow2(Rng& rng, u64 lo, u64 hi) {
+  if (lo >= hi) return lo;
+  const u32 e_lo = static_cast<u32>(std::bit_width(lo) - 1);
+  const u32 e_hi = static_cast<u32>(std::bit_width(hi) - 1);
+  return u64{1} << rng.range(e_lo, e_hi);
+}
+
+std::string pop_name(u32 k) { return "/load/p" + std::to_string(k); }
+
+}  // namespace
+
+double jain_fairness(const std::vector<u64>& shares) {
+  double sum = 0.0, sq = 0.0;
+  for (u64 s : shares) {
+    const double x = static_cast<double>(s);
+    sum += x;
+    sq += x * x;
+  }
+  if (sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sq);
+}
+
+std::string LoadSummary::fingerprint() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "clients=%u ok=%d ops=%llu data=%llu meta=%llu bytes=%llu "
+                "measure_s=%.9f ops_s=%.6f mib_s=%.6f fair=%.9f",
+                clients, ok ? 1 : 0, static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(data_ops),
+                static_cast<unsigned long long>(meta_ops),
+                static_cast<unsigned long long>(bytes), measure_secs,
+                ops_per_s, mib_per_s, fairness);
+  out += buf;
+  auto q = [&](const char* tag, const LatencyHistogram& h) {
+    std::snprintf(buf, sizeof(buf),
+                  " %s[n=%llu p50=%lld p99=%lld p999=%lld mean=%lld max=%lld]",
+                  tag, static_cast<unsigned long long>(h.count()),
+                  static_cast<long long>(h.quantile(0.50).as_ns()),
+                  static_cast<long long>(h.quantile(0.99).as_ns()),
+                  static_cast<long long>(h.quantile(0.999).as_ns()),
+                  static_cast<long long>(h.mean().as_ns()),
+                  static_cast<long long>(h.max().as_ns()));
+    out += buf;
+  };
+  q("lat", latency);
+  q("data", data_latency);
+  q("meta", meta_latency);
+  out += " per_client=[";
+  for (size_t i = 0; i < per_client_ops.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", i ? "," : "",
+                  static_cast<unsigned long long>(per_client_ops[i]));
+    out += buf;
+  }
+  out += "] intervals=[";
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    const Interval& w = intervals[i];
+    std::snprintf(buf, sizeof(buf), "%s(%.3f,%.3f,%llu,%llu,%llu)",
+                  i ? "," : "", w.start_ms, w.end_ms,
+                  static_cast<unsigned long long>(w.ops),
+                  static_cast<unsigned long long>(w.bytes),
+                  static_cast<unsigned long long>(w.pvfs_requests));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+LoadEngine::LoadEngine(pvfs::Cluster& cluster, const LoadConfig& cfg)
+    : cluster_(cluster),
+      cfg_(cfg),
+      mix_(cfg.mix),
+      zipf_(cfg.population, cfg.zipf_theta) {}
+
+void LoadEngine::setup_population() {
+  pvfs::Client& c0 = cluster_.client(0);
+  const u64 pre = c0.memory().alloc(cfg_.file_bytes);
+  for (u32 k = 0; k < cfg_.population; ++k) {
+    const std::string name = pop_name(k);
+    Result<pvfs::OpenFile> f = c0.create(name);
+    assert(f.is_ok());
+    pop_.push_back(f.value());
+    pop_names_.push_back(name);
+    // Preload so reads anywhere in [0, file_bytes) have real data (and a
+    // logical size high-water mark) to serve.
+    pvfs::IoResult r = c0.write(pop_.back(), 0, pre, cfg_.file_bytes);
+    assert(r.ok());
+    (void)r;
+  }
+
+  const u64 buf_bytes = std::max(cfg_.io_max_bytes, cfg_.churn_bytes);
+  state_.resize(cluster_.client_count());
+  for (u32 ci = 0; ci < cluster_.client_count(); ++ci) {
+    ClientState& st = state_[ci];
+    // splitmix-spread per-client streams: distinct seeds, one shared knob.
+    st.rng = Rng(cfg_.seed * 0x9e3779b97f4a7c15ULL + ci + 1);
+    st.buf = cluster_.client(ci).memory().alloc(buf_bytes);
+  }
+}
+
+LoadSummary LoadEngine::run() {
+  assert(!ran_);
+  ran_ = true;
+  setup_population();
+
+  // The timeline starts after setup: the engine sits at the last preload
+  // event, client 0's logical clock possibly a little past it (trailing
+  // metadata round-trips never touch the engine).
+  TimePoint t0 = max(cluster_.engine().now(), cluster_.client(0).now());
+  measure_start_ = t0 + cfg_.ramp;
+  measure_end_ = measure_start_ + cfg_.measure;
+
+  const u32 clients = cluster_.client_count();
+  out_.clients = clients;
+  out_.measure_secs = cfg_.measure.as_sec();
+
+  // Interval windows [t0 + k*interval, ...) over ramp + measure; the
+  // cluster-side Stats sampler uses the same boundaries so engine-side op
+  // counts and server-side counter rates line up window for window.
+  if (cfg_.interval > Duration::zero()) {
+    const i64 span = (measure_end_ - t0).as_ns();
+    const i64 w = cfg_.interval.as_ns();
+    const i64 n = (span + w - 1) / w;
+    for (i64 i = 0; i < n; ++i) {
+      LoadSummary::Interval iv;
+      const TimePoint ws = t0 + cfg_.interval * i;
+      TimePoint we = ws + cfg_.interval;
+      if (we > measure_end_) we = measure_end_;
+      iv.start_ms = (ws - t0).as_ms();
+      iv.end_ms = (we - t0).as_ms();
+      out_.intervals.push_back(iv);
+    }
+    cluster_.engine().schedule_at(t0, [this] {
+      cluster_.sample_intervals(cfg_.interval, measure_end_);
+    });
+  }
+
+  for (u32 ci = 0; ci < clients; ++ci) {
+    const i64 jit_ns = cfg_.start_jitter.as_ns();
+    const Duration jitter =
+        jit_ns > 0
+            ? Duration::ns(static_cast<i64>(
+                  state_[ci].rng.below(static_cast<u64>(jit_ns))))
+            : Duration::zero();
+    cluster_.engine().schedule_at(t0 + jitter, [this, ci] { step(ci); });
+  }
+
+  cluster_.run();
+
+  out_.per_client_ops.reserve(clients);
+  for (u32 ci = 0; ci < clients; ++ci) {
+    out_.per_client_ops.push_back(state_[ci].measured_ops);
+  }
+  out_.fairness = jain_fairness(out_.per_client_ops);
+  if (out_.measure_secs > 0.0) {
+    out_.ops_per_s = static_cast<double>(out_.ops) / out_.measure_secs;
+    out_.mib_per_s = static_cast<double>(out_.bytes) /
+                     static_cast<double>(kMiB) / out_.measure_secs;
+  }
+  // Merge the server-side rolling counters into the matching windows.
+  if (const IntervalSeries* series = cluster_.intervals()) {
+    const auto& wins = series->windows();
+    for (size_t i = 0; i < wins.size() && i < out_.intervals.size(); ++i) {
+      out_.intervals[i].pvfs_requests =
+          static_cast<u64>(wins[i].delta.get(stat::kPvfsRequest));
+    }
+  }
+  return out_;
+}
+
+void LoadEngine::step(u32 ci) {
+  ClientState& st = state_[ci];
+  const TimePoint now = cluster_.engine().now();
+  if (now >= measure_end_) {
+    st.stopped = true;  // drain: no new ops once the window closes
+    return;
+  }
+  pvfs::Client& c = cluster_.client(ci);
+  c.advance_to(now);
+  const OpKind kind = mix_.sample(st.rng);
+  switch (kind) {
+    case OpKind::kOpen: {
+      const TimePoint t0 = c.now();
+      const Result<pvfs::OpenFile> r = c.open(pop_names_[zipf_.sample(st.rng)]);
+      finish(ci, kind, t0, c.now(), 0, r.is_ok());
+      break;
+    }
+    case OpKind::kStat: {
+      const TimePoint t0 = c.now();
+      const Result<pvfs::FileMeta> r =
+          c.stat(pop_names_[zipf_.sample(st.rng)]);
+      finish(ci, kind, t0, c.now(), 0, r.is_ok());
+      break;
+    }
+    case OpKind::kRead:
+    case OpKind::kWrite:
+      run_data_op(ci, kind, now);
+      break;
+    case OpKind::kChurn:
+      run_churn_op(ci, now);
+      break;
+  }
+}
+
+void LoadEngine::run_data_op(u32 ci, OpKind kind, TimePoint now) {
+  ClientState& st = state_[ci];
+  pvfs::Client& c = cluster_.client(ci);
+  const pvfs::OpenFile& f = pop_[zipf_.sample(st.rng)];
+  u64 bytes = sample_pow2(st.rng, cfg_.io_min_bytes, cfg_.io_max_bytes);
+  if (bytes > cfg_.file_bytes) bytes = cfg_.file_bytes;
+  const bool list = cfg_.list_pieces > 1 && st.rng.chance(cfg_.list_fraction);
+
+  core::ListIoRequest req;
+  u64 span = bytes;
+  if (list) {
+    u64 pieces = cfg_.list_pieces;
+    u64 piece = bytes / pieces;
+    if (piece < 512) {
+      piece = 512;
+      pieces = std::max<u64>(1, bytes / piece);
+    }
+    const u64 stride = piece * 2;  // 50% duty cycle: gaps force list I/O
+    span = stride * (pieces - 1) + piece;
+    if (span > cfg_.file_bytes) {
+      // Clamp the strided span into the file.
+      pieces = std::max<u64>(1, (cfg_.file_bytes - piece) / stride + 1);
+      span = stride * (pieces - 1) + piece;
+    }
+    const u64 slots = (cfg_.file_bytes - span) / (4 * kKiB) + 1;
+    const u64 base = st.rng.below(slots) * (4 * kKiB);
+    for (u64 i = 0; i < pieces; ++i) {
+      req.mem.push_back({st.buf + i * piece, piece});
+      req.file.push_back({base + i * stride, piece});
+    }
+  } else {
+    const u64 slots = (cfg_.file_bytes - bytes) / (4 * kKiB) + 1;
+    const u64 base = st.rng.below(slots) * (4 * kKiB);
+    req.mem.push_back({st.buf, bytes});
+    req.file.push_back({base, bytes});
+  }
+
+  pvfs::IoDesc d;
+  d.dir = kind == OpKind::kRead ? pvfs::IoDir::kRead : pvfs::IoDir::kWrite;
+  d.file = f;
+  d.req = req;
+  d.start = now;
+  const TimePoint t0 = now;
+  c.submit(d).on_complete([this, ci, kind, t0](pvfs::IoResult r) {
+    finish(ci, kind, t0, r.end, r.ok() ? r.bytes : 0, r.ok());
+  });
+}
+
+void LoadEngine::run_churn_op(u32 ci, TimePoint now) {
+  ClientState& st = state_[ci];
+  pvfs::Client& c = cluster_.client(ci);
+  const std::string name =
+      "/churn/c" + std::to_string(ci) + "_" + std::to_string(st.churn_seq++);
+  const TimePoint t0 = now;
+  Result<pvfs::OpenFile> f = c.create(name);
+  if (!f.is_ok()) {
+    finish(ci, OpKind::kChurn, t0, c.now(), 0, false);
+    return;
+  }
+  created_.insert(name);
+  const bool remove_after = st.rng.chance(cfg_.churn_remove_prob);
+  pvfs::IoDesc d;
+  d.dir = pvfs::IoDir::kWrite;
+  d.file = f.value();
+  d.req.mem.push_back({st.buf, cfg_.churn_bytes});
+  d.req.file.push_back({0, cfg_.churn_bytes});
+  d.start = c.now();
+  c.submit(d).on_complete(
+      [this, ci, name, t0, remove_after](pvfs::IoResult r) {
+        pvfs::Client& cl = cluster_.client(ci);
+        cl.advance_to(r.end);
+        bool ok = r.ok();
+        if (ok && remove_after) {
+          const Status s = cl.remove(name);
+          if (s.is_ok()) {
+            created_.erase(name);
+            removed_.insert(name);
+          } else {
+            ok = false;
+          }
+        }
+        finish(ci, OpKind::kChurn, t0, cl.now(), r.ok() ? r.bytes : 0, ok);
+      });
+}
+
+void LoadEngine::finish(u32 ci, OpKind kind, TimePoint t0, TimePoint end,
+                        u64 bytes, bool op_ok) {
+  ClientState& st = state_[ci];
+  if (!op_ok) out_.ok = false;
+  const bool data = kind == OpKind::kRead || kind == OpKind::kWrite;
+  if (in_measure(t0)) {
+    const Duration lat = end - t0;
+    out_.latency.record(lat);
+    (data ? out_.data_latency : out_.meta_latency).record(lat);
+    ++out_.ops;
+    if (data) {
+      ++out_.data_ops;
+    } else {
+      ++out_.meta_ops;
+    }
+    out_.bytes += bytes;
+    ++st.measured_ops;
+    st.measured_bytes += bytes;
+  }
+  // Per-window completion accounting over ramp + measure (drain
+  // completions fall past the last window and are only in the aggregate).
+  if (!out_.intervals.empty()) {
+    const TimePoint t_origin =
+        measure_start_ - cfg_.ramp;  // == t0 of the run
+    const i64 idx = (end - t_origin).as_ns() / cfg_.interval.as_ns();
+    if (idx >= 0 && static_cast<size_t>(idx) < out_.intervals.size()) {
+      ++out_.intervals[static_cast<size_t>(idx)].ops;
+      out_.intervals[static_cast<size_t>(idx)].bytes += bytes;
+    }
+  }
+  const TimePoint next = max(end, cluster_.engine().now());
+  cluster_.engine().schedule_at(next, [this, ci] { step(ci); });
+}
+
+}  // namespace pvfsib::load

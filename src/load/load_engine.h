@@ -1,0 +1,132 @@
+// Closed-loop multi-client load generation against a simulated cluster.
+//
+// The engine stands up one seeded op-mix state machine per cluster client
+// and multiplexes all of them on the cluster's event engine: each client
+// keeps exactly one operation outstanding (closed loop), issuing the next
+// the moment the previous completes, so offered load tracks service
+// capacity and saturation shows up as queueing delay — the p99/p999 tail —
+// instead of unbounded backlog. Metadata ops go through the real
+// Client/MetaClient blocking shims; data ops go through submit()/IoHandle
+// with completion callbacks. Everything runs in engine-event context, so
+// fabric sends stay in nondecreasing virtual time and a run is a pure
+// function of (LoadConfig, cluster topology).
+//
+// Timeline:  setup (population create + preload, before t0)
+//            ramp   [t0, t0+ramp)           clients start, jittered
+//            measure[t0+ramp, t0+ramp+measure)   ops issued here count
+//            drain  after measure            no new ops; in-flight finish
+//
+// Measurements: a shared log-bucketed LatencyHistogram (overall and split
+// data/meta), per-client goodput for a Jain fairness index, and rolling
+// IntervalSeries windows over the cluster-wide Stats so per-window
+// throughput is visible across the run.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "load/workload.h"
+#include "pvfs/cluster.h"
+
+namespace pvfsib::load {
+
+// Aggregate outcome of one run. All quantities cover only ops issued
+// inside the measure window (completions may fall in drain).
+struct LoadSummary {
+  u32 clients = 0;
+  bool ok = true;         // no recorded op failed terminally
+  u64 ops = 0;            // measured ops completed
+  u64 data_ops = 0;       // reads + writes
+  u64 meta_ops = 0;       // opens + stats + churn cycles (create/write/remove
+                          // counted as one metadata-heavy op; its payload
+                          // bytes still land in `bytes`)
+  u64 bytes = 0;          // payload bytes moved by measured data ops
+  double measure_secs = 0.0;
+  double ops_per_s = 0.0;
+  double mib_per_s = 0.0;
+  double fairness = 0.0;  // Jain index over per-client measured op counts
+  LatencyHistogram latency;       // every measured op
+  LatencyHistogram data_latency;  // read/write ops only
+  LatencyHistogram meta_latency;  // open/stat/churn ops only
+  std::vector<u64> per_client_ops;
+  // Per-window cluster throughput over the whole run (ramp + measure):
+  // start/end plus measured ops completed and bytes moved in the window.
+  struct Interval {
+    double start_ms = 0.0;
+    double end_ms = 0.0;
+    u64 ops = 0;
+    u64 bytes = 0;
+    u64 pvfs_requests = 0;  // server-side pvfs.request delta (IntervalSeries)
+  };
+  std::vector<Interval> intervals;
+
+  // Canonical serialization of every number above (fixed formatting). Two
+  // runs are "bit-identical" iff their fingerprints compare equal; the
+  // BENCH_load.json writer derives its values from the same fields.
+  std::string fingerprint() const;
+};
+
+// Jain's fairness index over non-negative shares: (sum x)^2 / (n sum x^2).
+// 1.0 = perfectly fair, 1/n = one client got everything. Returns 0 when
+// every share is zero.
+double jain_fairness(const std::vector<u64>& shares);
+
+class LoadEngine {
+ public:
+  LoadEngine(pvfs::Cluster& cluster, const LoadConfig& cfg);
+
+  // Create + preload the population, run ramp/measure/drain to completion,
+  // and summarize. Call once per engine instance.
+  LoadSummary run();
+
+  // Namespace bookkeeping for the churn consistency check: every file
+  // created by a churn op and not (successfully) removed again, and every
+  // file whose remove was acked. Valid after run().
+  const std::set<std::string>& live_churn_files() const { return created_; }
+  const std::set<std::string>& removed_churn_files() const {
+    return removed_;
+  }
+  // Names of the shared population files (all live after run()).
+  const std::vector<std::string>& population_files() const {
+    return pop_names_;
+  }
+
+ private:
+  struct ClientState {
+    Rng rng{0};
+    u64 buf = 0;          // staging buffer, io_max_bytes long
+    u64 measured_ops = 0;
+    u64 measured_bytes = 0;
+    u32 churn_seq = 0;
+    bool stopped = false;
+  };
+
+  void setup_population();
+  void step(u32 ci);
+  void run_data_op(u32 ci, OpKind kind, TimePoint now);
+  void run_churn_op(u32 ci, TimePoint now);
+  // Record one completed op and reschedule the client's loop at `end`.
+  void finish(u32 ci, OpKind kind, TimePoint t0, TimePoint end, u64 bytes,
+              bool op_ok);
+  bool in_measure(TimePoint t) const {
+    return t >= measure_start_ && t < measure_end_;
+  }
+
+  pvfs::Cluster& cluster_;
+  LoadConfig cfg_;
+  OpMixSampler mix_;
+  ZipfGenerator zipf_;
+  std::vector<ClientState> state_;
+  std::vector<pvfs::OpenFile> pop_;       // population metas (stable)
+  std::vector<std::string> pop_names_;
+  std::set<std::string> created_;         // churn survivors
+  std::set<std::string> removed_;         // acked churn removes
+  TimePoint measure_start_ = TimePoint::origin();
+  TimePoint measure_end_ = TimePoint::origin();
+  bool ran_ = false;
+  LoadSummary out_;
+};
+
+}  // namespace pvfsib::load

@@ -1,0 +1,162 @@
+// Workload-generation vocabulary for the closed-loop load engine: the
+// op-mix state machine's op kinds and weights, Zipf-skewed file popularity,
+// and the knobs (sizes, ratios, phase lengths) that shape a run. Everything
+// is seeded and deterministic — a LoadConfig plus a cluster topology fully
+// determines the traffic, so two identical runs produce bit-identical
+// measurements. The op-mix/latency-breakdown methodology follows the
+// noncontiguous-access evaluation style of the source paper and Ching et
+// al.'s "Noncontiguous I/O through PVFS".
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace pvfsib::load {
+
+// One step of a simulated client's state machine.
+enum class OpKind : u8 {
+  kRead,   // contig or list read of a population file (Zipf-picked)
+  kWrite,  // contig or list write of a population file (Zipf-picked)
+  kOpen,   // open/close churn: metadata round-trip on a population file
+  kStat,   // namespace lookup on a population file
+  kChurn,  // small-file storm: create + small write (+ maybe remove)
+};
+inline constexpr u32 kOpKinds = 5;
+
+inline const char* op_name(OpKind k) {
+  switch (k) {
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kOpen: return "open";
+    case OpKind::kStat: return "stat";
+    case OpKind::kChurn: return "churn";
+  }
+  return "?";
+}
+
+// Relative weights of the op mix (any non-negative scale; normalized by the
+// sampler). The default mix exercises every plane: data reads/writes with a
+// read-leaning ratio, open/stat metadata traffic, and create/remove churn.
+struct OpMix {
+  double read = 0.40;
+  double write = 0.25;
+  double open = 0.15;
+  double stat = 0.10;
+  double churn = 0.10;
+};
+
+// Samples op kinds from an OpMix by inverse CDF over the weights.
+class OpMixSampler {
+ public:
+  explicit OpMixSampler(const OpMix& mix) {
+    const double w[kOpKinds] = {mix.read, mix.write, mix.open, mix.stat,
+                                mix.churn};
+    double total = 0.0;
+    for (double v : w) total += v > 0.0 ? v : 0.0;
+    double cum = 0.0;
+    for (u32 i = 0; i < kOpKinds; ++i) {
+      cum += (total > 0.0 && w[i] > 0.0) ? w[i] / total : 0.0;
+      cdf_[i] = cum;
+    }
+    cdf_[kOpKinds - 1] = 1.0;  // absorb rounding
+  }
+
+  OpKind sample(Rng& rng) const {
+    const double u = rng.uniform01();
+    for (u32 i = 0; i < kOpKinds; ++i) {
+      if (u < cdf_[i]) return static_cast<OpKind>(i);
+    }
+    return OpKind::kChurn;
+  }
+
+ private:
+  double cdf_[kOpKinds] = {};
+};
+
+// Zipf(theta)-distributed rank sampler over n items: rank r is drawn with
+// probability proportional to 1 / (r+1)^theta. theta = 0 is uniform; the
+// web-traffic classic is theta ~ 0.99. The CDF is precomputed once, so a
+// draw is one uniform variate plus a binary search — deterministic given
+// the Rng stream.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(u32 n, double theta) : cdf_(n > 0 ? n : 1) {
+    const u32 size = static_cast<u32>(cdf_.size());
+    double total = 0.0;
+    std::vector<double> w(size);
+    for (u32 r = 0; r < size; ++r) {
+      w[r] = 1.0 / std::pow(static_cast<double>(r + 1), theta);
+      total += w[r];
+    }
+    double cum = 0.0;
+    for (u32 r = 0; r < size; ++r) {
+      cum += w[r] / total;
+      cdf_[r] = cum;
+    }
+    cdf_[size - 1] = 1.0;
+  }
+
+  u32 size() const { return static_cast<u32>(cdf_.size()); }
+
+  u32 sample(Rng& rng) const {
+    const double u = rng.uniform01();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    const size_t idx = static_cast<size_t>(it - cdf_.begin());
+    return static_cast<u32>(idx < cdf_.size() ? idx : cdf_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Everything that shapes one load-engine run. The engine drives every
+// client of the cluster it is given; the cluster topology (client count,
+// iods, shards, replication) stays the caller's business.
+struct LoadConfig {
+  u64 seed = 1;  // spread across clients; drives every random draw
+
+  // Shared file population (created and preloaded before the timeline
+  // starts; data ops pick ranks through the Zipf sampler).
+  u32 population = 32;
+  u64 file_bytes = 256 * kKiB;
+  double zipf_theta = 0.99;
+
+  OpMix mix;
+
+  // Data-op geometry: per-op bytes are sampled log-uniformly in
+  // [io_min_bytes, io_max_bytes] (power-of-two steps); a `list_fraction`
+  // of data ops issue strided list I/O of `list_pieces` pieces instead of
+  // one contiguous extent.
+  u64 io_min_bytes = 4 * kKiB;
+  u64 io_max_bytes = 64 * kKiB;
+  double list_fraction = 0.5;
+  u32 list_pieces = 8;
+
+  // Churn ops: size of the small write into the fresh file, and the
+  // probability the file is removed again immediately after it lands
+  // (survivors stay in the namespace — the consistency check opens them).
+  u64 churn_bytes = 4 * kKiB;
+  double churn_remove_prob = 0.75;
+
+  // Phases: clients start inside [t0, t0 + start_jitter) (deterministic
+  // per-client offsets so issuance never runs in lockstep), the measure
+  // window is [t0 + ramp, t0 + ramp + measure), and after it closes
+  // clients stop issuing and the run drains. Only ops *issued* inside the
+  // window are recorded — including their completions during drain, so
+  // tail latencies are not truncated.
+  Duration ramp = Duration::ms(20.0);
+  Duration measure = Duration::ms(200.0);
+  Duration start_jitter = Duration::ms(5.0);
+
+  // Rolling interval counters: window length for Cluster::sample_intervals
+  // over the run (zero disables sampling).
+  Duration interval = Duration::ms(20.0);
+};
+
+}  // namespace pvfsib::load

@@ -137,4 +137,31 @@ void Cluster::manager_takeover(u32 shard, TimePoint at) {
   }
 }
 
+IntervalSeries& Cluster::sample_intervals(Duration window, TimePoint until) {
+  intervals_ = std::make_unique<IntervalSeries>(&stats_, engine_.now());
+  if (window <= Duration::zero() || until <= engine_.now()) {
+    return *intervals_;
+  }
+  // Self-rescheduling close chain: each tick closes the current window and
+  // arms the next, the final (possibly partial) one landing exactly at
+  // `until`. The scheduled events hold the closure alive; the closure only
+  // keeps a weak self-reference, so the chain frees itself after the last
+  // tick instead of leaking a shared_ptr cycle.
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak = tick;
+  *tick = [this, window, until, weak] {
+    const TimePoint now = engine_.now();
+    intervals_->close_window(now);
+    if (now >= until) return;
+    const TimePoint next = now + window < until ? now + window : until;
+    engine_.schedule_at(next, [t = weak.lock()] {
+      if (t != nullptr) (*t)();
+    });
+  };
+  const TimePoint first =
+      engine_.now() + window < until ? engine_.now() + window : until;
+  engine_.schedule_at(first, [tick] { (*tick)(); });
+  return *intervals_;
+}
+
 }  // namespace pvfsib::pvfs

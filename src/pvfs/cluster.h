@@ -97,6 +97,16 @@ class Cluster {
   // latest event time (the makespan of whatever was launched).
   TimePoint run() { return engine_.run(); }
 
+  // --- Rolling interval counters (measurement plane) ----------------------
+  // Start (or restart) rolling interval sampling of the cluster-wide Stats:
+  // a window closes every `window` of virtual time from now until `until`
+  // (the final window may be partial), so per-window throughput and
+  // server-side rates are visible mid-run instead of only as one end-of-run
+  // aggregate. Purely observational — runs that never call this schedule
+  // nothing and stay byte-identical.
+  IntervalSeries& sample_intervals(Duration window, TimePoint until);
+  const IntervalSeries* intervals() const { return intervals_.get(); }
+
   // Standby takeover of one metadata shard at `at` (normally fired by the
   // injector's takeover hooks, `manager_takeover_delay` after the shard's
   // kManagerCrash window opens; tests may call it directly). Bumps the
@@ -129,6 +139,8 @@ class Cluster {
   MetaRegistry registry_;
   std::vector<std::unique_ptr<Iod>> iods_;
   std::vector<std::unique_ptr<Client>> clients_;
+  // Rolling interval sampler (sample_intervals); null until requested.
+  std::unique_ptr<IntervalSeries> intervals_;
 };
 
 }  // namespace pvfsib::pvfs

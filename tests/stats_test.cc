@@ -1,0 +1,136 @@
+// LatencyHistogram quantile math and IntervalSeries window deltas.
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pvfsib {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5).as_ns(), 0);
+  EXPECT_EQ(h.mean().as_ns(), 0);
+  EXPECT_EQ(h.min().as_ns(), 0);
+  EXPECT_EQ(h.max().as_ns(), 0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Values below 16 ns land in exact unit buckets.
+  LatencyHistogram h;
+  for (i64 v : {1, 2, 3, 5, 8, 13}) h.record(Duration::ns(v));
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.min().as_ns(), 1);
+  EXPECT_EQ(h.max().as_ns(), 13);
+  EXPECT_EQ(h.quantile(0.0).as_ns(), 1);
+  EXPECT_EQ(h.quantile(1.0).as_ns(), 13);
+  EXPECT_EQ(h.quantile(0.5).as_ns(), 3);
+}
+
+TEST(LatencyHistogram, SingleValue) {
+  LatencyHistogram h;
+  h.record(Duration::us(123.0));
+  for (double p : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.quantile(p).as_ns(), 123000) << "p=" << p;
+  }
+  EXPECT_EQ(h.mean().as_ns(), 123000);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    h.record(Duration::ns(static_cast<i64>(rng.below(1'000'000) + 1)));
+  }
+  Duration prev = Duration::zero();
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const Duration q = h.quantile(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+  EXPECT_GE(h.quantile(1.0), h.mean());
+}
+
+TEST(LatencyHistogram, BoundedRelativeError) {
+  // The bucket midpoint is at most half a bucket width (6.25%/2 of the
+  // value) away from the recorded sample; min/max clamping can only help.
+  for (i64 v : {17LL, 100LL, 999LL, 4096LL, 123456LL, 7654321LL,
+                987654321LL}) {
+    LatencyHistogram h;
+    h.record(Duration::ns(v));
+    const i64 got = h.quantile(0.5).as_ns();
+    const double rel =
+        std::abs(static_cast<double>(got - v)) / static_cast<double>(v);
+    EXPECT_LE(rel, 0.0625) << "v=" << v << " got=" << got;
+  }
+}
+
+TEST(LatencyHistogram, UniformQuantileSanity) {
+  // 1..N uniform: p-quantile should sit near p*N within bucket resolution.
+  LatencyHistogram h;
+  const i64 n = 100000;
+  for (i64 v = 1; v <= n; ++v) h.record(Duration::ns(v));
+  for (double p : {0.5, 0.9, 0.99}) {
+    const double got = static_cast<double>(h.quantile(p).as_ns());
+    const double want = p * static_cast<double>(n);
+    EXPECT_NEAR(got / want, 1.0, 0.07) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, all;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const i64 v = static_cast<i64>(rng.below(1'000'000) + 1);
+    (i % 2 == 0 ? a : b).record(Duration::ns(v));
+    all.record(Duration::ns(v));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min().as_ns(), all.min().as_ns());
+  EXPECT_EQ(a.max().as_ns(), all.max().as_ns());
+  EXPECT_EQ(a.mean().as_ns(), all.mean().as_ns());
+  for (double p : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(a.quantile(p).as_ns(), all.quantile(p).as_ns()) << "p=" << p;
+  }
+}
+
+TEST(IntervalSeries, WindowsDeltaTheSource) {
+  Stats s;
+  IntervalSeries series(&s, TimePoint::origin());
+  s.add("x", 5);
+  series.close_window(TimePoint::from_ns(100));
+  s.add("x", 2);
+  s.add("y", 7);
+  series.close_window(TimePoint::from_ns(250));
+  series.close_window(TimePoint::from_ns(300));  // empty window
+
+  ASSERT_EQ(series.windows().size(), 3u);
+  EXPECT_EQ(series.windows()[0].delta.get("x"), 5);
+  EXPECT_EQ(series.windows()[0].delta.get("y"), 0);
+  EXPECT_EQ(series.windows()[1].delta.get("x"), 2);
+  EXPECT_EQ(series.windows()[1].delta.get("y"), 7);
+  EXPECT_EQ(series.windows()[2].delta.get("x"), 0);
+  EXPECT_EQ(series.windows()[0].start.as_ns(), 0);
+  EXPECT_EQ(series.windows()[0].end.as_ns(), 100);
+  EXPECT_EQ(series.windows()[1].start.as_ns(), 100);
+  EXPECT_EQ(series.windows()[1].end.as_ns(), 250);
+}
+
+TEST(IntervalSeries, RatePerSec) {
+  Stats s;
+  IntervalSeries series(&s, TimePoint::origin());
+  s.add("ops", 500);
+  series.close_window(TimePoint::origin() + Duration::ms(100.0));
+  // 500 ops in 100 ms = 5000/s.
+  EXPECT_NEAR(series.rate_per_sec(0, "ops"), 5000.0, 1e-9);
+  EXPECT_EQ(series.rate_per_sec(0, "missing"), 0.0);
+}
+
+}  // namespace
+}  // namespace pvfsib
