@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_load.json emitted by bench/load_harness.
+"""Validate the machine-readable BENCH_*.json files the benches emit.
 
-Fails (exit 1) when the file does not parse as JSON or is missing the keys
-CI depends on: the sweep itself plus, per point, the saturation-curve
-quantities documented in EXPERIMENTS.md.
+Schema-aware: dispatches on the top-level "bench" name, so one checker
+covers every bench that emits JSON (load_harness, fault_sweep, ...). Fails
+(exit 1) when a file does not parse as JSON or is missing the keys CI
+depends on — the sweep itself plus, per point, the quantities documented
+in EXPERIMENTS.md.
 """
 import json
 import sys
 
-TOP_KEYS = ("bench", "config", "points")
-POINT_KEYS = (
+LOAD_POINT_KEYS = (
     "clients",
     "iods",
     "ok",
@@ -23,10 +24,100 @@ POINT_KEYS = (
     "intervals",
 )
 
+RATE_POINT_KEYS = (
+    "rate",
+    "mbps",
+    "ok",
+    "p50_us",
+    "p99_us",
+    "injected",
+    "timeouts",
+    "retries",
+)
+
+CORRUPTION_POINT_KEYS = (
+    "flips_scheduled",
+    "scrub",
+    "flips_injected",
+    "detect_latency_ms",
+    "detections",
+    "repairs",
+    "read_ok",
+    "data_ok",
+)
+
 
 def fail(msg: str) -> None:
     print(f"check_bench_json: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def require_points(path, doc, key, point_keys, allow_empty=False):
+    if key not in doc:
+        fail(f"{path}: missing key '{key}'")
+    points = doc[key]
+    if not isinstance(points, list) or (not points and not allow_empty):
+        fail(f"{path}: '{key}' must be a non-empty list")
+    for i, pt in enumerate(points):
+        for k in point_keys:
+            if k not in pt:
+                fail(f"{path}: {key}[{i}] missing key '{k}'")
+    return points
+
+
+def check_load(path, doc):
+    for key in ("config", "points"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+    points = require_points(path, doc, "points", LOAD_POINT_KEYS)
+    for i, pt in enumerate(points):
+        if not pt["ok"]:
+            fail(f"{path}: points[{i}] (clients={pt['clients']}) reports ok=false")
+        if pt["ops"] > 0 and not (pt["p50_us"] <= pt["p99_us"] <= pt["p999_us"]):
+            fail(f"{path}: points[{i}] quantiles not monotone")
+    # The --faults sweep is optional; validate it when present.
+    if "fault_points" in doc:
+        fpts = require_points(
+            path, doc, "fault_points", LOAD_POINT_KEYS + ("scrub",),
+            allow_empty=True)
+        for i, pt in enumerate(fpts):
+            if pt["ops"] > 0 and not (pt["p50_us"] <= pt["p99_us"] <= pt["p999_us"]):
+                fail(f"{path}: fault_points[{i}] quantiles not monotone")
+    return len(points)
+
+
+def check_fault(path, doc):
+    if "config" not in doc:
+        fail(f"{path}: missing top-level key 'config'")
+    n = 0
+    for key in ("write_rate_points", "read_rate_points"):
+        points = require_points(path, doc, key, RATE_POINT_KEYS)
+        for i, pt in enumerate(points):
+            if not pt["ok"]:
+                fail(f"{path}: {key}[{i}] (rate={pt['rate']}) reports ok=false")
+            if not pt["p50_us"] <= pt["p99_us"]:
+                fail(f"{path}: {key}[{i}] quantiles not monotone")
+        n += len(points)
+    corr = doc.get("corruption")
+    if not isinstance(corr, dict):
+        fail(f"{path}: missing 'corruption' section")
+    points = require_points(path, corr, "points", CORRUPTION_POINT_KEYS)
+    for i, pt in enumerate(points):
+        # The sweep stays in the recoverable regime (one chain member
+        # corrupted), so reads must succeed and return intact bytes —
+        # scrubber or not — and the scrubbed runs must actually repair.
+        if not pt["read_ok"] or not pt["data_ok"]:
+            fail(f"{path}: corruption.points[{i}] lost data "
+                 f"(read_ok={pt['read_ok']}, data_ok={pt['data_ok']})")
+        if pt["scrub"] and pt["flips_injected"] > 0 and pt["repairs"] < 1:
+            fail(f"{path}: corruption.points[{i}] scrubbed run repaired nothing")
+    return n + len(points)
+
+
+CHECKERS = {
+    "load_harness": check_load,
+    "fault_sweep": check_fault,
+}
 
 
 def main() -> None:
@@ -37,23 +128,12 @@ def main() -> None:
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
 
-    for key in TOP_KEYS:
-        if key not in doc:
-            fail(f"{path}: missing top-level key '{key}'")
-    if doc["bench"] != "load_harness":
-        fail(f"{path}: unexpected bench name {doc['bench']!r}")
-    points = doc["points"]
-    if not isinstance(points, list) or not points:
-        fail(f"{path}: 'points' must be a non-empty list")
-    for i, pt in enumerate(points):
-        for key in POINT_KEYS:
-            if key not in pt:
-                fail(f"{path}: points[{i}] missing key '{key}'")
-        if not pt["ok"]:
-            fail(f"{path}: points[{i}] (clients={pt['clients']}) reports ok=false")
-        if pt["ops"] > 0 and not (pt["p50_us"] <= pt["p99_us"] <= pt["p999_us"]):
-            fail(f"{path}: points[{i}] quantiles not monotone")
-    print(f"{path}: OK ({len(points)} sweep points)")
+    bench = doc.get("bench")
+    checker = CHECKERS.get(bench)
+    if checker is None:
+        fail(f"{path}: unknown bench name {bench!r}")
+    n = checker(path, doc)
+    print(f"{path}: OK ({n} sweep points)")
 
 
 if __name__ == "__main__":

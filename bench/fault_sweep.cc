@@ -22,6 +22,7 @@
 #include <cstring>
 
 #include "bench_common.h"
+#include "sim/trace.h"
 
 namespace pvfsib::bench {
 namespace {
@@ -79,9 +80,12 @@ SweepPoint run_point(double rate, bool is_write, u64 n) {
   return pt;
 }
 
-void run_rate_sweep(bool is_write, const std::vector<double>& rates, u64 n) {
+std::vector<SweepPoint> run_rate_sweep(bool is_write,
+                                       const std::vector<double>& rates,
+                                       u64 n) {
   Table t({"rate", "goodput MB/s", "p50 round", "p99 round", "injected",
            "timeouts", "retries", "deduped", "ok"});
+  std::vector<SweepPoint> points;
   for (double rate : rates) {
     const SweepPoint pt = run_point(rate, is_write, n);
     t.row({fmt(rate, 4), fmt(pt.outcome.mbps, 1),
@@ -89,9 +93,11 @@ void run_rate_sweep(bool is_write, const std::vector<double>& rates, u64 n) {
            pt.p99 == Duration::zero() ? "-" : pt.p99.to_string(),
            fmt_int(pt.injected), fmt_int(pt.timeouts), fmt_int(pt.retries),
            fmt_int(pt.replays_deduped), pt.outcome.ok ? "yes" : "NO"});
+    points.push_back(pt);
   }
   t.print();
   std::printf("\n");
+  return points;
 }
 
 // --- Crash-restart availability vs MTTR ----------------------------------
@@ -510,6 +516,175 @@ void run_seq_sweep(const std::vector<Duration>& gaps) {
   std::printf("\n");
 }
 
+// --- Silent corruption: detection latency and repair, scrubber off/on -----
+
+struct CorruptPoint {
+  u32 flips_scheduled = 0;
+  bool scrub = false;
+  bool read_ok = false;
+  bool data_ok = false;
+  i64 flips = 0;
+  i64 detections = 0;
+  i64 corrupt_failovers = 0;
+  i64 repairs = 0;
+  i64 scrub_chunks = 0;
+  i64 resync_stripes = 0;
+  double detect_latency_ms = -1.0;  // first flip -> first checksum mismatch
+  double read_mbps = 0.0;
+};
+
+// Factor 2, four iods, a healthy 512 KiB preload; `flips` scheduled
+// bit flips land at rest from t=30 ms on, all on iod 0 — one member of
+// each affected chain, so an intact copy always survives (factor 2 can
+// promise nothing once both copies rot). A full-file read at 350 ms is
+// the safety net either way — verify-on-read refuses rotten bytes and
+// fails over — so what the scrubber buys is *when* the rot is found
+// (next sweep vs next read, the detection-latency column) and *what the
+// read costs* (scrub on: healed copies, clean placement; scrub off: the
+// read itself discovers the rot and pays the failover).
+CorruptPoint run_corruption(u32 flips, bool scrub) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.replication.factor = 2;
+  cfg.replication.resync = true;
+  cfg.replication.scrub = scrub;
+  cfg.fault.seed = 42;
+  cfg.fault.round_timeout = Duration::ms(5.0);
+  cfg.fault.backoff_base = Duration::ms(1.0);
+  cfg.fault.backoff_cap = Duration::ms(8.0);
+  cfg.fault.max_retries = 8;
+  const TimePoint first_at = TimePoint::origin() + Duration::ms(30.0);
+  for (u32 k = 0; k < flips; ++k) {
+    cfg.fault.schedule.push_back(
+        FaultEvent{FaultKind::kBitFlip,
+                   first_at + Duration::ms(5.0) * static_cast<i64>(k),
+                   /*target=*/0, Duration::zero()});
+  }
+
+  sim::Trace& trace = sim::Trace::instance();
+  trace.enable(/*capacity=*/1 << 16);
+  trace.clear();
+
+  pvfs::Cluster cluster(cfg, 1, 4);
+  pvfs::Client& c = cluster.client(0);
+  pvfs::OpenFile f = c.create("/corr", 64 * kKiB, 4, /*base_iod=*/0).value();
+  const u64 n = 512 * kKiB;
+  const u64 src = c.memory().alloc(n);
+  for (u64 i = 0; i < n; ++i) {
+    c.memory().write_pod<u8>(src + i, static_cast<u8>(i * 131 + 17));
+  }
+  const pvfs::IoResult w = c.write(f, 0, src, n);
+
+  if (scrub) cluster.start_scrub(TimePoint::origin() + Duration::ms(300.0));
+
+  const u64 dst = c.memory().alloc(n);
+  pvfs::IoHandle rh;
+  const TimePoint rat = TimePoint::origin() + Duration::ms(350.0);
+  cluster.engine().schedule_at(rat, [&, rat] {
+    rh = c.submit({pvfs::IoDir::kRead, f, {{{dst, n}}, {{0, n}}}, {}, rat});
+  });
+  cluster.run();
+
+  CorruptPoint pt;
+  pt.flips_scheduled = flips;
+  pt.scrub = scrub;
+  pt.read_ok = w.ok() && rh.valid() && rh.poll() && rh.result().ok();
+  pt.data_ok = pt.read_ok;
+  if (pt.read_ok) {
+    for (u64 i = 0; i < n; ++i) {
+      if (c.memory().read_pod<u8>(dst + i) != static_cast<u8>(i * 131 + 17)) {
+        pt.data_ok = false;
+        break;
+      }
+    }
+    pt.read_mbps = rh.result().bandwidth_mib();
+  }
+  const Stats& s = cluster.stats();
+  pt.flips = s.get(stat::kFaultBitFlip);
+  pt.detections = s.get(stat::kPvfsCorruptionsDetected);
+  pt.corrupt_failovers = s.get(stat::kPvfsCorruptReadsFailedOver);
+  pt.repairs = s.get(stat::kPvfsCorruptionsRepaired);
+  pt.scrub_chunks = s.get(stat::kPvfsScrubChunks);
+  pt.resync_stripes = s.get(stat::kPvfsResyncStripes);
+  TimePoint first_det = TimePoint::from_ns(INT64_MAX);
+  for (const sim::Trace::Entry& e : trace.entries()) {
+    if (e.what.find("MISMATCH") != std::string::npos && e.at < first_det) {
+      first_det = e.at;
+    }
+  }
+  if (first_det != TimePoint::from_ns(INT64_MAX) && first_det >= first_at) {
+    pt.detect_latency_ms = (first_det - first_at).as_ms();
+  }
+  trace.disable();
+  trace.clear();
+  return pt;
+}
+
+std::vector<CorruptPoint> run_corruption_sweep(const std::vector<u32>& flips) {
+  Table t({"flips", "scrub", "injected", "detect latency", "detections",
+           "corrupt failovers", "repairs", "scrub chunks", "resync stripes",
+           "read MB/s", "data"});
+  std::vector<CorruptPoint> points;
+  for (u32 fl : flips) {
+    for (bool scrub : {false, true}) {
+      const CorruptPoint pt = run_corruption(fl, scrub);
+      t.row({fmt_int(fl), scrub ? "on" : "off", fmt_int(pt.flips),
+             pt.detect_latency_ms < 0.0 ? "never"
+                                        : fmt(pt.detect_latency_ms, 2) + " ms",
+             fmt_int(pt.detections), fmt_int(pt.corrupt_failovers),
+             fmt_int(pt.repairs), fmt_int(pt.scrub_chunks),
+             fmt_int(pt.resync_stripes), fmt(pt.read_mbps, 1),
+             !pt.read_ok          ? "UNREADABLE"
+             : pt.data_ok         ? "intact"
+                                  : "ROTTEN (silent corruption)"});
+      points.push_back(pt);
+    }
+  }
+  t.print();
+  std::printf("\n");
+  return points;
+}
+
+void json_rate_points(JsonWriter& j, const char* key,
+                      const std::vector<SweepPoint>& points) {
+  j.begin_array(key);
+  for (const SweepPoint& pt : points) {
+    j.begin_object();
+    j.field("rate", pt.rate, 4);
+    j.field("mbps", pt.outcome.mbps, 3);
+    j.field("ok", pt.outcome.ok);
+    j.field("p50_us", pt.p50.as_us(), 3);
+    j.field("p99_us", pt.p99.as_us(), 3);
+    j.field("injected", pt.injected);
+    j.field("timeouts", pt.timeouts);
+    j.field("retries", pt.retries);
+    j.field("replays_deduped", pt.replays_deduped);
+    j.end_object();
+  }
+  j.end_array();
+}
+
+void json_corruption_points(JsonWriter& j,
+                            const std::vector<CorruptPoint>& points) {
+  j.begin_array("points");
+  for (const CorruptPoint& pt : points) {
+    j.begin_object();
+    j.field("flips_scheduled", pt.flips_scheduled);
+    j.field("scrub", pt.scrub);
+    j.field("flips_injected", pt.flips);
+    j.field("detect_latency_ms", pt.detect_latency_ms, 3);
+    j.field("detections", pt.detections);
+    j.field("corrupt_failovers", pt.corrupt_failovers);
+    j.field("repairs", pt.repairs);
+    j.field("scrub_chunks", pt.scrub_chunks);
+    j.field("resync_stripes", pt.resync_stripes);
+    j.field("read_mbps", pt.read_mbps, 3);
+    j.field("read_ok", pt.read_ok);
+    j.field("data_ok", pt.data_ok);
+    j.end_object();
+  }
+  j.end_array();
+}
+
 void run(bool smoke) {
   const u64 n = smoke ? 512 : 2048;
   const std::vector<double> rates =
@@ -519,12 +694,14 @@ void run(bool smoke) {
          "fig6 workload (List+ADS, no sync); request/reply drops, "
          "retransmits and\ncompletion errors at the given rate; 400 ms round "
          "timeout, 1 ms base backoff");
-  run_rate_sweep(/*is_write=*/true, rates, n);
+  const std::vector<SweepPoint> write_points =
+      run_rate_sweep(/*is_write=*/true, rates, n);
 
   header("Fault sweep: block-column read goodput vs injected fault rate",
          "fig7 workload (List+ADS); reads are idempotent, so lost requests "
          "or replies\nare simply re-read after the round timeout");
-  run_rate_sweep(/*is_write=*/false, rates, n);
+  const std::vector<SweepPoint> read_points =
+      run_rate_sweep(/*is_write=*/false, rates, n);
 
   const std::vector<Duration> mttrs =
       smoke ? std::vector<Duration>{Duration::ms(10.0), Duration::ms(150.0)}
@@ -575,6 +752,35 @@ void run(bool smoke) {
          "no gap) the read comes from the stale primary\nand acked data is "
          "lost");
   run_seq_sweep(gaps);
+
+  const std::vector<u32> flip_counts =
+      smoke ? std::vector<u32>{2} : std::vector<u32>{1, 2, 4};
+  header("Silent corruption: detection latency and repair, scrubber off vs on",
+         "factor 2, 4 iods; scheduled bit flips land at rest from t=30ms, a "
+         "full-file\nread follows at t=350ms. Verify-on-read refuses rotten "
+         "bytes either way; the\nscrubber turns detection latency from "
+         "'next read' into 'next sweep' and heals\nthe copies before the "
+         "read ever pays a failover");
+  const std::vector<CorruptPoint> corruption_points =
+      run_corruption_sweep(flip_counts);
+
+  JsonWriter j;
+  j.field("bench", "fault_sweep");
+  j.field("smoke", smoke);
+  j.begin_object("config");
+  j.field("seed", static_cast<u64>(42));
+  j.field("n", n);
+  j.field("clients", 4);
+  j.field("iods", 4);
+  j.end_object();
+  json_rate_points(j, "write_rate_points", write_points);
+  json_rate_points(j, "read_rate_points", read_points);
+  j.begin_object("corruption");
+  j.field("replication_factor", 2);
+  j.field("preload_bytes", static_cast<u64>(512 * kKiB));
+  json_corruption_points(j, corruption_points);
+  j.end_object();
+  j.write_file("BENCH_fault.json");
 }
 
 }  // namespace

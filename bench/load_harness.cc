@@ -69,11 +69,13 @@ void table_row(Table& t, const Point& pt) {
          s.ok ? "ok" : "FAILED"});
 }
 
-void json_point(JsonWriter& j, const Point& pt) {
+// `scrub` < 0: plain sweep point; 0/1: a --faults point, with the flag.
+void json_point(JsonWriter& j, const Point& pt, int scrub = -1) {
   const load::LoadSummary& s = pt.sum;
   j.begin_object();
   j.field("clients", pt.clients);
   j.field("iods", pt.iods);
+  if (scrub >= 0) j.field("scrub", scrub != 0);
   j.field("ok", s.ok);
   j.field("ops", s.ops);
   j.field("data_ops", s.data_ops);
@@ -103,7 +105,60 @@ void json_point(JsonWriter& j, const Point& pt) {
   j.end_object();
 }
 
-void run(bool smoke) {
+// --- The same closed loop under fire (--faults) ---------------------------
+
+// One sweep point with a seeded fault schedule landing mid-measure: iod 0
+// crashes for 10 ms at the midpoint, and a burst of bit flips lands at
+// rest on iod 1 right after the window closes (one chain member only —
+// the recoverable regime). Factor 2 with write quorum 1 keeps every op
+// completing through the outage (reads fail over, writes settle on the
+// survivor), so the damage shows up where it belongs: in the tail. Run
+// once with the scrubber off (every read of a rotten stripe re-pays the
+// corrupt failover) and once with it on (the sweep heals the copies and
+// the tail recovers).
+Point run_fault_point(u32 clients, u32 iods, u32 shards,
+                      const load::LoadConfig& lc, bool scrub) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.pvfs.meta_cpu_queue = true;
+  cfg.replication.factor = 2;
+  cfg.replication.write_quorum = 1;
+  cfg.replication.resync = true;
+  cfg.replication.scrub = scrub;
+  cfg.fault.seed = 42;
+  cfg.fault.round_timeout = Duration::ms(2.0);
+  cfg.fault.backoff_base = Duration::us(100.0);
+  cfg.fault.backoff_cap = Duration::ms(2.0);
+  cfg.fault.max_retries = 25;
+  // Setup (population create + preload) runs before the load timeline
+  // starts, so "mid-measure" in absolute time is approximate — a few ms of
+  // setup drift moves the window within the measure interval, not out of
+  // it.
+  const TimePoint mid =
+      TimePoint::origin() + lc.ramp + (lc.measure / 2);
+  cfg.fault.schedule.push_back(
+      FaultEvent{FaultKind::kIodCrash, mid, /*target=*/0, Duration::ms(10.0)});
+  for (int k = 0; k < 4; ++k) {
+    cfg.fault.schedule.push_back(FaultEvent{
+        FaultKind::kBitFlip,
+        mid + Duration::ms(12.0) + Duration::ms(1.0) * static_cast<i64>(k),
+        /*target=*/1, Duration::zero()});
+  }
+
+  pvfs::Cluster cluster(cfg, pvfs::Cluster::Topology{}
+                                 .clients(clients)
+                                 .iods(iods)
+                                 .metadata_shards(shards));
+  cluster.start_scrub(TimePoint::origin() + lc.ramp + lc.measure +
+                      Duration::ms(100.0));
+  load::LoadEngine engine(cluster, lc);
+  Point pt;
+  pt.clients = clients;
+  pt.iods = iods;
+  pt.sum = engine.run();
+  return pt;
+}
+
+void run(bool smoke, bool faults) {
   const load::LoadConfig lc = base_config(smoke);
   const std::vector<u32> client_counts =
       smoke ? std::vector<u32>{2, 8} : std::vector<u32>{4, 16, 64, 192};
@@ -150,6 +205,36 @@ void run(bool smoke) {
     std::printf("\n");
   }
 
+  std::vector<Point> fault_points;
+  if (faults) {
+    const u32 at_clients = smoke ? client_counts.back() : client_counts[1];
+    header("Closed-loop load under fire: iod crash + corruption burst "
+           "mid-measure",
+           fmt_int(at_clients) +
+               " clients, factor 2, write quorum 1. iod 0 crashes for 10 ms "
+               "at the measure\nmidpoint; 4 bit flips land at rest on iod 1 "
+               "right after. Every op still\ncompletes (reads fail over, "
+               "writes settle on the survivor) — the damage is\nall tail. "
+               "Scrubber off: each read of a rotten stripe re-pays the "
+               "corrupt\nfailover. Scrubber on: the sweep heals the copies "
+               "and the tail recovers");
+    Table tf({"clients", "iods", "scrub", "ops", "kop/s", "MiB/s", "p50 us",
+              "p99 us", "p999 us", "fairness", "status"});
+    for (bool scrub : {false, true}) {
+      fault_points.push_back(
+          run_fault_point(at_clients, iods, shards, lc, scrub));
+      const Point& pt = fault_points.back();
+      const load::LoadSummary& s = pt.sum;
+      tf.row({fmt_int(pt.clients), fmt_int(pt.iods), scrub ? "on" : "off",
+              fmt_int(s.ops), fmt(s.ops_per_s / 1000.0, 1),
+              fmt(s.mib_per_s, 1), us(s.latency.quantile(0.50)),
+              us(s.latency.quantile(0.99)), us(s.latency.quantile(0.999)),
+              fmt(s.fairness, 3), s.ok ? "ok" : "FAILED"});
+    }
+    tf.print();
+    std::printf("\n");
+  }
+
   JsonWriter j;
   j.field("bench", "load_harness");
   j.field("smoke", smoke);
@@ -170,6 +255,13 @@ void run(bool smoke) {
   j.begin_array("iod_points");
   for (const Point& pt : iod_points) json_point(j, pt);
   j.end_array();
+  if (faults) {
+    j.begin_array("fault_points");
+    for (size_t i = 0; i < fault_points.size(); ++i) {
+      json_point(j, fault_points[i], /*scrub=*/static_cast<int>(i));
+    }
+    j.end_array();
+  }
   j.write_file("BENCH_load.json");
 }
 
@@ -178,9 +270,11 @@ void run(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool faults = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--faults") == 0) faults = true;
   }
-  pvfsib::bench::run(smoke);
+  pvfsib::bench::run(smoke, faults);
   return 0;
 }

@@ -209,6 +209,22 @@ enum class FaultKind {
   // `manager_takeover_delay` after the window opens; otherwise clients just
   // burn their retry budgets.
   kManagerCrash,
+  // --- Silent data corruption (integrity plane) ---------------------------
+  // None of these three are fail-stop: the iod stays up and keeps acking.
+  // They are only *observable* through the stripe block checksums and the
+  // version cross-check (verify-on-read, scrubber).
+  // Flip bytes in a stored stripe on iod `target` at `at` (media decay,
+  // firmware bug). The flipped range is chosen deterministically from the
+  // injector's seeded rng among the bytes the iod holds.
+  kBitFlip,
+  // The next write round applied by iod `target` at/after `at` persists only
+  // a prefix of its payload but is acked — and its header versioned — as if
+  // complete (power-loss torn write).
+  kTornWrite,
+  // The next write round arriving at iod `target` at/after `at` is acked
+  // with the round's version but never applied: neither data nor header
+  // move (lost/misdirected write; the firmware lied).
+  kLostWrite,
 };
 
 struct FaultEvent {
@@ -238,6 +254,14 @@ struct FaultConfig {
   // TransferResult.status as kUnavailable; RNR forces receiver-not-ready.
   double completion_error_rate = 0.0;
   double rnr_rate = 0.0;
+
+  // Silent-corruption rates, drawn once per applied write round at the iod
+  // (independent draws, checked in the order lost < torn < flip so at most
+  // one fires per round). Scheduled kBitFlip/kTornWrite/kLostWrite events
+  // compose with these for deterministic placement.
+  double bit_flip_rate = 0.0;    // flip a stored byte of the round just written
+  double torn_write_rate = 0.0;  // persist a prefix, ack the whole round
+  double lost_write_rate = 0.0;  // persist nothing, ack the whole round
 
   // Degraded disk: iod service time multiplied by `factor` in [from, until).
   struct DiskDegrade {
@@ -287,8 +311,9 @@ struct FaultConfig {
     return request_drop_rate > 0.0 || reply_drop_rate > 0.0 ||
            retransmit_rate > 0.0 || latency_spike_rate > 0.0 ||
            completion_error_rate > 0.0 || rnr_rate > 0.0 ||
-           meta_request_drop_rate > 0.0 || !disk_degrade.empty() ||
-           !schedule.empty();
+           meta_request_drop_rate > 0.0 || bit_flip_rate > 0.0 ||
+           torn_write_rate > 0.0 || lost_write_rate > 0.0 ||
+           !disk_degrade.empty() || !schedule.empty();
   }
 };
 
@@ -340,6 +365,26 @@ struct ReplicationParams {
   // RDMA read bandwidth) and the chunk size of one resync round.
   double resync_bandwidth = 200.0;
   u64 resync_round_bytes = 256 * kKiB;
+
+  // --- Integrity plane (block checksums, verify-on-read, scrubber) --------
+  // Checksum granularity inside a stripe's local file: the iod stamps one
+  // FNV-1a sum per `integrity_block_bytes`-sized block into the stripe
+  // header (format v2; v1 headers were version-only) on every applied
+  // write/repair/resync, and the read path recomputes sums over the blocks
+  // a round touches. Stamping and verification are host-side work modeled
+  // at zero simulated cost (overlapped with the disk phase), so fault-free
+  // timelines are byte-identical with checksumming always on.
+  u64 integrity_block_bytes = 16 * kKiB;
+  // Background scrubber: a rate-limited periodic sweep per iod that walks
+  // local stripe headers, re-verifies block checksums against stored bytes
+  // and cross-checks header versions against the shard's manager, then
+  // heals findings through the resync pull path. Opt-in (it schedules
+  // periodic engine events and charges real disk reads); requires resync.
+  // Started explicitly via Cluster::start_scrub(until) so the event queue
+  // stays bounded.
+  bool scrub = false;
+  Duration scrub_interval = Duration::ms(10.0);  // one chunk per tick per iod
+  u64 scrub_chunk_bytes = 256 * kKiB;            // bytes verified per tick
 
   u32 effective_quorum() const {
     return write_quorum == 0 ? factor : std::min(write_quorum, factor);

@@ -289,6 +289,27 @@ inline constexpr const char* kPvfsStaleReadsAvoided =
     "pvfs.stale_reads_avoided";
 inline constexpr const char* kPvfsResyncStripes = "pvfs.resync_stripes";
 inline constexpr const char* kPvfsResyncRounds = "pvfs.resync_rounds";
+// Data-integrity plane (stripe block checksums, corruption injection,
+// verify-on-read, scrubber). The fault.injected.* corruption counters move
+// only when a corruption fault actually fires; the pvfs.* ones only when a
+// checksum/version mismatch is detected, failed over, or repaired — so
+// fault-free runs (and fault runs without corruption) keep counter sets
+// byte-identical. scrub_* additionally require the scrubber to be enabled.
+inline constexpr const char* kFaultBitFlip = "fault.injected.bit_flip";
+inline constexpr const char* kFaultTornWrite = "fault.injected.torn_write";
+inline constexpr const char* kFaultLostWrite = "fault.injected.lost_write";
+inline constexpr const char* kPvfsCorruptionsDetected =
+    "pvfs.corruptions_detected";
+inline constexpr const char* kPvfsCorruptReadsFailedOver =
+    "pvfs.corrupt_reads_failed_over";
+inline constexpr const char* kPvfsCorruptionsRepaired =
+    "pvfs.corruptions_repaired";
+inline constexpr const char* kPvfsScrubChunks = "pvfs.scrub_chunks";
+inline constexpr const char* kPvfsScrubBytes = "pvfs.scrub_bytes";
+inline constexpr const char* kPvfsScrubCorruptions =
+    "pvfs.scrub_corruptions_found";
+inline constexpr const char* kPvfsScrubStaleHeaders =
+    "pvfs.scrub_stale_headers_found";
 inline constexpr const char* kAdsSieved = "ads.sieved";
 inline constexpr const char* kAdsSeparate = "ads.separate";
 inline constexpr const char* kAdsExtraBytes = "ads.extra_bytes";

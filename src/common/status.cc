@@ -26,6 +26,8 @@ const char* error_code_name(ErrorCode c) {
       return "UNAVAILABLE";
     case ErrorCode::kAllReplicasFailed:
       return "ALL_REPLICAS_FAILED";
+    case ErrorCode::kCorrupt:
+      return "CORRUPT";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

@@ -34,6 +34,13 @@ enum class ErrorCode {
   // A replicated read exhausted the retry budget on *every* replica of the
   // chain (terminal: failover has nowhere left to go).
   kAllReplicasFailed,
+  // An iod's read path recomputed a stripe's block checksums and found the
+  // stored bytes disagree with the header: silent corruption (bit flip,
+  // torn write). Unlike kUnavailable this replica is *reachable* but its
+  // copy is untrustworthy — the client fails over to another replica
+  // immediately (no retry budget burned; re-reading corrupt media cannot
+  // help) and records the corrupt copy with the manager.
+  kCorrupt,
   kInternal,
 };
 
@@ -90,6 +97,9 @@ inline Status unavailable(std::string m) {
 }
 inline Status all_replicas_failed(std::string m) {
   return Status(ErrorCode::kAllReplicasFailed, std::move(m));
+}
+inline Status corrupt(std::string m) {
+  return Status(ErrorCode::kCorrupt, std::move(m));
 }
 inline Status internal_error(std::string m) {
   return Status(ErrorCode::kInternal, std::move(m));

@@ -62,6 +62,12 @@ class LocalFile {
   // Direct access to contents for test verification (no cost, no stats).
   std::span<const std::byte> contents() const { return content_; }
 
+  // Mutable view for the fault plane only: silent-corruption injection
+  // (bit flips, torn-write garbling) mutates stored bytes behind the
+  // checksum machinery's back. No cost, no stats, no cache interaction —
+  // exactly what "silent" means. Never used by the regular I/O path.
+  std::span<std::byte> mutable_contents() { return content_; }
+
   // Release the file's blocks and cached pages (unlink's data side).
   // Returns the (small) cost of the metadata update.
   Duration purge();

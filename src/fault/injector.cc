@@ -167,6 +167,48 @@ void Injector::install_manager_takeover_hooks(sim::Engine& engine,
   }
 }
 
+bool Injector::lost_write(u32 iod, TimePoint at) {
+  if (!enabled_) return false;
+  bool fire = consume_scheduled(FaultKind::kLostWrite, iod, at);
+  if (!fire && cfg_.lost_write_rate > 0.0 &&
+      rng_.chance(cfg_.lost_write_rate)) {
+    fire = true;
+  }
+  if (fire && stats_ != nullptr) stats_->add(stat::kFaultLostWrite);
+  return fire;
+}
+
+bool Injector::torn_write(u32 iod, TimePoint at) {
+  if (!enabled_) return false;
+  bool fire = consume_scheduled(FaultKind::kTornWrite, iod, at);
+  if (!fire && cfg_.torn_write_rate > 0.0 &&
+      rng_.chance(cfg_.torn_write_rate)) {
+    fire = true;
+  }
+  if (fire && stats_ != nullptr) stats_->add(stat::kFaultTornWrite);
+  return fire;
+}
+
+bool Injector::write_bit_flip(u32 iod, TimePoint at) {
+  (void)iod;
+  (void)at;
+  if (!enabled_ || cfg_.bit_flip_rate <= 0.0) return false;
+  if (!rng_.chance(cfg_.bit_flip_rate)) return false;
+  if (stats_ != nullptr) stats_->add(stat::kFaultBitFlip);
+  return true;
+}
+
+void Injector::install_corruption_hooks(sim::Engine& engine,
+                                        CorruptionHook hook) {
+  if (!enabled_) return;
+  for (const FaultEvent& ev : cfg_.schedule) {
+    if (ev.kind != FaultKind::kBitFlip) continue;
+    engine.schedule_at(ev.at, [hook, target = ev.target, at = ev.at] {
+      hook(target, at);
+    });
+  }
+}
+
 double Injector::disk_factor(u32 iod, TimePoint at) const {
   if (!enabled_) return 1.0;
   double factor = 1.0;

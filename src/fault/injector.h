@@ -91,6 +91,30 @@ class Injector {
   // Disk service-time multiplier for `iod` at `at` (1.0 when healthy).
   double disk_factor(u32 iod, TimePoint at) const;
 
+  // --- Silent-corruption hooks ---------------------------------------------
+  // Consulted by the iod once per applied write round, in this fixed order
+  // (lost, torn, flip) so the rng stream is consumed identically across
+  // runs. A `true` return counts the fault.injected.* stat; the iod then
+  // applies the corresponding corruption to the round. Scheduled
+  // kLostWrite/kTornWrite events are one-shot per target like the drop
+  // kinds; scheduled kBitFlip events fire through install_corruption_hooks
+  // instead (they hit data at rest, not a round in flight).
+  bool lost_write(u32 iod, TimePoint at);
+  bool torn_write(u32 iod, TimePoint at);
+  bool write_bit_flip(u32 iod, TimePoint at);
+
+  // Deterministic placement draw for the corruption machinery (which byte
+  // to flip, how much of a torn round to keep): a plain next-below-bound
+  // pull from the injector's seeded stream.
+  u64 draw(u64 bound) { return bound == 0 ? 0 : rng_.below(bound); }
+
+  // Schedule `hook(iod, at)` on the engine for every scheduled kBitFlip
+  // event: the iod then flips stored bytes chosen via draw(). Cluster
+  // installs these whenever the fault plane is enabled; a schedule with no
+  // kBitFlip entries schedules nothing.
+  using CorruptionHook = std::function<void(u32 iod, TimePoint at)>;
+  void install_corruption_hooks(sim::Engine& engine, CorruptionHook hook);
+
   // Schedule `hook(iod, restart_time)` on the engine for every kIodCrash
   // window's end (the moment the iod comes back up). The resync scanner
   // rides these (Cluster installs them when background re-replication is

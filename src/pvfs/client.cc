@@ -464,6 +464,80 @@ void Client::schedule_repair_write(std::shared_ptr<OpState> op, u32 iod_idx,
   });
 }
 
+void Client::finish_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                               size_t round_idx, std::shared_ptr<RoundTry> tr,
+                               u64 serving_version, TimePoint t) {
+  if (tr == nullptr || !tr->settled) {
+    if (lost_write_detected(op, iod_idx, round_idx, tr, serving_version, t)) {
+      return;  // round re-issued against another replica
+    }
+    maybe_read_repair(op, iod_idx, round_idx, serving_version, t);
+  }
+  settle_round(op, iod_idx, round_idx, tr, t, Status::ok());
+}
+
+bool Client::lost_write_detected(std::shared_ptr<OpState> op, u32 iod_idx,
+                                 size_t round_idx,
+                                 std::shared_ptr<RoundTry> tr,
+                                 u64 serving_version, TimePoint t) {
+  if (tr == nullptr || op->is_write || !op->replicated ||
+      !cfg_.replication.read_failover) {
+    return false;
+  }
+  const std::vector<u32>& set = op->replica_sets[iod_idx];
+  const u32 nrep = static_cast<u32>(set.size());
+  if (nrep <= 1 || tr->failovers + 1 >= nrep) return false;
+  OpState::Chain& ch = op->chains[iod_idx];
+  const u32 serving = ch.replica;
+  const u32 stripe = op->stripes[iod_idx];
+  Manager& authority = meta_.authority(op->file.meta.handle);
+  const Manager::StripeVersionView v =
+      authority.stripe_versions(op->file.meta.handle, stripe);
+  // The gate: only an ack the header disproves counts. A replica the map
+  // records stale (crash before the write landed, resync off) legitimately
+  // serves old data and must keep doing so, bit-for-bit as before.
+  if (!v.known || serving >= v.replica_versions.size() ||
+      v.replica_versions[serving] < v.latest || serving_version >= v.latest) {
+    return false;
+  }
+  // This settle context still owns the attempt's armed timer; the re-issue
+  // arms a fresh one, so the old must be cancelled first (arm_round_timer
+  // overwrites the id without cancelling).
+  if (tr->timer_armed) {
+    engine_.cancel(tr->timer_id);
+    tr->timer_armed = false;
+  }
+  authority.note_replica_observed(op->file.meta.handle, stripe, set[serving],
+                                  serving_version);
+  if (stats_ != nullptr) {
+    stats_->add(stat::kPvfsCorruptionsDetected);
+    stats_->add(stat::kPvfsCorruptReadsFailedOver);
+    stats_->add(stat::kPvfsFailovers);
+  }
+  u32 next = (serving + 1) % nrep;
+  for (u32 i = 1; i <= nrep; ++i) {
+    const u32 cand = (serving + i) % nrep;
+    if (cand != serving && !(faulty() && faults_->iod_down(set[cand], t))) {
+      next = cand;
+      break;
+    }
+  }
+  sim::Trace::instance().emitf(
+      t, hca_.name(),
+      "read round %zu: iod%u header v%llu but acked v%llu (LOST WRITE), "
+      "failing over to iod%u",
+      round_idx + 1, set[serving],
+      static_cast<unsigned long long>(serving_version),
+      static_cast<unsigned long long>(v.replica_versions[serving]),
+      set[next]);
+  ch.replica = next;
+  ++tr->failovers;
+  tr->budget_base = tr->attempts;
+  ++tr->attempts;
+  run_read_round(op, iod_idx, round_idx, t, tr);
+  return true;
+}
+
 // --- Adaptive round timeouts ---------------------------------------------
 
 void Client::note_rtt(u32 iod_id, Duration sample) {
@@ -684,6 +758,48 @@ void Client::retry_or_fail(std::shared_ptr<OpState> op, u32 iod_idx,
   if (tr->timer_armed) {
     engine_.cancel(tr->timer_id);
     tr->timer_armed = false;
+  }
+  if (why.code() == ErrorCode::kCorrupt && !op->is_write) {
+    // The serving replica's bytes failed checksum verification. Retrying
+    // the same copy is pointless (the bytes are what they are): flag it
+    // with the staleness map — it becomes a resync target and placement
+    // stops routing to it — and fail the chain over to another replica.
+    const std::vector<u32>& set = op->replica_sets[iod_idx];
+    const u32 nrep = static_cast<u32>(set.size());
+    OpState::Chain& ch = op->chains[iod_idx];
+    meta_.authority(op->file.meta.handle)
+        .note_replica_corrupt(op->file.meta.handle, op->stripes[iod_idx],
+                              set[ch.replica]);
+    if (op->replicated && cfg_.replication.read_failover &&
+        tr->failovers + 1 < nrep) {
+      u32 next = (ch.replica + 1) % nrep;
+      for (u32 i = 1; i <= nrep; ++i) {
+        const u32 cand = (ch.replica + i) % nrep;
+        if (cand != ch.replica &&
+            !(faulty() && faults_->iod_down(set[cand], t))) {
+          next = cand;
+          break;
+        }
+      }
+      const u32 from_iod = set[ch.replica];
+      ch.replica = next;
+      ++tr->failovers;
+      tr->budget_base = tr->attempts;
+      ++tr->attempts;
+      if (stats_ != nullptr) {
+        stats_->add(stat::kPvfsCorruptReadsFailedOver);
+        stats_->add(stat::kPvfsFailovers);
+      }
+      sim::Trace::instance().emitf(
+          t, hca_.name(),
+          "read round %zu: iod%u corrupt, failing over to iod%u",
+          round_idx + 1, from_iod, set[next]);
+      run_read_round(op, iod_idx, round_idx, t, tr);
+      return;
+    }
+    // No replica left to serve intact bytes: terminal.
+    settle_round(op, iod_idx, round_idx, tr, t, std::move(why));
+    return;
   }
   // Transient errors are only minted by the fault plane; a RoundTry can
   // also exist for a replicated write on a healthy run, where any failure
@@ -1174,10 +1290,7 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
         const TimePoint t_done = svc.ready + cfg_.mem.copy_cost(off);
         engine_.schedule_at(t_done, [this, op, iod_idx, round_idx, tr,
                                      t_done, ver = svc.version] {
-          if (tr == nullptr || !tr->settled) {
-            maybe_read_repair(op, iod_idx, round_idx, ver, t_done);
-          }
-          settle_round(op, iod_idx, round_idx, tr, t_done, Status::ok());
+          finish_read_round(op, iod_idx, round_idx, tr, ver, t_done);
         });
         break;
       }
@@ -1187,10 +1300,7 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
                                         release_key, t = svc.ready,
                                         ver = svc.version] {
           if (release_key != 0) cache_.release(release_key);
-          if (tr == nullptr || !tr->settled) {
-            maybe_read_repair(op, iod_idx, round_idx, ver, t);
-          }
-          settle_round(op, iod_idx, round_idx, tr, t, Status::ok());
+          finish_read_round(op, iod_idx, round_idx, tr, ver, t);
         });
         break;
       }
@@ -1214,10 +1324,7 @@ void Client::run_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
           engine_.schedule_at(t_done, [this, op, iod_idx, round_idx, tr,
                                        t_done, st = pull.status, ver] {
             if (st.is_ok()) {
-              if (tr == nullptr || !tr->settled) {
-                maybe_read_repair(op, iod_idx, round_idx, ver, t_done);
-              }
-              settle_round(op, iod_idx, round_idx, tr, t_done, st);
+              finish_read_round(op, iod_idx, round_idx, tr, ver, t_done);
             } else {
               fail_round(op, iod_idx, round_idx, tr, t_done, st);
             }

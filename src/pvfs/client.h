@@ -376,6 +376,22 @@ class Client {
   void schedule_repair_write(std::shared_ptr<OpState> op, u32 iod_idx,
                              size_t round_idx, u32 rep, u64 version,
                              TimePoint t);
+  // Common tail of every successful read-return path: lost-write check,
+  // read-repair bookkeeping, then settle.
+  void finish_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
+                         size_t round_idx, std::shared_ptr<RoundTry> tr,
+                         u64 serving_version, TimePoint t);
+  // Lost-write detection: the staleness map records the serving replica as
+  // having acked the stripe's latest version, yet its header reports less —
+  // the acked write never reached the platter. Downgrades the map to the
+  // observed header (pvfs.corruptions_detected), fails the chain over to
+  // the next live replica (pvfs.corrupt_reads_failed_over) and re-issues
+  // the round; returns true when it did. A replica the map already records
+  // stale serves old data without tripping this — that is the legitimate
+  // no-resync timeline, not a detection.
+  bool lost_write_detected(std::shared_ptr<OpState> op, u32 iod_idx,
+                           size_t round_idx, std::shared_ptr<RoundTry> tr,
+                           u64 serving_version, TimePoint t);
 
   // --- Adaptive round timeouts (Jacobson-style per-iod RTT estimation) ---
   struct RttEstimate {

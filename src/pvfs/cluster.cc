@@ -86,6 +86,13 @@ Cluster::Cluster(const ModelConfig& cfg, const Topology& topo) : cfg_(cfg) {
       if (iod < iods_.size()) iods_[iod]->on_restart(at);
     });
   }
+  if (faults_->enabled()) {
+    // Scheduled kBitFlip events corrupt data at rest on the target iod
+    // (rate-driven flips ride the write path inside the iod instead).
+    faults_->install_corruption_hooks(engine_, [this](u32 iod, TimePoint at) {
+      if (iod < iods_.size()) iods_[iod]->inject_bit_flip(at);
+    });
+  }
   if (with_standbys && faults_->enabled()) {
     // Fenced takeover rides the fault schedule: `manager_takeover_delay`
     // after each shard's kManagerCrash window opens, the shard's standby
@@ -135,6 +142,14 @@ void Cluster::manager_takeover(u32 shard, TimePoint at) {
       iod->on_restart(at);
     }
   }
+}
+
+void Cluster::start_scrub(TimePoint until) {
+  if (cfg_.replication.factor <= 1 || !cfg_.replication.resync ||
+      !cfg_.replication.scrub) {
+    return;
+  }
+  for (auto& iod : iods_) iod->start_scrub(until);
 }
 
 IntervalSeries& Cluster::sample_intervals(Duration window, TimePoint until) {

@@ -121,6 +121,16 @@ class Cluster {
   void manager_takeover(u32 shard, TimePoint at);
   void manager_takeover(TimePoint at) { manager_takeover(0, at); }
 
+  // Start the background scrubber on every iod: a rate-limited periodic
+  // sweep (ReplicationParams::scrub_interval / scrub_chunk_bytes) that
+  // reads local stripe data back, verifies block checksums, cross-checks
+  // headers against the shard authority's staleness map, and kicks resync
+  // for anything found rotten. Ticks stop after `until` so engine.run()
+  // still terminates. No-op unless replication.factor > 1, resync and
+  // scrub are all enabled — a run that never opts in schedules nothing and
+  // stays byte-identical.
+  void start_scrub(TimePoint until);
+
  private:
   ModelConfig cfg_;
   Stats stats_;

@@ -64,8 +64,11 @@ Duration Iod::remove_file(Handle h) {
   files_.erase(it);
   // Drop the stripe header with the data: a header outliving its file
   // would resurrect the deleted stripe in a later takeover's header scan
-  // (and leak versions into a recreated file reusing the local key).
+  // (and leak versions into a recreated file reusing the local key). The
+  // block checksums go the same way — stale stamps on a recreated file
+  // would read as instant corruption.
   stripe_version_.erase(h);
+  block_sums_.erase(h);
   return cost;
 }
 
@@ -178,8 +181,37 @@ TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
   assert(!r.data_staged);
   const core::StagingBuffer& sb = staging(r.client, r.slot);
   assert(r.bytes() <= sb.size);
+  // Silent-corruption draws, fixed order (lost, torn, flip; at most one
+  // fires) so the injector's rng stream is consumed identically across
+  // runs. Drawn before the apply: a lost write never reaches the disk.
+  bool lost = false;
+  bool torn = false;
+  bool flip = false;
+  if (faults_ != nullptr && faults_->enabled() && r.bytes() > 0) {
+    lost = faults_->lost_write(id_, data_ready);
+    if (!lost) torn = faults_->torn_write(id_, data_ready);
+    if (!lost && !torn) flip = faults_->write_bit_flip(id_, data_ready);
+  }
+  if (lost) {
+    // The disk firmware dropped the round but acked it: nothing is
+    // applied, no header moves, yet the ack reports exactly what a real
+    // apply would have — so the manager wrongly records this replica
+    // current. already_applied() above logged the seq, so replays dedupe
+    // like any acked round. Only a header-vs-staleness-map cross-check (a
+    // reader's gate or the scrubber's) can catch the lie later.
+    sim::Trace::instance().emitf(
+        data_ready, hca_.name(),
+        "write round h%llu slot%u: LOST WRITE injected, acked unapplied",
+        static_cast<unsigned long long>(r.handle), r.slot);
+    if (disk_cost != nullptr) *disk_cost = Duration::zero();
+    if (ack_version != nullptr) {
+      *ack_version = std::max(stripe_version(r.handle), r.version);
+    }
+    return data_ready;
+  }
   const std::span<const std::byte> stream =
       as_.readable_span(sb.addr, r.bytes());
+  const u64 pre_size = file(r.handle).size();
   DiskPhase phase = write_disk_phase(r, stream, data_ready);
   // Rounds on one iod are serialized by the disk queue (pipelined rounds
   // arrive in data-phase order), so the RMW range lock can never conflict;
@@ -187,6 +219,15 @@ TimePoint Iod::write_round(const RoundRequest& r, TimePoint data_ready,
   assert(phase.status.is_ok());
   phase.cost = disk_scaled(phase.cost, data_ready);
   if (disk_cost != nullptr) *disk_cost = phase.cost;
+  // Stamp block checksums from the *intended* content, then let torn/flip
+  // corruption garble the stored bytes behind the stamps — that mismatch
+  // is exactly what verify-on-read and the scrubber detect.
+  stamp_round(r.handle, r.accesses, pre_size);
+  if (torn) {
+    corrupt_torn(r.handle, r.accesses, data_ready);
+  } else if (flip) {
+    corrupt_flip(r.handle, r.accesses, data_ready);
+  }
   // Merge the round's version into the stripe header (kept as if durable,
   // like applied_seq_). Unversioned rounds — the only kind at factor 1 —
   // never touch the map. A version minted under a manager epoch this iod
@@ -228,9 +269,13 @@ TimePoint Iod::apply_repair(Handle h, const ExtentList& accesses,
   rr.is_write = true;
   rr.use_ads = false;  // the repair stream is already round-shaped
   rr.accesses = accesses;
+  const u64 pre_size = file(h).size();
   DiskPhase phase = write_disk_phase(rr, stream, at);
   assert(phase.status.is_ok());
   phase.cost = disk_scaled(phase.cost, at);
+  // Repairs stamp like any apply: the healed bytes must verify on the next
+  // read (and the scrubber must not re-flag the repaired blocks).
+  stamp_round(h, accesses, pre_size);
   if (version != 0) {
     u64& header = stripe_version_[h];
     header = std::max(header, version);
@@ -299,6 +344,7 @@ void Iod::resync_step(std::shared_ptr<ResyncState> st) {
     // restart retries).
     Iod* peer = nullptr;
     Handle peer_handle = 0;
+    u32 peer_id = 0;
     for (size_t j = 0; j < tg.peers.size(); ++j) {
       const u32 p = tg.peers[j];
       if (p < peers_.size() && peers_[p] != nullptr &&
@@ -306,6 +352,7 @@ void Iod::resync_step(std::shared_ptr<ResyncState> st) {
             faults_->iod_down(p, st->t))) {
         peer = peers_[p];
         peer_handle = tg.peer_handles[j];
+        peer_id = p;
         break;
       }
     }
@@ -323,8 +370,11 @@ void Iod::resync_step(std::shared_ptr<ResyncState> st) {
       header = std::max(header, tg.latest);
       const u32 shard = shard_of_handle(tg.handle, cfg_.pvfs.metadata_shards);
       if (shard < managers_.size() && managers_[shard] != nullptr) {
-        managers_[shard]->note_replica_version(tg.handle, tg.stripe, id_,
-                                               tg.latest);
+        // A completed pull is the one event that also clears a corrupt
+        // flag in the staleness map: the copy was rebuilt (and restamped)
+        // in full from an intact peer.
+        managers_[shard]->note_replica_resynced(tg.handle, tg.stripe, id_,
+                                                tg.latest);
       }
       if (stats_ != nullptr) stats_->add(stat::kPvfsResyncStripes);
       sim::Trace::instance().emitf(
@@ -359,8 +409,34 @@ void Iod::resync_step(std::shared_ptr<ResyncState> st) {
         std::min(cfg_.replication.resync_bandwidth, cfg_.net.rdma_read_bw);
     const Duration wire =
         cfg_.net.rdma_read_latency + transfer_time(rd.value, bw);
-    const Timed<u64> wr = file(tg.local_handle)
-                              .pwrite(st->off, {buf.data(), rd.value}, {});
+    if (!peer->verify_ranges(peer_handle, {{st->off, rd.value}})) {
+      // The pull source itself is rotten: applying (and restamping) its
+      // bytes here would launder the corruption into a copy that verifies
+      // clean — silent rot, the one thing the integrity plane must never
+      // manufacture. Flag the source and abandon the stripe; it stays
+      // recorded stale, so a later scan retries against the surviving
+      // chain once the flagged copy is excluded or healed.
+      if (stats_ != nullptr) stats_->add(stat::kPvfsCorruptionsDetected);
+      const u32 shard = shard_of_handle(tg.handle, cfg_.pvfs.metadata_shards);
+      if (shard < managers_.size() && managers_[shard] != nullptr) {
+        managers_[shard]->note_replica_corrupt(tg.handle, tg.stripe, peer_id);
+      }
+      sim::Trace::instance().emitf(
+          st->t, hca_.name(),
+          "resync: h%llu stripe %u pull source iod%u CORRUPT, abandoning",
+          static_cast<unsigned long long>(tg.handle), tg.stripe, peer_id);
+      ++st->ti;
+      st->off = 0;
+      st->rounds = 0;
+      st->t = req_at + rd.cost + wire;
+      engine_->schedule_at(st->t, [this, st] { resync_step(st); });
+      return;
+    }
+    disk::LocalFile& lf = file(tg.local_handle);
+    const u64 pre_size = lf.size();
+    const Timed<u64> wr = lf.pwrite(st->off, {buf.data(), rd.value}, {});
+    // Resync applies stamp like writes do: the rebuilt copy must verify.
+    stamp_round(tg.local_handle, {{st->off, rd.value}}, pre_size);
     if (stats_ != nullptr) stats_->add(stat::kPvfsResyncRounds);
     st->off += rd.value;
     ++st->rounds;
@@ -400,6 +476,23 @@ Iod::ReadService Iod::read_round(const RoundRequest& r, TimePoint start,
   const u64 total = r.bytes();
   if (total > sb.size) {
     svc.status = invalid_argument("read round exceeds staging buffer");
+    return svc;
+  }
+
+  // Verify-on-read: recompute the stamped block checksums of every block
+  // the round touches (zero simulated cost — the hash overlaps the disk
+  // read). A mismatch means the stored bytes silently diverged from what
+  // was acked (bit flip, torn write); this replica is reachable but
+  // untrustworthy, so the round fails typed kCorrupt and the client fails
+  // over instead of retrying here.
+  if (!verify_ranges(r.handle, r.accesses)) {
+    if (stats_ != nullptr) stats_->add(stat::kPvfsCorruptionsDetected);
+    sim::Trace::instance().emitf(
+        start, hca_.name(), "read round h%llu: block checksum MISMATCH",
+        static_cast<unsigned long long>(r.handle));
+    svc.status = corrupt("stripe block checksum mismatch on h" +
+                         std::to_string(r.handle));
+    svc.ready = start;
     return svc;
   }
 
@@ -520,6 +613,253 @@ Iod::ReadService Iod::read_round(const RoundRequest& r, TimePoint start,
   svc.status = Status::ok();
   svc.bytes = total;
   return svc;
+}
+
+// --- Data integrity ---------------------------------------------------------
+
+u64 Iod::block_checksum(std::span<const std::byte> s) {
+  u64 h = 1469598103934665603ull;  // FNV-1a 64-bit
+  for (const std::byte b : s) {
+    h ^= static_cast<u8>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void Iod::stamp_round(Handle h, const ExtentList& accesses, u64 pre_size) {
+  disk::LocalFile& f = file(h);
+  const u64 B = std::max<u64>(1, cfg_.replication.integrity_block_bytes);
+  const u64 size = f.size();
+  if (size == 0) return;
+  std::map<u64, u64>& sums = block_sums_[h];
+  const std::span<const std::byte> bytes = f.contents();
+  auto stamp = [&](u64 off, u64 len) {
+    if (len == 0 || off >= size) return;
+    len = std::min(len, size - off);
+    const u64 first = off / B;
+    const u64 last = (off + len - 1) / B;
+    for (u64 b = first; b <= last; ++b) {
+      const u64 lo = b * B;
+      const u64 hi = std::min(lo + B, size);
+      sums[b] = block_checksum(bytes.subspan(lo, hi - lo));
+    }
+  };
+  for (const Extent& a : accesses) stamp(a.offset, a.length);
+  // Growth restamps the zero-filled gap and the old tail block, whose
+  // extent (and therefore checksum) changed when the file grew.
+  if (size > pre_size) stamp(pre_size, size - pre_size);
+}
+
+bool Iod::verify_ranges(Handle h, const ExtentList& accesses) {
+  const auto bit = block_sums_.find(h);
+  if (bit == block_sums_.end()) return true;
+  const auto fit = files_.find(h);
+  if (fit == files_.end()) return true;
+  const disk::LocalFile& f = fs_.file(fit->second);
+  const u64 B = std::max<u64>(1, cfg_.replication.integrity_block_bytes);
+  const u64 size = f.size();
+  const std::span<const std::byte> bytes = f.contents();
+  for (const Extent& a : accesses) {
+    if (a.length == 0 || a.offset >= size) continue;
+    const u64 len = std::min(a.length, size - a.offset);
+    const u64 first = a.offset / B;
+    const u64 last = (a.offset + len - 1) / B;
+    for (u64 b = first; b <= last; ++b) {
+      const auto s = bit->second.find(b);
+      if (s == bit->second.end()) continue;  // pre-v2 block: trusted
+      const u64 lo = b * B;
+      const u64 hi = std::min(lo + B, size);
+      if (block_checksum(bytes.subspan(lo, hi - lo)) != s->second) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Iod::corrupt_torn(Handle h, const ExtentList& accesses, TimePoint at) {
+  const u64 total = total_length(accesses);
+  if (total == 0) return;
+  // Keep a prefix of the round's stream on the platter; the torn tail
+  // reads back garbled under the intact (intended-content) stamps.
+  const u64 keep = faults_->draw(total);
+  std::span<std::byte> bytes = file(h).mutable_contents();
+  u64 pos = 0;
+  for (const Extent& a : accesses) {
+    for (u64 i = 0; i < a.length; ++i, ++pos) {
+      if (pos < keep) continue;
+      const u64 off = a.offset + i;
+      if (off < bytes.size()) bytes[off] ^= std::byte{0x5a};
+    }
+  }
+  sim::Trace::instance().emitf(
+      at, hca_.name(),
+      "torn write injected on h%llu: kept %llu of %llu B",
+      static_cast<unsigned long long>(h),
+      static_cast<unsigned long long>(keep),
+      static_cast<unsigned long long>(total));
+}
+
+void Iod::corrupt_flip(Handle h, const ExtentList& accesses, TimePoint at) {
+  const u64 total = total_length(accesses);
+  if (total == 0) return;
+  u64 pos = faults_->draw(total);
+  const u32 bit = static_cast<u32>(faults_->draw(8));
+  std::span<std::byte> bytes = file(h).mutable_contents();
+  for (const Extent& a : accesses) {
+    if (pos < a.length) {
+      const u64 off = a.offset + pos;
+      if (off < bytes.size()) {
+        bytes[off] ^= static_cast<std::byte>(1u << bit);
+        sim::Trace::instance().emitf(
+            at, hca_.name(),
+            "bit flip injected on h%llu at %llu (bit %u)",
+            static_cast<unsigned long long>(h),
+            static_cast<unsigned long long>(off), bit);
+      }
+      return;
+    }
+    pos -= a.length;
+  }
+}
+
+void Iod::inject_bit_flip(TimePoint at) {
+  if (faults_ == nullptr) return;
+  // Deterministic pick among nonempty local files (map order), then a byte
+  // and a bit, all from the injector's seeded stream. A node with no data
+  // yet absorbs the event silently (and counts nothing — the fault never
+  // materialized).
+  std::vector<u32> cands;
+  for (const auto& [h, fd] : files_) {
+    if (fs_.file(fd).size() > 0) cands.push_back(fd);
+  }
+  if (cands.empty()) return;
+  disk::LocalFile& f = fs_.file(cands[faults_->draw(cands.size())]);
+  const u64 off = faults_->draw(f.size());
+  const u32 bit = static_cast<u32>(faults_->draw(8));
+  f.mutable_contents()[off] ^= static_cast<std::byte>(1u << bit);
+  if (stats_ != nullptr) stats_->add(stat::kFaultBitFlip);
+  sim::Trace::instance().emitf(
+      at, hca_.name(), "bit flip injected at rest: %s off %llu bit %u",
+      f.path().c_str(), static_cast<unsigned long long>(off), bit);
+}
+
+// --- Background scrubber ----------------------------------------------------
+
+struct Iod::ScrubState {
+  TimePoint until = TimePoint::origin();
+  Handle cursor = 0;  // next local handle to visit (lower_bound key)
+  u64 off = 0;        // byte cursor within the cursor file
+};
+
+void Iod::start_scrub(TimePoint until) {
+  if (engine_ == nullptr || managers_.empty()) return;
+  if (!cfg_.replication.scrub) return;
+  auto st = std::make_shared<ScrubState>();
+  st->until = until;
+  const TimePoint first = engine_->now() + cfg_.replication.scrub_interval;
+  if (first > until) return;
+  engine_->schedule_at(first, [this, st] { scrub_tick(st); });
+}
+
+void Iod::scrub_tick(std::shared_ptr<ScrubState> st) {
+  const TimePoint now = engine_->now();
+  const bool down = faults_ != nullptr && faults_->enabled() &&
+                    faults_->iod_down(id_, now);
+  if (!down && !files_.empty()) {
+    u64 budget = std::max<u64>(1, cfg_.replication.scrub_chunk_bytes);
+    u64 scanned = 0;
+    bool issues = false;
+    TimePoint done = now;
+    // At most one pass over the file table per tick (+1 for the wrap).
+    for (size_t visits = files_.size() + 1; budget > 0 && visits > 0;
+         --visits) {
+      const auto it = files_.lower_bound(st->cursor);
+      if (it == files_.end()) {
+        st->cursor = 0;
+        st->off = 0;
+        continue;
+      }
+      const Handle h = it->first;
+      disk::LocalFile& f = fs_.file(it->second);
+      if (st->off >= f.size()) {
+        st->cursor = h + 1;
+        st->off = 0;
+        continue;
+      }
+      // The shard manager that owns this local file's stripes: corrupt and
+      // stale findings are reported there, and the version cross-check
+      // reads its staleness map.
+      const bool backup = (h >> 63) != 0;
+      const Handle gh = backup ? (h & ((Handle{1} << 48) - 1)) : h;
+      const u32 shard = shard_of_handle(gh, cfg_.pvfs.metadata_shards);
+      Manager* mgr = shard < managers_.size() ? managers_[shard] : nullptr;
+      // Version cross-check, once per file (at its first chunk): a header
+      // trailing a stripe the map records *current here* is an acked write
+      // that never hit the platter — a lost write, invisible to checksums
+      // because the stored (old) bytes still verify.
+      if (st->off == 0 && mgr != nullptr) {
+        const u64 header = stripe_version(h);
+        for (const Manager::LocalStripeView& v : mgr->local_stripes(h, id_)) {
+          if (v.known && v.recorded >= v.latest && header < v.latest) {
+            if (stats_ != nullptr) {
+              stats_->add(stat::kPvfsScrubStaleHeaders);
+            }
+            sim::Trace::instance().emitf(
+                now, hca_.name(),
+                "scrub: h%llu stripe %u header v%llu < map v%llu, lost "
+                "write detected",
+                static_cast<unsigned long long>(v.handle), v.stripe,
+                static_cast<unsigned long long>(header),
+                static_cast<unsigned long long>(v.latest));
+            mgr->note_replica_observed(v.handle, v.stripe, id_, header);
+            issues = true;
+          }
+        }
+      }
+      const u64 n = std::min(budget, f.size() - st->off);
+      // The media re-read is charged through the disk queue like any other
+      // access — scrub bandwidth is real, which is why the sweep is opt-in
+      // and rate-limited.
+      std::vector<std::byte> scratch(n);
+      const Timed<u64> rd = f.pread(st->off, scratch, {});
+      done = disk_queue_.acquire(done, disk_scaled(rd.cost, now));
+      if (!verify_ranges(h, {{st->off, n}})) {
+        if (stats_ != nullptr) {
+          stats_->add(stat::kPvfsScrubCorruptions);
+          stats_->add(stat::kPvfsCorruptionsDetected);
+        }
+        sim::Trace::instance().emitf(
+            now, hca_.name(), "scrub: h%llu checksum MISMATCH in [%llu,%llu)",
+            static_cast<unsigned long long>(h),
+            static_cast<unsigned long long>(st->off),
+            static_cast<unsigned long long>(st->off + n));
+        if (mgr != nullptr) {
+          for (const Manager::LocalStripeView& v :
+               mgr->local_stripes(h, id_)) {
+            mgr->note_replica_corrupt(v.handle, v.stripe, id_);
+          }
+        }
+        issues = true;
+      }
+      budget -= n;
+      scanned += n;
+      st->off += n;
+    }
+    if (scanned > 0 && stats_ != nullptr) {
+      stats_->add(stat::kPvfsScrubChunks);
+      stats_->add(stat::kPvfsScrubBytes, scanned);
+    }
+    // Heal: the findings above are now recorded stale/corrupt in the
+    // staleness map, which is exactly what the restart resync scanner
+    // pulls from — reuse it. Concurrent scans are deterministic and pull
+    // idempotently, so no interlock is needed.
+    if (issues) on_restart(done);
+  }
+  const TimePoint next = now + cfg_.replication.scrub_interval;
+  if (next <= st->until) {
+    engine_->schedule_at(next, [this, st] { scrub_tick(st); });
+  }
 }
 
 }  // namespace pvfsib::pvfs

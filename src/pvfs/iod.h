@@ -137,6 +137,30 @@ class Iod {
   // `rq.offset` from the local file keyed rq.peer_handle into `dst`.
   Timed<u64> serve_resync(const ResyncRequest& rq, std::span<std::byte> dst);
 
+  // --- Data integrity (stripe block checksums) --------------------------
+  // Every applied write (rounds, repairs, resync pulls) stamps an FNV-1a 64
+  // checksum per fixed-size block (ReplicationParams::integrity_block_bytes)
+  // of the touched byte ranges into the local stripe header (format v2; the
+  // version map above is format v1 and untouched, so takeover header scans
+  // are unchanged). Stamping and verify-on-read are charged zero simulated
+  // time — the hash overlaps the disk phase on real hardware — which keeps
+  // fault-free timelines byte-identical to the pre-checksum model.
+
+  // Scheduled kBitFlip hook (Cluster wires it via install_corruption_hooks):
+  // flip one stored bit of one nonempty local file, both chosen by the
+  // injector's seeded draws. Silent: no header, no cost, no ack.
+  void inject_bit_flip(TimePoint at);
+
+  // Start the background scrubber (Cluster::start_scrub): a rate-limited
+  // tick chain (scrub_interval apart, bounded by `until` so engine.run()
+  // still terminates) that walks the local stripe files scrub_chunk_bytes
+  // per tick, re-reads them through the disk queue, verifies block
+  // checksums, cross-checks the stripe header against the shard manager's
+  // staleness map (catching acked-but-never-applied lost writes), reports
+  // corrupt/stale copies to the manager and kicks the resync puller to
+  // heal them. Requires configure_resync wiring; no-op without it.
+  void start_scrub(TimePoint until);
+
   // --- Background re-replication ---------------------------------------
   // Wire the resync scanner (Cluster does this when factor > 1 and
   // ReplicationParams::resync): the engine to schedule pull rounds on, the
@@ -193,6 +217,26 @@ class Iod {
   // Pull the next chunk (or finish the current stripe / the whole scan).
   void resync_step(std::shared_ptr<ResyncState> st);
 
+  // --- Integrity internals ----------------------------------------------
+  // FNV-1a 64 over a block's stored bytes.
+  static u64 block_checksum(std::span<const std::byte> s);
+  // Restamp every checksum block overlapping `accesses` — plus, when the
+  // apply grew the file past `pre_size`, the zero-filled growth (whose
+  // blocks changed extent) — from the file's current contents.
+  void stamp_round(Handle h, const ExtentList& accesses, u64 pre_size);
+  // Recompute the stamped checksums of every block overlapping `accesses`;
+  // false on any mismatch. Blocks without a stamp (format-v1 headers from
+  // before the apply) are trusted, so old content stays readable.
+  bool verify_ranges(Handle h, const ExtentList& accesses);
+  // Corruption appliers (write_round, after stamping the intended bytes):
+  // garble a suffix of the round's stored byte ranges / flip one stored bit
+  // inside them. The injector's draws pick the split point and the bit.
+  void corrupt_torn(Handle h, const ExtentList& accesses, TimePoint at);
+  void corrupt_flip(Handle h, const ExtentList& accesses, TimePoint at);
+  // One running scrub: the byte cursor over files_ and the tick bound.
+  struct ScrubState;
+  void scrub_tick(std::shared_ptr<ScrubState> st);
+
   u32 id_;
   ModelConfig cfg_;
   ib::Fabric& fabric_;
@@ -217,6 +261,11 @@ class Iod {
   // Stripe-header versions per local file (see stripe_version()). Only ever
   // populated by versioned (replicated) writes; empty at factor 1.
   std::map<Handle, u64> stripe_version_;
+  // Per-block checksums per local file (header format v2): block index ->
+  // FNV-1a 64 of the block's stored bytes. Kept as if durable, beside the
+  // version headers. Every applied write stamps; reads and the scrubber
+  // verify.
+  std::map<Handle, std::map<u64, u64>> block_sums_;
   // Highest manager epoch this iod has been told about, per metadata shard
   // (empty/0 until a takeover sweep; the fence in write_round only engages
   // for versioned rounds that carry an older, non-zero epoch of their

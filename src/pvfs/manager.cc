@@ -335,7 +335,104 @@ Manager::StripeVersionView Manager::stripe_versions(Handle h,
   v.known = true;
   v.latest = it->second.latest;
   v.replica_versions = it->second.replica;
+  // A corrupt copy holds nothing, whatever its header claims: reporting 0
+  // steers read placement away from it and makes read-repair rewrite the
+  // ranges it serves wrong.
+  const std::vector<bool>& corrupt = it->second.corrupt;
+  for (size_t j = 0; j < v.replica_versions.size() && j < corrupt.size();
+       ++j) {
+    if (corrupt[j]) v.replica_versions[j] = 0;
+  }
   return v;
+}
+
+// --- Integrity plane --------------------------------------------------------
+
+size_t Manager::replica_pos(Handle h, u32 stripe, u32 iod_id) const {
+  const FileMeta* meta = meta_of(h);
+  if (meta == nullptr || stripe >= meta->replicas.size()) {
+    return static_cast<size_t>(-1);
+  }
+  const std::vector<u32>& set = meta->replicas[stripe];
+  for (size_t j = 0; j < set.size(); ++j) {
+    if (set[j] == iod_id) return j;
+  }
+  return static_cast<size_t>(-1);
+}
+
+void Manager::note_replica_corrupt(Handle h, u32 stripe, u32 iod_id) {
+  const size_t pos = replica_pos(h, stripe, iod_id);
+  if (pos == static_cast<size_t>(-1)) return;
+  const size_t n = meta_of(h)->replicas[stripe].size();
+  StripeState& st = stripe_state_[{h, stripe}];
+  if (st.replica.empty()) st.replica.resize(n, 0);
+  if (st.corrupt.size() < n) st.corrupt.resize(n, false);
+  st.corrupt[pos] = true;
+}
+
+void Manager::note_replica_observed(Handle h, u32 stripe, u32 iod_id,
+                                    u64 version) {
+  const size_t pos = replica_pos(h, stripe, iod_id);
+  if (pos == static_cast<size_t>(-1)) return;
+  const size_t n = meta_of(h)->replicas[stripe].size();
+  StripeState& st = stripe_state_[{h, stripe}];
+  if (st.replica.empty()) st.replica.resize(n, 0);
+  // Downgrade on purpose: the header is physical evidence; the higher
+  // recorded version came from an ack whose write never hit the platter.
+  // `latest` stays — the minted sequence is still the repair target.
+  st.replica[pos] = version;
+  st.latest = std::max(st.latest, version);
+}
+
+void Manager::note_replica_resynced(Handle h, u32 stripe, u32 iod_id,
+                                    u64 version) {
+  const size_t pos = replica_pos(h, stripe, iod_id);
+  if (pos == static_cast<size_t>(-1)) return;
+  const size_t n = meta_of(h)->replicas[stripe].size();
+  StripeState& st = stripe_state_[{h, stripe}];
+  if (st.replica.empty()) st.replica.resize(n, 0);
+  if (pos < st.corrupt.size() && st.corrupt[pos]) {
+    st.corrupt[pos] = false;
+    if (stats_ != nullptr) stats_->add(stat::kPvfsCorruptionsRepaired);
+  }
+  st.replica[pos] = std::max(st.replica[pos], version);
+  st.latest = std::max(st.latest, version);
+}
+
+std::vector<Manager::LocalStripeView> Manager::local_stripes(
+    Handle local_handle, u32 iod_id) const {
+  std::vector<LocalStripeView> out;
+  const bool backup = (local_handle >> 63) != 0;
+  const Handle h =
+      backup ? (local_handle & ((Handle{1} << 48) - 1)) : local_handle;
+  const FileMeta* meta = meta_of(h);
+  if (meta == nullptr || meta->replication_factor <= 1) return out;
+  for (u32 k = 0; k < meta->replicas.size(); ++k) {
+    const std::vector<u32>& set = meta->replicas[k];
+    for (size_t j = 0; j < set.size(); ++j) {
+      if (set[j] != iod_id) continue;
+      // Same key-matching rule as the takeover header scan: a backup
+      // header names its stripe in the shadow handle; a primary local file
+      // is shared by every stripe primaried on the iod.
+      const Handle key = j == 0 ? h : backup_handle(h, k);
+      if (key != local_handle) continue;
+      LocalStripeView v;
+      v.handle = h;
+      v.stripe = k;
+      const auto it = stripe_state_.find({h, k});
+      if (it != stripe_state_.end()) {
+        v.known = true;
+        v.latest = it->second.latest;
+        v.recorded =
+            j < it->second.replica.size() ? it->second.replica[j] : 0;
+        if (j < it->second.corrupt.size() && it->second.corrupt[j]) {
+          v.recorded = 0;
+        }
+      }
+      out.push_back(v);
+    }
+  }
+  return out;
 }
 
 std::vector<Manager::ResyncTarget> Manager::resync_targets(u32 iod) const {
@@ -349,14 +446,21 @@ std::vector<Manager::ResyncTarget> Manager::resync_targets(u32 iod) const {
     for (size_t j = 0; j < set.size() && j < st.replica.size(); ++j) {
       if (set[j] == iod) pos = j;
     }
-    if (pos == set.size() || st.replica[pos] >= st.latest) continue;
+    const auto flagged = [&st](size_t j) {
+      return j < st.corrupt.size() && st.corrupt[j];
+    };
+    // A corrupt copy is always a resync target, whatever its header claims.
+    if (pos == set.size() ||
+        (!flagged(pos) && st.replica[pos] >= st.latest)) {
+      continue;
+    }
     ResyncTarget t;
     t.handle = h;
     t.stripe = stripe;
     t.latest = st.latest;
     t.local_handle = pos == 0 ? h : backup_handle(h, stripe);
     for (size_t j = 0; j < set.size() && j < st.replica.size(); ++j) {
-      if (j != pos && st.replica[j] >= st.latest) {
+      if (j != pos && !flagged(j) && st.replica[j] >= st.latest) {
         t.peers.push_back(set[j]);
         t.peer_handles.push_back(j == 0 ? h : backup_handle(h, stripe));
       }

@@ -104,10 +104,50 @@ class Manager {
     bool known = false;  // false: no versioned write ever touched the stripe
     u64 latest = 0;
     // Recorded version per replica position (parallel to
-    // FileMeta.replicas[stripe]); a replica trailing `latest` is stale.
+    // FileMeta.replicas[stripe]); a replica trailing `latest` is stale. A
+    // replica flagged corrupt reports 0 here — whatever version its header
+    // claims, its bytes are untrustworthy, so placement and read-repair
+    // must treat it as holding nothing.
     std::vector<u64> replica_versions;
   };
   StripeVersionView stripe_versions(Handle h, u32 stripe) const;
+
+  // --- Integrity plane --------------------------------------------------
+  // A reader's checksum verification (or the scrubber) caught physical iod
+  // `iod_id` serving corrupt bytes for (h, stripe): flag the copy. Fenced
+  // exactly like note_replica_version — unknown handles (a late report
+  // racing remove()) and iods outside the replica set must not materialize
+  // stripe state, which is what keeps the scrubber from resurrecting a
+  // removed file's stripes.
+  void note_replica_corrupt(Handle h, u32 stripe, u32 iod_id);
+
+  // Direct header observation disproving the map: iod `iod_id`'s stripe
+  // header for (h, stripe) reads `version`, *lower* than what the map
+  // recorded (a lost write — the iod acked a round it never applied).
+  // Unlike note_replica_version this downgrades: the header is physical
+  // evidence, the old note was a lie. Same liveness/membership fencing.
+  void note_replica_observed(Handle h, u32 stripe, u32 iod_id, u64 version);
+
+  // A completed resync pull rebuilt (h, stripe) on `iod_id` at `version`
+  // from an intact peer: record the version (max semantics) and clear the
+  // corrupt flag — the one event that does (pvfs.corruptions_repaired).
+  // Partial heals (read-repair rounds) deliberately clear nothing.
+  void note_replica_resynced(Handle h, u32 stripe, u32 iod_id, u64 version);
+
+  // Every (handle, stripe) whose copy on physical iod `iod_id` lives under
+  // local-file key `local_handle` (one stripe for a shadow-handle backup;
+  // every stripe primaried on the iod for a primary file), with the map's
+  // view of it — the scrubber's cross-check input. Empty for unknown or
+  // unreplicated handles (same liveness fence as the notes).
+  struct LocalStripeView {
+    Handle handle = 0;
+    u32 stripe = 0;
+    bool known = false;  // stripe has recorded version state
+    u64 latest = 0;
+    u64 recorded = 0;  // this copy's recorded version (0 when corrupt)
+  };
+  std::vector<LocalStripeView> local_stripes(Handle local_handle,
+                                             u32 iod_id) const;
 
   // Resync targeting: every stripe whose copy on physical iod `iod` is
   // recorded stale, with the chain peers recorded current (candidate pull
@@ -184,7 +224,15 @@ class Manager {
   struct StripeState {
     u64 latest = 0;
     std::vector<u64> replica;  // recorded version per replica position
+    // Copies caught serving bytes that fail checksum verification. A
+    // corrupt copy is always a resync target and never a pull source,
+    // whatever version it claims; only note_replica_resynced clears it.
+    std::vector<bool> corrupt;
   };
+  // The replica-set position of `iod_id` in (h, stripe)'s chain, with the
+  // membership + liveness fencing every staleness note shares; npos when
+  // the handle is dead, unreplicated, or the iod is outside the set.
+  size_t replica_pos(Handle h, u32 stripe, u32 iod_id) const;
 
   ModelConfig cfg_;
   ib::Fabric& fabric_;

@@ -198,6 +198,65 @@ TEST(DeterminismTest, ManagerTakeoverRunsAreBitIdenticalAcrossInvocations) {
   EXPECT_NE(a, run_fingerprint(takeover(78)));
 }
 
+TEST(DeterminismTest, ScrubbedCorruptionRunsAreBitIdenticalAcrossInvocations) {
+  // The integrity plane end to end — checksum stamping, rate-driven write
+  // corruption, verify-on-read failover, the scrubber's chunked sweep and
+  // the resync heals it enqueues — is pure event-driven state and must
+  // fingerprint identically run to run.
+  auto corrupted = [](u64 seed) {
+    ModelConfig cfg = faulty_fig6_config(seed);
+    cfg.replication.factor = 2;
+    cfg.replication.resync = true;
+    cfg.replication.scrub = true;
+    cfg.fault.bit_flip_rate = 0.25;
+    cfg.fault.torn_write_rate = 0.05;
+    return cfg;
+  };
+  auto fingerprint = [&](u64 seed) {
+    sim::Trace& trace = sim::Trace::instance();
+    trace.enable(/*capacity=*/1 << 16);
+    trace.clear();
+    ModelConfig cfg = corrupted(seed);
+    Cluster cluster(cfg, 2, 2);
+    Client& c = cluster.client(0);
+    OpenFile f = c.create("/det-scrub", 64 * kKiB, 2, 0).value();
+    const u64 n = 256 * kKiB;
+    const u64 a = c.memory().alloc(n);
+    for (u64 i = 0; i < n; ++i) {
+      c.memory().write_pod<u8>(a + i, static_cast<u8>(seed * 131 + i));
+    }
+    EXPECT_TRUE(c.write(f, 0, a, n).ok());
+    cluster.start_scrub(TimePoint::origin() + Duration::ms(100.0));
+    const u64 dst = c.memory().alloc(n);
+    IoHandle r;
+    const TimePoint rat = TimePoint::origin() + Duration::ms(150.0);
+    cluster.engine().schedule_at(rat, [&, rat] {
+      core::ListIoRequest req;
+      req.mem = {{dst, n}};
+      req.file = {{0, n}};
+      r = c.submit({IoDir::kRead, f, req, {}, rat});
+    });
+    cluster.run();
+    EXPECT_TRUE(r.poll() && r.result().ok());
+    std::string fp;
+    for (const sim::Trace::Entry& e : trace.entries()) {
+      fp += std::to_string(e.at.as_ns()) + " " + e.who + " " + e.what + "\n";
+    }
+    fp += "dropped=" + std::to_string(trace.dropped()) + "\n";
+    fp += cluster.stats().to_string();
+    trace.disable();
+    trace.clear();
+    return fp;
+  };
+  const std::string a = fingerprint(1);
+  const std::string b = fingerprint(1);
+  // The corruption plane actually fired (the lock is not vacuous)...
+  EXPECT_NE(a.find("fault.injected.bit_flip"), std::string::npos);
+  EXPECT_NE(a.find("pvfs.scrub_chunks"), std::string::npos);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, fingerprint(32));
+}
+
 TEST(DeterminismTest, DifferentFaultSeedsDiverge) {
   EXPECT_NE(run_fingerprint(faulty_fig6_config(123)),
             run_fingerprint(faulty_fig6_config(321)));

@@ -104,6 +104,13 @@ TEST(FaultTest, TrivialConfigReportsNoFaultOrRecoveryCounters) {
     EXPECT_NE(name, stat::kPvfsShardRedirects);
     EXPECT_NE(name, stat::kPvfsShardMapRefreshes);
     EXPECT_NE(name, stat::kPvfsVersionRemints);
+    EXPECT_NE(name, stat::kPvfsCorruptionsDetected);
+    EXPECT_NE(name, stat::kPvfsCorruptReadsFailedOver);
+    EXPECT_NE(name, stat::kPvfsCorruptionsRepaired);
+    EXPECT_NE(name, stat::kPvfsScrubChunks);
+    EXPECT_NE(name, stat::kPvfsScrubBytes);
+    EXPECT_NE(name, stat::kPvfsScrubCorruptions);
+    EXPECT_NE(name, stat::kPvfsScrubStaleHeaders);
   }
 }
 
@@ -765,6 +772,226 @@ TEST(ManagerCrashTest, TakeoverRebuildHealsViaResyncAfterLostNotes) {
   const Stats& s = cluster.stats();
   EXPECT_EQ(s.get(stat::kPvfsManagerTakeovers), 1);
   EXPECT_GE(s.get(stat::kPvfsResyncStripes), 1);
+}
+
+// --- 13. silent corruption: checksums, verify-on-read, scrubber -----------
+
+// Write pattern A to a width-1 factor-2 file pinned to iod `base`, healthy
+// (both replicas current at v1). Returns the pattern buffer.
+u64 preload(Cluster& cluster, OpenFile* f, u64 n) {
+  Client& c = cluster.client(0);
+  *f = c.create("/corr", 64 * kKiB, 1, /*base_iod=*/0).value();
+  const u64 a = c.memory().alloc(n);
+  fill(c, a, n, 41);
+  EXPECT_TRUE(c.write(*f, 0, a, n).ok());
+  return a;
+}
+
+TEST(CorruptionTest, ScheduledBitFlipIsDetectedAndFailedOver) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  // One bit of iod0's data at rest flips at 10 ms, after the write landed.
+  cfg.fault.schedule.push_back(FaultEvent{
+      FaultKind::kBitFlip, TimePoint::origin() + Duration::ms(10.0), 0,
+      Duration::zero()});
+  Cluster cluster(cfg, 1, 2);
+  Client& c = cluster.client(0);
+  OpenFile f;
+  const u64 n = 32 * kKiB;
+  const u64 a = preload(cluster, &f, n);
+  // The read starts at the primary (the map records everyone current),
+  // trips the block checksum, and fails over to the intact backup.
+  auto [r, dst] = read_at(cluster, f, Duration::ms(20.0), n);
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_TRUE(equal_mem(c, a, dst, n));
+  const Stats& s = cluster.stats();
+  EXPECT_EQ(s.get(stat::kFaultBitFlip), 1);
+  EXPECT_GE(s.get(stat::kPvfsCorruptionsDetected), 1);
+  EXPECT_GE(s.get(stat::kPvfsCorruptReadsFailedOver), 1);
+  EXPECT_EQ(r.failovers, 1u);
+  // The map now records iod0's copy as holding nothing; later reads are
+  // placed straight on the backup without burning another failover.
+  auto [r2, dst2] = read_at(cluster, f, Duration::ms(40.0), n);
+  ASSERT_TRUE(r2.ok()) << r2.status.to_string();
+  EXPECT_EQ(r2.failovers, 0u);
+  EXPECT_TRUE(equal_mem(c, a, dst2, n));
+}
+
+TEST(CorruptionTest, TornWriteIsDetectedOnReadBack) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  // iod0's copy of the first write round is torn: a prefix lands, the
+  // suffix is garbled, and the iod acks as if nothing happened.
+  cfg.fault.schedule.push_back(FaultEvent{
+      FaultKind::kTornWrite, TimePoint::origin(), 0, Duration::zero()});
+  Cluster cluster(cfg, 1, 2);
+  Client& c = cluster.client(0);
+  OpenFile f;
+  const u64 n = 32 * kKiB;
+  const u64 a = preload(cluster, &f, n);
+  EXPECT_EQ(cluster.stats().get(stat::kFaultTornWrite), 1);
+  auto [r, dst] = read_at(cluster, f, Duration::ms(20.0), n);
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  // The stamped checksums cover the *intended* bytes, so the garbled
+  // suffix cannot pass verification; the backup serves the acked data.
+  EXPECT_TRUE(equal_mem(c, a, dst, n));
+  EXPECT_GE(cluster.stats().get(stat::kPvfsCorruptionsDetected), 1);
+  EXPECT_GE(cluster.stats().get(stat::kPvfsCorruptReadsFailedOver), 1);
+}
+
+TEST(CorruptionTest, LostWriteIsDetectedViaVersionCrossCheck) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  // iod0 acks the 15 ms overwrite without applying it (header stays v1);
+  // the staleness map — fed by the ack — records it current at v2.
+  cfg.fault.schedule.push_back(FaultEvent{
+      FaultKind::kLostWrite, TimePoint::origin() + Duration::ms(10.0), 0,
+      Duration::zero()});
+  Cluster cluster(cfg, 1, 2);
+  Client& c = cluster.client(0);
+  OpenFile f;
+  const u64 n = 32 * kKiB;
+  preload(cluster, &f, n);
+  const u64 b = c.memory().alloc(n);
+  fill(c, b, n, 43);
+  IoHandle w;
+  const TimePoint at = TimePoint::origin() + Duration::ms(15.0);
+  cluster.engine().schedule_at(at, [&, at] {
+    core::ListIoRequest req;
+    req.mem = {{b, n}};
+    req.file = {{0, n}};
+    w = c.submit({IoDir::kWrite, f, req, {}, at});
+  });
+  cluster.engine().run_until([&w] { return w.valid() && w.poll(); });
+  ASSERT_TRUE(w.poll() && w.result().ok());  // the faithful lie: B is acked
+  EXPECT_EQ(cluster.stats().get(stat::kFaultLostWrite), 1);
+  EXPECT_EQ(cluster.iod(0).stripe_version(f.meta.handle), 1u);
+  // The read is placed on iod0 (the map believes its ack). Its checksums
+  // verify — the old bytes are internally consistent — but the served
+  // header version contradicts the recorded ack, which is exactly what a
+  // lost write looks like: fail over and serve the acked bytes.
+  auto [r, dst] = read_at(cluster, f, Duration::ms(100.0), n);
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_TRUE(equal_mem(c, b, dst, n));
+  const Stats& s = cluster.stats();
+  EXPECT_GE(s.get(stat::kPvfsCorruptionsDetected), 1);
+  EXPECT_GE(s.get(stat::kPvfsCorruptReadsFailedOver), 1);
+}
+
+TEST(CorruptionTest, ScrubberFindsAndRepairsAtRestCorruption) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  cfg.replication.resync = true;
+  cfg.replication.scrub = true;
+  cfg.fault.schedule.push_back(FaultEvent{
+      FaultKind::kBitFlip, TimePoint::origin() + Duration::ms(10.0), 0,
+      Duration::zero()});
+  Cluster cluster(cfg, 1, 2);
+  Client& c = cluster.client(0);
+  OpenFile f;
+  const u64 n = 32 * kKiB;
+  const u64 a = preload(cluster, &f, n);
+  // No reads ever touch the file: only the scrubber can find the rot.
+  cluster.start_scrub(TimePoint::origin() + Duration::ms(300.0));
+  cluster.run();
+  const Stats& s = cluster.stats();
+  EXPECT_GE(s.get(stat::kPvfsScrubChunks), 1);
+  EXPECT_GE(s.get(stat::kPvfsScrubCorruptions), 1);
+  EXPECT_GE(s.get(stat::kPvfsCorruptionsDetected), 1);
+  // The scrub finding became a resync pull from the intact backup, which
+  // is the one event allowed to clear the corrupt flag.
+  EXPECT_GE(s.get(stat::kPvfsResyncStripes), 1);
+  EXPECT_GE(s.get(stat::kPvfsCorruptionsRepaired), 1);
+  const std::span<const std::byte> healed =
+      cluster.iod(0).file(f.meta.handle).contents();
+  ASSERT_GE(healed.size(), n);
+  EXPECT_EQ(std::memcmp(healed.data(), c.memory().data(a), n), 0);
+  // Healed means readable from the primary again: placement trusts it.
+  auto [r, dst] = read_at(cluster, f, Duration::ms(400.0), n);
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_EQ(r.failovers, 0u);
+  EXPECT_TRUE(equal_mem(c, a, dst, n));
+}
+
+TEST(CorruptionTest, ScrubberDetectsLostWriteViaHeaderCrossCheck) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  cfg.replication.resync = true;
+  cfg.replication.scrub = true;
+  cfg.fault.schedule.push_back(FaultEvent{
+      FaultKind::kLostWrite, TimePoint::origin() + Duration::ms(10.0), 0,
+      Duration::zero()});
+  Cluster cluster(cfg, 1, 2);
+  Client& c = cluster.client(0);
+  OpenFile f;
+  const u64 n = 32 * kKiB;
+  preload(cluster, &f, n);
+  const u64 b = c.memory().alloc(n);
+  fill(c, b, n, 47);
+  IoHandle w;
+  const TimePoint at = TimePoint::origin() + Duration::ms(15.0);
+  cluster.engine().schedule_at(at, [&, at] {
+    core::ListIoRequest req;
+    req.mem = {{b, n}};
+    req.file = {{0, n}};
+    w = c.submit({IoDir::kWrite, f, req, {}, at});
+  });
+  cluster.engine().run_until([&w] { return w.valid() && w.poll(); });
+  ASSERT_TRUE(w.poll() && w.result().ok());
+  cluster.start_scrub(TimePoint::origin() + Duration::ms(300.0));
+  cluster.run();
+  const Stats& s = cluster.stats();
+  // The sweep compared iod0's v1 header against its recorded v2 ack,
+  // downgraded the map, and resync pulled the acked bytes across.
+  EXPECT_GE(s.get(stat::kPvfsScrubStaleHeaders), 1);
+  EXPECT_GE(s.get(stat::kPvfsResyncStripes), 1);
+  EXPECT_EQ(cluster.iod(0).stripe_version(f.meta.handle), 2u);
+  const std::span<const std::byte> healed =
+      cluster.iod(0).file(f.meta.handle).contents();
+  ASSERT_GE(healed.size(), n);
+  EXPECT_EQ(std::memcmp(healed.data(), c.memory().data(b), n), 0);
+}
+
+TEST(CorruptionTest, ScrubberNeverResurrectsRemovedHandles) {
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  cfg.replication.resync = true;
+  cfg.replication.scrub = true;
+  Cluster cluster(cfg, 1, 2);
+  Client& c = cluster.client(0);
+  OpenFile f;
+  const u64 n = 32 * kKiB;
+  preload(cluster, &f, n);
+  const Handle h = f.meta.handle;
+  ASSERT_TRUE(cluster.manager().stripe_versions(h, 0).known);
+  ASSERT_TRUE(c.remove("/corr").is_ok());
+  EXPECT_FALSE(cluster.manager().stripe_versions(h, 0).known);
+  // Sweep the (now empty) iods for a while: nothing may re-materialize the
+  // removed file's stripe state or enqueue resync work for it.
+  cluster.start_scrub(TimePoint::origin() + Duration::ms(300.0));
+  cluster.run();
+  EXPECT_FALSE(cluster.manager().stripe_versions(h, 0).known);
+  const Stats& s = cluster.stats();
+  EXPECT_EQ(s.get(stat::kPvfsScrubCorruptions), 0);
+  EXPECT_EQ(s.get(stat::kPvfsScrubStaleHeaders), 0);
+  EXPECT_EQ(s.get(stat::kPvfsResyncStripes), 0);
+}
+
+TEST(CorruptionTest, RateDrivenFlipsUnderLoadAllRecover) {
+  // A steady corruption rate on the write path: every flipped round read
+  // back is detected and failed over, and the data always comes back
+  // byte-exact (round_trip asserts it). Flips that land on the copy a
+  // read never touches stay invisible here — that blind spot is exactly
+  // the scrubber's job — so detections only bound from below.
+  ModelConfig cfg = faulty_config();
+  cfg.replication.factor = 2;
+  cfg.fault.bit_flip_rate = 0.1;
+  Cluster cluster(cfg, 1, 4);
+  round_trip(cluster, /*pieces=*/1024, /*piece_len=*/2048);
+  const Stats& s = cluster.stats();
+  EXPECT_GT(s.get(stat::kFaultBitFlip), 0);
+  EXPECT_GE(s.get(stat::kPvfsCorruptionsDetected), 1);
+  EXPECT_GE(s.get(stat::kPvfsCorruptReadsFailedOver), 1);
 }
 
 }  // namespace
