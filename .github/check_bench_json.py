@@ -35,6 +35,47 @@ RATE_POINT_KEYS = (
     "retries",
 )
 
+STORM_POINT_KEYS = (
+    "shards",
+    "ok",
+    "create_ops_per_s",
+    "create_p50_us",
+    "create_p99_us",
+    "create_p999_us",
+    "open_ops_per_s",
+    "open_p50_us",
+    "open_p99_us",
+    "open_p999_us",
+    "remove_ops_per_s",
+    "remove_p50_us",
+    "remove_p99_us",
+    "remove_p999_us",
+    "redirects",
+)
+
+MIGRATION_KEYS = (
+    "shard",
+    "shards",
+    "windows",
+    "window_us",
+    "migrate_at_us",
+    "baseline_ops_per_s",
+    "dip_min_ops_per_s",
+    "dip_depth_pct",
+    "dip_windows",
+    "others_baseline_ops_per_s",
+    "others_dip_depth_pct",
+    "redirects",
+    "wrong_shard_during_migration",
+    "migrations",
+    "migration_rounds",
+    "aborts",
+    "splits",
+    "shards_after_split",
+    "post_split_ok",
+    "ok",
+)
+
 CORRUPTION_POINT_KEYS = (
     "flips_scheduled",
     "scrub",
@@ -78,11 +119,20 @@ def check_load(path, doc):
     # The --faults sweep is optional; validate it when present.
     if "fault_points" in doc:
         fpts = require_points(
-            path, doc, "fault_points", LOAD_POINT_KEYS + ("scrub",),
+            path, doc, "fault_points", LOAD_POINT_KEYS + ("scrub", "fault"),
             allow_empty=True)
         for i, pt in enumerate(fpts):
             if pt["ops"] > 0 and not (pt["p50_us"] <= pt["p99_us"] <= pt["p999_us"]):
                 fail(f"{path}: fault_points[{i}] quantiles not monotone")
+            # The migration point's disturbance must actually have fired:
+            # the shard moved mid-measure and every op still completed.
+            if pt["fault"] == "migration":
+                if pt.get("migrations", 0) < 1:
+                    fail(f"{path}: fault_points[{i}] migration point "
+                         f"completed no migrations")
+                if not pt["ok"]:
+                    fail(f"{path}: fault_points[{i}] migration point "
+                         f"reports ok=false")
     return len(points)
 
 
@@ -114,9 +164,54 @@ def check_fault(path, doc):
     return n + len(points)
 
 
+def check_storm(path, doc):
+    for key in ("clients", "ops_per_client"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+    points = require_points(path, doc, "points", STORM_POINT_KEYS)
+    for i, pt in enumerate(points):
+        if not pt["ok"]:
+            fail(f"{path}: points[{i}] (shards={pt['shards']}) reports ok=false")
+        for op in ("create", "open", "remove"):
+            if not (pt[f"{op}_p50_us"] <= pt[f"{op}_p99_us"]
+                    <= pt[f"{op}_p999_us"]):
+                fail(f"{path}: points[{i}] {op} quantiles not monotone")
+    # The --migrate scenario is optional; when present the migration must
+    # have completed exactly once without aborting, the post-storm split
+    # must have doubled the plane, and redirects must actually have flowed
+    # (stale clients converge through kWrongShard, not magic).
+    n = len(points)
+    if "migration" in doc:
+        mig = doc["migration"]
+        if not isinstance(mig, dict):
+            fail(f"{path}: 'migration' must be an object")
+        for k in MIGRATION_KEYS:
+            if k not in mig:
+                fail(f"{path}: migration missing key '{k}'")
+        if not mig["ok"] or not mig["post_split_ok"]:
+            fail(f"{path}: migration reports ok={mig['ok']} "
+                 f"post_split_ok={mig['post_split_ok']}")
+        if mig["migrations"] != 1 or mig["aborts"] != 0:
+            fail(f"{path}: migration expected 1 completed migration, got "
+                 f"migrations={mig['migrations']} aborts={mig['aborts']}")
+        if mig["splits"] != 1 or mig["shards_after_split"] != 2 * mig["shards"]:
+            fail(f"{path}: split did not double the plane "
+                 f"(splits={mig['splits']}, "
+                 f"shards_after_split={mig['shards_after_split']})")
+        if mig["redirects"] < 1:
+            fail(f"{path}: migration saw no shard redirects")
+        if mig["baseline_ops_per_s"] <= 0:
+            fail(f"{path}: migration baseline throughput is zero")
+        if mig["dip_min_ops_per_s"] > mig["baseline_ops_per_s"]:
+            fail(f"{path}: migration dip minimum exceeds baseline")
+        n += 1
+    return n
+
+
 CHECKERS = {
     "load_harness": check_load,
     "fault_sweep": check_fault,
+    "meta_storm": check_storm,
 }
 
 

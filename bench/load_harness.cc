@@ -25,6 +25,12 @@ struct Point {
   u32 clients = 0;
   u32 iods = 0;
   load::LoadSummary sum;
+  // Set on --faults points only: which disturbance ran under the load
+  // ("crash_flip" or "migration"), whether the scrubber was on, and how
+  // many shard migrations completed.
+  const char* fault = nullptr;
+  int scrub = -1;
+  i64 migrations = 0;
 };
 
 load::LoadConfig base_config(bool smoke) {
@@ -69,13 +75,17 @@ void table_row(Table& t, const Point& pt) {
          s.ok ? "ok" : "FAILED"});
 }
 
-// `scrub` < 0: plain sweep point; 0/1: a --faults point, with the flag.
-void json_point(JsonWriter& j, const Point& pt, int scrub = -1) {
+// pt.scrub < 0: plain sweep point; 0/1: a --faults point, with the flag.
+void json_point(JsonWriter& j, const Point& pt) {
   const load::LoadSummary& s = pt.sum;
   j.begin_object();
   j.field("clients", pt.clients);
   j.field("iods", pt.iods);
-  if (scrub >= 0) j.field("scrub", scrub != 0);
+  if (pt.scrub >= 0) j.field("scrub", pt.scrub != 0);
+  if (pt.fault != nullptr) {
+    j.field("fault", pt.fault);
+    j.field("migrations", pt.migrations);
+  }
   j.field("ok", s.ok);
   j.field("ops", s.ops);
   j.field("data_ops", s.data_ops);
@@ -155,6 +165,49 @@ Point run_fault_point(u32 clients, u32 iods, u32 shards,
   pt.clients = clients;
   pt.iods = iods;
   pt.sum = engine.run();
+  pt.fault = "crash_flip";
+  pt.scrub = scrub ? 1 : 0;
+  return pt;
+}
+
+// A fault point where the disturbance is the control plane itself: shard 0
+// migrates to a fresh manager at the measure midpoint while the closed loop
+// runs. Every client that cached the old map eats a kWrongShard redirect
+// and re-refreshes; the op mix must keep completing through the stream, the
+// cutover fence, and the zombie-source drain. Works at any shard count —
+// at K=1 the whole metadata plane changes hands mid-measure.
+Point run_migration_fault_point(u32 clients, u32 iods, u32 shards,
+                                const load::LoadConfig& lc) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.pvfs.meta_cpu_queue = true;
+  cfg.replication.factor = 2;
+  cfg.replication.write_quorum = 1;
+  cfg.replication.resync = true;
+  cfg.fault.seed = 42;
+  cfg.fault.round_timeout = Duration::ms(2.0);
+  cfg.fault.backoff_base = Duration::us(100.0);
+  cfg.fault.backoff_cap = Duration::ms(2.0);
+  cfg.fault.max_retries = 25;
+  // Small rounds so the stream overlaps a real slice of the measure window
+  // instead of finishing inside one event.
+  cfg.migration.round_bytes = 4 * kKiB;
+  cfg.migration.stream_bandwidth = 50.0;
+
+  pvfs::Cluster cluster(cfg, pvfs::Cluster::Topology{}
+                                 .clients(clients)
+                                 .iods(iods)
+                                 .metadata_shards(shards));
+  const TimePoint mid = TimePoint::origin() + lc.ramp + (lc.measure / 2);
+  cluster.engine().schedule_at(
+      mid, [&cluster, mid] { cluster.migrate_shard(0, mid); });
+  load::LoadEngine engine(cluster, lc);
+  Point pt;
+  pt.clients = clients;
+  pt.iods = iods;
+  pt.sum = engine.run();
+  pt.fault = "migration";
+  pt.scrub = 0;
+  pt.migrations = cluster.stats().get(stat::kPvfsShardMigrations);
   return pt;
 }
 
@@ -217,20 +270,31 @@ void run(bool smoke, bool faults) {
                "writes settle on the survivor) — the damage is\nall tail. "
                "Scrubber off: each read of a rotten stripe re-pays the "
                "corrupt\nfailover. Scrubber on: the sweep heals the copies "
-               "and the tail recovers");
-    Table tf({"clients", "iods", "scrub", "ops", "kop/s", "MiB/s", "p50 us",
-              "p99 us", "p999 us", "fairness", "status"});
+               "and the tail recovers.\nThird point: shard 0 of the "
+               "metadata plane migrates to a fresh manager at the\nmeasure "
+               "midpoint — redirects and the cutover fence land in the "
+               "tail, not in\nfailed ops");
+    Table tf({"clients", "iods", "fault", "scrub", "ops", "kop/s", "MiB/s",
+              "p50 us", "p99 us", "p999 us", "fairness", "status"});
+    auto fault_row = [&](const Point& pt) {
+      const load::LoadSummary& s = pt.sum;
+      tf.row({fmt_int(pt.clients), fmt_int(pt.iods), pt.fault,
+              pt.scrub != 0 ? "on" : "off", fmt_int(s.ops),
+              fmt(s.ops_per_s / 1000.0, 1), fmt(s.mib_per_s, 1),
+              us(s.latency.quantile(0.50)), us(s.latency.quantile(0.99)),
+              us(s.latency.quantile(0.999)), fmt(s.fairness, 3),
+              s.ok ? "ok" : "FAILED"});
+    };
     for (bool scrub : {false, true}) {
       fault_points.push_back(
           run_fault_point(at_clients, iods, shards, lc, scrub));
-      const Point& pt = fault_points.back();
-      const load::LoadSummary& s = pt.sum;
-      tf.row({fmt_int(pt.clients), fmt_int(pt.iods), scrub ? "on" : "off",
-              fmt_int(s.ops), fmt(s.ops_per_s / 1000.0, 1),
-              fmt(s.mib_per_s, 1), us(s.latency.quantile(0.50)),
-              us(s.latency.quantile(0.99)), us(s.latency.quantile(0.999)),
-              fmt(s.fairness, 3), s.ok ? "ok" : "FAILED"});
+      fault_row(fault_points.back());
     }
+    // Third point: the disturbance is the metadata plane migrating out
+    // from under the closed loop (shard 0 changes owners mid-measure).
+    fault_points.push_back(
+        run_migration_fault_point(at_clients, iods, shards, lc));
+    fault_row(fault_points.back());
     tf.print();
     std::printf("\n");
   }
@@ -257,9 +321,7 @@ void run(bool smoke, bool faults) {
   j.end_array();
   if (faults) {
     j.begin_array("fault_points");
-    for (size_t i = 0; i < fault_points.size(); ++i) {
-      json_point(j, fault_points[i], /*scrub=*/static_cast<int>(i));
-    }
+    for (const Point& pt : fault_points) json_point(j, pt);
     j.end_array();
   }
   j.write_file("BENCH_load.json");

@@ -23,6 +23,7 @@
 // Latencies feed the shared log-bucketed LatencyHistogram; besides the
 // human-readable table the bench emits BENCH_metadata.json (create/open/
 // remove throughput and p50/p99/p999 latency vs shard count).
+#include <algorithm>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -153,6 +154,217 @@ StormPoint run_storm(u32 shards, u32 clients, u32 ops_per_client) {
 
 std::string fmt_kops(double ops_per_s) { return fmt(ops_per_s / 1000.0, 1); }
 
+// --- live-migration scenario ---------------------------------------------
+
+// One time-bounded open storm over a fixed span, binned into fixed windows
+// by completion time, with `migrate_shard(0)` fired mid-storm and a full
+// split after the storm drains. "hot" ops are opens of names that hash to
+// the migrating shard; "others" is everything else — the others series is
+// how we check that non-migrating shards stay flat through the cutover.
+struct MigrateResult {
+  u32 shard = 0;              // which shard migrated
+  u32 shards = 0;             // plane size during the storm
+  u32 windows = 0;
+  double window_us = 0.0;
+  double migrate_at_us = 0.0;  // offset of migrate_shard into the storm
+  double baseline_ops_per_s = 0.0;
+  double dip_min_ops_per_s = 0.0;
+  double dip_depth_pct = 0.0;
+  u32 dip_windows = 0;  // windows after the migrate below 80% of baseline
+  double others_baseline_ops_per_s = 0.0;
+  double others_dip_depth_pct = 0.0;
+  i64 redirects = 0;
+  i64 wrong_shard_during_migration = 0;
+  i64 migrations = 0;
+  i64 migration_rounds = 0;
+  i64 aborts = 0;
+  i64 splits = 0;
+  u32 shards_after_split = 0;
+  bool post_split_ok = true;  // every file re-opens on the doubled plane
+  bool ok = true;
+};
+
+MigrateResult run_migration_scenario(bool smoke) {
+  const u32 clients = smoke ? 8 : 16;
+  const u32 files_per_client = smoke ? 8 : 16;
+  constexpr u32 kShards = 4;
+  constexpr u32 kWindows = 20;
+  const Duration span = Duration::ms(smoke ? 8.0 : 30.0);
+  const i64 win_ns = span.as_ns() / kWindows;
+
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.pvfs.meta_cpu_queue = true;
+  // Slow the snapshot stream down so it spans several measurement windows
+  // (the default 400 MiB/s would move this namespace in microseconds), and
+  // chunk it small enough that the rate limiter actually paces rounds.
+  cfg.migration.stream_bandwidth = 2.0;
+  cfg.migration.round_bytes = 512;
+  pvfs::Cluster cluster(cfg, pvfs::Cluster::Topology{}
+                                 .clients(clients)
+                                 .iods(4)
+                                 .metadata_shards(kShards));
+
+  MigrateResult r;
+  r.shard = 0;
+  r.shards = kShards;
+  r.windows = kWindows;
+  r.window_us = Duration::ns(win_ns).as_us();
+
+  // Setup: every client's working set exists before the storm starts, and
+  // we know up front which names hash to the migrating shard.
+  std::vector<std::vector<bool>> hot(clients,
+                                     std::vector<bool>(files_per_client));
+  bool ok = true;
+  for (u32 ci = 0; ci < clients; ++ci) {
+    for (u32 k = 0; k < files_per_client; ++k) {
+      const std::string name = storm_name(ci, k);
+      ok = cluster.client(ci)
+               .create(name, 64 * kKiB, cluster.iod_count(), 0)
+               .is_ok() &&
+           ok;
+      hot[ci][k] = pvfs::shard_of(name, kShards) == 0;
+    }
+  }
+
+  const TimePoint start = cluster.engine().now() + Duration::us(200.0);
+  const TimePoint t_end = start + span;
+  const TimePoint mat = start + Duration::ns(span.as_ns() * 45 / 100);
+  r.migrate_at_us = (mat - start).as_us();
+
+  // Per-window completion bins (total and hot-only).
+  std::vector<u64> bin_total(kWindows), bin_hot(kWindows);
+  auto steps = std::make_shared<std::vector<std::function<void(u32)>>>(clients);
+  std::weak_ptr<std::vector<std::function<void(u32)>>> weak_steps = steps;
+  auto rngs = std::make_shared<std::vector<Rng>>();
+  for (u32 ci = 0; ci < clients; ++ci) {
+    rngs->push_back(Rng(0x316aULL + ci));
+  }
+  for (u32 ci = 0; ci < clients; ++ci) {
+    (*steps)[ci] = [&, weak_steps, rngs, ci, files_per_client, start, t_end,
+                    win_ns](u32 k) {
+      pvfs::Client& c = cluster.client(ci);
+      c.advance_to(cluster.engine().now());
+      const TimePoint t0 = c.now();
+      const u32 f = k % files_per_client;
+      ok = c.open(storm_name(ci, f)).is_ok() && ok;
+      const i64 idx =
+          std::min<i64>((c.now() - start).as_ns() / win_ns, kWindows - 1);
+      if (idx >= 0) {
+        ++bin_total[static_cast<size_t>(idx)];
+        if (hot[ci][f]) ++bin_hot[static_cast<size_t>(idx)];
+      }
+      const Duration op_lat = c.now() - t0;
+      const u64 bound =
+          static_cast<u64>(std::max<i64>(1, op_lat.as_ns() / kThinkDiv));
+      const Duration think =
+          Duration::ns(static_cast<i64>((*rngs)[ci].below(bound)));
+      if (c.now() + think < t_end) {
+        cluster.engine().schedule_at(c.now() + think,
+                                     [s = weak_steps.lock(), ci, k] {
+                                       if (s != nullptr) (*s)[ci](k + 1);
+                                     });
+      }
+    };
+    const Duration jitter = Duration::ns(static_cast<i64>(
+        (*rngs)[ci].below(static_cast<u64>(kStartJitter.as_ns()))));
+    cluster.engine().schedule_at(start + jitter,
+                                 [steps, ci] { (*steps)[ci](0); });
+  }
+  cluster.engine().schedule_at(
+      mat, [&cluster, mat] { cluster.migrate_shard(0, mat); });
+  cluster.run();
+
+  // Window rates. Baseline = mean of the pre-migration windows (skipping
+  // window 0, which absorbs the jittered ramp); the dip is scanned over the
+  // windows at/after the migrate (excluding the final, partially-drained
+  // window).
+  auto rate = [&](const std::vector<u64>& bins, u32 w) {
+    return static_cast<double>(bins[w]) * 1e9 / static_cast<double>(win_ns);
+  };
+  const u32 mwin = static_cast<u32>((mat - start).as_ns() / win_ns);
+  auto mean_rate = [&](const std::vector<u64>& bins, u32 lo, u32 hi) {
+    u64 total = 0;
+    for (u32 w = lo; w < hi; ++w) total += bins[w];
+    return hi > lo ? static_cast<double>(total) * 1e9 /
+                         static_cast<double>(win_ns * (hi - lo))
+                   : 0.0;
+  };
+  std::vector<u64> bin_others(kWindows);
+  for (u32 w = 0; w < kWindows; ++w) bin_others[w] = bin_total[w] - bin_hot[w];
+  r.baseline_ops_per_s = mean_rate(bin_total, 1, mwin);
+  r.others_baseline_ops_per_s = mean_rate(bin_others, 1, mwin);
+  double dip_min = r.baseline_ops_per_s;
+  double others_min = r.others_baseline_ops_per_s;
+  for (u32 w = mwin; w + 1 < kWindows; ++w) {
+    dip_min = std::min(dip_min, rate(bin_total, w));
+    others_min = std::min(others_min, rate(bin_others, w));
+    if (rate(bin_total, w) < 0.8 * r.baseline_ops_per_s) ++r.dip_windows;
+  }
+  r.dip_min_ops_per_s = dip_min;
+  r.dip_depth_pct = r.baseline_ops_per_s > 0.0
+                        ? (r.baseline_ops_per_s - dip_min) * 100.0 /
+                              r.baseline_ops_per_s
+                        : 0.0;
+  r.others_dip_depth_pct =
+      r.others_baseline_ops_per_s > 0.0
+          ? (r.others_baseline_ops_per_s - others_min) * 100.0 /
+                r.others_baseline_ops_per_s
+          : 0.0;
+
+  r.redirects = cluster.stats().get(stat::kPvfsShardRedirects);
+  r.wrong_shard_during_migration =
+      cluster.stats().get(stat::kPvfsWrongShardDuringMigration);
+  r.migrations = cluster.stats().get(stat::kPvfsShardMigrations);
+  r.migration_rounds = cluster.stats().get(stat::kPvfsMigrationRounds);
+  r.aborts = cluster.stats().get(stat::kPvfsMigrationAborts);
+
+  // After the storm drains, double the plane and re-open everything: the
+  // split's correctness check rides along with the bench.
+  cluster.split_shards(cluster.engine().now());
+  cluster.run();
+  r.splits = cluster.stats().get(stat::kPvfsShardSplits);
+  r.shards_after_split = cluster.metadata_shards();
+  for (u32 ci = 0; ci < clients; ++ci) {
+    for (u32 k = 0; k < files_per_client; ++k) {
+      r.post_split_ok =
+          cluster.client(ci).open(storm_name(ci, k)).is_ok() && r.post_split_ok;
+    }
+  }
+  r.ok = ok;
+  return r;
+}
+
+void print_migration(const MigrateResult& m) {
+  header("Live migration under storm: shard 0 moves mid-storm, plane splits "
+         "after",
+         "open storm over " + fmt_int(m.windows) + " windows of " +
+             fmt(m.window_us, 0) + " us; migrate_shard(0) at +" +
+             fmt(m.migrate_at_us, 0) +
+             " us. The dip is the cutover's redirect burst; \"others\" "
+             "(names on\nnon-migrating shards) should stay flat. The split "
+             "doubles the plane once the\nstorm drains and every name must "
+             "re-open via redirects alone");
+  Table t({"series", "baseline kop/s", "dip min kop/s", "dip depth",
+           "dip windows"});
+  t.row({"all shards", fmt_kops(m.baseline_ops_per_s),
+         fmt_kops(m.dip_min_ops_per_s), fmt(m.dip_depth_pct, 1) + "%",
+         fmt_int(m.dip_windows)});
+  t.row({"others", fmt_kops(m.others_baseline_ops_per_s),
+         fmt_kops(m.others_baseline_ops_per_s *
+                  (1.0 - m.others_dip_depth_pct / 100.0)),
+         fmt(m.others_dip_depth_pct, 1) + "%", "-"});
+  t.print();
+  std::printf(
+      "\n  migrations=%lld rounds=%lld aborts=%lld redirects=%lld "
+      "wrong_shard=%lld\n  split: %lld -> %u shards, re-open %s\n",
+      static_cast<long long>(m.migrations),
+      static_cast<long long>(m.migration_rounds),
+      static_cast<long long>(m.aborts), static_cast<long long>(m.redirects),
+      static_cast<long long>(m.wrong_shard_during_migration),
+      static_cast<long long>(m.splits), m.shards_after_split,
+      m.post_split_ok ? "ok" : "FAILED");
+}
+
 void json_phase(JsonWriter& j, const char* tag, const PhaseResult& p) {
   const std::string t(tag);
   j.field((t + "_ops_per_s").c_str(), p.ops_per_s, 1);
@@ -162,7 +374,7 @@ void json_phase(JsonWriter& j, const char* tag, const PhaseResult& p) {
 }
 
 void write_json(const std::vector<StormPoint>& points, u32 clients,
-                u32 ops_per_client) {
+                u32 ops_per_client, const MigrateResult* mig) {
   JsonWriter j;
   j.field("bench", "meta_storm");
   j.field("clients", clients);
@@ -179,10 +391,34 @@ void write_json(const std::vector<StormPoint>& points, u32 clients,
     j.end_object();
   }
   j.end_array();
+  if (mig != nullptr) {
+    j.begin_object("migration");
+    j.field("shard", mig->shard);
+    j.field("shards", mig->shards);
+    j.field("windows", mig->windows);
+    j.field("window_us", mig->window_us, 1);
+    j.field("migrate_at_us", mig->migrate_at_us, 1);
+    j.field("baseline_ops_per_s", mig->baseline_ops_per_s, 1);
+    j.field("dip_min_ops_per_s", mig->dip_min_ops_per_s, 1);
+    j.field("dip_depth_pct", mig->dip_depth_pct, 1);
+    j.field("dip_windows", mig->dip_windows);
+    j.field("others_baseline_ops_per_s", mig->others_baseline_ops_per_s, 1);
+    j.field("others_dip_depth_pct", mig->others_dip_depth_pct, 1);
+    j.field("redirects", mig->redirects);
+    j.field("wrong_shard_during_migration", mig->wrong_shard_during_migration);
+    j.field("migrations", mig->migrations);
+    j.field("migration_rounds", mig->migration_rounds);
+    j.field("aborts", mig->aborts);
+    j.field("splits", mig->splits);
+    j.field("shards_after_split", mig->shards_after_split);
+    j.field("post_split_ok", mig->post_split_ok);
+    j.field("ok", mig->ok);
+    j.end_object();
+  }
   j.write_file("BENCH_metadata.json");
 }
 
-void run(bool smoke) {
+void run(bool smoke, bool migrate) {
   const u32 clients = smoke ? 8 : 16;
   const u32 ops_per_client = smoke ? 16 : 64;
   const std::vector<u32> shard_counts =
@@ -213,7 +449,12 @@ void run(bool smoke) {
   }
   t.print();
   std::printf("\n");
-  write_json(points, clients, ops_per_client);
+  MigrateResult mig;
+  if (migrate) {
+    mig = run_migration_scenario(smoke);
+    print_migration(mig);
+  }
+  write_json(points, clients, ops_per_client, migrate ? &mig : nullptr);
 }
 
 }  // namespace
@@ -221,9 +462,11 @@ void run(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool migrate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--migrate") == 0) migrate = true;
   }
-  pvfsib::bench::run(smoke);
+  pvfsib::bench::run(smoke, migrate);
   return 0;
 }

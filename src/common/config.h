@@ -209,6 +209,13 @@ enum class FaultKind {
   // `manager_takeover_delay` after the window opens; otherwise clients just
   // burn their retry budgets.
   kManagerCrash,
+  // The in-flight migration target for metadata shard `target` crashes at
+  // `at` (one-shot, consumed by the migration's next stream round or its
+  // cutover check). The migration aborts cleanly and the source — which
+  // kept serving throughout — simply stays the shard's authority: target
+  // crash falls back to the source. Ignored when no migration is streaming
+  // for the shard at the time.
+  kMigrationTargetCrash,
   // --- Silent data corruption (integrity plane) ---------------------------
   // None of these three are fail-stop: the iod stays up and keeps acking.
   // They are only *observable* through the stripe block checksums and the
@@ -391,6 +398,33 @@ struct ReplicationParams {
   }
 };
 
+// --- Live shard migration / resharding --------------------------------------
+// Online ownership movement in the sharded metadata plane:
+// Cluster::migrate_shard() drains one shard onto a fresh manager and
+// Cluster::split_shards() grows the plane K -> 2K, both while clients keep
+// racing (ARCHITECTURE.md "Live resharding"). The source streams its
+// namespace + version/staleness/corrupt maps to the target in rate-limited
+// rounds and keeps serving; a final fenced cutover bumps the shard epoch and
+// flips the registry. Runs that never start a migration consult none of
+// these knobs and stay byte-identical.
+struct MigrationParams {
+  // Wire rate cap for the snapshot stream in MiB/s (also bounded by the
+  // fabric's control-path bandwidth) and the chunk size of one stream round.
+  double stream_bandwidth = 400.0;
+  u64 round_bytes = 64 * kKiB;
+  // Pause between the last stream round and the cutover event (drain delay:
+  // lets in-flight replies clear before ownership flips).
+  Duration cutover_delay = Duration::us(500.0);
+  // MetaClient's bounded re-refresh on kWrongShard replies: a call retries
+  // its shard-map refresh up to `map_refresh_attempts` times with capped
+  // exponential backoff, so two map generations in flight (a refresh that
+  // lands an already-stale map mid-migration) cannot strand the call the
+  // way the old at-most-once refresh did.
+  u32 map_refresh_attempts = 3;
+  Duration map_refresh_backoff = Duration::us(200.0);
+  Duration map_refresh_backoff_cap = Duration::ms(2.0);
+};
+
 // --- Everything --------------------------------------------------------
 struct ModelConfig {
   NetParams net;
@@ -402,6 +436,7 @@ struct ModelConfig {
   PvfsParams pvfs;
   FaultConfig fault;  // trivial by default: no faults, no recovery overhead
   ReplicationParams replication;  // factor 1 = classic single-copy PVFS
+  MigrationParams migration;      // consulted only once a migration starts
 
   // Outstanding-round window per I/O server: how many list I/O rounds a
   // client may keep in flight to one iod. 1 reproduces classic PVFS

@@ -268,6 +268,24 @@ inline constexpr const char* kPvfsManagerTakeovers = "pvfs.manager_takeovers";
 inline constexpr const char* kPvfsShardRedirects = "pvfs.shard_redirects";
 inline constexpr const char* kPvfsShardMapRefreshes =
     "pvfs.shard_map_refreshes";
+// Live shard migration / resharding (reported only when a migration or
+// split is actually started via Cluster::migrate_shard()/split_shards(), so
+// every zero-migration run keeps counter sets — and fingerprints —
+// identical). shard_migrations counts completed single-shard moves,
+// shard_splits completed K->2K plane growths, migration_rounds the
+// rate-limited snapshot stream rounds, migration_aborts cleanly abandoned
+// migrations (source crash mid-stream, target crash, or a takeover racing
+// the stream), and wrong_shard_during_migration the kWrongShard redirects
+// answered by a manager that lost the name to a completed migration/split
+// while clients still held stale maps.
+inline constexpr const char* kPvfsShardMigrations = "pvfs.shard_migrations";
+inline constexpr const char* kPvfsShardSplits = "pvfs.shard_splits";
+inline constexpr const char* kPvfsMigrationRounds = "pvfs.migration_rounds";
+inline constexpr const char* kPvfsMigrationAborts = "pvfs.migration_aborts";
+inline constexpr const char* kPvfsWrongShardDuringMigration =
+    "pvfs.wrong_shard_during_migration";
+inline constexpr const char* kFaultMigrationTargetCrash =
+    "fault.injected.migration_target_crash";
 // Client re-minted a write round's version/epoch after an iod fenced the
 // old-epoch mint (closes the sub-quorum old-epoch divergence window).
 inline constexpr const char* kPvfsVersionRemints = "pvfs.version_remints";

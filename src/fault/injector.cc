@@ -145,6 +145,15 @@ bool Injector::meta_request_lost(TimePoint at, bool primary, u32 shard) {
   return false;
 }
 
+bool Injector::migration_target_crashed(u32 shard, TimePoint at) {
+  if (!enabled_) return false;
+  if (!consume_scheduled(FaultKind::kMigrationTargetCrash, shard, at)) {
+    return false;
+  }
+  if (stats_ != nullptr) stats_->add(stat::kFaultMigrationTargetCrash);
+  return true;
+}
+
 void Injector::install_restart_hooks(sim::Engine& engine, RestartHook hook) {
   if (!enabled_) return;
   for (const FaultEvent& ev : cfg_.schedule) {

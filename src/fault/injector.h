@@ -78,6 +78,13 @@ class Injector {
   // crash windows.
   bool meta_request_lost(TimePoint at, bool primary = true, u32 shard = 0);
 
+  // Did the in-flight migration target for metadata shard `shard` crash
+  // (scheduled kMigrationTargetCrash with that target, one-shot) by `at`?
+  // Consulted by the migration's stream rounds and its cutover check; a
+  // `true` aborts the migration and falls back to the source. Runs without
+  // migrations never call this, so the schedule entry is inert for them.
+  bool migration_target_crashed(u32 shard, TimePoint at);
+
   // Schedule `hook(shard, takeover_time)` on the engine `delay` after every
   // kManagerCrash window *opens* (failure detection + rebuild time — the
   // standby does not wait for the primary to come back); `shard` is the

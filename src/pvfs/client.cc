@@ -87,7 +87,7 @@ Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
       cache_(hca_),
       registrar_(cache_, cfg.os, core::OgrConfig{}, stats),
       xfer_(fabric, cfg.mem),
-      meta_(hca_, engine, stats, faults, &registry) {
+      meta_(hca_, engine, stats, faults, &registry, cfg.migration) {
   ep_.hca = &hca_;
   ep_.cache = &cache_;
   ep_.registrar = &registrar_;

@@ -28,10 +28,14 @@ Cluster::Cluster(const ModelConfig& cfg, const Topology& topo) : cfg_(cfg) {
   cfg_.pvfs.metadata_shards = shard_count;
   const bool with_standbys =
       topo.with_standbys.value_or(cfg.fault.standby_takeover);
+  with_standbys_ = with_standbys;
+  cluster_iod_count_ = topo.iod_count;
   faults_ = std::make_unique<fault::Injector>(cfg.fault, &stats_);
   fabric_ = std::make_unique<ib::Fabric>(cfg_.net, &stats_, faults_.get());
-  // Sized once up front: managers hold pointers into the vector.
+  // Sized up front; a split grows it (deque: no relocation — managers hold
+  // pointers into the cells).
   epochs_.resize(shard_count);
+  migrating_.assign(shard_count, 0);
   managers_.reserve(shard_count);
   standbys_.resize(shard_count);
   active_.reserve(shard_count);
@@ -142,6 +146,312 @@ void Cluster::manager_takeover(u32 shard, TimePoint at) {
       iod->on_restart(at);
     }
   }
+}
+
+// --- Live shard migration / resharding -------------------------------------
+
+// One in-flight stream: `shard` drains from `source` into `target`. For a
+// single move new_shard == shard; for a split new_shard is the sibling
+// (split_sibling(shard, K)) and `group` joins the K streams at the barrier.
+struct Cluster::MigrationState {
+  u32 shard = 0;
+  u32 new_shard = 0;
+  Manager* source = nullptr;
+  std::unique_ptr<Manager> target;
+  u64 start_epoch = 0;  // abort if the shard's epoch moves past this
+  u64 bytes_total = 0;
+  u64 bytes_done = 0;
+  std::shared_ptr<SplitGroup> group;  // null for a single move
+};
+
+struct Cluster::SplitGroup {
+  u32 old_count = 0;
+  u32 pending = 0;  // streams still draining
+  bool aborted = false;
+  std::vector<std::shared_ptr<MigrationState>> children;
+};
+
+std::unique_ptr<Manager> Cluster::provision_manager(const std::string& name,
+                                                    u32 shard,
+                                                    u32 shard_count) {
+  return std::make_unique<Manager>(
+      cfg_, *fabric_, &stats_,
+      ManagerOptions{.cluster_iod_count = cluster_iod_count_,
+                     .faults = faults_.get(),
+                     .name = name,
+                     .shard_id = shard,
+                     .shard_count = shard_count});
+}
+
+bool Cluster::migration_inflight() const {
+  if (split_inflight_) return true;
+  for (char m : migrating_) {
+    if (m != 0) return true;
+  }
+  return false;
+}
+
+bool Cluster::migrate_shard(u32 shard, TimePoint at) {
+  if (shard >= managers_.size() || split_inflight_ || migrating_[shard] != 0) {
+    return false;
+  }
+  if (at < engine_.now()) at = engine_.now();
+  const u32 shard_count = static_cast<u32>(managers_.size());
+  auto st = std::make_shared<MigrationState>();
+  st->shard = shard;
+  st->new_shard = shard;
+  // Stream from the shard's current authority — after a takeover that is
+  // the promoted standby, not the original primary.
+  st->source = active_[shard];
+  st->target = provision_manager("mgr" + std::to_string(shard) + "m", shard,
+                                 shard_count);
+  st->target->attach_epoch(&epochs_[shard], /*active=*/false);
+  st->start_epoch = epochs_[shard].value;
+  st->bytes_total =
+      std::max<u64>(st->source->shard_state_bytes(shard, shard_count), 1);
+  migrating_[shard] = 1;
+  sim::Trace::instance().emitf(
+      at, "cluster", "migration shard %u: %s -> %s streaming %llu bytes",
+      shard, st->source->hca().name().c_str(),
+      st->target->hca().name().c_str(),
+      static_cast<unsigned long long>(st->bytes_total));
+  engine_.schedule_at(at, [this, st] { migration_round(st); });
+  return true;
+}
+
+bool Cluster::split_shards(TimePoint at) {
+  if (migration_inflight()) return false;
+  if (at < engine_.now()) at = engine_.now();
+  const u32 k = static_cast<u32>(managers_.size());
+  const u32 k2 = 2 * k;
+  // Install the sibling epoch cells up front (deque: existing cells stay
+  // put). Seeding each at the source's current epoch makes the cutover
+  // bump strictly fence every pre-split mint for the moved handles.
+  while (epochs_.size() < k2) epochs_.push_back(ManagerEpoch{});
+  auto group = std::make_shared<SplitGroup>();
+  group->old_count = k;
+  group->pending = k;
+  for (u32 s = 0; s < k; ++s) {
+    const u32 sibling = split_sibling(s, k);
+    epochs_[sibling].value =
+        std::max(epochs_[sibling].value, epochs_[s].value);
+    auto st = std::make_shared<MigrationState>();
+    st->shard = s;
+    st->new_shard = sibling;
+    st->source = active_[s];
+    st->target = provision_manager(primary_name(sibling, k2), sibling, k2);
+    st->target->attach_epoch(&epochs_[sibling], /*active=*/false);
+    st->start_epoch = epochs_[s].value;
+    st->bytes_total =
+        std::max<u64>(st->source->shard_state_bytes(sibling, k2), 1);
+    st->group = group;
+    group->children.push_back(st);
+    migrating_[s] = 1;
+  }
+  split_inflight_ = true;
+  sim::Trace::instance().emitf(at, "cluster",
+                               "split start: %u -> %u shards", k, k2);
+  for (auto& st : group->children) {
+    engine_.schedule_at(at, [this, st] { migration_round(st); });
+  }
+  return true;
+}
+
+bool Cluster::migration_aborted(MigrationState& st, TimePoint at) {
+  // Source crash window: stream rounds from a crashed source are lost and
+  // the snapshot cannot be trusted.
+  if (faults_->manager_down(at, st.shard)) return true;
+  // A standby takeover raced the stream: the epoch moved on and the
+  // source's snapshot is no longer the shard's authority.
+  if (epochs_[st.shard].value != st.start_epoch) return true;
+  // Scheduled target crash (one-shot; consumed here).
+  if (faults_->migration_target_crashed(st.shard, at)) return true;
+  return false;
+}
+
+void Cluster::migration_round(std::shared_ptr<MigrationState> st) {
+  const TimePoint now = engine_.now();
+  if (migration_aborted(*st, now)) {
+    abort_migration(st, now);
+    return;
+  }
+  const u64 chunk =
+      std::min<u64>(cfg_.migration.round_bytes, st->bytes_total - st->bytes_done);
+  // One rate-limited round: a control send source -> target carrying
+  // `chunk` snapshot bytes. The state copy itself happens host-side at
+  // cutover (delta-inclusive by construction — serve-path mutations run
+  // synchronously before the later cutover event); the rounds model the
+  // wire occupancy and pace the stream.
+  fabric_->send_control(st->source->hca(), st->target->hca(), chunk, now,
+                        ib::ControlKind::kRequest);
+  stats_.add(stat::kPvfsMigrationRounds);
+  st->bytes_done += chunk;
+  if (st->bytes_done >= st->bytes_total) {
+    migration_streamed(st);
+    return;
+  }
+  engine_.schedule_at(now + transfer_time(chunk, cfg_.migration.stream_bandwidth),
+                      [this, st] { migration_round(st); });
+}
+
+void Cluster::migration_streamed(std::shared_ptr<MigrationState> st) {
+  const TimePoint now = engine_.now();
+  const TimePoint cut = now + cfg_.migration.cutover_delay;
+  if (st->group == nullptr) {
+    engine_.schedule_at(cut, [this, st] { migrate_cutover(st); });
+    return;
+  }
+  // Split barrier: the last stream to drain arms the group cutover (all K
+  // pairs must flip at one instant — per-pair flips would split-brain
+  // names between managers routing with different shard counts).
+  auto group = st->group;
+  if (--group->pending != 0) return;
+  if (group->aborted) {
+    wind_down_split(group, now);
+    return;
+  }
+  engine_.schedule_at(cut, [this, group] { split_cutover(group); });
+}
+
+void Cluster::abort_migration(std::shared_ptr<MigrationState> st,
+                              TimePoint at) {
+  migrating_[st->shard] = 0;
+  sim::Trace::instance().emitf(
+      at, "cluster", "migration shard %u aborted (falling back to %s)",
+      st->shard, st->source->hca().name().c_str());
+  if (st->group != nullptr) {
+    st->group->aborted = true;
+    if (--st->group->pending == 0) wind_down_split(st->group, at);
+    return;
+  }
+  // The target dies with the state; the source never stopped serving.
+  stats_.add(stat::kPvfsMigrationAborts);
+}
+
+void Cluster::wind_down_split(std::shared_ptr<SplitGroup> group,
+                              TimePoint at) {
+  for (auto& child : group->children) migrating_[child->shard] = 0;
+  split_inflight_ = false;
+  // One abort per migration unit: the whole split counts once.
+  stats_.add(stat::kPvfsMigrationAborts);
+  sim::Trace::instance().emitf(at, "cluster",
+                               "split aborted; plane stays at %u shards",
+                               group->old_count);
+  // Break the group <-> child shared_ptr cycle; the states (and any abandoned
+  // target managers) die once the last in-flight event releases its ref.
+  group->children.clear();
+}
+
+void Cluster::migrate_cutover(std::shared_ptr<MigrationState> st) {
+  const TimePoint now = engine_.now();
+  if (migration_aborted(*st, now)) {
+    abort_migration(st, now);
+    return;
+  }
+  const u32 shard = st->shard;
+  const u32 shard_count = static_cast<u32>(managers_.size());
+  // Fenced cutover, one engine instant: bump the epoch (every in-flight
+  // mint the source stamped is now fenced at the iods, exactly like a
+  // takeover), hand the final snapshot to the target, retire the source
+  // into a pure redirector.
+  ManagerEpoch& cell = epochs_[shard];
+  ++cell.value;
+  Manager* target = st->target.get();
+  target->adopt_shard(st->source->export_shard(shard, shard_count), shard,
+                      shard_count, &cell);
+  st->source->retire_migrated();
+  // The demoted boxes stay alive as redirectors — stale client maps hold
+  // raw pointers into them.
+  retired_.push_back(std::move(managers_[shard]));
+  managers_[shard] = std::move(st->target);
+  if (standbys_[shard] != nullptr && standbys_[shard].get() == st->source) {
+    // The source was a promoted standby (a takeover preceded this
+    // migration); it retires too and the shard continues standby-less.
+    retired_.push_back(std::move(standbys_[shard]));
+  }
+  active_[shard] = target;
+  std::vector<Manager*> candidates{target};
+  if (standbys_[shard] != nullptr) candidates.push_back(standbys_[shard].get());
+  registry_.set_candidates(shard, std::move(candidates), 0);
+  migrating_[shard] = 0;
+  repoint_shard(shard, target);
+  kick_resync(now);
+  stats_.add(stat::kPvfsShardMigrations);
+  sim::Trace::instance().emitf(
+      now, "cluster", "migration shard %u cutover -> %s (epoch %llu)", shard,
+      target->hca().name().c_str(),
+      static_cast<unsigned long long>(cell.value));
+}
+
+void Cluster::split_cutover(std::shared_ptr<SplitGroup> group) {
+  const TimePoint now = engine_.now();
+  for (auto& st : group->children) {
+    if (migration_aborted(*st, now)) group->aborted = true;
+  }
+  if (group->aborted) {
+    wind_down_split(group, now);
+    return;
+  }
+  const u32 k = group->old_count;
+  const u32 k2 = 2 * k;
+  // Atomic flip, one engine instant: adopt every sibling half, shed the
+  // moved halves from the sources, then rewire registry + iod routing.
+  for (u32 s = 0; s < k; ++s) {
+    auto& st = group->children[s];
+    const u32 sibling = split_sibling(s, k);
+    ManagerEpoch& cell = epochs_[sibling];
+    cell.value = std::max(cell.value, epochs_[s].value) + 1;
+    st->target->adopt_shard(st->source->export_shard(sibling, k2), sibling,
+                            k2, &cell);
+    st->source->drop_shard_complement(k2);
+    // Shard s's epoch is NOT bumped: handles that stay put keep their
+    // in-flight mints valid across the split.
+    if (standbys_[s] != nullptr) standbys_[s]->retag_shard(k2);
+  }
+  for (u32 s = 0; s < k; ++s) {
+    auto& st = group->children[s];
+    const u32 sibling = split_sibling(s, k);
+    Manager* target = st->target.get();
+    managers_.push_back(std::move(st->target));
+    active_.push_back(target);
+    std::unique_ptr<Manager> sb;
+    if (with_standbys_) {
+      sb = provision_manager(standby_name(sibling, k2), sibling, k2);
+      sb->attach_epoch(&epochs_[sibling], /*active=*/false);
+    }
+    standbys_.push_back(std::move(sb));
+    std::vector<Manager*> candidates{target};
+    if (standbys_.back() != nullptr) {
+      candidates.push_back(standbys_.back().get());
+    }
+    registry_.add_shard(std::move(candidates));
+  }
+  registry_.note_resharded();
+  cfg_.pvfs.metadata_shards = k2;
+  for (auto& iod : iods_) iod->set_metadata_shards(k2);
+  migrating_.assign(k2, 0);
+  split_inflight_ = false;
+  for (u32 s = 0; s < k; ++s) {
+    repoint_shard(split_sibling(s, k), active_[split_sibling(s, k)]);
+  }
+  kick_resync(now);
+  stats_.add(stat::kPvfsShardSplits);
+  sim::Trace::instance().emitf(now, "cluster",
+                               "split cutover: plane now %u shards", k2);
+  // Break the group <-> child shared_ptr cycle so the split state frees.
+  group->children.clear();
+}
+
+void Cluster::repoint_shard(u32 shard, Manager* owner) {
+  for (auto& iod : iods_) iod->note_manager_epoch(epochs_[shard].value, shard);
+  if (cfg_.replication.factor > 1 && cfg_.replication.resync) {
+    for (auto& iod : iods_) iod->set_resync_authority(shard, owner);
+  }
+}
+
+void Cluster::kick_resync(TimePoint at) {
+  if (cfg_.replication.factor <= 1 || !cfg_.replication.resync) return;
+  for (auto& iod : iods_) iod->on_restart(at);
 }
 
 void Cluster::start_scrub(TimePoint until) {

@@ -4,6 +4,7 @@
 // the paper's 8-node InfiniBand testbed.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -121,6 +122,46 @@ class Cluster {
   void manager_takeover(u32 shard, TimePoint at);
   void manager_takeover(TimePoint at) { manager_takeover(0, at); }
 
+  // --- Live shard migration / resharding ---------------------------------
+  // Online ownership movement in the metadata plane (ARCHITECTURE.md "Live
+  // resharding"): the source manager keeps serving while its shard's
+  // namespace + version/staleness/corrupt maps and mint floor stream to the
+  // target in rate-limited rounds (MigrationParams::stream_bandwidth /
+  // round_bytes, pvfs.migration_rounds); after the last round plus
+  // cutover_delay a single fenced cutover — one engine instant, so racing
+  // clients see either the old owner or the new one, never a half-moved
+  // shard — copies the final delta, bumps the shard's epoch (fencing every
+  // in-flight mint the source stamped, exactly like a takeover), flips the
+  // MetaRegistry and sweeps the epoch to every iod. Crash-safe at every
+  // step: a source crash or takeover mid-stream and a target crash
+  // (FaultKind::kMigrationTargetCrash) abort cleanly back to the source
+  // (pvfs.migration_aborts); a post-cutover zombie source is a pure
+  // kWrongShard redirector (pvfs.wrong_shard_during_migration) that stale
+  // clients converge through. Runs that never call these schedule nothing
+  // and stay byte-identical.
+
+  // Move `shard` onto a freshly provisioned manager ("mgr<s>m"), online.
+  // Returns false — and starts nothing — when the shard is invalid or a
+  // migration/split already has it in flight. On success the target
+  // becomes manager(shard)/active_manager(shard) at cutover
+  // (pvfs.shard_migrations) and the retired source lives on as a
+  // redirector for stale clients.
+  bool migrate_shard(u32 shard, TimePoint at);
+
+  // Grow the plane K -> 2K online: every shard s streams its sibling half
+  // (protocol.h split_sibling) to a new manager concurrently, and when the
+  // last stream drains, one atomic cutover installs all K new shards —
+  // epoch cells, managers, standbys (when the cluster has them), registry
+  // entries, iod routing — at a single engine instant
+  // (pvfs.shard_splits). Per-pair flips would split-brain names between
+  // two managers routing with different shard counts; all-at-once cannot.
+  // Any child abort aborts the whole split. Returns false when a
+  // migration or split is already in flight.
+  bool split_shards(TimePoint at);
+
+  // Any migration stream or split currently in flight?
+  bool migration_inflight() const;
+
   // Start the background scrubber on every iod: a rate-limited periodic
   // sweep (ReplicationParams::scrub_interval / scrub_chunk_bytes) that
   // reads local stripe data back, verifies block checksums, cross-checks
@@ -132,18 +173,59 @@ class Cluster {
   void start_scrub(TimePoint until);
 
  private:
+  // One in-flight shard migration stream (a split runs one per old shard).
+  struct MigrationState;
+  // Coordination for a K -> 2K split's K concurrent streams.
+  struct SplitGroup;
+
+  // Provision a fresh manager for `shard` of a `shard_count`-wide plane.
+  std::unique_ptr<Manager> provision_manager(const std::string& name,
+                                             u32 shard, u32 shard_count);
+  // One rate-limited stream round (self-rescheduling); checks the abort
+  // conditions first.
+  void migration_round(std::shared_ptr<MigrationState> st);
+  // Has this migration hit an abort condition (source crash window,
+  // takeover raced the stream, scheduled target crash) at `at`?
+  bool migration_aborted(MigrationState& st, TimePoint at);
+  void abort_migration(std::shared_ptr<MigrationState> st, TimePoint at);
+  // A stream finished draining: cut over (single move) or join the split
+  // group barrier.
+  void migration_streamed(std::shared_ptr<MigrationState> st);
+  void migrate_cutover(std::shared_ptr<MigrationState> st);
+  void split_cutover(std::shared_ptr<SplitGroup> group);
+  // Last child of an aborted split wound down: clear the flags, count one
+  // abort, leave the plane at the old count.
+  void wind_down_split(std::shared_ptr<SplitGroup> group, TimePoint at);
+  // Post-cutover plumbing shared by move and split: sweep the shard's
+  // epoch to every iod and re-point its resync authority.
+  void repoint_shard(u32 shard, Manager* owner);
+  // Kick a staleness sweep on every iod (adopted staleness maps should
+  // heal without waiting for the next crash-restart hook).
+  void kick_resync(TimePoint at);
+
   ModelConfig cfg_;
   Stats stats_;
   sim::Engine engine_;
   // Declared before the fabric/iods/clients that hold raw pointers to it.
   std::unique_ptr<fault::Injector> faults_;
   std::unique_ptr<ib::Fabric> fabric_;
-  // Per-shard epoch cells; sized once in the constructor (managers hold
-  // pointers into it), before any manager attaches.
-  std::vector<ManagerEpoch> epochs_;
+  // Per-shard epoch cells. Managers hold pointers into it, so growth must
+  // not relocate: a deque's push_back (split_shards installing the new
+  // shards' cells) leaves existing cells in place, which a vector's would
+  // not.
+  std::deque<ManagerEpoch> epochs_;
   std::vector<std::unique_ptr<Manager>> managers_;   // per-shard primary
   std::vector<std::unique_ptr<Manager>> standbys_;   // per-shard, may be null
   std::vector<Manager*> active_;                     // per-shard authority
+  // Sources retired by a completed migration: kept alive as kWrongShard
+  // redirectors because stale client maps still hold raw pointers to them.
+  std::vector<std::unique_ptr<Manager>> retired_;
+  // Per-shard "a migration stream has this shard" flags, and whether a
+  // split owns all of them.
+  std::vector<char> migrating_;
+  bool split_inflight_ = false;
+  u32 cluster_iod_count_ = 0;  // provisioning migration targets
+  bool with_standbys_ = false;  // split-born shards get standbys too
   // Declared before clients_ (each Client's MetaClient seeds from it and
   // keeps the pointer for redirect-driven refreshes).
   MetaRegistry registry_;

@@ -311,7 +311,10 @@ void Iod::configure_resync(sim::Engine* engine,
 }
 
 void Iod::set_resync_authority(u32 shard, Manager* manager) {
-  if (shard < managers_.size()) managers_[shard] = manager;
+  if (engine_ == nullptr) return;  // configure_resync never ran
+  // Grown on demand: split-born shards index past the mount-time count.
+  if (shard >= managers_.size()) managers_.resize(shard + 1, nullptr);
+  managers_[shard] = manager;
 }
 
 void Iod::on_restart(TimePoint t) {

@@ -124,6 +124,13 @@ class Iod {
     return shard < manager_epoch_.size() ? manager_epoch_[shard] : 0;
   }
 
+  // A split cutover doubled the metadata plane: retag this iod's private
+  // config copy so handle->shard routing (epoch fences, resync notes) uses
+  // the grown count. Swept together with the new shards' epoch cells in
+  // the same engine instant, so no request ever routes by a half-updated
+  // plane.
+  void set_metadata_shards(u32 n) { cfg_.pvfs.metadata_shards = n; }
+
   // Apply a repair/resync write directly: scatter `stream` into the local
   // file at `accesses` and merge `version` into the stripe header. Bypasses
   // the staging-slot pool (repairs are out-of-band of the round protocol
@@ -171,7 +178,8 @@ class Iod {
                         std::vector<Manager*> authorities,
                         std::vector<Iod*> peers);
   // A takeover re-points one shard's staleness-map authority at the
-  // promoted standby. No-op unless configure_resync ran.
+  // promoted standby; a migration cutover at the adopted target (split-born
+  // shards grow the vector on demand). No-op unless configure_resync ran.
   void set_resync_authority(u32 shard, Manager* manager);
   // Restart hook (fault::Injector::install_restart_hooks): scan the
   // staleness map and pull every stale stripe from a current peer in

@@ -89,6 +89,21 @@ Result<std::vector<std::vector<u32>>> Manager::place_replicas(
   return out;
 }
 
+Status Manager::wrong_shard_redirect(const std::string& name) const {
+  // A redirect caused by a completed reshard — the shard moved away
+  // (migrated_out_), or a split stripped this shard of the name — is the
+  // convergence signal stale clients ride; count it separately from plain
+  // stale-mount redirects so the benches can see the redirect storm a
+  // migration causes. The reply itself is byte-identical either way.
+  const bool lost_to_reshard =
+      migrated_out_ || (pre_split_count_ != 0 &&
+                        shard_of(name, pre_split_count_) == shard_id_);
+  if (lost_to_reshard && stats_ != nullptr) {
+    stats_->add(stat::kPvfsWrongShardDuringMigration);
+  }
+  return wrong_shard_status(shard_of(name, shard_count_));
+}
+
 Timed<Result<FileMeta>> Manager::create(ib::Hca& from, TimePoint ready,
                                         const std::string& name,
                                         u64 stripe_size, u32 iod_count,
@@ -97,12 +112,18 @@ Timed<Result<FileMeta>> Manager::create(ib::Hca& from, TimePoint ready,
   bool lost = false;
   const Duration cost = round_trip(from, ready, &done, &lost);
   if (lost) return {Result<FileMeta>(meta_lost_status()), cost};
+  // A migrated-out source answers kWrongShard even though it is inactive:
+  // only the wrong-shard reply drives a map refresh, and the refreshed map
+  // reaches the target. kFailedPrecondition would rotate a stale client
+  // between the retired source and its equally stale standby forever.
+  if (migrated_out_) {
+    return {Result<FileMeta>(wrong_shard_redirect(name)), cost};
+  }
   if (!active_ || epoch_stale()) {
     return {Result<FileMeta>(manager_inactive_status()), cost};
   }
   if (!owns(name)) {
-    return {Result<FileMeta>(wrong_shard_status(shard_of(name, shard_count_))),
-            cost};
+    return {Result<FileMeta>(wrong_shard_redirect(name)), cost};
   }
   if (by_name_.count(name) != 0) {
     return {Result<FileMeta>(already_exists("file exists: " + name)), cost};
@@ -140,12 +161,14 @@ Timed<Result<FileMeta>> Manager::open(ib::Hca& from, TimePoint ready,
   bool lost = false;
   const Duration cost = round_trip(from, ready, &done, &lost);
   if (lost) return {Result<FileMeta>(meta_lost_status()), cost};
+  if (migrated_out_) {
+    return {Result<FileMeta>(wrong_shard_redirect(name)), cost};
+  }
   if (!active_ || epoch_stale()) {
     return {Result<FileMeta>(manager_inactive_status()), cost};
   }
   if (!owns(name)) {
-    return {Result<FileMeta>(wrong_shard_status(shard_of(name, shard_count_))),
-            cost};
+    return {Result<FileMeta>(wrong_shard_redirect(name)), cost};
   }
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
@@ -160,11 +183,12 @@ Timed<Status> Manager::remove(ib::Hca& from, TimePoint ready,
   bool lost = false;
   const Duration cost = round_trip(from, ready, &done, &lost);
   if (lost) return {meta_lost_status(), cost};
+  if (migrated_out_) return {wrong_shard_redirect(name), cost};
   if (!active_ || epoch_stale()) {
     return {manager_inactive_status(), cost};
   }
   if (!owns(name)) {
-    return {wrong_shard_status(shard_of(name, shard_count_)), cost};
+    return {wrong_shard_redirect(name), cost};
   }
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
@@ -325,6 +349,115 @@ void Manager::take_over(const Manager& durable,
       at, hca_.name(), "takeover epoch=%llu headers=%zu stripes=%zu floor=%llu",
       static_cast<unsigned long long>(epoch_), headers.size(),
       stripe_state_.size(), static_cast<unsigned long long>(mint_floor_));
+}
+
+// --- Live shard migration ---------------------------------------------------
+
+Manager::ShardSnapshot Manager::export_shard(u32 shard_id,
+                                             u32 shard_count) const {
+  ShardSnapshot snap;
+  for (const auto& [name, meta] : by_name_) {
+    // A pre-split file's two routing keys can disagree after a split: its
+    // name re-hashes under the new count while its minted handle keeps the
+    // old residue class. The namespace plane routes by name, but the
+    // version plane (allocate_stripe_version / note_replica_version) looks
+    // FileMeta up by handle — so the snapshot carries the meta wherever
+    // EITHER plane will need it. owns()/owns_handle() gate which plane each
+    // holder actually serves; the extra copy never answers namespace ops.
+    if (shard_of(name, shard_count) != shard_id &&
+        shard_of_handle(meta.handle, shard_count) != shard_id) {
+      continue;
+    }
+    snap.by_name.emplace(name, meta);
+    snap.by_handle.emplace(meta.handle, name);
+  }
+  for (const auto& [key, st] : stripe_state_) {
+    if (shard_of_handle(key.first, shard_count) != shard_id) continue;
+    snap.stripe_state.emplace(key, st);
+  }
+  snap.next_handle = next_handle_;
+  snap.mint_floor = mint_floor_;
+  return snap;
+}
+
+u64 Manager::shard_state_bytes(u32 shard_id, u32 shard_count) const {
+  // Wire-size estimate: a FileMeta entry plus its name, and a StripeState
+  // row per (handle, stripe). Only the total matters (it paces the stream);
+  // the cutover copies the real structures host-side.
+  u64 bytes = 0;
+  for (const auto& [name, meta] : by_name_) {
+    if (shard_of(name, shard_count) != shard_id) continue;
+    bytes += 64 + name.size() + 16 * meta.replicas.size();
+  }
+  for (const auto& [key, st] : stripe_state_) {
+    if (shard_of_handle(key.first, shard_count) != shard_id) continue;
+    bytes += 32 + 9 * st.replica.size();
+  }
+  return bytes;
+}
+
+void Manager::align_next_handle() {
+  if (shard_of_handle(next_handle_, shard_count_) != shard_id_) {
+    // A split sibling inherits a cursor minting in the source's residue
+    // class (the two classes differ by the old count = shard_count_ / 2);
+    // one step restores collision-freedom: every future mint lands at or
+    // above the inherited cursor, past everything already minted.
+    next_handle_ += shard_count_ / 2;
+  }
+}
+
+void Manager::adopt_shard(ShardSnapshot snap, u32 shard_id, u32 shard_count,
+                          ManagerEpoch* cell) {
+  shard_id_ = shard_id;
+  shard_count_ = shard_count;
+  by_name_ = std::move(snap.by_name);
+  by_handle_ = std::move(snap.by_handle);
+  stripe_state_ = std::move(snap.stripe_state);
+  next_handle_ = snap.next_handle;
+  mint_floor_ = snap.mint_floor;
+  align_next_handle();
+  // The cell was bumped by the cutover before adoption, so attaching makes
+  // this manager the epoch-current authority and every mint the source
+  // still has in flight stale — the same fence a takeover uses.
+  epoch_cell_ = cell;
+  epoch_ = cell->value;
+  active_ = true;
+  primary_ = true;
+  migrated_out_ = false;
+}
+
+void Manager::retire_migrated() {
+  active_ = false;
+  // No longer the shard's primary: kManagerCrash windows now belong to the
+  // target, and the retired box keeps answering redirects even while the
+  // shard's (new) primary is in a crash window.
+  primary_ = false;
+  migrated_out_ = true;
+}
+
+void Manager::drop_shard_complement(u32 new_shard_count) {
+  pre_split_count_ = shard_count_;
+  shard_count_ = new_shard_count;
+  for (auto it = by_name_.begin(); it != by_name_.end();) {
+    // Mirror of export_shard's union filter: keep the meta if this manager
+    // still serves either routing plane for the file — the namespace (by
+    // name hash) or the version plane (by handle residue).
+    if (shard_of(it->first, new_shard_count) != shard_id_ &&
+        shard_of_handle(it->second.handle, new_shard_count) != shard_id_) {
+      by_handle_.erase(it->second.handle);
+      it = by_name_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = stripe_state_.begin(); it != stripe_state_.end();) {
+    if (shard_of_handle(it->first.first, new_shard_count) != shard_id_) {
+      it = stripe_state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  align_next_handle();
 }
 
 Manager::StripeVersionView Manager::stripe_versions(Handle h,

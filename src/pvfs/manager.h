@@ -173,6 +173,87 @@ class Manager {
     return shard_of(name, shard_count_) == shard_id_;
   }
 
+  // --- Live shard migration (Cluster::migrate_shard / split_shards) ------
+  // Ownership of a shard's namespace + version plane moves between managers
+  // while clients race: the source keeps serving while its state streams,
+  // then a single fenced cutover copies the final delta, bumps the shard
+  // epoch and demotes the source into a redirector. The snapshot/adopt pair
+  // below is that final copy; the rate-limited stream rounds model its
+  // bandwidth on the fabric (Cluster drives them), so no mid-stream
+  // mutation can be lost — whatever the source served up to the cutover
+  // instant is in the cutover copy by construction.
+
+  struct StripeState {
+    u64 latest = 0;
+    std::vector<u64> replica;  // recorded version per replica position
+    // Copies caught serving bytes that fail checksum verification. A
+    // corrupt copy is always a resync target and never a pull source,
+    // whatever version it claims; only note_replica_resynced clears it.
+    std::vector<bool> corrupt;
+  };
+
+  // Everything a shard authority owns: the namespace entries, the
+  // version/staleness/corrupt maps, the handle-mint cursor and the mint
+  // floor. The unit the migration stream and the cutover copy move.
+  struct ShardSnapshot {
+    std::map<std::string, FileMeta> by_name;
+    std::map<Handle, std::string> by_handle;
+    std::map<std::pair<Handle, u32>, StripeState> stripe_state;
+    Handle next_handle = 1;
+    u64 mint_floor = 0;
+  };
+
+  // The slice of this manager's state owned by shard `shard_id` out of
+  // `shard_count`: a plain migration exports (shard_id(), shard_count())
+  // — everything — while a K->2K split exports the sibling half
+  // (split_sibling(s, K), 2K). Names filter by shard_of, handles (and
+  // their stripe state) by shard_of_handle; next_handle/mint_floor are
+  // copied verbatim and re-aligned by adopt_shard.
+  ShardSnapshot export_shard(u32 shard_id, u32 shard_count) const;
+
+  // Wire-size estimate of export_shard's result, the denominator of the
+  // migration stream's rate limit.
+  u64 shard_state_bytes(u32 shard_id, u32 shard_count) const;
+
+  // Cutover (target side): install `snap`, take identity (shard_id,
+  // shard_count), attach to the shard's epoch cell as the active primary —
+  // the cell was bumped just before, so every in-flight mint the source
+  // stamped is already fenced — and re-align the handle-mint cursor into
+  // this shard's residue class (a split sibling inherits a cursor minting
+  // in the source's class; stepping it by the old count restores
+  // collision-freedom, see protocol.h split_sibling).
+  void adopt_shard(ShardSnapshot snap, u32 shard_id, u32 shard_count,
+                   ManagerEpoch* cell);
+
+  // Cutover (source side of a plain migration): stop serving and become a
+  // redirector. Every request for a name this manager nominally owns is
+  // answered kWrongShard (pvfs.wrong_shard_during_migration) — the one
+  // reply that makes a racing client refresh its shard map and converge on
+  // the target; kFailedPrecondition would only rotate it between equally
+  // stale candidates.
+  void retire_migrated();
+  bool migrated_out() const { return migrated_out_; }
+
+  // Cutover (source side of a split): drop the sibling half that moved —
+  // names, handles, stripe state — retag to the doubled shard count and
+  // re-align the mint cursor. Requests for moved names now take the normal
+  // !owns() kWrongShard path, counted as migration redirects
+  // (pvfs.wrong_shard_during_migration) since the staleness is
+  // reshard-induced.
+  void drop_shard_complement(u32 new_shard_count);
+
+  // A split retags the old shards' standbys to the doubled count without
+  // touching their (empty-until-takeover) state.
+  void retag_shard(u32 shard_count) { shard_count_ = shard_count; }
+
+  // Does this manager's shard own `h`'s slice of the version plane? False
+  // once the shard migrated away — the authority() cache check that sends
+  // stale clients back to the registry before they mint from a retired
+  // manager (whose dropped namespace would silently mint version 0).
+  bool owns_handle(Handle h) const {
+    return !migrated_out_ && shard_of_handle(h, shard_count_) == shard_id_;
+  }
+
   // --- Manager epoch / standby takeover ----------------------------------
   // Attach this manager to the cluster-wide epoch cell (a stand-in for a
   // durable epoch register). `active` marks the current authority; the
@@ -221,14 +302,15 @@ class Manager {
 
   const FileMeta* meta_of(Handle h) const;
 
-  struct StripeState {
-    u64 latest = 0;
-    std::vector<u64> replica;  // recorded version per replica position
-    // Copies caught serving bytes that fail checksum verification. A
-    // corrupt copy is always a resync target and never a pull source,
-    // whatever version it claims; only note_replica_resynced clears it.
-    std::vector<bool> corrupt;
-  };
+  // kWrongShard reply for `name`, counted as a migration redirect when the
+  // name was lost to a completed migration or split (stale clients
+  // converging through the refresh path).
+  Status wrong_shard_redirect(const std::string& name) const;
+
+  // Step the mint cursor into this shard's residue class after a split
+  // (no-op when already aligned, as after a plain migration).
+  void align_next_handle();
+
   // The replica-set position of `iod_id` in (h, stripe)'s chain, with the
   // membership + liveness fencing every staleness note shares; npos when
   // the handle is dead, unreplicated, or the iod is outside the set.
@@ -250,6 +332,12 @@ class Manager {
   bool active_ = true;
   bool primary_ = true;  // subject to kManagerCrash windows
   u64 mint_floor_ = 0;   // takeover: fresh stripes mint above this
+  // Post-cutover redirector state: the shard moved to another manager
+  // (retire_migrated), or a split halved this shard's name space
+  // (drop_shard_complement records the pre-split count so reshard-induced
+  // redirects are distinguishable from plain stale-mount ones).
+  bool migrated_out_ = false;
+  u32 pre_split_count_ = 0;
   std::map<std::string, FileMeta> by_name_;
   std::map<Handle, std::string> by_handle_;
   std::map<std::pair<Handle, u32>, StripeState> stripe_state_;

@@ -27,12 +27,14 @@ bool meta_wrong_shard(const MetaReply& r) {
 }  // namespace
 
 MetaClient::MetaClient(ib::Hca& hca, sim::Engine& engine, Stats* stats,
-                       fault::Injector* faults, const MetaRegistry* registry)
+                       fault::Injector* faults, const MetaRegistry* registry,
+                       MigrationParams mig)
     : hca_(hca),
       engine_(engine),
       stats_(stats),
       faults_(faults),
-      registry_(registry) {
+      registry_(registry),
+      mig_(mig) {
   // Mount-time config fetch: the cached map starts correct and free (no
   // pvfs.shard_map_refreshes — the counter tracks redirect-driven
   // refreshes, which never happen in fault-free runs).
@@ -49,6 +51,17 @@ bool MetaClient::faulty() const {
 }
 
 void MetaClient::refresh_map() {
+  if (stale_refreshes_ > 0) {
+    // Test hook: this refresh raced a reshard and fetched an
+    // already-superseded map generation — model it by collapsing to the
+    // stale single-shard view again. The refresh itself still happened
+    // (and counts), which is exactly the situation the bounded re-refresh
+    // loop must survive.
+    --stale_refreshes_;
+    invalidate_map();
+    if (stats_ != nullptr) stats_->add(stat::kPvfsShardMapRefreshes);
+    return;
+  }
   shards_.clear();
   for (u32 s = 0; s < registry_->shard_count(); ++s) {
     const MetaRegistry::Shard& sh = registry_->shard(s);
@@ -74,33 +87,61 @@ Manager& MetaClient::route(std::string_view name) {
 MetaClient::Outcome MetaClient::call(const MetaRequest& rq, TimePoint issue) {
   u32 shard = shard_of(rq.name, shard_count());
   Timed<MetaReply> r = active_of(shard).serve(hca_, issue, rq);
-  // Stale-map redirect: a fast reply carrying the fresh shard map. Handled
-  // outside the fault-retry loop — it is protocol, not failure — and at
-  // most once per call, because the refreshed map routes correctly.
-  if (meta_wrong_shard(r.value)) {
-    if (stats_ != nullptr) stats_->add(stat::kPvfsShardRedirects);
-    const TimePoint noticed = issue + r.cost;
-    const u64 stale_version = version_;
-    refresh_map();
-    const u32 owner = shard_of(rq.name, shard_count());
-    sim::Trace::instance().emitf(
-        noticed, hca_.name(),
-        "metadata wrong shard (map v%llu -> v%llu), re-routing to %s",
-        static_cast<unsigned long long>(stale_version),
-        static_cast<unsigned long long>(version_),
-        active_of(owner).hca().name().c_str());
-    shard = owner;
-    issue = noticed;
-    r = active_of(shard).serve(hca_, issue, rq);
-  }
-  if (!faulty() || !(meta_lost(r.value) || meta_redirected(r.value))) {
-    return {std::move(r.value), issue + r.cost};
-  }
-  const FaultConfig& fc = faults_->config();
-  CachedShard& cs = shards_[shard];
+  u32 refreshes = 0;
   u32 retries = 0;
-  while ((meta_lost(r.value) || meta_redirected(r.value)) &&
-         retries < fc.max_retries) {
+  for (;;) {
+    // Stale-map redirect: a fast reply carrying the fresh shard map.
+    // Handled outside the fault-retry loop — it is protocol, not failure —
+    // and bounded, not at-most-once: a refresh can itself land an
+    // already-stale map while a migration/split is flipping the registry
+    // (two generations in flight), so the client re-refreshes up to
+    // map_refresh_attempts times with capped backoff instead of stranding
+    // the call on its first stale refresh. The first redirect refreshes
+    // immediately (the classic path, timeline-identical).
+    if (meta_wrong_shard(r.value)) {
+      if (refreshes >= mig_.map_refresh_attempts) {
+        return {std::move(r.value), issue + r.cost};
+      }
+      if (stats_ != nullptr) stats_->add(stat::kPvfsShardRedirects);
+      TimePoint noticed = issue + r.cost;
+      if (refreshes > 0) {
+        Duration backoff = mig_.map_refresh_backoff;
+        for (u32 i = 1; i < refreshes && backoff < mig_.map_refresh_backoff_cap;
+             ++i) {
+          backoff = backoff * 2.0;
+        }
+        noticed = noticed + min(backoff, mig_.map_refresh_backoff_cap);
+      }
+      const u64 stale_version = version_;
+      refresh_map();
+      ++refreshes;
+      const u32 owner = shard_of(rq.name, shard_count());
+      sim::Trace::instance().emitf(
+          noticed, hca_.name(),
+          "metadata wrong shard (map v%llu -> v%llu), re-routing to %s",
+          static_cast<unsigned long long>(stale_version),
+          static_cast<unsigned long long>(version_),
+          active_of(owner).hca().name().c_str());
+      shard = owner;
+      issue = noticed;
+      r = active_of(shard).serve(hca_, issue, rq);
+      continue;
+    }
+    if (!faulty() || !(meta_lost(r.value) || meta_redirected(r.value))) {
+      return {std::move(r.value), issue + r.cost};
+    }
+    const FaultConfig& fc = faults_->config();
+    if (retries >= fc.max_retries) {
+      // The final attempt failed too: the client waits out its timeout (or
+      // takes the redirect reply on the chin) and gives up.
+      const TimePoint done =
+          meta_lost(r.value) ? issue + fc.round_timeout : issue + r.cost;
+      MetaReply rep;
+      rep.status = unavailable("metadata op failed after " +
+                               std::to_string(retries) + " retries");
+      return {std::move(rep), done};
+    }
+    CachedShard& cs = shards_[shard];
     if (stats_ != nullptr) stats_->add(stat::kPvfsMetaRetries);
     Duration backoff = fc.backoff_base;
     for (u32 i = 1; i <= retries && backoff < fc.backoff_cap; ++i) {
@@ -129,41 +170,50 @@ MetaClient::Outcome MetaClient::call(const MetaRequest& rq, TimePoint issue) {
     issue = noticed + backoff;
     r = cs.candidates[cs.active]->serve(hca_, issue, rq);
   }
-  if (meta_lost(r.value) || meta_redirected(r.value)) {
-    // The final attempt failed too: the client waits out its timeout (or
-    // takes the redirect reply on the chin) and gives up.
-    const TimePoint done =
-        meta_lost(r.value) ? issue + fc.round_timeout : issue + r.cost;
-    MetaReply rep;
-    rep.status = unavailable("metadata op failed after " +
-                             std::to_string(retries) + " retries");
-    return {std::move(rep), done};
-  }
-  return {std::move(r.value), issue + r.cost};
 }
 
 Manager& MetaClient::authority(Handle h) {
-  const u32 shard = shard_of_handle(h, shard_count());
-  CachedShard& cs = shards_[shard];
-  if (cs.candidates.size() > 1 && cs.candidates[cs.active]->epoch_stale()) {
-    // The believed-active manager was superseded by a takeover this client
-    // never witnessed. Minting from it (or feeding it notes) would split
-    // the version plane, so the client refuses and re-targets the
-    // epoch-current candidate.
-    if (stats_ != nullptr) stats_->add(stat::kPvfsEpochRejections);
-    for (size_t i = 0; i < cs.candidates.size(); ++i) {
-      if (!cs.candidates[i]->epoch_stale()) {
-        cs.active = i;
-        break;
+  for (u32 attempt = 0;; ++attempt) {
+    const u32 shard = shard_of_handle(h, shard_count());
+    CachedShard& cs = shards_[shard];
+    if (cs.candidates.size() > 1 && cs.candidates[cs.active]->epoch_stale()) {
+      // The believed-active manager was superseded by a takeover this
+      // client never witnessed. Minting from it (or feeding it notes)
+      // would split the version plane, so the client refuses and
+      // re-targets the epoch-current candidate.
+      if (stats_ != nullptr) stats_->add(stat::kPvfsEpochRejections);
+      for (size_t i = 0; i < cs.candidates.size(); ++i) {
+        if (!cs.candidates[i]->epoch_stale()) {
+          cs.active = i;
+          break;
+        }
       }
+      sim::Trace::instance().emitf(
+          engine_.now(), hca_.name(),
+          "version authority stale, re-targeting %s (epoch %llu)",
+          cs.candidates[cs.active]->hca().name().c_str(),
+          static_cast<unsigned long long>(cs.candidates[cs.active]->epoch()));
+    }
+    Manager& m = *cs.candidates[cs.active];
+    // A candidate that still holds the handle's slice of the version plane
+    // under the current epoch is the authority — the fault-free fast path,
+    // cost-free as before. After a migration or split, every cached
+    // candidate can be epoch-stale or stripped of the handle (a retired
+    // source would silently mint version 0 from its dropped namespace);
+    // then the client refreshes from the registry and re-routes, bounded
+    // like the wrong-shard path. Authority lookups are free host-side
+    // calls, so the refresh costs no simulated time.
+    if (!m.epoch_stale() && m.owns_handle(h)) return m;
+    if (attempt >= mig_.map_refresh_attempts ||
+        version_ == registry_->version()) {
+      return m;
     }
     sim::Trace::instance().emitf(
         engine_.now(), hca_.name(),
-        "version authority stale, re-targeting %s (epoch %llu)",
-        cs.candidates[cs.active]->hca().name().c_str(),
-        static_cast<unsigned long long>(cs.candidates[cs.active]->epoch()));
+        "version authority for handle %llu lost to a reshard, refreshing map",
+        static_cast<unsigned long long>(h));
+    refresh_map();
   }
-  return *cs.candidates[cs.active];
 }
 
 }  // namespace pvfsib::pvfs

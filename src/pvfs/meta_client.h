@@ -16,6 +16,10 @@
 //     redirect carrying a map refresh (pvfs.shard_redirects /
 //     pvfs.shard_map_refreshes): the client re-routes by the fresh map,
 //     mirroring the kFailedPrecondition re-aim path but across shards.
+//     Refreshes are bounded, not at-most-once: up to
+//     MigrationParams::map_refresh_attempts per call with capped backoff,
+//     so a live migration/split racing the call (two map generations in
+//     flight) redirects the client again instead of stranding it.
 //   * authority(handle): the manager trusted for the handle's shard of the
 //     version plane (mints, staleness notes, size bookkeeping). Refuses an
 //     epoch-stale cached choice (pvfs.epoch_rejections) and re-targets the
@@ -70,6 +74,18 @@ class MetaRegistry {
     ++version_;
   }
 
+  // A migration cutover replaced shard `s`'s candidate list wholesale (the
+  // fresh target first, the surviving standby after).
+  void set_candidates(u32 s, std::vector<Manager*> candidates, size_t active) {
+    shards_[s] = Shard{std::move(candidates), active};
+    ++version_;
+  }
+
+  // A split grew the plane (add_shard per new shard, then one bump): cached
+  // maps older than this route with the pre-split shard count and converge
+  // through the wrong-shard refresh path.
+  void note_resharded() { ++version_; }
+
  private:
   std::vector<Shard> shards_;
   u64 version_ = 1;
@@ -79,9 +95,13 @@ class MetaClient {
  public:
   // Seeds the cached shard map from `registry` (the free mount-time config
   // fetch). `hca` is the owning client's HCA (request source and trace
-  // label); `faults` routes the retry policy (may be null).
+  // label); `faults` routes the retry policy (may be null). `mig` bounds
+  // the wrong-shard re-refresh loop (MigrationParams defaults reproduce
+  // the classic behaviour on the first redirect: immediate refresh, no
+  // backoff).
   MetaClient(ib::Hca& hca, sim::Engine& engine, Stats* stats,
-             fault::Injector* faults, const MetaRegistry* registry);
+             fault::Injector* faults, const MetaRegistry* registry,
+             MigrationParams mig = {});
 
   struct Outcome {
     MetaReply reply;
@@ -107,6 +127,12 @@ class MetaClient {
   // a name shard 0 does not own takes the kWrongShard redirect + refresh.
   void invalidate_map();
 
+  // Test hook: make the next `n` refresh_map() calls land the stale
+  // single-shard view again instead of the registry's — two map
+  // generations in flight, the race the bounded re-refresh loop exists
+  // for. The n+1-th refresh sees the real registry.
+  void force_stale_refreshes(u32 n) { stale_refreshes_ = n; }
+
  private:
   struct CachedShard {
     std::vector<Manager*> candidates;
@@ -127,8 +153,10 @@ class MetaClient {
   Stats* stats_;
   fault::Injector* faults_;
   const MetaRegistry* registry_;
+  MigrationParams mig_;
   std::vector<CachedShard> shards_;
   u64 version_ = 0;
+  u32 stale_refreshes_ = 0;  // test hook (force_stale_refreshes)
 };
 
 }  // namespace pvfsib::pvfs

@@ -87,6 +87,17 @@ inline u32 shard_of_handle(Handle h, u32 shard_count) {
   return static_cast<u32>((raw - 1) % shard_count);
 }
 
+// Live resharding grows the plane K -> 2K (Cluster::split_shards) because
+// doubling is the one growth step both route functions split cleanly under:
+// hash % 2K of anything in old shard s is either s or s + K, and a handle in
+// residue class s (mod K) is in residue s or s + K (mod 2K). Old shard s
+// therefore partitions exactly into new shards {s, split_sibling(s, K)} with
+// no cross-shard leakage, which is what lets the split move only the
+// sibling half and leave everything else byte-for-byte in place.
+inline u32 split_sibling(u32 shard, u32 old_count) {
+  return shard + old_count;
+}
+
 // --- Typed metadata messages ------------------------------------------------
 // One request/reply pair covers every manager metadata operation. The
 // MetaClient facade routes a MetaRequest to the shard that owns its name;

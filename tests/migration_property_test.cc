@@ -1,0 +1,176 @@
+// Randomized live-resharding property: a migration or split launched at a
+// random point of a replicated, crash-ridden workload must never lose an
+// acked byte or wedge a client. The cluster shape, the reshard kind and
+// time, iod crash windows, a racing manager crash (with standby takeover)
+// and a scheduled target crash are all drawn from the seed; a host-side
+// mirror of every acked byte is the oracle. Whether the reshard completes
+// or aborts is schedule-dependent — the invariant is that either way the
+// plane converges and the data reads back exactly.
+// Replay a failing schedule with PVFS_PROPERTY_SEED=<seed>.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.h"
+#include "pvfs/cluster.h"
+
+namespace pvfsib::pvfs {
+namespace {
+
+TEST(MigrationProperty, RandomReshardsLoseNoAckedData) {
+  u64 seed = 2026;
+  if (const char* env = std::getenv("PVFS_PROPERTY_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  SCOPED_TRACE("PVFS_PROPERTY_SEED=" + std::to_string(seed));
+  Rng rng(seed);
+  for (int iter = 0; iter < 3; ++iter) {
+    ModelConfig cfg = ModelConfig::paper_defaults();
+    cfg.fault.seed = seed + static_cast<u64>(iter);
+    cfg.fault.round_timeout = Duration::ms(2.0);
+    cfg.fault.backoff_base = Duration::us(100.0);
+    cfg.fault.backoff_cap = Duration::ms(2.0);
+    cfg.fault.max_retries = 25;
+    cfg.replication.factor = 2;
+    cfg.replication.resync = true;
+    cfg.replication.write_quorum = 1;
+    const u32 shards = 1 + static_cast<u32>(rng.below(3));
+    cfg.pvfs.metadata_shards = shards;
+    const bool standbys = rng.chance(0.5);
+    cfg.fault.standby_takeover = standbys;
+    // Small rounds so the stream is long enough for faults to land in it.
+    cfg.migration.round_bytes = 256 + rng.below(2048);
+    const bool do_split = rng.chance(0.4);
+    const u32 mshard = static_cast<u32>(rng.below(shards));
+    const TimePoint mat =
+        TimePoint::from_ns(static_cast<i64>(rng.range(8'000'000, 30'000'000)));
+
+    const u32 iods = 2 + static_cast<u32>(rng.below(3));
+    const u32 x = static_cast<u32>(rng.below(iods));  // the stripe's home
+    const u64 n = rng.range(16 * kKiB, 64 * kKiB);
+    // Random short iod crash windows, well inside the retry budget.
+    const int crashes = static_cast<int>(rng.below(3));
+    for (int k = 0; k < crashes; ++k) {
+      cfg.fault.schedule.push_back(FaultEvent{
+          FaultKind::kIodCrash,
+          TimePoint::from_ns(
+              static_cast<i64>(rng.range(8'000'000, 40'000'000))),
+          static_cast<u32>(rng.below(iods)),
+          Duration::us(static_cast<double>(rng.range(500, 6000)))});
+    }
+    // Sometimes the migration target dies mid-stream (abort, fall back).
+    if (rng.chance(0.35)) {
+      cfg.fault.schedule.push_back(FaultEvent{
+          FaultKind::kMigrationTargetCrash,
+          mat + Duration::us(static_cast<double>(rng.range(1, 400))), mshard,
+          Duration::zero()});
+    }
+    // Sometimes the source's shard crashes near the stream; with standbys
+    // the takeover races (and aborts) it, without them the window just
+    // stalls the source briefly.
+    if (rng.chance(0.35)) {
+      cfg.fault.schedule.push_back(FaultEvent{
+          FaultKind::kManagerCrash,
+          mat + Duration::us(static_cast<double>(rng.range(1, 2000))),
+          mshard, Duration::ms(standbys ? 1000.0 : 4.0)});
+      cfg.fault.manager_takeover_delay =
+          Duration::us(static_cast<double>(rng.range(200, 2000)));
+    }
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": " +
+                 std::to_string(shards) + " shards, " +
+                 (do_split ? "split" : "migrate shard " +
+                                           std::to_string(mshard)) +
+                 " at " + std::to_string(mat.as_ns()) + "ns, " +
+                 std::to_string(iods) + " iods, n=" + std::to_string(n) +
+                 (standbys ? ", standbys" : ""));
+    Cluster cluster(cfg, 1, iods);
+    Client& c = cluster.client(0);
+    OpenFile f = c.create("/reshard", 64 * kKiB, 1, x).value();
+
+    // Preload [0, n); the mirror tracks every byte the file system acked.
+    std::vector<u8> mirror(n);
+    Rng fillr(seed * 131 + static_cast<u64>(iter));
+    const u64 a = c.memory().alloc(n);
+    for (u64 i = 0; i < n; ++i) {
+      mirror[i] = static_cast<u8>(fillr.next());
+      c.memory().write_pod<u8>(a + i, mirror[i]);
+    }
+    ASSERT_TRUE(c.write(f, 0, a, n).ok());
+
+    // Four disjoint overwrites straddling the reshard window; each byte
+    // differs from the preload (xor 0xa5) so a lost write cannot hide.
+    constexpr int kWrites = 4;
+    const u64 slice = (n / 2) / kWrites;
+    std::vector<IoHandle> ws(kWrites);
+    for (int k = 0; k < kWrites; ++k) {
+      const u64 off = static_cast<u64>(k) * slice + rng.below(slice / 2);
+      const u64 len = rng.range(1, slice / 2);
+      const u64 b = c.memory().alloc(len);
+      for (u64 i = 0; i < len; ++i) {
+        const u8 v = static_cast<u8>(mirror[off + i] ^ 0xa5);
+        c.memory().write_pod<u8>(b + i, v);
+        mirror[off + i] = v;
+      }
+      const TimePoint at = TimePoint::origin() + Duration::ms(6.0 + 7.0 * k);
+      cluster.engine().schedule_at(at, [&c, &ws, &f, b, off, len, at, k] {
+        core::ListIoRequest req;
+        req.mem = {{b, len}};
+        req.file = {{off, len}};
+        ws[static_cast<size_t>(k)] = c.submit({IoDir::kWrite, f, req, {}, at});
+      });
+    }
+    // The reshard itself, mid-workload.
+    cluster.engine().schedule_at(mat, [&cluster, do_split, mshard, mat] {
+      if (do_split) {
+        EXPECT_TRUE(cluster.split_shards(mat));
+      } else {
+        EXPECT_TRUE(cluster.migrate_shard(mshard, mat));
+      }
+    });
+    // Full read-back long after everything settled.
+    const u64 dst = c.memory().alloc(n);
+    IoHandle rh;
+    const TimePoint rat = TimePoint::origin() + Duration::ms(500.0);
+    cluster.engine().schedule_at(rat, [&, rat] {
+      core::ListIoRequest req;
+      req.mem = {{dst, n}};
+      req.file = {{0, n}};
+      rh = c.submit({IoDir::kRead, f, req, {}, rat});
+    });
+    cluster.engine().run_until([&rh] { return rh.valid() && rh.poll(); });
+
+    for (int k = 0; k < kWrites; ++k) {
+      ASSERT_TRUE(ws[static_cast<size_t>(k)].poll());
+      ASSERT_TRUE(ws[static_cast<size_t>(k)].result().ok())
+          << "write " << k << ": "
+          << ws[static_cast<size_t>(k)].result().status.to_string();
+    }
+    ASSERT_TRUE(rh.poll() && rh.result().ok())
+        << rh.result().status.to_string();
+    u64 bad = 0;
+    for (u64 i = 0; i < n; ++i) {
+      if (c.memory().read_pod<u8>(dst + i) != mirror[i]) ++bad;
+    }
+    if (bad != 0) {
+      std::fprintf(stderr, "STATS:\n%s\n", cluster.stats().to_string().c_str());
+    }
+    ASSERT_EQ(bad, 0u);
+    // The reshard resolved exactly one way: completed or aborted, never
+    // both, never neither, and nothing is left in flight.
+    const Stats& s = cluster.stats();
+    const i64 done = s.get(stat::kPvfsShardMigrations) +
+                     s.get(stat::kPvfsShardSplits);
+    const i64 aborted = s.get(stat::kPvfsMigrationAborts);
+    EXPECT_EQ(done + aborted, 1) << "done=" << done << " aborted=" << aborted;
+    EXPECT_FALSE(cluster.migration_inflight());
+    if (done == 1) {
+      EXPECT_EQ(cluster.metadata_shards(), do_split ? 2 * shards : shards);
+      // Post-reshard metadata ops land on the new plane.
+      EXPECT_TRUE(c.open("/reshard").is_ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvfsib::pvfs

@@ -1,0 +1,399 @@
+// Live shard migration and resharding: online single-shard moves, K -> 2K
+// splits, the fenced cutover, redirect-driven convergence of stale client
+// maps on every metadata op type, bounded re-refresh, and every abort path
+// (source crash mid-stream, target crash, a takeover racing the stream).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pvfs/cluster.h"
+#include "pvfs/meta_client.h"
+
+namespace pvfsib::pvfs {
+namespace {
+
+// A name that hashes to `want` out of `shards` (deterministic scan).
+std::string name_on_shard(u32 want, u32 shards) {
+  for (int i = 0; i < 4096; ++i) {
+    std::string name = "/m" + std::to_string(i);
+    if (shard_of(name, shards) == want) return name;
+  }
+  ADD_FAILURE() << "no name found for shard " << want << "/" << shards;
+  return "/m0";
+}
+
+TEST(MigrationTest, MigrateShardMovesOwnershipOnline) {
+  Cluster cluster(ModelConfig::paper_defaults(),
+                  Cluster::Topology{}.clients(2).iods(4).metadata_shards(2));
+  Client& c = cluster.client(0);
+  const std::string moved = name_on_shard(1, 2);
+  const std::string stays = name_on_shard(0, 2);
+  OpenFile f = c.create(moved).value();
+  ASSERT_TRUE(c.create(stays).is_ok());
+  const u64 n = 64 * kKiB;
+  const u64 src = c.memory().alloc(n);
+  for (u64 i = 0; i < n; i += 8) {
+    c.memory().write_pod<u64>(src + i, i * 2654435761u);
+  }
+  ASSERT_TRUE(c.write(f, 0, src, n).ok());
+
+  Manager* old = &cluster.active_manager(1);
+  const u64 registry_before = cluster.registry().version();
+  ASSERT_TRUE(cluster.migrate_shard(1, TimePoint::origin() + Duration::ms(1)));
+  EXPECT_TRUE(cluster.migration_inflight());
+  cluster.run();
+  EXPECT_FALSE(cluster.migration_inflight());
+
+  // Ownership moved to the freshly provisioned target; the retired source
+  // is a pure redirector.
+  const Stats& s = cluster.stats();
+  EXPECT_EQ(s.get(stat::kPvfsShardMigrations), 1);
+  EXPECT_EQ(s.get(stat::kPvfsMigrationAborts), 0);
+  EXPECT_GE(s.get(stat::kPvfsMigrationRounds), 1);
+  Manager& target = cluster.active_manager(1);
+  EXPECT_NE(&target, old);
+  EXPECT_EQ(target.hca().name(), "mgr1m");
+  EXPECT_TRUE(old->migrated_out());
+  EXPECT_FALSE(target.migrated_out());
+  EXPECT_TRUE(target.stat(moved).is_ok());
+  EXPECT_GT(cluster.registry().version(), registry_before);
+  // The cutover's epoch bump (1 -> 2) swept the shard's fence cell on
+  // every iod; the non-migrating shard's cell was never swept at all.
+  EXPECT_EQ(cluster.manager_epoch(1).value, 2u);
+  for (u32 i = 0; i < cluster.iod_count(); ++i) {
+    EXPECT_EQ(cluster.iod(i).manager_epoch(1), 2u);
+    EXPECT_EQ(cluster.iod(i).manager_epoch(0), 0u);
+  }
+  EXPECT_FALSE(cluster.manager(0).migrated_out());
+
+  // A client whose map predates the migration converges through the
+  // zombie source's kWrongShard redirect and reads its data back intact.
+  Client& late = cluster.client(1);
+  ASSERT_EQ(late.meta().map_version(), registry_before);
+  OpenFile g = late.open(moved).value();
+  EXPECT_EQ(g.meta.handle, f.meta.handle);
+  EXPECT_GE(s.get(stat::kPvfsShardRedirects), 1);
+  EXPECT_GE(s.get(stat::kPvfsWrongShardDuringMigration), 1);
+  EXPECT_EQ(late.meta().map_version(), cluster.registry().version());
+  const u64 dst = late.memory().alloc(n);
+  ASSERT_TRUE(late.read(g, 0, dst, n).ok());
+  for (u64 i = 0; i < n; i += 8) {
+    ASSERT_EQ(late.memory().read_pod<u64>(dst + i), i * 2654435761u) << i;
+  }
+
+  // The target minted past the source's cursor: new files on the shard
+  // get fresh handles in the same residue class.
+  const std::string fresh = name_on_shard(1, 2) + "-post";
+  if (shard_of(fresh, 2) == 1) {
+    OpenFile h = c.create(fresh).value();
+    EXPECT_EQ(shard_of_handle(h.meta.handle, 2), 1u);
+    EXPECT_GT(h.meta.handle, f.meta.handle);
+  }
+}
+
+TEST(MigrationTest, StreamsInRateLimitedRoundsWhileServing) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.migration.round_bytes = 128;  // force a multi-round stream
+  Cluster cluster(cfg,
+                  Cluster::Topology{}.clients(1).iods(2).metadata_shards(2));
+  Client& c = cluster.client(0);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(c.create(name_on_shard(1, 2) + "-" + std::to_string(i))
+                    .is_ok());
+  }
+  ASSERT_TRUE(cluster.migrate_shard(1, TimePoint::origin() + Duration::ms(1)));
+  // The source serves mid-stream: ops issued while the stream drains hit
+  // the still-active source without redirects, and the late delta makes
+  // the cutover anyway.
+  const std::string late_name = name_on_shard(1, 2) + "-late";
+  bool late_ok = false;
+  cluster.engine().schedule_at(
+      TimePoint::origin() + Duration::ms(1) + Duration::us(1), [&] {
+        late_ok = c.create(late_name).is_ok();
+      });
+  cluster.run();
+  EXPECT_TRUE(late_ok);
+  const Stats& s = cluster.stats();
+  EXPECT_EQ(s.get(stat::kPvfsShardMigrations), 1);
+  EXPECT_GE(s.get(stat::kPvfsMigrationRounds), 2);
+  if (shard_of(late_name, 2) == 1) {
+    EXPECT_TRUE(cluster.active_manager(1).stat(late_name).is_ok());
+  }
+}
+
+TEST(MigrationTest, SplitDoublesThePlaneOnline) {
+  Cluster cluster(ModelConfig::paper_defaults(),
+                  Cluster::Topology{}.clients(2).iods(4).metadata_shards(2));
+  Client& c = cluster.client(0);
+  // One file per post-split shard, created pre-split with payload.
+  std::vector<std::string> names;
+  std::vector<OpenFile> files;
+  const u64 n = 16 * kKiB;
+  for (u32 s = 0; s < 4; ++s) {
+    names.push_back(name_on_shard(s, 4));
+    files.push_back(c.create(names.back()).value());
+    const u64 a = c.memory().alloc(n);
+    for (u64 i = 0; i < n; i += 8) {
+      c.memory().write_pod<u64>(a + i, (s + 1) * (i + 1));
+    }
+    ASSERT_TRUE(c.write(files.back(), 0, a, n).ok());
+  }
+
+  ASSERT_TRUE(cluster.split_shards(TimePoint::origin() + Duration::ms(1)));
+  EXPECT_FALSE(cluster.split_shards(TimePoint::origin()));  // one at a time
+  cluster.run();
+
+  const Stats& st = cluster.stats();
+  EXPECT_EQ(st.get(stat::kPvfsShardSplits), 1);
+  EXPECT_EQ(st.get(stat::kPvfsMigrationAborts), 0);
+  EXPECT_EQ(cluster.metadata_shards(), 4u);
+  EXPECT_EQ(cluster.registry().shard_count(), 4u);
+  EXPECT_EQ(cluster.config().pvfs.metadata_shards, 4u);
+  // Every name is now served exactly by its 4-way shard (the sibling may
+  // hold a version-plane copy when the file's handle residue routes there,
+  // but it never answers namespace ops for the name).
+  for (u32 s = 0; s < 4; ++s) {
+    EXPECT_TRUE(cluster.manager(s).stat(names[s]).is_ok()) << s;
+    EXPECT_TRUE(cluster.manager(s).owns(names[s])) << s;
+    EXPECT_FALSE(cluster.manager((s + 2) % 4).owns(names[s])) << s;
+    EXPECT_EQ(cluster.manager(s).shard_count(), 4u);
+  }
+  // Stale clients converge by redirects alone and the data survives.
+  Client& late = cluster.client(1);
+  for (u32 s = 0; s < 4; ++s) {
+    OpenFile g = late.open(names[s]).value();
+    EXPECT_EQ(g.meta.handle, files[s].meta.handle);
+    const u64 dst = late.memory().alloc(n);
+    ASSERT_TRUE(late.read(g, 0, dst, n).ok());
+    for (u64 i = 0; i < n; i += 8) {
+      ASSERT_EQ(late.memory().read_pod<u64>(dst + i), (s + 1) * (i + 1));
+    }
+  }
+  // Fresh creates mint handles in the post-split residue classes.
+  const std::string fresh = name_on_shard(3, 4) + "-post";
+  OpenFile h = c.create(fresh).value();
+  EXPECT_EQ(shard_of_handle(h.meta.handle, 4),
+            shard_of(fresh, 4));
+}
+
+TEST(MigrationTest, SplitConvergesEveryOpTypeViaRedirects) {
+  // Satellite: a client stuck on the pre-split map must converge through
+  // kWrongShard redirects alone on every op type — create, open, remove,
+  // and the version plane's authority lookup.
+  Cluster cluster(ModelConfig::paper_defaults(),
+                  Cluster::Topology{}.clients(2).iods(2).metadata_shards(2));
+  Client& fresh = cluster.client(0);
+  Client& stale = cluster.client(1);
+  // A name that moves in the split: routes to shard 1 pre-split and to
+  // shard 3 post-split.
+  std::string moved;
+  for (int i = 0; i < 8192 && moved.empty(); ++i) {
+    std::string cand = "/m" + std::to_string(i);
+    if (shard_of(cand, 2) == 1 && shard_of(cand, 4) == 3) moved = cand;
+  }
+  ASSERT_FALSE(moved.empty());
+  ASSERT_TRUE(fresh.create(moved).is_ok());
+  OpenFile f = stale.open(moved).value();  // both maps warmed pre-split
+
+  ASSERT_TRUE(cluster.split_shards(TimePoint::origin() + Duration::ms(1)));
+  cluster.run();
+  ASSERT_EQ(cluster.stats().get(stat::kPvfsShardSplits), 1);
+  ASSERT_LT(stale.meta().map_version(), cluster.registry().version());
+
+  // open: redirected once, then served by the sibling.
+  const i64 redirects0 = cluster.stats().get(stat::kPvfsShardRedirects);
+  OpenFile g = stale.open(moved).value();
+  EXPECT_EQ(g.meta.handle, f.meta.handle);
+  EXPECT_GT(cluster.stats().get(stat::kPvfsShardRedirects), redirects0);
+  EXPECT_EQ(stale.meta().map_version(), cluster.registry().version());
+
+  // authority: the version plane routes by the handle's residue class
+  // (which a pre-split mint keeps — names re-hash, handles don't), and a
+  // freshly collapsed (mount-time) map still resolves to the manager that
+  // actually holds the stripe state.
+  stale.meta().invalidate_map();
+  const u32 vshard = shard_of_handle(f.meta.handle, 4);
+  Manager& owner = stale.meta().authority(f.meta.handle);
+  EXPECT_EQ(&owner, &cluster.active_manager(vshard));
+  EXPECT_TRUE(owner.owns_handle(f.meta.handle));
+
+  // create: a brand-new name whose post-split home didn't exist when the
+  // map was minted lands on the right manager.
+  stale.meta().invalidate_map();
+  const std::string brand = name_on_shard(2, 4) + "-new";
+  if (shard_of(brand, 4) == 2) {
+    OpenFile h = stale.create(brand).value();
+    EXPECT_EQ(shard_of_handle(h.meta.handle, 4), 2u);
+    EXPECT_TRUE(cluster.manager(2).stat(brand).is_ok());
+  }
+
+  // remove: unlink through a stale map converges too, and the name is
+  // gone everywhere.
+  stale.meta().invalidate_map();
+  ASSERT_TRUE(stale.remove(moved).is_ok());
+  EXPECT_FALSE(fresh.open(moved).is_ok());
+  EXPECT_FALSE(cluster.manager(3).stat(moved).is_ok());
+}
+
+TEST(MigrationTest, BoundedRefreshSurvivesStaleRefreshAndGivesUp) {
+  // Satellite regression: a map refresh that itself lands an already-stale
+  // map must not wedge the client — the redirect loop re-refreshes with
+  // backoff, and gives up with kWrongShard after map_refresh_attempts.
+  Cluster cluster(ModelConfig::paper_defaults(),
+                  Cluster::Topology{}.clients(1).iods(2).metadata_shards(4));
+  Client& c = cluster.client(0);
+  const std::string elsewhere = name_on_shard(2, 4);
+  ASSERT_TRUE(c.create(elsewhere).is_ok());
+
+  // One stale refresh: redirect -> refresh (lands stale) -> redirect ->
+  // refresh (real) -> served. Two redirects, two refreshes, op succeeds.
+  c.meta().invalidate_map();
+  c.meta().force_stale_refreshes(1);
+  EXPECT_TRUE(c.open(elsewhere).is_ok());
+  EXPECT_EQ(cluster.stats().get(stat::kPvfsShardRedirects), 2);
+  EXPECT_EQ(cluster.stats().get(stat::kPvfsShardMapRefreshes), 2);
+  EXPECT_EQ(c.meta().shard_count(), 4u);
+
+  // Refreshes that never land a current map: the loop is bounded — the op
+  // fails with the redirect instead of spinning forever.
+  c.meta().invalidate_map();
+  c.meta().force_stale_refreshes(100);
+  auto r = c.open(elsewhere);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kWrongShard);
+  const u32 attempts = cluster.config().migration.map_refresh_attempts;
+  EXPECT_EQ(cluster.stats().get(stat::kPvfsShardMapRefreshes),
+            2 + static_cast<i64>(attempts));
+
+  // Back to a healthy registry: the same client recovers on the next op.
+  c.meta().force_stale_refreshes(0);
+  EXPECT_TRUE(c.open(elsewhere).is_ok());
+}
+
+TEST(MigrationTest, SourceCrashMidStreamAborts) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.migration.round_bytes = 128;  // multi-round: the crash lands mid-stream
+  // The source's crash window opens while the stream is still draining.
+  cfg.fault.schedule.push_back(FaultEvent{FaultKind::kManagerCrash,
+                                          TimePoint::origin() +
+                                              Duration::ms(1.0) +
+                                              Duration::us(2.0),
+                                          1, Duration::ms(2.0)});
+  Cluster cluster(cfg,
+                  Cluster::Topology{}.clients(1).iods(2).metadata_shards(2));
+  Client& c = cluster.client(0);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(c.create(name_on_shard(1, 2) + "-" + std::to_string(i))
+                    .is_ok());
+  }
+  Manager* source = &cluster.active_manager(1);
+  ASSERT_TRUE(cluster.migrate_shard(1, TimePoint::origin() + Duration::ms(1)));
+  cluster.run();
+
+  const Stats& s = cluster.stats();
+  EXPECT_EQ(s.get(stat::kPvfsMigrationAborts), 1);
+  EXPECT_EQ(s.get(stat::kPvfsShardMigrations), 0);
+  EXPECT_FALSE(cluster.migration_inflight());
+  // Fallback: the source never stopped owning the shard and serves again
+  // once its window closes.
+  EXPECT_EQ(&cluster.active_manager(1), source);
+  EXPECT_FALSE(source->migrated_out());
+  EXPECT_TRUE(c.open(name_on_shard(1, 2) + "-0").is_ok());
+  // A retry after the crash window closes completes.
+  ASSERT_TRUE(cluster.migrate_shard(1, TimePoint::origin() + Duration::ms(10)));
+  cluster.run();
+  EXPECT_EQ(s.get(stat::kPvfsShardMigrations), 1);
+}
+
+TEST(MigrationTest, TargetCrashFallsBackToSource) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.migration.round_bytes = 128;
+  cfg.fault.schedule.push_back(FaultEvent{FaultKind::kMigrationTargetCrash,
+                                          TimePoint::origin() +
+                                              Duration::ms(1.0) +
+                                              Duration::us(2.0),
+                                          1, Duration::zero()});
+  Cluster cluster(cfg,
+                  Cluster::Topology{}.clients(1).iods(2).metadata_shards(2));
+  Client& c = cluster.client(0);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(c.create(name_on_shard(1, 2) + "-" + std::to_string(i))
+                    .is_ok());
+  }
+  Manager* source = &cluster.active_manager(1);
+  ASSERT_TRUE(cluster.migrate_shard(1, TimePoint::origin() + Duration::ms(1)));
+  cluster.run();
+
+  const Stats& s = cluster.stats();
+  EXPECT_EQ(s.get(stat::kFaultMigrationTargetCrash), 1);
+  EXPECT_EQ(s.get(stat::kPvfsMigrationAborts), 1);
+  EXPECT_EQ(s.get(stat::kPvfsShardMigrations), 0);
+  EXPECT_EQ(&cluster.active_manager(1), source);
+  // The one-shot was consumed: the retried migration sails through.
+  ASSERT_TRUE(cluster.migrate_shard(1, cluster.engine().now()));
+  cluster.run();
+  EXPECT_EQ(s.get(stat::kPvfsShardMigrations), 1);
+  EXPECT_EQ(s.get(stat::kPvfsMigrationAborts), 1);
+}
+
+TEST(MigrationTest, TakeoverRacingStreamAborts) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.migration.round_bytes = 128;
+  Cluster cluster(cfg, Cluster::Topology{}
+                           .clients(1)
+                           .iods(2)
+                           .metadata_shards(2)
+                           .standbys());
+  Client& c = cluster.client(0);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(c.create(name_on_shard(0, 2) + "-" + std::to_string(i))
+                    .is_ok());
+  }
+  ASSERT_TRUE(cluster.migrate_shard(0, TimePoint::origin() + Duration::ms(1)));
+  // A standby takeover bumps the epoch mid-stream: the source's snapshot
+  // is no longer the shard's authority, so the migration must abort.
+  const TimePoint mid =
+      TimePoint::origin() + Duration::ms(1) + Duration::us(2.0);
+  cluster.engine().schedule_at(mid,
+                               [&] { cluster.manager_takeover(0, mid); });
+  cluster.run();
+
+  const Stats& s = cluster.stats();
+  EXPECT_EQ(s.get(stat::kPvfsManagerTakeovers), 1);
+  EXPECT_EQ(s.get(stat::kPvfsMigrationAborts), 1);
+  EXPECT_EQ(s.get(stat::kPvfsShardMigrations), 0);
+  EXPECT_EQ(&cluster.active_manager(0), cluster.standby(0));
+  // The promoted standby carries the shard; a fresh migration streams
+  // from it and completes.
+  ASSERT_TRUE(cluster.migrate_shard(0, cluster.engine().now()));
+  cluster.run();
+  EXPECT_EQ(s.get(stat::kPvfsShardMigrations), 1);
+  EXPECT_EQ(cluster.active_manager(0).hca().name(), "mgr0m");
+  EXPECT_TRUE(c.open(name_on_shard(0, 2) + "-0").is_ok());
+}
+
+TEST(MigrationTest, RejectsOverlappingMigrationsAndChainsWithSplit) {
+  Cluster cluster(ModelConfig::paper_defaults(),
+                  Cluster::Topology{}.clients(1).iods(2).metadata_shards(2));
+  Client& c = cluster.client(0);
+  ASSERT_TRUE(c.create(name_on_shard(1, 2)).is_ok());
+  ASSERT_TRUE(cluster.migrate_shard(1, TimePoint::origin() + Duration::ms(1)));
+  // While a stream holds the shard, neither a second move nor a split may
+  // start; invalid shards are rejected outright.
+  EXPECT_FALSE(cluster.migrate_shard(1, TimePoint::origin()));
+  EXPECT_FALSE(cluster.split_shards(TimePoint::origin()));
+  EXPECT_FALSE(cluster.migrate_shard(7, TimePoint::origin()));
+  EXPECT_TRUE(cluster.migration_inflight());
+  cluster.run();
+  EXPECT_FALSE(cluster.migration_inflight());
+  // Migrate, then split: the moved shard's target is the split source.
+  ASSERT_TRUE(cluster.split_shards(cluster.engine().now()));
+  cluster.run();
+  EXPECT_EQ(cluster.metadata_shards(), 4u);
+  EXPECT_EQ(cluster.stats().get(stat::kPvfsShardMigrations), 1);
+  EXPECT_EQ(cluster.stats().get(stat::kPvfsShardSplits), 1);
+  EXPECT_TRUE(c.open(name_on_shard(1, 2)).is_ok());
+}
+
+}  // namespace
+}  // namespace pvfsib::pvfs
