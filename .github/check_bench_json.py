@@ -76,6 +76,19 @@ MIGRATION_KEYS = (
     "ok",
 )
 
+CACHE_POINT_KEYS = (
+    "cache_bytes",
+    "ok",
+    "hit_rate",
+    "hits",
+    "misses",
+    "wire_requests",
+    "ops",
+    "ops_per_s",
+    "p50_us",
+    "p99_us",
+)
+
 CORRUPTION_POINT_KEYS = (
     "flips_scheduled",
     "scrub",
@@ -133,7 +146,44 @@ def check_load(path, doc):
                 if not pt["ok"]:
                     fail(f"{path}: fault_points[{i}] migration point "
                          f"reports ok=false")
-    return len(points)
+    # The --cache sweep is optional; when present the first point must be
+    # the uncached baseline (cache_bytes == 0, zero cache traffic), the
+    # hit rate must be monotone nondecreasing in cache capacity, and every
+    # cached point must beat the baseline's throughput — hits that do not
+    # buy ops mean the tier is not short-circuiting the wire.
+    n = len(points)
+    if "cache" in doc:
+        cache = doc["cache"]
+        if not isinstance(cache, dict):
+            fail(f"{path}: 'cache' must be an object")
+        cpts = require_points(path, cache, "points", CACHE_POINT_KEYS)
+        if cpts[0]["cache_bytes"] != 0:
+            fail(f"{path}: cache.points[0] must be the uncached baseline")
+        if cpts[0]["hits"] != 0 or cpts[0]["misses"] != 0:
+            fail(f"{path}: uncached baseline counted cache traffic "
+                 f"(hits={cpts[0]['hits']}, misses={cpts[0]['misses']})")
+        baseline = cpts[0]["ops_per_s"]
+        prev_bytes, prev_rate = 0, 0.0
+        for i, pt in enumerate(cpts):
+            if not pt["ok"]:
+                fail(f"{path}: cache.points[{i}] reports ok=false")
+            if pt["cache_bytes"] < prev_bytes:
+                fail(f"{path}: cache.points[{i}] capacities not ascending")
+            if i > 0:
+                if pt["hit_rate"] + 1e-9 < prev_rate:
+                    fail(f"{path}: cache.points[{i}] hit_rate "
+                         f"{pt['hit_rate']} fell below {prev_rate} at a "
+                         f"larger capacity")
+                if pt["hit_rate"] <= 0.0:
+                    fail(f"{path}: cache.points[{i}] cached run had no hits")
+                if pt["ops_per_s"] < baseline:
+                    fail(f"{path}: cache.points[{i}] throughput "
+                         f"{pt['ops_per_s']} below uncached baseline "
+                         f"{baseline}")
+                prev_rate = pt["hit_rate"]
+            prev_bytes = pt["cache_bytes"]
+        n += len(cpts)
+    return n
 
 
 def check_fault(path, doc):

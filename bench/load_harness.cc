@@ -115,6 +115,54 @@ void json_point(JsonWriter& j, const Point& pt) {
   j.end_object();
 }
 
+// --- Client-cache re-read sweep (--cache) ----------------------------------
+
+struct CachePoint {
+  u64 cache_bytes = 0;  // 0 = uncached baseline, same seed
+  load::LoadSummary sum;
+  i64 hits = 0;
+  i64 misses = 0;
+  i64 invalidations = 0;
+  i64 lease_revokes = 0;
+  i64 wire_requests = 0;
+
+  double hit_rate() const {
+    const i64 total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+// One closed-loop point with the client caching tier at `cache_bytes` of
+// data capacity (0 = cache off: the uncached baseline every other point is
+// compared against). The workload pins data ops to slot 0
+// (cacheable_reads), so Zipf re-reads of a popular file repeat the same
+// range — the traffic shape the attribute and data caches exist for.
+CachePoint run_cache_point(u32 clients, u32 iods, u32 shards,
+                           const load::LoadConfig& lc, u64 cache_bytes) {
+  ModelConfig cfg = ModelConfig::paper_defaults();
+  cfg.pvfs.meta_cpu_queue = true;
+  if (cache_bytes > 0) {
+    cfg.cache.enabled = true;
+    cfg.cache.leases = true;
+    cfg.cache.data_capacity = cache_bytes;
+  }
+  pvfs::Cluster cluster(cfg, pvfs::Cluster::Topology{}
+                                 .clients(clients)
+                                 .iods(iods)
+                                 .metadata_shards(shards));
+  CachePoint pt;
+  pt.cache_bytes = cache_bytes;
+  load::LoadEngine engine(cluster, lc);
+  pt.sum = engine.run();
+  pt.hits = cluster.stats().get(stat::kPvfsCacheHits);
+  pt.misses = cluster.stats().get(stat::kPvfsCacheMisses);
+  pt.invalidations = cluster.stats().get(stat::kPvfsCacheInvalidations);
+  pt.lease_revokes = cluster.stats().get(stat::kPvfsCacheLeaseRevokes);
+  pt.wire_requests = cluster.stats().get(stat::kPvfsRequest);
+  return pt;
+}
+
 // --- The same closed loop under fire (--faults) ---------------------------
 
 // One sweep point with a seeded fault schedule landing mid-measure: iod 0
@@ -211,7 +259,7 @@ Point run_migration_fault_point(u32 clients, u32 iods, u32 shards,
   return pt;
 }
 
-void run(bool smoke, bool faults) {
+void run(bool smoke, bool faults, bool cache) {
   const load::LoadConfig lc = base_config(smoke);
   const std::vector<u32> client_counts =
       smoke ? std::vector<u32>{2, 8} : std::vector<u32>{4, 16, 64, 192};
@@ -299,6 +347,49 @@ void run(bool smoke, bool faults) {
     std::printf("\n");
   }
 
+  // Cache sweep (--cache): the same seeded closed loop, read-leaning and
+  // with data ops pinned to each file's slot 0 so Zipf re-reads repeat the
+  // same byte ranges, run uncached once and then at growing client-cache
+  // data capacities. Hits complete without touching the wire, so the hit
+  // rate shows up directly as throughput and as a drop in pvfs.requests.
+  std::vector<CachePoint> cache_points;
+  load::LoadConfig cache_lc = lc;
+  if (cache) {
+    cache_lc.cacheable_reads = true;
+    cache_lc.mix.read = 0.60;
+    cache_lc.mix.write = 0.10;
+    cache_lc.mix.open = 0.15;
+    cache_lc.mix.stat = 0.10;
+    cache_lc.mix.churn = 0.05;
+    const u32 at_clients = smoke ? client_counts.back() : client_counts[1];
+    const std::vector<u64> capacities =
+        smoke ? std::vector<u64>{0, 64 * kKiB, 256 * kKiB, 1 * kMiB}
+              : std::vector<u64>{0, 256 * kKiB, 1 * kMiB, 4 * kMiB};
+    header("Client caching tier: Zipf re-read sweep vs cache capacity",
+           fmt_int(at_clients) +
+               " clients, read-leaning mix (60% read / 10% write), data ops "
+               "pinned to\nslot 0 so popular files re-read the same range. "
+               "Row one is the uncached\nbaseline at the same seed; growing "
+               "the per-client data cache turns Zipf\nre-reads into local "
+               "hits — fewer wire requests, more ops");
+    Table tc({"cache KiB", "hit rate", "ops", "kop/s", "MiB/s", "p50 us",
+              "p99 us", "wire reqs", "status"});
+    for (u64 cap : capacities) {
+      cache_points.push_back(
+          run_cache_point(at_clients, iods, shards, cache_lc, cap));
+      const CachePoint& cp = cache_points.back();
+      const load::LoadSummary& s = cp.sum;
+      tc.row({cp.cache_bytes == 0 ? std::string("off")
+                                  : fmt_int(cp.cache_bytes / kKiB),
+              fmt(cp.hit_rate(), 3), fmt_int(s.ops),
+              fmt(s.ops_per_s / 1000.0, 1), fmt(s.mib_per_s, 1),
+              us(s.latency.quantile(0.50)), us(s.latency.quantile(0.99)),
+              fmt_int(cp.wire_requests), s.ok ? "ok" : "FAILED"});
+    }
+    tc.print();
+    std::printf("\n");
+  }
+
   JsonWriter j;
   j.field("bench", "load_harness");
   j.field("smoke", smoke);
@@ -324,6 +415,34 @@ void run(bool smoke, bool faults) {
     for (const Point& pt : fault_points) json_point(j, pt);
     j.end_array();
   }
+  if (cache) {
+    j.begin_object("cache");
+    j.field("clients", smoke ? client_counts.back() : client_counts[1]);
+    j.field("iods", iods);
+    j.field("zipf_theta", cache_lc.zipf_theta, 3);
+    j.begin_array("points");
+    for (const CachePoint& cp : cache_points) {
+      const load::LoadSummary& s = cp.sum;
+      j.begin_object();
+      j.field("cache_bytes", cp.cache_bytes);
+      j.field("ok", s.ok);
+      j.field("hit_rate", cp.hit_rate(), 6);
+      j.field("hits", cp.hits);
+      j.field("misses", cp.misses);
+      j.field("invalidations", cp.invalidations);
+      j.field("lease_revokes", cp.lease_revokes);
+      j.field("wire_requests", cp.wire_requests);
+      j.field("ops", s.ops);
+      j.field("bytes", s.bytes);
+      j.field("ops_per_s", s.ops_per_s, 3);
+      j.field("mib_per_s", s.mib_per_s, 3);
+      j.field("p50_us", s.latency.quantile(0.50).as_us(), 3);
+      j.field("p99_us", s.latency.quantile(0.99).as_us(), 3);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
   j.write_file("BENCH_load.json");
 }
 
@@ -333,10 +452,12 @@ void run(bool smoke, bool faults) {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool faults = false;
+  bool cache = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--faults") == 0) faults = true;
+    if (std::strcmp(argv[i], "--cache") == 0) cache = true;
   }
-  pvfsib::bench::run(smoke, faults);
+  pvfsib::bench::run(smoke, faults, cache);
   return 0;
 }

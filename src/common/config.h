@@ -425,6 +425,35 @@ struct MigrationParams {
   Duration map_refresh_backoff_cap = Duration::ms(2.0);
 };
 
+// --- Client caching tier ------------------------------------------------
+// Per-client attribute/name + data caching (src/cache/). Disabled by
+// default: with `enabled == false` no cache structures are consulted, no
+// pvfs.cache_* counters move, and every timeline is byte-identical to a
+// build without the tier.
+struct CacheParams {
+  bool enabled = false;
+  // Data-cache byte budget per client (clean extents; LRU eviction). Dirty
+  // write-back extents are never silently evicted — they are the only copy
+  // of the user's bytes until flushed, so the budget may be transiently
+  // exceeded while dirty data is pending.
+  u64 data_capacity = 4 * kMiB;
+  // Attribute/name cache entry budget per client (LRU eviction).
+  u32 attr_capacity = 256;
+  // With `leases == false` attribute entries expire on a plain TTL. With
+  // leases (the default) entries stay valid until a manager-granted lease
+  // is revoked: create/remove on the name, or an epoch bump (takeover,
+  // migration cutover, shard split) on the owning shard.
+  bool leases = true;
+  Duration attr_ttl = Duration::ms(50.0);
+  // Opt-in write-back data mode: writes stage dirty extents locally and
+  // complete immediately; dirty data is flushed on close()/flush() or when
+  // its age reaches `staleness_bound` (an engine timer), whichever comes
+  // first. Default off = write-through (every write goes to the iods
+  // before the op completes).
+  bool write_back = false;
+  Duration staleness_bound = Duration::ms(5.0);
+};
+
 // --- Everything --------------------------------------------------------
 struct ModelConfig {
   NetParams net;
@@ -437,6 +466,7 @@ struct ModelConfig {
   FaultConfig fault;  // trivial by default: no faults, no recovery overhead
   ReplicationParams replication;  // factor 1 = classic single-copy PVFS
   MigrationParams migration;      // consulted only once a migration starts
+  CacheParams cache;              // client caching tier; disabled = no-op
 
   // Outstanding-round window per I/O server: how many list I/O rounds a
   // client may keep in flight to one iod. 1 reproduces classic PVFS

@@ -328,6 +328,19 @@ inline constexpr const char* kPvfsScrubCorruptions =
     "pvfs.scrub_corruptions_found";
 inline constexpr const char* kPvfsScrubStaleHeaders =
     "pvfs.scrub_stale_headers_found";
+// Client caching tier (src/cache/). All four move only when
+// CacheParams::enabled is set, so cache-off runs keep counter sets — and
+// every figure baseline — byte-identical. cache_hits/misses count attr and
+// data lookups together; invalidations counts entries dropped by write
+// notices, version-tag conflicts and name invalidation; lease_revokes
+// counts entries dropped by lease revocation (create/remove on the name,
+// epoch bumps on the owning shard).
+inline constexpr const char* kPvfsCacheHits = "pvfs.cache_hits";
+inline constexpr const char* kPvfsCacheMisses = "pvfs.cache_misses";
+inline constexpr const char* kPvfsCacheInvalidations =
+    "pvfs.cache_invalidations";
+inline constexpr const char* kPvfsCacheLeaseRevokes =
+    "pvfs.cache_lease_revokes";
 inline constexpr const char* kAdsSieved = "ads.sieved";
 inline constexpr const char* kAdsSeparate = "ads.separate";
 inline constexpr const char* kAdsExtraBytes = "ads.extra_bytes";

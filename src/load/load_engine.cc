@@ -241,14 +241,19 @@ void LoadEngine::run_data_op(u32 ci, OpKind kind, TimePoint now) {
       span = stride * (pieces - 1) + piece;
     }
     const u64 slots = (cfg_.file_bytes - span) / (4 * kKiB) + 1;
-    const u64 base = st.rng.below(slots) * (4 * kKiB);
+    // cacheable_reads pins every op to slot 0 so Zipf re-reads repeat the
+    // same range; the draw still happens so the RNG stream (and thus the
+    // rest of the schedule) is identical across the two modes.
+    const u64 draw = st.rng.below(slots);
+    const u64 base = cfg_.cacheable_reads ? 0 : draw * (4 * kKiB);
     for (u64 i = 0; i < pieces; ++i) {
       req.mem.push_back({st.buf + i * piece, piece});
       req.file.push_back({base + i * stride, piece});
     }
   } else {
     const u64 slots = (cfg_.file_bytes - bytes) / (4 * kKiB) + 1;
-    const u64 base = st.rng.below(slots) * (4 * kKiB);
+    const u64 draw = st.rng.below(slots);
+    const u64 base = cfg_.cacheable_reads ? 0 : draw * (4 * kKiB);
     req.mem.push_back({st.buf, bytes});
     req.file.push_back({base, bytes});
   }

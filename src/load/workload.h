@@ -157,6 +157,13 @@ struct LoadConfig {
   // Rolling interval counters: window length for Cluster::sample_intervals
   // over the run (zero disables sampling).
   Duration interval = Duration::ms(20.0);
+
+  // Cache-friendly read placement: data ops address a file's slot 0
+  // instead of a seeded random slot, so Zipf re-reads of a popular file
+  // repeatedly touch the *same* byte range — the access pattern the client
+  // caching tier exists for. Off (the default) keeps the classic
+  // random-slot traffic and its fingerprints bit-identical.
+  bool cacheable_reads = false;
 };
 
 }  // namespace pvfsib::load

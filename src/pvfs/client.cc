@@ -71,6 +71,23 @@ struct Client::OpState {
   IoPhases phases;
   u32 retries = 0;    // recovery retries accumulated across all rounds
   u32 failovers = 0;  // read-failover hops accumulated across all rounds
+
+  // --- Caching tier (populated only when CacheParams::enabled) ----------
+  // Copy of the request, kept so the completion hooks can gather/overlay
+  // the op's bytes against user memory.
+  core::ListIoRequest creq;
+  bool wb_flush = false;         // write-back flush: skip the write hooks
+  bool cache_insertable = false; // read miss whose bytes re-enter the cache
+  // Read: per-stripe write-seq snapshot at issue. The entry is only
+  // inserted (and only validates later) if the authority's seq still
+  // matches — any write submitted or completed during the flight makes
+  // the bytes uninsertable/unservable.
+  std::map<u32, u64> cache_seq;
+  // Read: minimum header version each stripe's rounds reported serving.
+  // The min (not max) is the honest tag: a round served by a legitimately
+  // stale replica must produce an entry that fails the version check, not
+  // one that borrows a newer round's tag.
+  std::map<u32, u64> serve_ver;
 };
 
 Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
@@ -87,7 +104,15 @@ Client::Client(u32 id, const ModelConfig& cfg, sim::Engine& engine,
       cache_(hca_),
       registrar_(cache_, cfg.os, core::OgrConfig{}, stats),
       xfer_(fabric, cfg.mem),
-      meta_(hca_, engine, stats, faults, &registry, cfg.migration) {
+      meta_(hca_, engine, stats, faults, &registry, cfg.migration),
+      ccache_(cfg.cache, stats) {
+  if (cfg.cache.enabled) {
+    // Route lease revocations bus -> MetaClient -> cache. Setting the sink
+    // before any attach_lease_bus call is what makes the subscription
+    // happen at all; cache-off clients leave the bus unobserved.
+    meta_.set_lease_sink(
+        [this](const LeaseRevoke& rv) { ccache_.on_revoke(rv); });
+  }
   ep_.hca = &hca_;
   ep_.cache = &cache_;
   ep_.registrar = &registrar_;
@@ -124,25 +149,42 @@ Result<OpenFile> Client::create(const std::string& name, u64 stripe_size,
   rq.replication_factor = cfg_.replication.factor;
   MetaReply r = meta_roundtrip(rq);
   if (!r.status.is_ok()) return r.status;
+  if (ccache_.enabled()) ccache_.put_attr(r.meta, now_);
   return OpenFile{r.meta};
 }
 
 Result<OpenFile> Client::open(const std::string& name) {
+  if (ccache_.enabled()) {
+    // Attribute-cache short-circuit: a valid entry answers the open with
+    // no metadata round-trip and no simulated time.
+    if (const FileMeta* m =
+            ccache_.lookup_attr(name, max(now_, engine_.now()))) {
+      return OpenFile{*m};
+    }
+  }
   MetaRequest rq;
   rq.op = MetaOp::kOpen;
   rq.name = name;
   MetaReply r = meta_roundtrip(rq);
   if (!r.status.is_ok()) return r.status;
+  if (ccache_.enabled()) ccache_.put_attr(r.meta, now_);
   return OpenFile{r.meta};
 }
 
 Result<FileMeta> Client::stat(const std::string& name) {
+  if (ccache_.enabled()) {
+    if (const FileMeta* m =
+            ccache_.lookup_attr(name, max(now_, engine_.now()))) {
+      return *m;
+    }
+  }
   // stat is an open-shaped metadata round-trip.
   MetaRequest rq;
   rq.op = MetaOp::kStat;
   rq.name = name;
   MetaReply r = meta_roundtrip(rq);
   if (!r.status.is_ok()) return r.status;
+  if (ccache_.enabled()) ccache_.put_attr(r.meta, now_);
   return r.meta;
 }
 
@@ -154,6 +196,15 @@ Status Client::remove(const std::string& name) {
   rq.name = name;
   Status r = meta_roundtrip(rq).status;
   PVFSIB_RETURN_IF_ERROR(r);
+  if (ccache_.enabled()) {
+    // The manager's kRemoved lease revoke (when a bus is attached) already
+    // swept every subscribed cache, ours included, synchronously inside
+    // the round-trip. This local pass is the bus-less fallback — both
+    // calls are idempotent, so double delivery drops nothing twice.
+    ccache_.invalidate_name(name);
+    ccache_.on_revoke(LeaseRevoke{LeaseRevokeReason::kRemoved, 0, 1, name,
+                                  meta.value().handle});
+  }
   // The manager that served the remove tells every iod to unlink its stripe
   // file; the client returns once all acknowledgements are in.
   Manager& mgr = meta_.route(name);
@@ -234,11 +285,19 @@ std::vector<Client::Round> Client::split_rounds(
 
 void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
                       const IoOptions& opts, TimePoint start, bool is_write,
-                      IoCallback done) {
+                      IoCallback done, bool wb_flush) {
   Status v = core::validate(req);
   if (!v.is_ok()) {
     done(IoResult{v, 0, start, start});
     return;
+  }
+  if (ccache_.enabled() && !wb_flush) {
+    if (!is_write) {
+      if (serve_cached_read(file, req, start, done)) return;
+    } else if (ccache_.write_back()) {
+      stage_write_back(file, req, start, done);
+      return;
+    }
   }
   auto op = std::make_shared<OpState>();
   op->file = file;
@@ -323,11 +382,234 @@ void Client::start_op(const OpenFile& file, const core::ListIoRequest& req,
       op->chains[k].replica = pick_read_replica(*op, k);
     }
   }
+  if (ccache_.enabled()) {
+    op->wb_flush = wb_flush;
+    op->creq = req;
+    Manager& auth = meta_.authority(file.meta.handle);
+    if (is_write) {
+      // Submission-time write notice: from this instant no cached entry of
+      // the touched stripes validates anywhere, covering the whole flight.
+      for (u32 s : op->stripes) auth.bump_data_seq(file.meta.handle, s);
+      if (!wb_flush) ccache_.invalidate_extents(file.meta.handle, req.file);
+    } else {
+      op->cache_insertable = true;
+      for (u32 s : op->stripes) {
+        op->cache_seq[s] = auth.data_seq(file.meta.handle, s);
+      }
+    }
+  }
   op->pending = static_cast<u32>(subs.size());
   assert(op->pending > 0);
   for (u32 k = 0; k < op->pending; ++k) {
     issue_round(op, k, op->launch);
   }
+}
+
+// --- Caching tier ---------------------------------------------------------
+
+bool Client::serve_cached_read(const OpenFile& file,
+                               const core::ListIoRequest& req,
+                               TimePoint start, const IoCallback& done) {
+  const Handle h = file.meta.handle;
+  Manager& auth = meta_.authority(h);
+  const auto valid = [&](u32 stripe, u64 seq, u64 version) {
+    if (seq != auth.data_seq(h, stripe)) return false;
+    const Manager::StripeVersionView v = auth.stripe_versions(h, stripe);
+    return !v.known || version >= v.latest;
+  };
+  std::vector<std::byte> bytes;
+  if (!ccache_.read_lookup(h, req.file, valid, &bytes)) return false;
+  // Full coverage with current tags: hand the bytes over host-side. The
+  // list-I/O contract makes the concatenated memory segments correspond
+  // byte-for-byte to the concatenated file extents.
+  u64 off = 0;
+  for (const core::MemSegment& m : req.mem) {
+    std::memcpy(as_.data(m.addr), bytes.data() + off, m.length);
+    off += m.length;
+  }
+  const TimePoint s = max(start, engine_.now());
+  sim::Trace::instance().emitf(
+      s, hca_.name(), "read served from cache: %llu B",
+      static_cast<unsigned long long>(off));
+  done(IoResult{Status::ok(), off, s, s});
+  return true;
+}
+
+void Client::stage_write_back(const OpenFile& file,
+                              const core::ListIoRequest& req, TimePoint start,
+                              const IoCallback& done) {
+  const Handle h = file.meta.handle;
+  std::vector<std::byte> bytes;
+  bytes.reserve(req.bytes());
+  for (const core::MemSegment& m : req.mem) {
+    const std::span<const std::byte> sp = as_.readable_span(m.addr, m.length);
+    bytes.insert(bytes.end(), sp.begin(), sp.end());
+  }
+  const TimePoint s = max(start, engine_.now());
+  ccache_.stage_dirty(h, file.meta.stripe_size, file.meta.iod_count, req.file,
+                      bytes, s);
+  wb_files_[h] = file.meta;
+  sim::Trace::instance().emitf(
+      s, hca_.name(), "write-back: staged %llu B dirty",
+      static_cast<unsigned long long>(bytes.size()));
+  if (!wb_timer_armed_[h]) {
+    // Bound how long the dirty bytes stay client-local: one flush timer
+    // per handle, re-armed on the next staging after it fires.
+    wb_timer_armed_[h] = true;
+    engine_.schedule_at(s + cfg_.cache.staleness_bound, [this, h] {
+      wb_timer_armed_[h] = false;
+      start_flush(h, [](IoResult) {});
+    });
+  }
+  done(IoResult{Status::ok(), bytes.size(), s, s});
+}
+
+void Client::start_flush(Handle h, IoCallback done) {
+  if (!ccache_.write_back() || !ccache_.has_dirty(h)) {
+    done(IoResult{Status::ok(), 0, now_, now_});
+    return;
+  }
+  const auto fit = wb_files_.find(h);
+  assert(fit != wb_files_.end());
+  const OpenFile file{fit->second};
+  auto runs = std::make_shared<std::vector<cache::ClientCache::DirtyRun>>(
+      ccache_.dirty_runs(h));
+  // The flush is an ordinary write op and sources its payload from client
+  // memory like one: copy the dirty runs into a scratch allocation.
+  u64 total = 0;
+  for (const auto& r : *runs) total += r.bytes.size();
+  const u64 scratch = as_.alloc(total);
+  core::ListIoRequest req;
+  u64 off = 0;
+  for (const auto& r : *runs) {
+    std::span<std::byte> dst =
+        as_.writable_span(scratch + off, r.bytes.size());
+    std::memcpy(dst.data(), r.bytes.data(), r.bytes.size());
+    req.mem.push_back({scratch + off, r.bytes.size()});
+    req.file.push_back({r.offset, r.bytes.size()});
+    off += r.bytes.size();
+  }
+  sim::Trace::instance().emitf(
+      max(now_, engine_.now()), hca_.name(),
+      "write-back: flushing %llu B in %zu runs",
+      static_cast<unsigned long long>(total), runs->size());
+  start_op(
+      file, req, IoOptions{}, max(now_, engine_.now()), /*is_write=*/true,
+      [this, h, runs, done = std::move(done)](IoResult r) {
+        if (r.ok()) {
+          Manager& auth = meta_.authority(h);
+          const auto tags = [&](u32 stripe, u64* seq, u64* version) {
+            *seq = auth.data_seq(h, stripe);
+            const Manager::StripeVersionView v = auth.stripe_versions(h, stripe);
+            *version = v.known ? v.latest : 0;
+          };
+          ccache_.flush_applied(h, *runs, tags);
+        }
+        done(r);
+      },
+      /*wb_flush=*/true);
+}
+
+void Client::cache_op_complete(OpState& op) {
+  if (op.failed) return;
+  const Handle h = op.file.meta.handle;
+  Manager& auth = meta_.authority(h);
+  if (op.is_write) {
+    // Completion-time write notice: a read that raced this write and
+    // snapshotted the submission seq can no longer insert (or validate)
+    // its possibly pre-write bytes.
+    std::map<u32, u64> done_seq;
+    for (u32 s : op.stripes) done_seq[s] = auth.bump_data_seq(h, s);
+    if (op.wb_flush) return;  // flush_applied re-tags the dirty entries
+    std::vector<std::byte> bytes;
+    bytes.reserve(op.total_bytes);
+    for (const core::MemSegment& m : op.creq.mem) {
+      const std::span<const std::byte> sp =
+          as_.readable_span(m.addr, m.length);
+      bytes.insert(bytes.end(), sp.begin(), sp.end());
+    }
+    const auto tags = [&](u32 stripe, u64* seq, u64* version) {
+      const auto it = done_seq.find(stripe);
+      *seq = it != done_seq.end() ? it->second : auth.data_seq(h, stripe);
+      const Manager::StripeVersionView v = auth.stripe_versions(h, stripe);
+      *version = v.known ? v.latest : 0;
+    };
+    ccache_.insert_clean(h, op.file.meta.stripe_size, op.file.meta.iod_count,
+                         op.creq.file, bytes, tags);
+    return;
+  }
+  if (ccache_.write_back() && ccache_.has_dirty(h)) {
+    // Read-your-writes: overlay the pending dirty bytes over what the wire
+    // just delivered before the caller sees it.
+    ccache_.overlay_dirty(
+        h, op.creq.file, [&](u64 foff, std::span<const std::byte> b) {
+          // Translate the file offset into the op's logical byte position,
+          // then scatter into the memory segment list from there.
+          u64 logical = 0;
+          for (const Extent& e : op.creq.file) {
+            if (foff >= e.offset && foff < e.end()) {
+              logical += foff - e.offset;
+              break;
+            }
+            logical += e.length;
+          }
+          u64 pos = logical;
+          u64 src = 0;
+          for (const core::MemSegment& m : op.creq.mem) {
+            if (pos >= m.length) {
+              pos -= m.length;
+              continue;
+            }
+            const u64 n = std::min(m.length - pos, b.size() - src);
+            std::memcpy(as_.data(m.addr + pos), b.data() + src, n);
+            src += n;
+            pos = 0;
+            if (src == b.size()) break;
+          }
+        });
+  }
+  if (!op.cache_insertable) return;
+  for (u32 s : op.stripes) {
+    // A write submitted or completed during the flight: the bytes in user
+    // memory may predate it. Skip the insert wholesale — a snapshot-tagged
+    // entry would only be dropped at its first lookup anyway.
+    if (auth.data_seq(h, s) != op.cache_seq[s]) return;
+  }
+  std::vector<std::byte> bytes;
+  bytes.reserve(op.total_bytes);
+  for (const core::MemSegment& m : op.creq.mem) {
+    const std::span<const std::byte> sp = as_.readable_span(m.addr, m.length);
+    bytes.insert(bytes.end(), sp.begin(), sp.end());
+  }
+  const auto tags = [&](u32 stripe, u64* seq, u64* version) {
+    const auto it = op.cache_seq.find(stripe);
+    *seq = it != op.cache_seq.end() ? it->second : 0;
+    const auto vt = op.serve_ver.find(stripe);
+    *version = vt != op.serve_ver.end() ? vt->second : 0;
+  };
+  ccache_.insert_clean(h, op.file.meta.stripe_size, op.file.meta.iod_count,
+                       op.creq.file, bytes, tags);
+}
+
+IoResult Client::flush(const OpenFile& file) {
+  IoResult res{Status::ok(), 0, now_, now_};
+  if (!ccache_.write_back() || !ccache_.has_dirty(file.meta.handle)) {
+    return res;
+  }
+  bool done = false;
+  start_flush(file.meta.handle, [&](IoResult r) {
+    res = r;
+    done = true;
+  });
+  engine_.run_until([&] { return done; });
+  advance_to(res.end);
+  return res;
+}
+
+IoResult Client::close(const OpenFile& file) {
+  IoResult r = flush(file);
+  if (ccache_.enabled()) ccache_.drop_file(file.meta.handle);
+  return r;
 }
 
 // --- Round chains ---------------------------------------------------------
@@ -401,6 +683,11 @@ void Client::maybe_read_repair(std::shared_ptr<OpState> op, u32 iod_idx,
   Manager& authority = meta_.authority(op->file.meta.handle);
   authority.note_replica_version(op->file.meta.handle, stripe, set[serving],
                                  serving_version);
+  if (ccache_.enabled()) {
+    // Anything we cached below the observed serving version is provably
+    // stale now; drop it eagerly instead of waiting for a hit-time check.
+    ccache_.note_version(op->file.meta.handle, stripe, serving_version);
+  }
   if (serving_version == 0 || !cfg_.replication.read_repair) return;
   const Manager::StripeVersionView v =
       authority.stripe_versions(op->file.meta.handle, stripe);
@@ -467,6 +754,14 @@ void Client::schedule_repair_write(std::shared_ptr<OpState> op, u32 iod_idx,
 void Client::finish_read_round(std::shared_ptr<OpState> op, u32 iod_idx,
                                size_t round_idx, std::shared_ptr<RoundTry> tr,
                                u64 serving_version, TimePoint t) {
+  if (op->cache_insertable) {
+    // Tag the stripe with the *minimum* version any of its rounds served
+    // (see OpState::serve_ver): a stale-replica round must yield an entry
+    // the version check rejects.
+    const auto [it, fresh] =
+        op->serve_ver.emplace(op->stripes[iod_idx], serving_version);
+    if (!fresh) it->second = std::min(it->second, serving_version);
+  }
   if (tr == nullptr || !tr->settled) {
     if (lost_write_detected(op, iod_idx, round_idx, tr, serving_version, t)) {
       return;  // round re-issued against another replica
@@ -677,6 +972,7 @@ void Client::round_done(std::shared_ptr<OpState> op, u32 iod_idx,
       meta_.authority(op->file.meta.handle)
           .note_written(op->file.meta.handle, op->logical_end);
     }
+    if (ccache_.enabled()) cache_op_complete(*op);
     IoResult result;
     result.status = op->status;
     result.bytes = op->failed ? 0 : op->total_bytes;
@@ -968,6 +1264,10 @@ void Client::write_replica_done(std::shared_ptr<OpState> op, u32 iod_idx,
                             op->replica_sets[iod_idx][rep],
                             ack_version != 0 ? ack_version : tr->version,
                             tr->epoch);
+  if (ccache_.enabled()) {
+    ccache_.note_version(op->file.meta.handle, op->stripes[iod_idx],
+                         ack_version != 0 ? ack_version : tr->version);
+  }
   if (tr->settled) return;  // late ack after quorum settle
   ++tr->acks;
   if (!tr->have_first_ack) {

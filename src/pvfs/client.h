@@ -29,9 +29,11 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 
+#include "cache/client_cache.h"
 #include "common/config.h"
 #include "core/ogr.h"
 #include "core/transfer.h"
@@ -231,6 +233,21 @@ class Client {
   // cached map (e.g. MetaClient::invalidate_map).
   MetaClient& meta() { return meta_; }
 
+  // --- Client caching tier (src/cache/) ---------------------------------
+  // Subscribe this client's cache to the cluster's lease revocation bus,
+  // routed through the MetaClient. No-op when CacheParams::enabled is off
+  // (the ctor never set a sink, so nothing subscribes).
+  void attach_lease_bus(LeaseBus* bus) { meta_.attach_lease_bus(bus); }
+  // Write-back mode: push every dirty extent of `file` to the servers and
+  // convert it to clean. Blocking (drives the engine); a no-op returning
+  // ok/0 bytes when there is nothing dirty or write-back is off.
+  IoResult flush(const OpenFile& file);
+  // POSIX-close semantics for the write-back mode: flush, then drop the
+  // file's cached data (the next open re-reads through the tiers).
+  IoResult close(const OpenFile& file);
+  // The attribute/data cache itself, for tests and cache-drop tooling.
+  cache::ClientCache& data_cache() { return ccache_; }
+
   // The client's process state.
   vmem::AddressSpace& memory() { return as_; }
   ib::Hca& hca() { return hca_; }
@@ -291,7 +308,28 @@ class Client {
 
   void start_op(const OpenFile& file, const core::ListIoRequest& req,
                 const IoOptions& opts, TimePoint start, bool is_write,
-                IoCallback done);
+                IoCallback done, bool wb_flush = false);
+
+  // --- Caching tier internals -------------------------------------------
+  // Serve the read entirely from cached (clean or dirty) extents when they
+  // cover it and every clean tag validates against the authority's
+  // write-notice seq and stripe-version planes. Completes the op at zero
+  // simulated cost and returns true; false = miss, go to the wire.
+  bool serve_cached_read(const OpenFile& file, const core::ListIoRequest& req,
+                         TimePoint start, const IoCallback& done);
+  // Write-back staging: gather the request's bytes from user memory into
+  // dirty cache extents, complete immediately, and arm the
+  // staleness_bound flush timer for the handle.
+  void stage_write_back(const OpenFile& file, const core::ListIoRequest& req,
+                        TimePoint start, const IoCallback& done);
+  // Start the flush write for `h`'s dirty runs (no-op when none). `done`
+  // fires with the flush op's result after flush_applied converted the
+  // runs to clean.
+  void start_flush(Handle h, IoCallback done);
+  // Op-completion cache hooks (round_done's final block): completion-time
+  // seq bumps for writes, clean re-insert of the op's bytes, dirty overlay
+  // onto a wire-read's user buffer.
+  void cache_op_complete(OpState& op);
   // Issue the chain's next round at time `t` (window bookkeeping done).
   void issue_round(std::shared_ptr<OpState> op, u32 iod_idx, TimePoint t);
   // Round k's data phase cleared the wire at `t`: issue round k+1 if the
@@ -442,6 +480,14 @@ class Client {
   // Metadata routing facade: cached shard map + retry/redirect machinery.
   // Declared after hca_ (it labels traces and sources requests with it).
   MetaClient meta_;
+  // Client caching tier (attr + data). Distinct from cache_ — that is the
+  // HCA's memory-registration pin-down cache.
+  cache::ClientCache ccache_;
+  // Write-back bookkeeping: file meta snapshot per handle with dirty
+  // extents (the flush write needs stripe geometry), and whether the
+  // staleness_bound flush timer is armed for the handle.
+  std::map<Handle, FileMeta> wb_files_;
+  std::map<Handle, bool> wb_timer_armed_;
   core::TransferEndpoint ep_;  // bounce buffer endpoint
   TimePoint now_ = TimePoint::origin();
 };

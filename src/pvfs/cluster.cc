@@ -59,6 +59,8 @@ Cluster::Cluster(const ModelConfig& cfg, const Topology& topo) : cfg_(cfg) {
       managers_[s]->attach_epoch(&epochs_[s], /*active=*/true);
       standbys_[s]->attach_epoch(&epochs_[s], /*active=*/false);
     }
+    managers_[s]->attach_lease_bus(&lease_bus_);
+    if (standbys_[s] != nullptr) standbys_[s]->attach_lease_bus(&lease_bus_);
   }
   for (u32 s = 0; s < shard_count; ++s) {
     std::vector<Manager*> candidates{managers_[s].get()};
@@ -77,6 +79,7 @@ Cluster::Cluster(const ModelConfig& cfg, const Topology& topo) : cfg_(cfg) {
     clients_.push_back(std::make_unique<Client>(c, cfg_, engine_, *fabric_,
                                                 registry_, iod_ptrs, &stats_,
                                                 faults_.get()));
+    clients_.back()->attach_lease_bus(&lease_bus_);
   }
   if (cfg_.replication.factor > 1 && cfg_.replication.resync) {
     // Background re-replication: every iod can scan each shard authority's
@@ -131,6 +134,12 @@ void Cluster::manager_takeover(u32 shard, TimePoint at) {
   for (auto& iod : iods_) iod->note_manager_epoch(epochs_[shard].value, shard);
   active_[shard] = standby;
   registry_.set_active(shard, 1);
+  // Revoke the shard's cache leases: the fresh authority restarts its
+  // write-notice sequences at zero, and entries cached under the old
+  // manager's counts would eventually re-validate against the restarted
+  // ones (the ABA the lease plane exists for).
+  lease_bus_.publish(LeaseRevoke{LeaseRevokeReason::kEpochBump, shard,
+                                 static_cast<u32>(managers_.size()), "", 0});
   stats_.add(stat::kPvfsManagerTakeovers);
   sim::Trace::instance().emitf(
       at, "cluster", "manager takeover shard %u -> %s (epoch %llu)", shard,
@@ -174,13 +183,15 @@ struct Cluster::SplitGroup {
 std::unique_ptr<Manager> Cluster::provision_manager(const std::string& name,
                                                     u32 shard,
                                                     u32 shard_count) {
-  return std::make_unique<Manager>(
+  auto m = std::make_unique<Manager>(
       cfg_, *fabric_, &stats_,
       ManagerOptions{.cluster_iod_count = cluster_iod_count_,
                      .faults = faults_.get(),
                      .name = name,
                      .shard_id = shard,
                      .shard_count = shard_count});
+  m->attach_lease_bus(&lease_bus_);
+  return m;
 }
 
 bool Cluster::migration_inflight() const {
@@ -375,6 +386,12 @@ void Cluster::migrate_cutover(std::shared_ptr<MigrationState> st) {
   registry_.set_candidates(shard, std::move(candidates), 0);
   migrating_[shard] = 0;
   repoint_shard(shard, target);
+  // The target restarts the shard's write-notice sequences at zero: revoke
+  // the shard's cache leases so nothing cached under the source's counts
+  // survives to re-validate (same ABA as a takeover). Scoped to this shard;
+  // the other shards' caches stay warm.
+  lease_bus_.publish(
+      LeaseRevoke{LeaseRevokeReason::kEpochBump, shard, shard_count, "", 0});
   kick_resync(now);
   stats_.add(stat::kPvfsShardMigrations);
   sim::Trace::instance().emitf(
@@ -429,6 +446,16 @@ void Cluster::split_cutover(std::shared_ptr<SplitGroup> group) {
   registry_.note_resharded();
   cfg_.pvfs.metadata_shards = k2;
   for (auto& iod : iods_) iod->set_metadata_shards(k2);
+  // Revoke cache leases for every *new* sibling shard, carrying the
+  // post-split count so holders re-route their entries with it: an entry
+  // that re-hashes onto a sibling is dropped (its handles now live under a
+  // fresh authority with restarted write-notice sequences), one that stays
+  // on its old shard survives — that shard's epoch and sequences did not
+  // move.
+  for (u32 s = 0; s < k; ++s) {
+    lease_bus_.publish(LeaseRevoke{LeaseRevokeReason::kEpochBump,
+                                   split_sibling(s, k), k2, "", 0});
+  }
   migrating_.assign(k2, 0);
   split_inflight_ = false;
   for (u32 s = 0; s < k; ++s) {

@@ -82,10 +82,19 @@ class Cluster {
   u32 client_count() const { return static_cast<u32>(clients_.size()); }
   u32 iod_count() const { return static_cast<u32>(iods_.size()); }
 
-  // Drop every iod's page cache (benchmark "without cache" setup).
+  // Drop every iod's page cache (benchmark "without cache" setup) and
+  // every client's caching tier.
   void drop_all_caches() {
     for (auto& iod : iods_) iod->drop_caches();
+    for (auto& c : clients_) c->data_cache().drop_all();
   }
+
+  // The cluster-wide lease revocation bus for the client caching tier.
+  // Managers publish create/remove revokes on it; the cluster publishes
+  // epoch-bump revokes at takeover/migration/split cutovers; cache-enabled
+  // clients subscribe through their MetaClients. With caching off nothing
+  // subscribes and publication is a free no-op.
+  LeaseBus& lease_bus() { return lease_bus_; }
 
   // Cluster-wide default transfer policy. Applied by every client to
   // operations whose IoOptions did not pick a policy explicitly (via
@@ -229,6 +238,9 @@ class Cluster {
   // Declared before clients_ (each Client's MetaClient seeds from it and
   // keeps the pointer for redirect-driven refreshes).
   MetaRegistry registry_;
+  // Declared before managers_/clients_ users attach to it; owns nothing
+  // but subscription closures.
+  LeaseBus lease_bus_;
   std::vector<std::unique_ptr<Iod>> iods_;
   std::vector<std::unique_ptr<Client>> clients_;
   // Rolling interval sampler (sample_intervals); null until requested.

@@ -152,6 +152,13 @@ Timed<Result<FileMeta>> Manager::create(ib::Hca& from, TimePoint ready,
   }
   by_name_[name] = meta;
   by_handle_[meta.handle] = name;
+  if (lease_bus_ != nullptr) {
+    // A newly minted handle can reuse a name whose stale attr entry some
+    // client still caches (remove + recreate); revoke the name so the next
+    // open re-fetches the fresh handle instead of serving the dead one.
+    lease_bus_->publish(LeaseRevoke{LeaseRevokeReason::kCreated, shard_id_,
+                                    shard_count_, name, meta.handle});
+  }
   return {Result<FileMeta>(meta), cost};
 }
 
@@ -199,6 +206,12 @@ Timed<Status> Manager::remove(ib::Hca& from, TimePoint ready,
   by_name_.erase(it);
   stripe_state_.erase(stripe_state_.lower_bound({h, 0}),
                       stripe_state_.upper_bound({h, ~0u}));
+  data_seq_.erase(data_seq_.lower_bound({h, 0}),
+                  data_seq_.upper_bound({h, ~0u}));
+  if (lease_bus_ != nullptr) {
+    lease_bus_->publish(LeaseRevoke{LeaseRevokeReason::kRemoved, shard_id_,
+                                    shard_count_, name, h});
+  }
   return {Status::ok(), cost};
 }
 

@@ -112,6 +112,29 @@ class Manager {
   };
   StripeVersionView stripe_versions(Handle h, u32 stripe) const;
 
+  // --- Cache write-notice plane -----------------------------------------
+  // Per-(handle, logical stripe) write sequence for the client caching
+  // tier (src/cache/). Cache-enabled clients bump it at write submission
+  // and validate cached extents against it at hit time — a free host-side
+  // piggyback exactly like the version plane, covering replication factor
+  // 1 where no stripe versions are minted. Cache-off clients never call
+  // either, so the plane stays empty and timelines untouched. The state is
+  // deliberately manager-resident soft state: a takeover or migration
+  // restarts sequences at zero, and the epoch-bump lease revoke drops the
+  // affected shard's cached entries so the restart cannot re-validate
+  // anything stale.
+  u64 bump_data_seq(Handle h, u32 stripe) { return ++data_seq_[{h, stripe}]; }
+  u64 data_seq(Handle h, u32 stripe) const {
+    const auto it = data_seq_.find({h, stripe});
+    return it == data_seq_.end() ? 0 : it->second;
+  }
+
+  // --- Cache lease plane -------------------------------------------------
+  // Revocation bus membership (see protocol.h LeaseBus). Attached by the
+  // Cluster; a detached manager (standalone tests, pre-PR builds) simply
+  // never revokes. create()/remove() publish on their success paths.
+  void attach_lease_bus(LeaseBus* bus) { lease_bus_ = bus; }
+
   // --- Integrity plane --------------------------------------------------
   // A reader's checksum verification (or the scrubber) caught physical iod
   // `iod_id` serving corrupt bytes for (h, stripe): flag the copy. Fenced
@@ -345,6 +368,13 @@ class Manager {
   // shard_of_handle recovers the owner without a lookup. N=1 counts 1,2,3…
   // exactly as before.
   Handle next_handle_;
+  // Cache write-notice plane: per-(handle, stripe) write sequence numbers.
+  // Soft state — intentionally not part of ShardSnapshot (see bump_data_seq
+  // comment: epoch-bump revokes make the post-migration reset safe).
+  std::map<std::pair<Handle, u32>, u64> data_seq_;
+  // Lease revocation bus (owned by the Cluster); null when caching is off
+  // or the manager runs standalone in a unit test.
+  LeaseBus* lease_bus_ = nullptr;
 };
 
 }  // namespace pvfsib::pvfs

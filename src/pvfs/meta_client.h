@@ -133,6 +133,23 @@ class MetaClient {
   // for. The n+1-th refresh sees the real registry.
   void force_stale_refreshes(u32 n) { stale_refreshes_ = n; }
 
+  // --- Cache lease routing ----------------------------------------------
+  // The client caching tier's lease revocations are routed through the
+  // MetaClient: the owning Client registers its cache as the sink, the
+  // Cluster attaches its LeaseBus, and every published LeaseRevoke is
+  // forwarded sink-ward. Routing here (rather than bus -> cache directly)
+  // keeps the revocation path on the same object that owns shard routing,
+  // so epoch-bump revokes use the same shard_of/shard_of_handle planes the
+  // reads they fence do. A client with caching off never sets a sink, so
+  // attach subscribes nothing and the bus stays unobserved.
+  void set_lease_sink(std::function<void(const LeaseRevoke&)> sink) {
+    lease_sink_ = std::move(sink);
+  }
+  void attach_lease_bus(LeaseBus* bus) {
+    if (bus == nullptr || !lease_sink_) return;
+    bus->subscribe([this](const LeaseRevoke& rv) { lease_sink_(rv); });
+  }
+
  private:
   struct CachedShard {
     std::vector<Manager*> candidates;
@@ -157,6 +174,7 @@ class MetaClient {
   std::vector<CachedShard> shards_;
   u64 version_ = 0;
   u32 stale_refreshes_ = 0;  // test hook (force_stale_refreshes)
+  std::function<void(const LeaseRevoke&)> lease_sink_;  // cache revocations
 };
 
 }  // namespace pvfsib::pvfs

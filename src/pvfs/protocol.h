@@ -5,6 +5,7 @@
 // carry.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -124,6 +125,56 @@ struct MetaRequest {
 struct MetaReply {
   Status status;
   FileMeta meta;  // valid when status.is_ok() and op != kRemove
+};
+
+// --- Cache leases -----------------------------------------------------------
+// The client caching tier (src/cache/) holds attribute and data entries
+// under manager-granted leases. A lease here is not a timed token: it is
+// membership on the cluster's revocation bus. Managers publish a
+// LeaseRevoke when the cached fact changes out from under its holders —
+// the name was created or removed, or the owning shard's epoch was bumped
+// by a takeover / migration cutover / split — and every subscribed client
+// drops the affected entries (routed through its MetaClient, which is the
+// component that already owns shard-map staleness). Publication is a free
+// host-side call: real PVFS would piggyback revokes on the manager's reply
+// stream, and charging it no simulated time keeps cache-off timelines
+// byte-identical.
+
+enum class LeaseRevokeReason : u8 {
+  kCreated,    // the name was (re)created: any cached attr for it is stale
+  kRemoved,    // the name/handle was removed: attrs and data are both stale
+  kEpochBump,  // takeover/migration/split on `shard`: drop that shard only
+};
+
+struct LeaseRevoke {
+  LeaseRevokeReason reason = LeaseRevokeReason::kRemoved;
+  // The shard the revoke is scoped to, under `shard_count` total shards.
+  // kEpochBump holders re-route their entries with *this* count (a split
+  // doubles it), so only entries that now route to `shard` drop — the
+  // "affected shard only" contract that keeps an unrelated shard's cache
+  // warm across someone else's reshard.
+  u32 shard = 0;
+  u32 shard_count = 1;
+  // kCreated/kRemoved: the name (and, for kRemoved, the dead handle so
+  // data-cache extents drop with the attrs).
+  std::string name;
+  Handle handle = 0;
+};
+
+// Cluster-wide lease revocation bus. Owned by the Cluster; managers publish,
+// MetaClients subscribe on behalf of their client's cache. Clients whose
+// cache is disabled never subscribe, so publication with no cache enabled
+// is a no-op and costs nothing.
+class LeaseBus {
+ public:
+  using Sink = std::function<void(const LeaseRevoke&)>;
+  void subscribe(Sink sink) { sinks_.push_back(std::move(sink)); }
+  void publish(const LeaseRevoke& rv) {
+    for (auto& s : sinks_) s(rv);
+  }
+
+ private:
+  std::vector<Sink> sinks_;
 };
 
 // One round of a list I/O operation directed at one iod: at most

@@ -209,6 +209,30 @@ TEST_F(ShardedClusterTest, StaleMapTakesOneRedirectThenRefreshes) {
             cluster_.registry().version());
 }
 
+TEST_F(ShardedClusterTest, BoundedReRefreshLandsConsumersOnFreshState) {
+  // The two-generations-in-flight race: a stale mount's first
+  // redirect-driven refresh itself fetches an already-superseded map, so
+  // the bounded re-refresh loop has to go around again. The op must still
+  // succeed — and, the part this test pins, every consumer of MetaClient
+  // state afterwards sees the *fresh* map, not the intermediate stale one:
+  // the version cursor, name routing, and the version-plane authority.
+  Client& c = cluster_.client(0);
+  const std::string elsewhere = name_on_shard(3, 4);
+  ASSERT_TRUE(c.create(elsewhere).is_ok());
+  const Handle h = c.open(elsewhere).value().meta.handle;
+
+  c.meta().invalidate_map();
+  c.meta().force_stale_refreshes(1);
+  EXPECT_TRUE(c.open(elsewhere).is_ok());
+
+  EXPECT_EQ(c.meta().map_version(), cluster_.registry().version());
+  EXPECT_EQ(c.meta().shard_count(), 4u);
+  EXPECT_EQ(&c.meta().route(elsewhere), &cluster_.active_manager(3));
+  EXPECT_TRUE(c.meta().authority(h).owns_handle(h));
+  // Two refreshes: the stale one the hook forced, then the real one.
+  EXPECT_GE(cluster_.stats().get(stat::kPvfsShardMapRefreshes), 2);
+}
+
 // --- per-shard epoch fencing ----------------------------------------------
 
 TEST(ShardedTakeover, TakeoverFencesOnlyItsOwnShard) {
